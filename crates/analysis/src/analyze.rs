@@ -1,0 +1,290 @@
+//! The analysis driver: trace in, profile out.
+//!
+//! Mirrors Scalasca's pipeline: replay every location, match
+//! communication, detect wait-state patterns, account idle threads, and
+//! attribute delay costs. The delay phase — the expensive part — runs on
+//! a crossbeam thread pool with deterministic chunked merging, so
+//! repeated analyses of the same trace produce bit-identical profiles.
+
+use crate::delay::{delay_for_wait, DelayContribution, SpanIndex};
+use crate::idle::master_serial_chunks;
+use crate::patterns::{
+    gather_barriers, gather_collectives, late_receiver_severity, late_sender_severity,
+    match_messages, wait_nxn_severity, MatchedMessage,
+};
+use crate::replay::{replay, LocalReplay, SegClass};
+use nrlt_profile::{Metric, Profile};
+use nrlt_trace::Trace;
+use std::collections::HashMap;
+
+/// Analysis options.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Run the delay-cost phase (root-cause attribution).
+    pub delay_costs: bool,
+    /// Worker threads for the delay phase (0 = available parallelism).
+    pub workers: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig { delay_costs: true, workers: 0 }
+    }
+}
+
+/// Analyze a trace with default options.
+pub fn analyze(trace: &Trace) -> Profile {
+    analyze_with(trace, &AnalysisConfig::default())
+}
+
+/// One wait state scheduled for delay attribution.
+struct WaitInstance {
+    metric: Metric,
+    waiter_loc: usize,
+    waiter_enter: u64,
+    delayer_loc: usize,
+    delayer_enter: u64,
+    severity: u64,
+}
+
+/// Analyze a trace.
+pub fn analyze_with(trace: &Trace, config: &AnalysisConfig) -> Profile {
+    let (tree, locals) = replay(trace);
+    let tpr = trace.defs.threads_per_rank;
+    let n_ranks = trace.defs.n_ranks();
+    let mut profile = Profile::new(
+        trace.defs.clock.name().to_owned(),
+        trace.defs.regions.clone(),
+        tree,
+        trace.defs.locations.clone(),
+    );
+    let mut waits: Vec<WaitInstance> = Vec::new();
+
+    // --- computation, management, visits --------------------------------
+    for (loc, r) in locals.iter().enumerate() {
+        for s in &r.segments {
+            let metric = match s.class {
+                SegClass::Comp => Metric::Comp,
+                SegClass::Management => Metric::OmpManagement,
+            };
+            profile.add(metric, s.path, loc, s.dur() as f64);
+        }
+        for &(path, count) in &r.visits {
+            profile.add(Metric::Visits, path, loc, count as f64);
+        }
+    }
+
+    // --- point-to-point patterns -----------------------------------------
+    let messages = match_messages(&locals, tpr);
+    // Late sender: group messages by completing instance.
+    let mut by_recv_instance: HashMap<(usize, usize), Vec<&MatchedMessage>> = HashMap::new();
+    // Late receiver: group by sending instance.
+    let mut by_send_instance: HashMap<(usize, usize), Vec<&MatchedMessage>> = HashMap::new();
+    for m in &messages {
+        by_recv_instance.entry((m.recv_loc, m.recv_instance)).or_default().push(m);
+        by_send_instance.entry((m.send_loc, m.send_instance)).or_default().push(m);
+    }
+
+    for (loc, r) in locals.iter().enumerate() {
+        for (idx, mi) in r.mpi_instances.iter().enumerate() {
+            if mi.collective.is_some() {
+                continue; // handled below
+            }
+            let dur = mi.dur();
+            let mut classified = 0u64;
+            if let Some(msgs) = by_recv_instance.get(&(loc, idx)) {
+                let send_ts: Vec<u64> = msgs.iter().map(|m| m.send_enter).collect();
+                let ls = late_sender_severity(mi.enter, mi.leave, &send_ts);
+                if ls > 0 {
+                    profile.add(Metric::LateSender, mi.path, loc, ls as f64);
+                    classified += ls;
+                    // Delay: the latest sender is the culprit.
+                    let culprit = msgs
+                        .iter()
+                        .max_by_key(|m| m.send_enter)
+                        .expect("non-empty message group");
+                    waits.push(WaitInstance {
+                        metric: Metric::DelayP2p,
+                        waiter_loc: loc,
+                        waiter_enter: mi.enter,
+                        delayer_loc: culprit.send_loc,
+                        delayer_enter: culprit.send_enter,
+                        severity: ls,
+                    });
+                }
+            }
+            if let Some(msgs) = by_send_instance.get(&(loc, idx)) {
+                let lr = msgs
+                    .iter()
+                    .map(|m| late_receiver_severity(mi.enter, mi.leave, m.recv_post))
+                    .max()
+                    .unwrap_or(0);
+                // Only meaningful when the send actually blocked; tiny
+                // values on eager sends are classified as plain p2p time.
+                let lr = lr.min(dur - classified.min(dur));
+                if lr > dur / 20 && lr > 0 {
+                    profile.add(Metric::LateReceiver, mi.path, loc, lr as f64);
+                    classified += lr;
+                }
+            }
+            profile.add(
+                Metric::MpiP2p,
+                mi.path,
+                loc,
+                dur.saturating_sub(classified) as f64,
+            );
+        }
+    }
+
+    // --- collectives -------------------------------------------------------
+    let collectives = gather_collectives(&locals, tpr);
+    for inst in &collectives {
+        let latest = inst
+            .members
+            .iter()
+            .map(|&(loc, idx)| locals[loc].mpi_instances[idx].enter)
+            .max()
+            .unwrap_or(0);
+        let delayer = inst
+            .members
+            .iter()
+            .max_by_key(|&&(loc, idx)| (locals[loc].mpi_instances[idx].enter, loc))
+            .copied()
+            .expect("collective has members");
+        let is_nxn = inst.op.is_nxn() || inst.op == nrlt_trace::CollectiveOp::Barrier;
+        for &(loc, idx) in &inst.members {
+            let mi = &locals[loc].mpi_instances[idx];
+            let dur = mi.dur();
+            if is_nxn {
+                let wait = wait_nxn_severity(mi.enter, mi.leave, latest);
+                if wait > 0 {
+                    profile.add(Metric::WaitNxN, mi.path, loc, wait as f64);
+                    waits.push(WaitInstance {
+                        metric: Metric::DelayN2n,
+                        waiter_loc: loc,
+                        waiter_enter: mi.enter,
+                        delayer_loc: delayer.0,
+                        delayer_enter: locals[delayer.0].mpi_instances[delayer.1].enter,
+                        severity: wait,
+                    });
+                }
+                profile.add(Metric::MpiCollective, mi.path, loc, (dur - wait) as f64);
+            } else {
+                profile.add(Metric::MpiCollective, mi.path, loc, dur as f64);
+            }
+        }
+    }
+
+    // --- OpenMP barriers ----------------------------------------------------
+    for rank in 0..n_ranks {
+        for inst in gather_barriers(&locals, rank, tpr) {
+            let latest = inst
+                .members
+                .iter()
+                .map(|&(loc, i)| locals[loc].barriers[i].enter)
+                .max()
+                .unwrap_or(0);
+            let delayer = inst
+                .members
+                .iter()
+                .max_by_key(|&&(loc, i)| (locals[loc].barriers[i].enter, loc))
+                .copied()
+                .expect("barrier has members");
+            for &(loc, i) in &inst.members {
+                let b = &locals[loc].barriers[i];
+                let dur = b.leave - b.enter;
+                let wait = latest.saturating_sub(b.enter).min(dur);
+                if wait > 0 {
+                    profile.add(Metric::OmpBarrierWait, b.path, loc, wait as f64);
+                    waits.push(WaitInstance {
+                        metric: Metric::DelayBarrier,
+                        waiter_loc: loc,
+                        waiter_enter: b.enter,
+                        delayer_loc: delayer.0,
+                        delayer_enter: locals[delayer.0].barriers[delayer.1].enter,
+                        severity: wait,
+                    });
+                }
+                profile.add(Metric::OmpBarrierOverhead, b.path, loc, (dur - wait) as f64);
+            }
+        }
+    }
+
+    // --- idle threads ---------------------------------------------------------
+    if tpr > 1 {
+        for rank in 0..n_ranks {
+            let master = (rank * tpr) as usize;
+            let chunks = master_serial_chunks(&locals[master]);
+            for worker in 1..tpr {
+                let loc = master + worker as usize;
+                for c in &chunks {
+                    profile.add(Metric::IdleThreads, c.path, loc, c.ticks as f64);
+                }
+            }
+        }
+    }
+
+    // --- delay costs -----------------------------------------------------------
+    if config.delay_costs && !waits.is_empty() {
+        let index = SpanIndex::build(&locals);
+        let contributions = compute_delays(&waits, &index, &locals, config.workers);
+        for (metric, batch) in contributions {
+            for (path, loc, v) in batch {
+                profile.add(metric, path, loc, v);
+            }
+        }
+    }
+
+    profile
+}
+
+/// Compute delay contributions for all wait instances in parallel,
+/// merging deterministically (chunked by instance index).
+fn compute_delays(
+    waits: &[WaitInstance],
+    index: &SpanIndex,
+    locals: &[LocalReplay],
+    workers: usize,
+) -> Vec<(Metric, Vec<DelayContribution>)> {
+    let n_workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
+    } else {
+        workers
+    };
+    let chunk_size = waits.len().div_ceil(n_workers).max(1);
+    let chunks: Vec<&[WaitInstance]> = waits.chunks(chunk_size).collect();
+    let mut results: Vec<Vec<(Metric, Vec<DelayContribution>)>> =
+        Vec::with_capacity(chunks.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|w| {
+                            (
+                                w.metric,
+                                delay_for_wait(
+                                    index,
+                                    locals,
+                                    w.waiter_loc,
+                                    w.waiter_enter,
+                                    w.delayer_loc,
+                                    w.delayer_enter,
+                                    w.severity,
+                                    w.metric != Metric::DelayBarrier,
+                                ),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("delay worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}

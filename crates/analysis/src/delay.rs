@@ -1,0 +1,214 @@
+//! Delay-cost analysis: root causes of wait states.
+//!
+//! For every wait state, Scalasca's delay analysis asks *who* made the
+//! waiter wait and *what that location was doing* in the interval since
+//! the previous synchronisation point. This implementation performs the
+//! single-step (short-term) attribution: the waiter's severity is
+//! distributed over the call paths in which the delaying location spent
+//! more time than the waiter did since their respective last
+//! synchronisation points. Transitive (long-term) propagation of delay
+//! through chains of wait states is not modelled; DESIGN.md records this
+//! simplification.
+//!
+//! Including the delayer's MPI spans in the interval profile is what
+//! reproduces the paper's `lt_hwctr` observation that delay costs can
+//! point *into* `MPI_Waitall`: under the instruction counter, spinning
+//! inflates exactly those spans.
+
+use crate::replay::{prev_mpi_sync, prev_sync, LocalReplay};
+use nrlt_profile::CallPathId;
+use std::collections::HashMap;
+
+/// Per-location interval index over (comp + management + MPI) spans.
+#[derive(Debug, Clone, Default)]
+pub struct SpanIndex {
+    /// Non-overlapping `(start, end, path)` in time order, per location.
+    spans: Vec<Vec<(u64, u64, CallPathId)>>,
+}
+
+impl SpanIndex {
+    /// Build the index from the replay data.
+    pub fn build(locals: &[LocalReplay]) -> SpanIndex {
+        let spans = locals
+            .iter()
+            .map(|r| {
+                let mut v: Vec<(u64, u64, CallPathId)> = r
+                    .segments
+                    .iter()
+                    .map(|s| (s.start, s.end, s.path))
+                    .chain(r.mpi_instances.iter().map(|m| (m.enter, m.leave, m.path)))
+                    .filter(|&(s, e, _)| e > s)
+                    .collect();
+                v.sort_unstable_by_key(|&(s, _, _)| s);
+                v
+            })
+            .collect();
+        SpanIndex { spans }
+    }
+
+    /// Time per call path overlapping `[start, end)` on `loc`.
+    pub fn profile(&self, loc: usize, start: u64, end: u64) -> HashMap<CallPathId, u64> {
+        let mut out = HashMap::new();
+        if end <= start {
+            return out;
+        }
+        let spans = &self.spans[loc];
+        // First span that could overlap: the one before the first span
+        // starting at/after `start`.
+        let mut i = spans.partition_point(|&(s, _, _)| s < start);
+        i = i.saturating_sub(1);
+        while i < spans.len() {
+            let (s, e, path) = spans[i];
+            if s >= end {
+                break;
+            }
+            let overlap = e.min(end).saturating_sub(s.max(start));
+            if overlap > 0 {
+                *out.entry(path).or_insert(0) += overlap;
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// One delay attribution target: call path + location + cost.
+pub type DelayContribution = (CallPathId, usize, f64);
+
+/// Distribute `severity` (the waiter's wait time) over the delayer's
+/// excess call paths.
+///
+/// * `w_profile` — the waiter's interval profile since its last sync.
+/// * `d_profile` — the delayer's interval profile since its last sync.
+///
+/// Returns an empty vector when the delayer shows no excess anywhere
+/// (e.g. the wait was caused by timing noise only — a case the paper
+/// flags as invisible to logical clocks).
+pub fn attribute_delay(
+    severity: u64,
+    delayer_loc: usize,
+    w_profile: &HashMap<CallPathId, u64>,
+    d_profile: &HashMap<CallPathId, u64>,
+) -> Vec<DelayContribution> {
+    let mut excess: Vec<(CallPathId, u64)> = d_profile
+        .iter()
+        .map(|(&p, &d)| (p, d.saturating_sub(w_profile.get(&p).copied().unwrap_or(0))))
+        .filter(|&(_, e)| e > 0)
+        .collect();
+    excess.sort_unstable_by_key(|&(p, _)| p);
+    let total: u64 = excess.iter().map(|&(_, e)| e).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    excess
+        .into_iter()
+        .map(|(p, e)| (p, delayer_loc, severity as f64 * e as f64 / total as f64))
+        .collect()
+}
+
+/// Convenience: compute both interval profiles and attribute.
+///
+/// `inter_process` selects the synchronisation horizon: true for MPI
+/// wait states (only recv/collective completions clip the interval),
+/// false for OpenMP barrier waits (any sync point does).
+#[allow(clippy::too_many_arguments)]
+pub fn delay_for_wait(
+    index: &SpanIndex,
+    locals: &[LocalReplay],
+    waiter_loc: usize,
+    waiter_enter: u64,
+    delayer_loc: usize,
+    delayer_enter: u64,
+    severity: u64,
+    inter_process: bool,
+) -> Vec<DelayContribution> {
+    if severity == 0 || waiter_loc == delayer_loc {
+        return Vec::new();
+    }
+    let (w_from, d_from) = if inter_process {
+        (
+            prev_mpi_sync(&locals[waiter_loc], waiter_enter),
+            prev_mpi_sync(&locals[delayer_loc], delayer_enter),
+        )
+    } else {
+        (
+            prev_sync(&locals[waiter_loc], waiter_enter),
+            prev_sync(&locals[delayer_loc], delayer_enter),
+        )
+    };
+    let w_profile = index.profile(waiter_loc, w_from, waiter_enter);
+    let d_profile = index.profile(delayer_loc, d_from, delayer_enter);
+    attribute_delay(severity, delayer_loc, &w_profile, &d_profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{SegClass, Segment};
+
+    fn seg(path: u32, start: u64, end: u64) -> Segment {
+        Segment {
+            path: CallPathId(path),
+            class: SegClass::Comp,
+            start,
+            end,
+            in_parallel: false,
+        }
+    }
+
+    #[test]
+    fn span_profile_clips_overlaps() {
+        let locals = vec![LocalReplay {
+            segments: vec![seg(0, 0, 10), seg(1, 10, 30), seg(0, 40, 50)],
+            ..Default::default()
+        }];
+        let idx = SpanIndex::build(&locals);
+        let p = idx.profile(0, 5, 45);
+        assert_eq!(p[&CallPathId(0)], 5 + 5);
+        assert_eq!(p[&CallPathId(1)], 20);
+        assert!(idx.profile(0, 100, 200).is_empty());
+        assert!(idx.profile(0, 20, 20).is_empty());
+    }
+
+    #[test]
+    fn attribution_proportional_to_excess() {
+        let w: HashMap<CallPathId, u64> = [(CallPathId(0), 10)].into();
+        let d: HashMap<CallPathId, u64> = [(CallPathId(0), 40), (CallPathId(1), 30)].into();
+        let contributions = attribute_delay(60, 3, &w, &d);
+        // excess: path0 = 30, path1 = 30 → 30/30 each of 60.
+        assert_eq!(contributions.len(), 2);
+        for &(_, loc, v) in &contributions {
+            assert_eq!(loc, 3);
+            assert!((v - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_excess_no_attribution() {
+        let w: HashMap<CallPathId, u64> = [(CallPathId(0), 100)].into();
+        let d: HashMap<CallPathId, u64> = [(CallPathId(0), 50)].into();
+        assert!(attribute_delay(10, 0, &w, &d).is_empty());
+    }
+
+    #[test]
+    fn delay_for_wait_uses_sync_points() {
+        // Waiter did nothing, delayer computed 0..80 in path 1; both
+        // synced at 0.
+        let locals = vec![
+            LocalReplay { syncs: vec![], ..Default::default() },
+            LocalReplay {
+                segments: vec![seg(1, 0, 80)],
+                syncs: vec![],
+                ..Default::default()
+            },
+        ];
+        let idx = SpanIndex::build(&locals);
+        let c = delay_for_wait(&idx, &locals, 0, 10, 1, 80, 70, true);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].0, CallPathId(1));
+        assert!((c[0].2 - 70.0).abs() < 1e-9);
+        // Zero severity or self-delay: nothing.
+        assert!(delay_for_wait(&idx, &locals, 0, 10, 1, 80, 0, true).is_empty());
+        assert!(delay_for_wait(&idx, &locals, 1, 10, 1, 80, 5, true).is_empty());
+    }
+}

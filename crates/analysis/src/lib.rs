@@ -1,0 +1,34 @@
+//! # nrlt-analysis — the Scalasca analog
+//!
+//! Automatic wait-state analysis of event traces: per-location replay,
+//! deterministic message matching, the late-sender / late-receiver /
+//! wait-at-N×N / barrier-wait patterns, idle-thread accounting, and
+//! single-step delay-cost (root cause) attribution — all clock-agnostic,
+//! so the same analysis runs on physical and logical traces, which is
+//! the experimental setup of the paper.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod causality;
+pub mod combined;
+pub mod critical;
+pub mod delay;
+pub mod idle;
+pub mod patterns;
+pub mod replay;
+
+pub use analyze::{analyze, analyze_with, AnalysisConfig};
+pub use causality::{
+    assign_lamport_postprocess, assign_vector_clocks, concurrent, happens_before_edges,
+    verify_clock_condition, Edge, EventId,
+};
+pub use combined::{combine, CombinedCell, CombinedReport, WAIT_METRICS};
+pub use critical::{critical_path, CriticalPath};
+pub use delay::{attribute_delay, delay_for_wait, SpanIndex};
+pub use idle::{master_serial_chunks, total_idle, IdleChunk};
+pub use patterns::{
+    gather_barriers, gather_collectives, late_receiver_severity, late_sender_severity,
+    match_messages, wait_nxn_severity, BarrierInstance, CollectiveInstance, MatchedMessage,
+};
+pub use replay::{prev_sync, replay, LocalReplay, MpiInstance, SegClass, Segment};

@@ -1,0 +1,123 @@
+//! Criterion benchmarks of the hot components: trace encode/decode,
+//! message matching, trace analysis, the replay engine, and the Jaccard
+//! score.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use nrlt_core::analysis::analyze;
+use nrlt_core::measure_sys::{measure, MeasureConfig};
+use nrlt_core::mpisim::{Channel, Matcher};
+use nrlt_core::prelude::*;
+use nrlt_core::trace::{decode, encode};
+
+/// A mid-size hybrid program for engine/analysis benches.
+fn workload() -> (Program, ExecConfig) {
+    let ranks = 8;
+    let mut pb = ProgramBuilder::new(ranks);
+    for r in 0..ranks {
+        let left = (r + ranks - 1) % ranks;
+        let right = (r + 1) % ranks;
+        let mut rb = pb.rank(r);
+        rb.scoped("main", |rb| {
+            for _ in 0..50 {
+                rb.parallel("step", |omp| {
+                    omp.for_loop(
+                        "sweep",
+                        4096,
+                        Schedule::Static,
+                        IterCost::Uniform(Cost::scalar(500)),
+                        1 << 20,
+                    );
+                });
+                rb.irecv(left, 0, 8192);
+                rb.isend(right, 0, 8192);
+                rb.waitall();
+                rb.allreduce(8);
+            }
+        });
+    }
+    (pb.finish(), ExecConfig::jureca(1, JobLayout::block(ranks, 4), 7))
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (program, cfg) = workload();
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("execute_reference", |b| {
+        b.iter(|| nrlt_core::exec::execute(&program, &cfg, &mut NullObserver))
+    });
+    group.bench_function("execute_traced_tsc", |b| {
+        b.iter(|| measure(&program, &cfg, &MeasureConfig::new(ClockMode::Tsc)))
+    });
+    group.bench_function("execute_traced_lt_stmt", |b| {
+        b.iter(|| measure(&program, &cfg, &MeasureConfig::new(ClockMode::LtStmt)))
+    });
+    group.finish();
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let (program, cfg) = workload();
+    let (trace, _) = measure(&program, &cfg, &MeasureConfig::new(ClockMode::Tsc));
+    let bytes = encode(&trace);
+    let mut group = c.benchmark_group("trace_io");
+    group.throughput(Throughput::Elements(trace.total_events() as u64));
+    group.bench_function("encode", |b| b.iter(|| encode(&trace)));
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("decode", |b| b.iter(|| decode(&bytes).unwrap()));
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let (program, cfg) = workload();
+    let (trace, _) = measure(&program, &cfg, &MeasureConfig::new(ClockMode::Tsc));
+    let mut group = c.benchmark_group("analysis");
+    group.throughput(Throughput::Elements(trace.total_events() as u64));
+    group.bench_function("analyze_full", |b| b.iter(|| analyze(&trace)));
+    group.bench_function("analyze_no_delay", |b| {
+        b.iter(|| {
+            nrlt_core::analysis::analyze_with(
+                &trace,
+                &nrlt_core::analysis::AnalysisConfig { delay_costs: false, workers: 0 },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("post_10k_pairs", |b| {
+        b.iter_batched(
+            Matcher::<u64, u64>::new,
+            |mut m| {
+                for i in 0..10_000u64 {
+                    let ch = Channel { src: (i % 16) as u32, dst: ((i + 1) % 16) as u32, tag: 0 };
+                    m.post_send(ch, 1024, i);
+                    m.post_recv(ch, 1024, i);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_jaccard(c: &mut Criterion) {
+    use std::collections::HashMap;
+    let a: HashMap<u64, f64> = (0..10_000).map(|i| (i, (i % 97) as f64)).collect();
+    let b: HashMap<u64, f64> = (0..10_000).map(|i| (i + 500, (i % 89) as f64)).collect();
+    let mut group = c.benchmark_group("profile");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("jaccard_10k_cells", |bch| bch.iter(|| jaccard(&a, &b)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_trace_io,
+    bench_analysis,
+    bench_matcher,
+    bench_jaccard
+);
+criterion_main!(benches);

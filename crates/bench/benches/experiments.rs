@@ -1,0 +1,147 @@
+//! End-to-end experiment benchmarks: one group per table/figure, each
+//! timing the full pipeline (reference runs + measurement + analysis)
+//! that regenerates the corresponding result, at reduced repetition
+//! count. `cargo bench` therefore exercises every experiment of the
+//! paper; the printing front-ends live in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nrlt_core::prelude::*;
+use nrlt_miniapps::{LuleshConfig, LuleshCosts, MiniFeConfig, MiniFeCosts, TeaLeafConfig, TeaLeafCosts};
+
+fn quick() -> ExperimentOptions {
+    ExperimentOptions { repetitions: 2, ..Default::default() }
+}
+
+/// Scaled-down MiniFE (fewer CG iterations, smaller grid).
+fn minife_small(threads: u32) -> BenchmarkInstance {
+    MiniFeConfig {
+        nx: 160,
+        ranks: 8,
+        threads_per_rank: threads,
+        imbalance_pct: 50,
+        cg_iters: 30,
+        costs: MiniFeCosts::default(),
+    }
+    .build()
+}
+
+fn lulesh_small() -> BenchmarkInstance {
+    LuleshConfig {
+        ranks: 8,
+        threads_per_rank: 4,
+        edge: 30,
+        steps: 10,
+        imbalance: 0.8,
+        spread_placement: false,
+        nodes: 1,
+        costs: LuleshCosts::default(),
+    }
+    .build()
+}
+
+fn tealeaf_small(ranks: u32, threads: u32) -> BenchmarkInstance {
+    TeaLeafConfig {
+        n: 2000,
+        ranks,
+        threads_per_rank: threads,
+        steps: 2,
+        cg_per_step: 15,
+        costs: TeaLeafCosts::default(),
+    }
+    .build()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp_table1");
+    g.sample_size(10);
+    let mf = minife_small(16);
+    g.bench_function("minife2_overheads", |b| b.iter(|| run_experiment(&mf, &quick())));
+    let lu = lulesh_small();
+    g.bench_function("lulesh1_overheads", |b| b.iter(|| run_experiment(&lu, &quick())));
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp_table2");
+    g.sample_size(10);
+    for (ranks, threads) in [(2u32, 64u32), (128, 1)] {
+        let tl = tealeaf_small(ranks, threads);
+        let opts = ExperimentOptions { modes: vec![ClockMode::Tsc], ..quick() };
+        g.bench_function(format!("tealeaf_{ranks}x{threads}_tsc"), |b| {
+            b.iter(|| run_experiment(&tl, &opts))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp_fig2");
+    g.sample_size(10);
+    let mf = minife_small(16);
+    let opts = ExperimentOptions { modes: vec![ClockMode::Tsc, ClockMode::LtBb], ..quick() };
+    g.bench_function("structure_gen_repetitions", |b| b.iter(|| run_experiment(&mf, &opts)));
+    g.finish();
+}
+
+fn bench_fig3_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp_fig3_fig4");
+    g.sample_size(10);
+    let mf = minife_small(1);
+    g.bench_function("jaccard_minife1", |b| {
+        b.iter(|| {
+            let res = run_experiment(&mf, &quick());
+            ClockMode::LOGICAL.map(|m| res.jaccard_vs_tsc(m))
+        })
+    });
+    let tl = tealeaf_small(8, 16);
+    g.bench_function("jaccard_tealeaf3", |b| {
+        b.iter(|| {
+            let res = run_experiment(&tl, &quick());
+            ClockMode::LOGICAL.map(|m| res.jaccard_vs_tsc(m))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5_to_7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp_fig5_fig6_fig7");
+    g.sample_size(10);
+    let mf = minife_small(16);
+    g.bench_function("minife2_callpath_views", |b| {
+        b.iter(|| {
+            let res = run_experiment(&mf, &quick());
+            let p = &res.mode(ClockMode::Tsc).mean;
+            (
+                p.map_c(Metric::Comp),
+                p.map_c(Metric::WaitNxN),
+                p.pct_t(Metric::IdleThreads),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp_fig8_fig9");
+    g.sample_size(10);
+    let lu = lulesh_small();
+    g.bench_function("lulesh1_paradigms_and_delay", |b| {
+        b.iter(|| {
+            let res = run_experiment(&lu, &quick());
+            let p = &res.mode(ClockMode::Tsc).mean;
+            (p.pct_t(Metric::Omp), p.map_c(Metric::DelayN2n))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_fig2,
+    bench_fig3_fig4,
+    bench_fig5_to_7,
+    bench_fig8_fig9
+);
+criterion_main!(benches);

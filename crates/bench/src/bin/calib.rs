@@ -1,0 +1,50 @@
+//! Calibration dashboard: key numbers for every configuration, compared
+//! against the paper's headline values (development tool).
+
+use nrlt_bench::{header, modes, run_named};
+use nrlt_core::prelude::*;
+use nrlt_core::profile::callpath_table;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let detail = args.iter().any(|a| a == "--detail");
+    let configs: Vec<BenchmarkInstance> = all_configurations()
+        .into_iter()
+        .filter(|c| which == "all" || c.name.to_lowercase().contains(&which.to_lowercase()))
+        .collect();
+    for instance in configs {
+        let t0 = Instant::now();
+        let res = run_named(&instance);
+        header(&format!("{} (wall {:?})", res.name, t0.elapsed()));
+        println!("reference total: {}", res.reference_time());
+        for mode in modes() {
+            let m = res.mode(mode);
+            let p = &m.mean;
+            println!(
+                "{:<9} ovh {:>7.1}%  J(M,C) {:>5.3}  r2r {:>5.3} | comp {:>5.1} mpi {:>5.1} omp {:>5.1} idle {:>5.1} | nxn {:>5.1} ls {:>5.1} lr {:>5.1} bwait {:>4.1} bovh {:>4.1} mgmt {:>4.1}",
+                mode.name(),
+                res.overhead_total(mode),
+                res.jaccard_vs_tsc(mode),
+                m.min_run_to_run_jaccard(),
+                p.pct_t(Metric::Comp),
+                p.pct_t(Metric::Mpi),
+                p.pct_t(Metric::Omp),
+                p.pct_t(Metric::IdleThreads),
+                p.pct_t(Metric::WaitNxN),
+                p.pct_t(Metric::LateSender),
+                p.pct_t(Metric::LateReceiver),
+                p.pct_t(Metric::OmpBarrierWait),
+                p.pct_t(Metric::OmpBarrierOverhead),
+                p.pct_t(Metric::OmpManagement),
+            );
+            if detail {
+                println!("{}", callpath_table(p, Metric::Comp, 2.0));
+                println!("{}", callpath_table(p, Metric::WaitNxN, 2.0));
+                println!("{}", callpath_table(p, Metric::IdleThreads, 2.0));
+                println!("{}", callpath_table(p, Metric::DelayN2n, 2.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 3: similarity of the logical measurements to tsc, by the
+//! generalized Jaccard score over (metric, call path) contributions —
+//! MiniFE-1/2 and LULESH-1/2, plus the minimal run-to-run scores of the
+//! noise-sensitive modes.
+
+use nrlt_bench::{header, run_named, score};
+use nrlt_core::prelude::*;
+
+fn main() {
+    header("Fig 3: J_(M,C) similarity to tsc (MiniFE, LULESH)");
+    let experiments = [minife_1(), minife_2(), lulesh_1(), lulesh_2()];
+    let results: Vec<_> = experiments.iter().map(run_named).collect();
+    print!("{:<10}", "Mode");
+    for r in &results {
+        print!(" {:>9}", r.name);
+    }
+    println!();
+    for mode in ClockMode::LOGICAL {
+        print!("{:<10}", mode.name());
+        for r in &results {
+            print!(" {:>9}", score(r.jaccard_vs_tsc(mode)));
+        }
+        println!();
+    }
+    println!("\nminimal run-to-run J_(M,C) across repetitions:");
+    for mode in [ClockMode::Tsc, ClockMode::LtHwctr] {
+        print!("{:<10}", mode.name());
+        for r in &results {
+            print!(" {:>9}", score(r.mode(mode).min_run_to_run_jaccard()));
+        }
+        println!();
+    }
+    println!("(all other logical modes repeat exactly: run-to-run score = 1.00)");
+}

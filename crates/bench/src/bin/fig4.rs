@@ -1,0 +1,31 @@
+//! Figure 4: similarity of the logical measurements to tsc for the four
+//! TeaLeaf configurations (J_(M,C)), with run-to-run minima.
+
+use nrlt_bench::{header, run_named, score};
+use nrlt_core::prelude::*;
+
+fn main() {
+    header("Fig 4: J_(M,C) similarity to tsc (TeaLeaf)");
+    let experiments = [tealeaf_1(), tealeaf_2(), tealeaf_3(), tealeaf_4()];
+    let results: Vec<_> = experiments.iter().map(run_named).collect();
+    print!("{:<10}", "Mode");
+    for r in &results {
+        print!(" {:>10}", r.name);
+    }
+    println!();
+    for mode in ClockMode::LOGICAL {
+        print!("{:<10}", mode.name());
+        for r in &results {
+            print!(" {:>10}", score(r.jaccard_vs_tsc(mode)));
+        }
+        println!();
+    }
+    println!("\nminimal run-to-run J_(M,C) across repetitions:");
+    for mode in [ClockMode::Tsc, ClockMode::LtHwctr] {
+        print!("{:<10}", mode.name());
+        for r in &results {
+            print!(" {:>10}", score(r.mode(mode).min_run_to_run_jaccard()));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,13 @@
+//! Figure 5: MiniFE-1 and MiniFE-2 — contributions of selected call
+//! paths to user computation (metric `comp`, in %_M), per clock mode.
+
+use nrlt_bench::{callpath_bars, header, run_named};
+use nrlt_core::prelude::*;
+
+fn main() {
+    for instance in [minife_1(), minife_2()] {
+        let res = run_named(&instance);
+        header(&format!("Fig 5: {} call-path contributions to comp", res.name));
+        callpath_bars(&res, Metric::Comp, 3.0);
+    }
+}

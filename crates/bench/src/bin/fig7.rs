@@ -1,0 +1,21 @@
+//! Figure 7: MiniFE-2 — time in user computation, OpenMP, MPI and idle
+//! threads relative to total run time (%_T), per clock mode.
+
+use nrlt_bench::{header, run_named};
+use nrlt_core::prelude::*;
+
+fn main() {
+    let res = run_named(&minife_2());
+    header("Fig 7: MiniFE-2 paradigm split (%_T)");
+    println!("{:<10} {:>7} {:>7} {:>7} {:>7}", "Mode", "comp", "omp", "mpi", "idle");
+    for m in &res.modes {
+        println!(
+            "{:<10} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
+            m.mode.name(),
+            m.mean.pct_t(Metric::Comp),
+            m.mean.pct_t(Metric::Omp),
+            m.mean.pct_t(Metric::Mpi),
+            m.mean.pct_t(Metric::IdleThreads),
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Figure 9: LULESH-1 — contributions of selected call paths to user
+//! computation (9a) and to the delay costs of MPI all-to-all wait
+//! states (9b), per clock mode.
+
+use nrlt_bench::{callpath_bars, header, run_named};
+use nrlt_core::prelude::*;
+
+fn main() {
+    let res = run_named(&lulesh_1());
+    header("Fig 9a: LULESH-1 call-path contributions to comp");
+    callpath_bars(&res, Metric::Comp, 3.0);
+    header("Fig 9b: LULESH-1 call-path contributions to delay_mpi_collective_n2n");
+    callpath_bars(&res, Metric::DelayN2n, 3.0);
+}

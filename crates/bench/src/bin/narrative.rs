@@ -1,0 +1,189 @@
+//! The headline percentages of Section V-C, printed next to the paper's
+//! values so EXPERIMENTS.md can record paper-vs-measured per claim.
+
+use nrlt_bench::{header, run_named};
+use nrlt_core::prelude::*;
+use nrlt_core::ExperimentResult;
+
+fn claim(what: &str, paper: f64, measured: f64) {
+    println!("{what:<66} paper {paper:>6.1}  measured {measured:>6.1}");
+}
+
+fn share(res: &ExperimentResult, mode: ClockMode, metric: Metric, region: &str) -> f64 {
+    let p = &res.mode(mode).mean;
+    let map = p.map_c(metric);
+    map.iter()
+        .filter(|(c, _)| p.path_string(**c).contains(region))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn main() {
+    header("Section V-C narrative claims (all values %_T unless noted %_M)");
+
+    let mf1 = run_named(&minife_1());
+    let tsc = &mf1.mode(ClockMode::Tsc).mean;
+    println!("\n-- MiniFE-1 --");
+    claim("tsc: time in computation", 60.0, tsc.pct_t(Metric::Comp));
+    claim("tsc: waiting in MPI all-to-all exchanges", 38.0, tsc.pct_t(Metric::WaitNxN));
+    claim(
+        "tsc: matrix-vector products, %_M of comp",
+        37.0,
+        share(&mf1, ClockMode::Tsc, Metric::Comp, "matvec"),
+    );
+    claim(
+        "tsc: make_local_matrix, %_M of wait_nxn",
+        44.0,
+        share(&mf1, ClockMode::Tsc, Metric::WaitNxN, "make_local_matrix"),
+    );
+    claim(
+        "tsc: cg_solve/dot, %_M of wait_nxn",
+        31.0,
+        share(&mf1, ClockMode::Tsc, Metric::WaitNxN, "dot"),
+    );
+    claim(
+        "tsc: generate_matrix_structure, %_M of wait_nxn",
+        20.0,
+        share(&mf1, ClockMode::Tsc, Metric::WaitNxN, "generate_matrix_structure"),
+    );
+    claim(
+        "lt_loop: late-sender time (misleading minor problem)",
+        6.0,
+        mf1.mode(ClockMode::LtLoop).mean.pct_t(Metric::LateSender),
+    );
+    for m in ClockMode::LOGICAL {
+        let p = &mf1.mode(m).mean;
+        claim(
+            &format!("{m}: computation (paper range 62-68)"),
+            65.0,
+            p.pct_t(Metric::Comp),
+        );
+    }
+
+    let mf2 = run_named(&minife_2());
+    let tsc = &mf2.mode(ClockMode::Tsc).mean;
+    println!("\n-- MiniFE-2 --");
+    claim("tsc: idle threads", 58.0, tsc.pct_t(Metric::IdleThreads));
+    claim("tsc: useful computation", 39.0, tsc.pct_t(Metric::Comp));
+    claim("tsc: waiting in all-to-all", 2.0, tsc.pct_t(Metric::WaitNxN));
+    claim(
+        "tsc: generate_matrix_structure, %_M of idle_threads",
+        35.0,
+        share(&mf2, ClockMode::Tsc, Metric::IdleThreads, "generate_matrix_structure"),
+    );
+    claim(
+        "tsc: make_local_matrix, %_M of idle_threads",
+        6.0,
+        share(&mf2, ClockMode::Tsc, Metric::IdleThreads, "make_local_matrix"),
+    );
+    claim(
+        "tsc: matvec, %_M of comp (memory contention)",
+        70.0,
+        share(&mf2, ClockMode::Tsc, Metric::Comp, "matvec"),
+    );
+    claim("tsc: OpenMP time (mostly barrier waits)", 0.6, tsc.pct_t(Metric::Omp));
+    claim(
+        "lt_1: idle threads (no calls inside loops)",
+        93.0,
+        mf2.mode(ClockMode::Lt1).mean.pct_t(Metric::IdleThreads),
+    );
+    claim(
+        "lt_loop: MPI time explaining idle",
+        2.1,
+        mf2.mode(ClockMode::LtLoop).mean.pct_t(Metric::Mpi),
+    );
+    claim(
+        "lt_loop: total idle time",
+        33.0,
+        mf2.mode(ClockMode::LtLoop).mean.pct_t(Metric::IdleThreads),
+    );
+
+    let lu1 = run_named(&lulesh_1());
+    let tsc = &lu1.mode(ClockMode::Tsc).mean;
+    println!("\n-- LULESH-1 --");
+    claim("tsc: computation", 78.0, tsc.pct_t(Metric::Comp));
+    claim("tsc: MPI", 2.0, tsc.pct_t(Metric::Mpi));
+    claim("tsc: OpenMP", 7.0, tsc.pct_t(Metric::Omp));
+    claim("tsc: waiting at all-to-all", 1.0, tsc.pct_t(Metric::WaitNxN));
+    claim("tsc: late senders", 0.5, tsc.pct_t(Metric::LateSender));
+    claim("tsc: waiting at OpenMP barriers", 5.0, tsc.pct_t(Metric::OmpBarrierWait));
+    claim(
+        "tsc: CalcForceForNodes, %_M of comp (most computation)",
+        55.0,
+        share(&lu1, ClockMode::Tsc, Metric::Comp, "CalcForceForNodes"),
+    );
+    claim(
+        "lt_hwctr: MPI library effort visible",
+        2.0,
+        lu1.mode(ClockMode::LtHwctr).mean.pct_t(Metric::Mpi),
+    );
+    claim(
+        "lt_hwctr: delay cost inside MPI_Waitall, %_M of delay_n2n",
+        30.0,
+        share(&lu1, ClockMode::LtHwctr, Metric::DelayN2n, "MPI_Waitall"),
+    );
+    claim(
+        "lt_loop/bb/stmt: delay costs at material update, %_M (bb shown)",
+        60.0,
+        share(&lu1, ClockMode::LtBb, Metric::DelayN2n, "ApplyMaterial"),
+    );
+
+    let lu2 = run_named(&lulesh_2());
+    println!("\n-- LULESH-2 --");
+    claim(
+        "tsc: late-sender wait (uneven NUMA occupancy)",
+        3.3,
+        lu2.mode(ClockMode::Tsc).mean.pct_t(Metric::LateSender),
+    );
+    claim(
+        "tsc: CalcForceForNodes causes it, %_M of latesender delay",
+        60.0,
+        share(&lu2, ClockMode::Tsc, Metric::DelayP2p, "CalcForce"),
+    );
+    for m in [ClockMode::Lt1, ClockMode::LtLoop, ClockMode::LtBb, ClockMode::LtStmt] {
+        claim(
+            &format!("{m}: late sender (invisible by design)"),
+            0.0,
+            lu2.mode(m).mean.pct_t(Metric::LateSender),
+        );
+    }
+    claim(
+        "lt_hwctr: late sender (only logical mode to see it)",
+        2.0,
+        lu2.mode(ClockMode::LtHwctr).mean.pct_t(Metric::LateSender),
+    );
+
+    let tl2 = run_named(&tealeaf_2());
+    let tl4 = run_named(&tealeaf_4());
+    println!("\n-- TeaLeaf --");
+    claim(
+        "TeaLeaf-2 tsc: OpenMP time (skewed by measurement)",
+        39.0,
+        tl2.mode(ClockMode::Tsc).mean.pct_t(Metric::Omp),
+    );
+    for m in [ClockMode::LtBb, ClockMode::LtStmt, ClockMode::LtHwctr] {
+        claim(
+            &format!("TeaLeaf-2 {m}: OpenMP overhead below 2"),
+            2.0,
+            tl2.mode(m).mean.pct_t(Metric::OmpBarrierOverhead)
+                + tl2.mode(m).mean.pct_t(Metric::OmpManagement),
+        );
+    }
+    claim(
+        "TeaLeaf-4 tsc: wait at all-to-all dominates",
+        12.0,
+        tl4.mode(ClockMode::Tsc).mean.pct_t(Metric::WaitNxN),
+    );
+    claim(
+        "TeaLeaf-4 lt_hwctr: shows the same problem",
+        44.0,
+        tl4.mode(ClockMode::LtHwctr).mean.pct_t(Metric::WaitNxN),
+    );
+    for m in [ClockMode::LtBb, ClockMode::LtStmt] {
+        claim(
+            &format!("TeaLeaf-4 {m}: little to no MPI time"),
+            0.5,
+            tl4.mode(m).mean.pct_t(Metric::Mpi),
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Table I: measurement overheads for MiniFE-2 (init/solve/total),
+//! LULESH-1 and TeaLeaf-2 under each clock mode.
+
+use nrlt_bench::{header, modes, pct, run_named};
+use nrlt_core::prelude::*;
+
+fn main() {
+    header("Table I: measurement overheads / %");
+    let minife2 = run_named(&minife_2());
+    let lulesh1 = run_named(&lulesh_1());
+    let tealeaf2 = run_named(&tealeaf_2());
+    println!(
+        "{:<9} {:>8} {:>8} {:>8} | {:>9} | {:>9}",
+        "Mode", "MF2-init", "MF2-slv", "MF2-tot", "LULESH-1", "TeaLeaf-2"
+    );
+    for mode in modes() {
+        println!(
+            "{:<9} {} {} {} | {} | {}",
+            mode.name(),
+            pct(minife2.overhead_phase(mode, "init")),
+            pct(minife2.overhead_phase(mode, "solve")),
+            pct(minife2.overhead_total(mode)),
+            pct(lulesh1.overhead_total(mode)),
+            pct(tealeaf2.overhead_total(mode)),
+        );
+    }
+}

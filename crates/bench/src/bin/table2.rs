@@ -1,0 +1,28 @@
+//! Table II: TeaLeaf run times and tsc measurement overheads for the
+//! four rank/thread splits of one node.
+
+use nrlt_bench::{header, run_named};
+use nrlt_core::prelude::*;
+
+fn main() {
+    header("Table II: TeaLeaf run times and tsc overheads");
+    println!(
+        "{:<11} {:>5} | {:>10} {:>10} | {:>10}",
+        "Name", "Ranks", "Ref/s", "tsc/s", "overhead/%"
+    );
+    for instance in [tealeaf_1(), tealeaf_2(), tealeaf_3(), tealeaf_4()] {
+        let res = run_named(&instance);
+        let reference = res.reference_time();
+        let tsc = res.mode(ClockMode::Tsc).mean_run_time();
+        println!(
+            "{:<11} {:>5} | {:>10.3} {:>10.3} | {:>10.1}",
+            res.name,
+            instance.layout.ranks,
+            reference.as_secs_f64(),
+            tsc.as_secs_f64(),
+            res.overhead_total(ClockMode::Tsc),
+        );
+    }
+    println!("\n(Virtual seconds; the simulated problem runs fewer CG iterations than");
+    println!(" tea_bm_5, so absolute times are smaller than the paper's by design.)");
+}

@@ -1,0 +1,90 @@
+//! # nrlt-bench — experiment harness
+//!
+//! One binary per table/figure of the paper, each printing the rows or
+//! series the paper reports (see DESIGN.md's experiment index), plus
+//! criterion benchmarks over the hot components.
+//!
+//! Absolute numbers come from a simulated machine; per the reproduction
+//! protocol the *shapes* (who wins, rough factors, crossovers) are the
+//! comparison targets, recorded in EXPERIMENTS.md.
+
+use nrlt_core::prelude::*;
+use nrlt_core::ExperimentResult;
+
+/// The standard options used for all paper experiments.
+pub fn paper_options() -> ExperimentOptions {
+    ExperimentOptions::default()
+}
+
+/// Run one named configuration under the standard protocol.
+pub fn run_named(instance: &BenchmarkInstance) -> ExperimentResult {
+    run_experiment(instance, &paper_options())
+}
+
+/// Scaled-down experiment options for smoke tests and criterion
+/// benches: fewer repetitions.
+pub fn quick_options() -> ExperimentOptions {
+    ExperimentOptions { repetitions: 2, ..ExperimentOptions::default() }
+}
+
+/// Format a percentage with one decimal and sign.
+pub fn pct(v: f64) -> String {
+    format!("{v:>7.1}")
+}
+
+/// Format a Jaccard score.
+pub fn score(v: f64) -> String {
+    format!("{v:>5.2}")
+}
+
+/// Print a standard figure header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// The modes in the paper's table order.
+pub fn modes() -> [ClockMode; 6] {
+    ClockMode::ALL
+}
+
+/// Print a "stacked bar" table: for each clock mode, the contribution of
+/// selected call paths to `metric` in %_M — the textual form of the
+/// paper's Figs. 5, 6 and 9.
+pub fn callpath_bars(result: &ExperimentResult, metric: Metric, min_pct: f64) {
+    use std::collections::BTreeMap;
+    // Collect the union of significant call paths across modes, keyed by
+    // rendered path string (call-path ids are comparable, strings are
+    // stable for display).
+    let mut rows: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let n_modes = result.modes.len();
+    for (i, m) in result.modes.iter().enumerate() {
+        for (path, v) in m.mean.map_c(metric) {
+            if v >= min_pct {
+                rows.entry(m.mean.path_string(path))
+                    .or_insert_with(|| vec![0.0; n_modes])[i] = v;
+            } else {
+                rows.entry("(other)".into())
+                    .or_insert_with(|| vec![0.0; n_modes])[i] += v;
+            }
+        }
+    }
+    print!("{:<72}", format!("call paths for `{}` in %_M", metric.name()));
+    for m in &result.modes {
+        print!(" {:>8}", m.mode.name());
+    }
+    println!();
+    let mut entries: Vec<_> = rows.into_iter().collect();
+    entries.sort_by(|a, b| b.1[0].partial_cmp(&a.1[0]).unwrap());
+    for (path, values) in entries {
+        let label = if path.len() > 70 {
+            format!("…{}", &path[path.len() - 69..])
+        } else {
+            path
+        };
+        print!("{label:<72}");
+        for v in values {
+            print!(" {v:>8.1}");
+        }
+        println!();
+    }
+}

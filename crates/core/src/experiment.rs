@@ -1,0 +1,229 @@
+//! The experiment driver: the paper's measurement protocol as code.
+//!
+//! For one benchmark configuration (Section IV-B):
+//!
+//! 1. run the application five times without instrumentation (reference
+//!    timings),
+//! 2. run an instrumented measurement + trace analysis with the physical
+//!    clock and each logical clock — repeating the noise-sensitive
+//!    modes (`tsc`, `lt_hwctr`) five times,
+//! 3. average the per-repetition call-path profiles,
+//! 4. compare: overheads against the reference, Jaccard scores against
+//!    `tsc`, minimum run-to-run Jaccard within each mode.
+
+use nrlt_analysis::analyze;
+use nrlt_exec::{overhead_percent, ExecConfig, ExecResult};
+use nrlt_measure::{measure, reference_run, ClockMode, FilterRules, MeasureConfig};
+use nrlt_miniapps::BenchmarkInstance;
+use nrlt_profile::{jaccard, min_pairwise_jaccard, Profile};
+use nrlt_prog::PhaseId;
+use nrlt_sim::{NoiseConfig, VirtualDuration};
+use std::collections::BTreeMap;
+
+/// Options of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Noise configuration of the simulated machine.
+    pub noise: NoiseConfig,
+    /// Repetitions for noise-sensitive measurements (the paper uses 5).
+    pub repetitions: u32,
+    /// Base seed; repetition `i` runs with `base_seed + i`.
+    pub base_seed: u64,
+    /// Clock modes to measure (defaults to all six).
+    pub modes: Vec<ClockMode>,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            noise: NoiseConfig::realistic(),
+            repetitions: 5,
+            base_seed: 1000,
+            modes: ClockMode::ALL.to_vec(),
+        }
+    }
+}
+
+/// Results of all repetitions of one clock mode.
+#[derive(Debug, Clone)]
+pub struct ModeResult {
+    /// The mode.
+    pub mode: ClockMode,
+    /// Per-repetition analysis profiles.
+    pub profiles: Vec<Profile>,
+    /// Cell-wise mean of the repetitions (the paper's evaluation basis).
+    pub mean: Profile,
+    /// Instrumented total run time per repetition.
+    pub run_times: Vec<VirtualDuration>,
+    /// Instrumented per-phase timings (max over ranks) per repetition.
+    pub phase_times: Vec<BTreeMap<String, VirtualDuration>>,
+}
+
+impl ModeResult {
+    /// Mean instrumented run time.
+    pub fn mean_run_time(&self) -> VirtualDuration {
+        mean_duration(&self.run_times)
+    }
+
+    /// Mean instrumented duration of a named phase.
+    pub fn mean_phase(&self, phase: &str) -> VirtualDuration {
+        let values: Vec<VirtualDuration> = self
+            .phase_times
+            .iter()
+            .filter_map(|m| m.get(phase))
+            .copied()
+            .collect();
+        mean_duration(&values)
+    }
+
+    /// Minimum pairwise Jaccard J_(M,C) across this mode's repetitions
+    /// (1.0 for a single repetition — logical modes are exactly
+    /// repeatable).
+    pub fn min_run_to_run_jaccard(&self) -> f64 {
+        let maps: Vec<_> = self.profiles.iter().map(Profile::map_mc).collect();
+        min_pairwise_jaccard(&maps)
+    }
+}
+
+/// All measurements of one benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Configuration name (e.g. `MiniFE-2`).
+    pub name: String,
+    /// Uninstrumented reference runs.
+    pub reference: Vec<ExecResult>,
+    /// Reference phase name table.
+    pub phase_names: Vec<String>,
+    /// Per-mode results, in [`ExperimentOptions::modes`] order.
+    pub modes: Vec<ModeResult>,
+}
+
+impl ExperimentResult {
+    /// The result for one mode.
+    pub fn mode(&self, mode: ClockMode) -> &ModeResult {
+        self.modes
+            .iter()
+            .find(|m| m.mode == mode)
+            .unwrap_or_else(|| panic!("mode {mode} was not measured"))
+    }
+
+    /// Mean reference total run time.
+    pub fn reference_time(&self) -> VirtualDuration {
+        mean_duration(&self.reference.iter().map(|r| r.total).collect::<Vec<_>>())
+    }
+
+    /// Mean reference duration of a named phase (max over ranks per run).
+    pub fn reference_phase(&self, phase: &str) -> VirtualDuration {
+        let id = match self.phase_names.iter().position(|p| p == phase) {
+            Some(i) => PhaseId(i as u32),
+            None => return VirtualDuration::ZERO,
+        };
+        let values: Vec<VirtualDuration> =
+            self.reference.iter().map(|r| r.phase_max(id)).collect();
+        mean_duration(&values)
+    }
+
+    /// Total-run-time overhead of a mode vs the reference, percent.
+    pub fn overhead_total(&self, mode: ClockMode) -> f64 {
+        overhead_percent(self.reference_time(), self.mode(mode).mean_run_time())
+    }
+
+    /// Phase overhead of a mode vs the reference, percent.
+    pub fn overhead_phase(&self, mode: ClockMode, phase: &str) -> f64 {
+        overhead_percent(self.reference_phase(phase), self.mode(mode).mean_phase(phase))
+    }
+
+    /// J_(M,C) of a mode's mean profile against the `tsc` mean profile.
+    pub fn jaccard_vs_tsc(&self, mode: ClockMode) -> f64 {
+        let tsc = self.mode(ClockMode::Tsc).mean.map_mc();
+        let other = self.mode(mode).mean.map_mc();
+        jaccard(&tsc, &other)
+    }
+}
+
+fn mean_duration(values: &[VirtualDuration]) -> VirtualDuration {
+    if values.is_empty() {
+        return VirtualDuration::ZERO;
+    }
+    let sum: u64 = values.iter().map(|d| d.nanos()).sum();
+    VirtualDuration::from_nanos(sum / values.len() as u64)
+}
+
+/// The [`ExecConfig`] for one repetition of an instance.
+pub fn exec_config_for(
+    instance: &BenchmarkInstance,
+    noise: &NoiseConfig,
+    seed: u64,
+) -> ExecConfig {
+    ExecConfig::jureca(instance.nodes, instance.layout.clone(), seed)
+        .with_noise(noise.clone())
+}
+
+/// Measurement configuration for an instance under `mode`, applying the
+/// instance's filter rules.
+pub fn measure_config_for(instance: &BenchmarkInstance, mode: ClockMode) -> MeasureConfig {
+    MeasureConfig::new(mode)
+        .with_filter(FilterRules::from_rules(instance.filter_rules.iter().cloned()))
+}
+
+/// Run one clock mode (with the appropriate number of repetitions).
+pub fn run_mode(
+    instance: &BenchmarkInstance,
+    mode: ClockMode,
+    options: &ExperimentOptions,
+) -> ModeResult {
+    run_mode_with(instance, measure_config_for(instance, mode), options)
+}
+
+/// Like [`run_mode`], with an explicit measurement configuration — the
+/// entry point for ablation studies that tweak overhead or effort
+/// parameters away from their calibrated defaults.
+pub fn run_mode_with(
+    instance: &BenchmarkInstance,
+    mcfg: MeasureConfig,
+    options: &ExperimentOptions,
+) -> ModeResult {
+    let mode = mcfg.mode;
+    let reps = if mode.is_noise_free() { 1 } else { options.repetitions.max(1) };
+    let mut profiles = Vec::new();
+    let mut run_times = Vec::new();
+    let mut phase_times = Vec::new();
+    for rep in 0..reps {
+        let cfg = exec_config_for(instance, &options.noise, options.base_seed + rep as u64);
+        let (trace, result) = measure(&instance.program, &cfg, &mcfg);
+        profiles.push(analyze(&trace));
+        run_times.push(result.total);
+        let mut phases = BTreeMap::new();
+        for (i, name) in instance.program.phases.iter().enumerate() {
+            phases.insert(name.clone(), result.phase_max(PhaseId(i as u32)));
+        }
+        phase_times.push(phases);
+    }
+    let mean = Profile::mean(&profiles);
+    ModeResult { mode, profiles, mean, run_times, phase_times }
+}
+
+/// Run the full protocol for one configuration.
+pub fn run_experiment(
+    instance: &BenchmarkInstance,
+    options: &ExperimentOptions,
+) -> ExperimentResult {
+    let reference = (0..options.repetitions.max(1))
+        .map(|rep| {
+            let cfg =
+                exec_config_for(instance, &options.noise, options.base_seed + 100 + rep as u64);
+            reference_run(&instance.program, &cfg)
+        })
+        .collect();
+    let modes = options
+        .modes
+        .iter()
+        .map(|&mode| run_mode(instance, mode, options))
+        .collect();
+    ExperimentResult {
+        name: instance.name.clone(),
+        reference,
+        phase_names: instance.program.phases.clone(),
+        modes,
+    }
+}

@@ -1,0 +1,1182 @@
+//! The discrete-event replay engine.
+//!
+//! Executes a multi-rank program over virtual time. Within a rank,
+//! OpenMP parallel regions are simulated locally (all their
+//! synchronisation is intra-team); across ranks, MPI operations
+//! synchronise through deterministic message matching and collective
+//! gathering. The engine is *conservative*: an action's completion time
+//! is computed only from already-determined times, so results are
+//! independent of processing order and bit-reproducible per seed.
+//!
+//! The [`Observer`] is invoked at every observable point and may charge
+//! overhead, exactly as instrumentation perturbs a real run.
+
+use crate::config::ExecConfig;
+use crate::duration::{DurationModel, ExecPhase};
+use crate::observer::{EventInfo, Observer, RuntimeKind, WorkItem};
+use crate::regions::{collective_kind, implicit_barrier_of, parallel_regions, prepare_regions};
+use crate::result::ExecResult;
+use nrlt_mpisim::{Channel, Matcher, message_timing, CommScope, LinkKind};
+use nrlt_ompsim::{simulate_dynamic, static_partition};
+use nrlt_prog::{
+    Action, Kernel, MpiOp, OmpAction, OmpFor, ParallelRegion, PhaseId, Program, RegionId,
+    RegionTable, Schedule,
+};
+use nrlt_sim::{
+    Location, NoiseModel, Placement, RngFactory, VirtualDuration, VirtualTime,
+};
+use nrlt_trace::CollectiveOp;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// `MPI_ANY_SOURCE` sentinel in trace records.
+pub const ANY_SOURCE: u32 = u32::MAX;
+
+/// Execute `program` under `config`, reporting everything to `observer`.
+///
+/// Returns the application-level timings. The observer accumulates
+/// whatever it wants (the tracing observer in `nrlt-measure` builds the
+/// event trace).
+///
+/// Panics on deadlock (with matcher diagnostics) and on structural
+/// inconsistencies; run [`Program::validate`] first for friendlier
+/// errors.
+pub fn execute<O: Observer>(
+    program: &Program,
+    config: &ExecConfig,
+    observer: &mut O,
+) -> ExecResult {
+    let regions = prepare_regions(program);
+    execute_prepared(program, &regions, config, observer)
+}
+
+/// Like [`execute`], but with a region table already prepared via
+/// [`prepare_regions`] — use this when the observer needs the table to
+/// translate region ids (id assignment is deterministic, so both sides
+/// agree).
+pub fn execute_prepared<O: Observer>(
+    program: &Program,
+    regions: &RegionTable,
+    config: &ExecConfig,
+    observer: &mut O,
+) -> ExecResult {
+    assert_eq!(
+        program.n_ranks(),
+        config.layout.ranks,
+        "program rank count must match the job layout"
+    );
+    let mut engine = Engine::new(program, regions, config, observer);
+    engine.run();
+    engine.into_result()
+}
+
+/// What a request is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReqKind {
+    Send,
+    Recv,
+    /// A non-blocking collective; the index into `Engine::collectives`.
+    Collective(usize),
+}
+
+/// One non-blocking (or internally blocking) communication request.
+#[derive(Debug, Clone)]
+struct Request {
+    kind: ReqKind,
+    peer: u32,
+    tag: u32,
+    bytes: u64,
+    /// Send: call-return time. Recv: data-arrival time. Collective:
+    /// operation completion time.
+    completion: Option<VirtualTime>,
+    /// Recv/collective: incoming logical-clock value to merge.
+    piggyback: u64,
+    consumed: bool,
+}
+
+/// Payload the matcher carries for the send side.
+#[derive(Debug, Clone, Copy)]
+struct SendInfo {
+    rank: u32,
+    req: usize,
+    post: VirtualTime,
+    piggyback: u64,
+}
+
+/// Payload the matcher carries for the receive side.
+#[derive(Debug, Clone, Copy)]
+struct RecvInfo {
+    rank: u32,
+    req: usize,
+    post: VirtualTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum WaitKind {
+    BlockingRecv { req: usize },
+    BlockingSend { req: usize },
+    Waitall,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Blocked {
+    Wait { since: VirtualTime, kind: WaitKind },
+    Collective { since: VirtualTime, index: usize },
+}
+
+#[derive(Debug)]
+struct RankState {
+    cursor: usize,
+    time: VirtualTime,
+    pending: Vec<Request>,
+    blocked: Option<Blocked>,
+    coll_seq: usize,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct CollInstance {
+    op: CollectiveOp,
+    bytes: u64,
+    root: u32,
+    arrivals: Vec<Option<(VirtualTime, u64)>>,
+    arrived: u32,
+    /// Per rank: the pending-request slot of a *non-blocking* join.
+    nb_reqs: Vec<Option<usize>>,
+    /// Filled at resolution: (last arrival, per-rank completion, max piggyback).
+    resolution: Option<(VirtualTime, Vec<VirtualTime>, u64)>,
+}
+
+struct Engine<'a, O: Observer> {
+    program: &'a Program,
+    regions: &'a RegionTable,
+    config: &'a ExecConfig,
+    observer: &'a mut O,
+    placement: Placement,
+    noise: NoiseModel,
+    footprint: u64,
+    desync: f64,
+    states: Vec<RankState>,
+    matcher: Matcher<SendInfo, RecvInfo>,
+    /// Blocked wildcard receives per (dst rank, tag), FIFO.
+    wildcard_waiting: HashMap<(u32, u32), VecDeque<RecvInfo>>,
+    collectives: Vec<CollInstance>,
+    channel_seq: HashMap<Channel, u64>,
+    mpi_region_ids: HashMap<&'static str, RegionId>,
+    loc_last: Vec<VirtualTime>,
+    kernel_seq: Vec<u64>,
+    worklist: VecDeque<u32>,
+    phase_open: Vec<HashMap<PhaseId, VirtualTime>>,
+    phase_total: Vec<BTreeMap<PhaseId, VirtualDuration>>,
+}
+
+impl<'a, O: Observer> Engine<'a, O> {
+    fn new(
+        program: &'a Program,
+        regions: &'a RegionTable,
+        config: &'a ExecConfig,
+        observer: &'a mut O,
+    ) -> Self {
+        let placement = Placement::new(config.machine.clone(), config.layout.clone());
+        let noise = NoiseModel::new(config.noise.clone(), RngFactory::new(config.seed));
+        let n_ranks = config.layout.ranks as usize;
+        let n_locs = config.layout.locations() as usize;
+        let footprint = observer.cache_footprint_per_location();
+        let desync = observer.desync();
+        let mut mpi_region_ids = HashMap::new();
+        for name in [
+            "MPI_Send", "MPI_Recv", "MPI_Isend", "MPI_Irecv", "MPI_Waitall", "MPI_Barrier",
+            "MPI_Allreduce", "MPI_Alltoall", "MPI_Allgather", "MPI_Bcast", "MPI_Reduce",
+            "MPI_Iallreduce", "MPI_Ibarrier",
+        ] {
+            if let Some(id) = regions.find(name) {
+                mpi_region_ids.insert(name, id);
+            }
+        }
+        Engine {
+            program,
+            regions,
+            config,
+            observer,
+            placement,
+            noise,
+            footprint,
+            desync,
+            states: (0..n_ranks)
+                .map(|_| RankState {
+                    cursor: 0,
+                    time: VirtualTime::ZERO,
+                    pending: Vec::new(),
+                    blocked: None,
+                    coll_seq: 0,
+                    done: false,
+                })
+                .collect(),
+            matcher: Matcher::new(),
+            wildcard_waiting: HashMap::new(),
+            collectives: Vec::new(),
+            channel_seq: HashMap::new(),
+            mpi_region_ids,
+            loc_last: vec![VirtualTime::ZERO; n_locs],
+            kernel_seq: vec![0; n_locs],
+            worklist: VecDeque::new(),
+            phase_open: vec![HashMap::new(); n_ranks],
+            phase_total: vec![BTreeMap::new(); n_ranks],
+        }
+    }
+
+    fn run(&mut self) {
+        for r in 0..self.states.len() as u32 {
+            self.worklist.push_back(r);
+        }
+        while let Some(r) = self.worklist.pop_front() {
+            self.run_rank(r);
+        }
+        let stuck: Vec<u32> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.done)
+            .map(|(r, _)| r as u32)
+            .collect();
+        if !stuck.is_empty() {
+            panic!(
+                "deadlock: ranks {:?} never completed; pending traffic: {}",
+                stuck,
+                self.matcher.pending_description()
+            );
+        }
+        debug_assert!(self.matcher.is_drained(), "unmatched traffic after completion");
+    }
+
+    fn into_result(self) -> ExecResult {
+        let total_end = self.loc_last.iter().copied().max().unwrap_or(VirtualTime::ZERO);
+        ExecResult {
+            phase_times: self.phase_total,
+            rank_end: self.states.iter().map(|s| s.time).collect(),
+            total: total_end.saturating_since(VirtualTime::ZERO),
+        }
+    }
+
+    // ---- helpers -------------------------------------------------------
+
+    fn loc_index(&self, loc: Location) -> usize {
+        self.config.layout.location_index(loc)
+    }
+
+    fn next_instance(&mut self, loc: Location) -> u64 {
+        let idx = self.loc_index(loc);
+        let v = self.kernel_seq[idx];
+        self.kernel_seq[idx] += 1;
+        v
+    }
+
+    /// Record an event on `loc` at time `t` (clamped to the location's
+    /// monotone clock), charging the observer's overhead. Returns the
+    /// time after the event.
+    fn emit(&mut self, loc: Location, t: VirtualTime, info: EventInfo) -> VirtualTime {
+        let idx = self.loc_index(loc);
+        let t = t.max(self.loc_last[idx]);
+        let ovh = self.observer.on_event(loc, t, &info);
+        let after = t + ovh;
+        self.loc_last[idx] = after;
+        after
+    }
+
+    /// Clamp a proposed time to the location's monotone clock.
+    fn clamp(&self, loc: Location, t: VirtualTime) -> VirtualTime {
+        t.max(self.loc_last[self.loc_index(loc)])
+    }
+
+    fn kernel_duration(
+        &self,
+        loc: Location,
+        cost: &nrlt_prog::Cost,
+        working_set: u64,
+        phase: ExecPhase,
+        instance: u64,
+    ) -> VirtualDuration {
+        let mut model = DurationModel::new(&self.placement, &self.noise);
+        model.footprint_per_location = self.footprint;
+        model.desync = self.desync;
+        model.kernel_duration(loc, cost, working_set, phase, instance)
+    }
+
+    fn mpi_region(&self, op: &MpiOp) -> RegionId {
+        *self
+            .mpi_region_ids
+            .get(op.api_name())
+            .unwrap_or_else(|| panic!("region for {} not prepared", op.api_name()))
+    }
+
+    fn sec(d: f64) -> VirtualDuration {
+        VirtualDuration::from_secs_f64(d)
+    }
+
+    fn secs_of(t: VirtualTime) -> f64 {
+        t.nanos() as f64 * 1e-9
+    }
+
+    // ---- rank driver ---------------------------------------------------
+
+    fn run_rank(&mut self, r: u32) {
+        if self.states[r as usize].done {
+            return;
+        }
+        if self.states[r as usize].blocked.is_some() && !self.try_unblock(r) {
+            return;
+        }
+        let program = self.program;
+        loop {
+            let cursor = self.states[r as usize].cursor;
+            let actions = &program.ranks[r as usize];
+            if cursor >= actions.len() {
+                self.states[r as usize].done = true;
+                return;
+            }
+            match &actions[cursor] {
+                Action::Enter(region) => {
+                    let m = Location::master(r);
+                    let t = self.states[r as usize].time;
+                    let t = self.emit(m, t, EventInfo::Enter { region: *region });
+                    self.states[r as usize].time = t;
+                }
+                Action::Leave(region) => {
+                    let m = Location::master(r);
+                    let t = self.states[r as usize].time;
+                    let t = self.emit(m, t, EventInfo::Leave { region: *region });
+                    self.states[r as usize].time = t;
+                }
+                Action::Kernel(kernel) => {
+                    let m = Location::master(r);
+                    let t = self.states[r as usize].time;
+                    let t = self.run_kernel(m, kernel, ExecPhase::Serial, t);
+                    self.states[r as usize].time = t;
+                }
+                Action::Parallel(pr) => self.do_parallel(r, pr),
+                Action::PhaseStart(p) => {
+                    let t = self.states[r as usize].time;
+                    self.phase_open[r as usize].insert(*p, t);
+                }
+                Action::PhaseEnd(p) => {
+                    let t = self.states[r as usize].time;
+                    let start = self.phase_open[r as usize]
+                        .remove(p)
+                        .expect("phase end without start (validate the program)");
+                    let d = t.saturating_since(start);
+                    *self.phase_total[r as usize]
+                        .entry(*p)
+                        .or_insert(VirtualDuration::ZERO) += d;
+                }
+                Action::Mpi(op) => {
+                    if self.do_mpi(r, op) {
+                        // Cursor advances only when the op finishes.
+                        return;
+                    }
+                    // try_unblock already advanced the cursor.
+                    continue;
+                }
+            }
+            self.states[r as usize].cursor += 1;
+        }
+    }
+
+    /// Run a serial or replicated kernel on `loc` starting at `t`.
+    fn run_kernel(
+        &mut self,
+        loc: Location,
+        kernel: &Kernel,
+        phase: ExecPhase,
+        t: VirtualTime,
+    ) -> VirtualTime {
+        let inst = self.next_instance(loc);
+        let extra = self.observer.counting_instructions(&kernel.cost, 0);
+        let mut instrumented = kernel.cost;
+        instrumented.instructions += extra;
+        let duration =
+            self.kernel_duration(loc, &instrumented, kernel.working_set, phase, inst);
+        let work_ovh = self.observer.on_work(
+            loc,
+            &WorkItem { cost: kernel.cost, loop_iters: 0, duration, extra_instructions: extra },
+        );
+        let start = self.clamp(loc, t);
+        let mut t = start + duration + work_ovh;
+        if let Some(burst) = kernel.burst {
+            t = self.emit(
+                loc,
+                t,
+                EventInfo::Burst { callee: burst.callee, calls: burst.calls, phys_start: start },
+            );
+        } else {
+            let idx = self.loc_index(loc);
+            self.loc_last[idx] = self.loc_last[idx].max(t);
+        }
+        t
+    }
+
+    // ---- MPI -----------------------------------------------------------
+
+    /// Execute an MPI op on rank `r`'s master. Returns true if the rank
+    /// blocked (the cursor stays on this action until unblocked).
+    fn do_mpi(&mut self, r: u32, op: &MpiOp) -> bool {
+        let m = Location::master(r);
+        let region = self.mpi_region(op);
+        let t = self.states[r as usize].time;
+        let t = self.emit(m, t, EventInfo::Enter { region });
+        self.states[r as usize].time = t;
+
+        match op {
+            MpiOp::Send { dest, tag, bytes } => {
+                let req = self.post_send(r, *dest, *tag, *bytes);
+                self.states[r as usize].blocked = Some(Blocked::Wait {
+                    since: self.states[r as usize].time,
+                    kind: WaitKind::BlockingSend { req },
+                });
+                !self.try_unblock(r)
+            }
+            MpiOp::Recv { src, tag, bytes } => {
+                let req = self.post_recv(r, *src, *tag, *bytes);
+                self.states[r as usize].blocked = Some(Blocked::Wait {
+                    since: self.states[r as usize].time,
+                    kind: WaitKind::BlockingRecv { req },
+                });
+                !self.try_unblock(r)
+            }
+            MpiOp::RecvAny { tag, bytes } => {
+                let req = self.post_recv_any(r, *tag, *bytes);
+                self.states[r as usize].blocked = Some(Blocked::Wait {
+                    since: self.states[r as usize].time,
+                    kind: WaitKind::BlockingRecv { req },
+                });
+                !self.try_unblock(r)
+            }
+            MpiOp::Isend { dest, tag, bytes } => {
+                self.post_send(r, *dest, *tag, *bytes);
+                let t = self.states[r as usize].time;
+                let t = self.emit(m, t, EventInfo::Leave { region });
+                self.states[r as usize].time = t;
+                self.states[r as usize].cursor += 1;
+                false
+            }
+            MpiOp::Irecv { src, tag, bytes } => {
+                self.post_recv(r, *src, *tag, *bytes);
+                let t = self.states[r as usize].time;
+                let t = self.emit(m, t, EventInfo::Leave { region });
+                self.states[r as usize].time = t;
+                self.states[r as usize].cursor += 1;
+                false
+            }
+            MpiOp::Iallreduce { bytes } => {
+                self.post_nonblocking_collective(r, CollectiveOp::Allreduce, *bytes, region);
+                false
+            }
+            MpiOp::Ibarrier => {
+                self.post_nonblocking_collective(r, CollectiveOp::Barrier, 0, region);
+                false
+            }
+            MpiOp::Waitall => {
+                self.states[r as usize].blocked = Some(Blocked::Wait {
+                    since: self.states[r as usize].time,
+                    kind: WaitKind::Waitall,
+                });
+                !self.try_unblock(r)
+            }
+            _ => {
+                // Collective.
+                let kind = collective_kind(op).expect("non-collective fell through");
+                let (bytes, root) = match op {
+                    MpiOp::Barrier => (0, nrlt_trace::NO_ROOT),
+                    MpiOp::Allreduce { bytes }
+                    | MpiOp::Alltoall { bytes }
+                    | MpiOp::Allgather { bytes } => (*bytes, nrlt_trace::NO_ROOT),
+                    MpiOp::Bcast { root, bytes } | MpiOp::Reduce { root, bytes } => {
+                        (*bytes, *root)
+                    }
+                    _ => unreachable!(),
+                };
+                let index = self.register_collective(r, kind, bytes, root);
+                self.states[r as usize].blocked = Some(Blocked::Collective {
+                    since: self.states[r as usize].time,
+                    index,
+                });
+                !self.try_unblock(r)
+            }
+        }
+    }
+
+    /// Post a send: emits the post event, charges library overhead,
+    /// creates the request and hands it to the matcher. Returns the
+    /// request index.
+    fn post_send(&mut self, r: u32, dest: u32, tag: u32, bytes: u64) -> usize {
+        let m = Location::master(r);
+        let piggyback = self.observer.piggyback(m);
+        let t = self.states[r as usize].time;
+        let t = self.emit(m, t, EventInfo::SendPost { peer: dest, tag, bytes });
+        let so = Self::sec(self.config.p2p.send_overhead);
+        self.observer.on_runtime(m, RuntimeKind::Mpi, so);
+        let t = t + so;
+        self.states[r as usize].time = t;
+        let req = self.states[r as usize].pending.len();
+        let eager = self.config.p2p.is_eager(bytes);
+        self.states[r as usize].pending.push(Request {
+            kind: ReqKind::Send,
+            peer: dest,
+            tag,
+            bytes,
+            // Eager sends return as soon as the payload is copied out;
+            // rendezvous completion is determined at match time.
+            completion: eager.then_some(t),
+            piggyback: 0,
+            consumed: false,
+        });
+        let channel = Channel { src: r, dst: dest, tag };
+        if let Some(mtch) =
+            self.matcher
+                .post_send(channel, bytes, SendInfo { rank: r, req, post: t, piggyback })
+        {
+            self.resolve_match(channel, mtch.send.data, mtch.recv.data, bytes);
+        } else if let Some(waiters) = self.wildcard_waiting.get_mut(&(dest, tag)) {
+            // A wildcard receive is already blocked on this (dst, tag):
+            // hand it the send we just enqueued.
+            if let Some(recv) = waiters.pop_front() {
+                let send = self
+                    .matcher
+                    .take_last_send(channel)
+                    .expect("the send posted above is still pending");
+                self.resolve_match(channel, send.data, recv, bytes);
+            }
+        }
+        req
+    }
+
+    /// Post a receive. Returns the request index.
+    fn post_recv(&mut self, r: u32, src: u32, tag: u32, bytes: u64) -> usize {
+        let m = Location::master(r);
+        let t = self.states[r as usize].time;
+        let t = self.emit(m, t, EventInfo::RecvPost { peer: src, tag, bytes });
+        self.states[r as usize].time = t;
+        let req = self.states[r as usize].pending.len();
+        self.states[r as usize].pending.push(Request {
+            kind: ReqKind::Recv,
+            peer: src,
+            tag,
+            bytes,
+            completion: None,
+            piggyback: 0,
+            consumed: false,
+        });
+        let channel = Channel { src, dst: r, tag };
+        if let Some(mtch) =
+            self.matcher
+                .post_recv(channel, bytes, RecvInfo { rank: r, req, post: t })
+        {
+            let bytes = mtch.send.bytes;
+            self.resolve_match(channel, mtch.send.data, mtch.recv.data, bytes);
+        }
+        req
+    }
+
+    /// Post a wildcard (`MPI_ANY_SOURCE`) receive: matches the earliest
+    /// pending send addressed to this rank with this tag, or waits for
+    /// the next one. Which message wins is timing-dependent — wildcard
+    /// programs therefore lose the logical clocks' repetition invariance
+    /// (Section II of the paper).
+    fn post_recv_any(&mut self, r: u32, tag: u32, bytes: u64) -> usize {
+        let m = Location::master(r);
+        let t = self.states[r as usize].time;
+        let t = self.emit(m, t, EventInfo::RecvPost { peer: ANY_SOURCE, tag, bytes });
+        self.states[r as usize].time = t;
+        let req = self.states[r as usize].pending.len();
+        self.states[r as usize].pending.push(Request {
+            kind: ReqKind::Recv,
+            peer: ANY_SOURCE,
+            tag,
+            bytes,
+            completion: None,
+            piggyback: 0,
+            consumed: false,
+        });
+        let info = RecvInfo { rank: r, req, post: t };
+        // Earliest pending send wins (post time, then source rank).
+        if let Some((channel, send)) =
+            self.matcher.take_any_send(r, tag, |s: &SendInfo| (s.post, s.rank))
+        {
+            let bytes = send.bytes;
+            self.resolve_match(channel, send.data, info, bytes);
+        } else {
+            self.wildcard_waiting.entry((r, tag)).or_default().push_back(info);
+        }
+        req
+    }
+
+    /// A send met its receive: compute the message timing and fill both
+    /// requests, waking blocked owners.
+    fn resolve_match(&mut self, channel: Channel, send: SendInfo, recv: RecvInfo, bytes: u64) {
+        let seq = {
+            let c = self.channel_seq.entry(channel).or_insert(0);
+            let v = *c;
+            *c += 1;
+            v
+        };
+        // Stable noise key: independent of engine processing order.
+        let entity = ((channel.src as u64) << 40)
+            | ((channel.dst as u64) << 20)
+            | (channel.tag as u64 & 0xfffff);
+        let noise = {
+            use nrlt_sim::{jitter_factor, StreamKind};
+            let mut rng = RngFactory::new(self.config.seed).stream(StreamKind::Network, entity, seq);
+            jitter_factor(&mut rng, self.noise.config().net_sigma)
+        };
+        let link = if self.placement.same_node(
+            Location::master(channel.src),
+            Location::master(channel.dst),
+        ) {
+            LinkKind::SharedMem
+        } else {
+            LinkKind::Network
+        };
+        let timing = message_timing(
+            &self.config.p2p,
+            &self.config.machine.spec,
+            link,
+            bytes,
+            Self::secs_of(send.post),
+            Self::secs_of(recv.post),
+            noise,
+        );
+        let send_complete = VirtualTime((timing.send_complete.max(0.0) * 1e9).round() as u64);
+        let arrival = VirtualTime((timing.data_arrival.max(0.0) * 1e9).round() as u64);
+
+        let sreq = &mut self.states[send.rank as usize].pending[send.req];
+        sreq.completion = Some(send_complete.max(sreq.completion.unwrap_or(VirtualTime::ZERO)));
+        let rreq = &mut self.states[recv.rank as usize].pending[recv.req];
+        rreq.completion = Some(arrival);
+        rreq.piggyback = send.piggyback;
+        // Wildcard receives learn their actual source at match time.
+        rreq.peer = channel.src;
+
+        // Wake whoever might be waiting on these.
+        self.worklist.push_back(send.rank);
+        self.worklist.push_back(recv.rank);
+    }
+
+    /// Join a collective without blocking: the request completes in a
+    /// later `Waitall` (MPI_Iallreduce / MPI_Ibarrier).
+    fn post_nonblocking_collective(
+        &mut self,
+        r: u32,
+        op: CollectiveOp,
+        bytes: u64,
+        region: RegionId,
+    ) {
+        let m = Location::master(r);
+        let req = self.states[r as usize].pending.len();
+        self.states[r as usize].pending.push(Request {
+            kind: ReqKind::Collective(usize::MAX), // fixed below
+            peer: ANY_SOURCE,
+            tag: 0,
+            bytes,
+            completion: None,
+            piggyback: 0,
+            consumed: false,
+        });
+        let index = self.register_collective(r, op, bytes, nrlt_trace::NO_ROOT);
+        self.states[r as usize].pending[req].kind = ReqKind::Collective(index);
+        self.collectives[index].nb_reqs[r as usize] = Some(req);
+        // If resolution already happened (we were last to arrive), fill in.
+        if let Some((_, completions, max_piggy)) = &self.collectives[index].resolution {
+            let completion = completions[r as usize];
+            let piggy = *max_piggy;
+            let q = &mut self.states[r as usize].pending[req];
+            q.completion = Some(completion);
+            q.piggyback = piggy;
+        }
+        let t = self.states[r as usize].time;
+        let t = self.emit(m, t, EventInfo::Leave { region });
+        self.states[r as usize].time = t;
+        self.states[r as usize].cursor += 1;
+    }
+
+    fn register_collective(&mut self, r: u32, op: CollectiveOp, bytes: u64, root: u32) -> usize {
+        let n_ranks = self.states.len();
+        let index = self.states[r as usize].coll_seq;
+        self.states[r as usize].coll_seq += 1;
+        if self.collectives.len() <= index {
+            self.collectives.push(CollInstance {
+                op,
+                bytes,
+                root,
+                arrivals: vec![None; n_ranks],
+                arrived: 0,
+                nb_reqs: vec![None; n_ranks],
+                resolution: None,
+            });
+        }
+        let inst = &mut self.collectives[index];
+        assert_eq!(
+            inst.op, op,
+            "collective order mismatch: rank {r} joined {op:?} where {:?} was expected",
+            inst.op
+        );
+        let m = Location::master(r);
+        let piggy = self.observer.piggyback(m);
+        let arrival = self.states[r as usize].time;
+        assert!(inst.arrivals[r as usize].is_none(), "rank {r} joined collective {index} twice");
+        inst.arrivals[r as usize] = Some((arrival, piggy));
+        inst.arrived += 1;
+        if inst.arrived as usize == n_ranks {
+            self.resolve_collective(index);
+        }
+        index
+    }
+
+    fn resolve_collective(&mut self, index: usize) {
+        let spec = &self.config.machine.spec;
+        let scope = if self.config.machine.nodes > 1 {
+            CommScope::InterNode
+        } else {
+            CommScope::IntraNode
+        };
+        let inst = &self.collectives[index];
+        let arrivals: Vec<f64> = inst
+            .arrivals
+            .iter()
+            .map(|a| Self::secs_of(a.expect("unresolved arrival").0))
+            .collect();
+        let max_piggy =
+            inst.arrivals.iter().map(|a| a.unwrap().1).max().unwrap_or(0);
+        let noise = {
+            use nrlt_sim::{jitter_factor, StreamKind};
+            let mut rng = RngFactory::new(self.config.seed)
+                .stream(StreamKind::Network, u64::MAX, index as u64);
+            jitter_factor(&mut rng, self.noise.config().net_sigma)
+        };
+        let completions_s = self.config.collective.completion_times(
+            inst.op,
+            spec,
+            scope,
+            inst.bytes,
+            &arrivals,
+            noise,
+        );
+        let completions: Vec<VirtualTime> = completions_s
+            .iter()
+            .map(|&s| VirtualTime((s.max(0.0) * 1e9).round() as u64))
+            .collect();
+        let last_arrival = inst
+            .arrivals
+            .iter()
+            .map(|a| a.unwrap().0)
+            .max()
+            .unwrap_or(VirtualTime::ZERO);
+        let nb: Vec<(usize, usize, VirtualTime)> = self.collectives[index]
+            .nb_reqs
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, req)| req.map(|q| (rank, q, completions[rank])))
+            .collect();
+        self.collectives[index].resolution = Some((last_arrival, completions, max_piggy));
+        for (rank, req, completion) in nb {
+            let q = &mut self.states[rank].pending[req];
+            q.completion = Some(completion);
+            q.piggyback = max_piggy;
+        }
+        for r in 0..self.states.len() as u32 {
+            self.worklist.push_back(r);
+        }
+    }
+
+    /// Try to complete rank `r`'s blocked operation. Returns true if the
+    /// rank unblocked (and its cursor advanced past the MPI action).
+    fn try_unblock(&mut self, r: u32) -> bool {
+        let m = Location::master(r);
+        let blocked = match self.states[r as usize].blocked {
+            Some(b) => b,
+            None => return true,
+        };
+        match blocked {
+            Blocked::Wait { since, kind } => {
+                let needed: Vec<usize> = match kind {
+                    WaitKind::BlockingRecv { req } | WaitKind::BlockingSend { req } => vec![req],
+                    WaitKind::Waitall => self.states[r as usize]
+                        .pending
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, q)| !q.consumed)
+                        .map(|(i, _)| i)
+                        .collect(),
+                };
+                if needed
+                    .iter()
+                    .any(|&i| self.states[r as usize].pending[i].completion.is_none())
+                {
+                    return false;
+                }
+                let latest = needed
+                    .iter()
+                    .map(|&i| self.states[r as usize].pending[i].completion.unwrap())
+                    .max()
+                    .unwrap_or(since);
+                let resume = since.max(latest);
+                let waited = resume.saturating_since(since);
+                if waited > VirtualDuration::ZERO {
+                    self.observer.on_spin(m, waited);
+                }
+                let mut t = resume;
+                let region = match &self.program.ranks[r as usize]
+                    [self.states[r as usize].cursor]
+                {
+                    Action::Mpi(op) => self.mpi_region(op),
+                    other => panic!("blocked cursor not on an MPI action: {other:?}"),
+                };
+                // Complete receives in posting order; sends just consume.
+                let ro = Self::sec(self.config.p2p.recv_overhead);
+                for &i in &needed {
+                    let (kind, peer, tag, bytes, piggy) = {
+                        let q = &self.states[r as usize].pending[i];
+                        (q.kind, q.peer, q.tag, q.bytes, q.piggyback)
+                    };
+                    match kind {
+                        ReqKind::Send => {}
+                        ReqKind::Recv => {
+                            self.observer.on_runtime(m, RuntimeKind::Mpi, ro);
+                            t += ro;
+                            self.observer.sync_logical(m, piggy);
+                            t = self.emit(m, t, EventInfo::RecvComplete { peer, tag, bytes });
+                        }
+                        ReqKind::Collective(index) => {
+                            let (op, root) =
+                                (self.collectives[index].op, self.collectives[index].root);
+                            self.observer.on_runtime(m, RuntimeKind::Mpi, ro);
+                            t += ro;
+                            self.observer.sync_logical(m, piggy);
+                            t = self.emit(m, t, EventInfo::CollectiveEnd { op, bytes, root });
+                        }
+                    }
+                    self.states[r as usize].pending[i].consumed = true;
+                }
+                t = self.emit(m, t, EventInfo::Leave { region });
+                // Requests stay in place (marked consumed): a later match
+                // may still need to fill the send side's completion slot.
+                self.states[r as usize].time = t;
+                self.states[r as usize].blocked = None;
+                self.states[r as usize].cursor += 1;
+                true
+            }
+            Blocked::Collective { since, index } => {
+                let (last_arrival, completion, max_piggy, op, bytes, root) = {
+                    let inst = &self.collectives[index];
+                    match &inst.resolution {
+                        None => return false,
+                        Some((last, completions, piggy)) => (
+                            *last,
+                            completions[r as usize],
+                            *piggy,
+                            inst.op,
+                            inst.bytes,
+                            inst.root,
+                        ),
+                    }
+                };
+                // Decompose the block: spinning until the last participant
+                // arrives, then executing the collective algorithm.
+                let wait = last_arrival.saturating_since(since);
+                if wait > VirtualDuration::ZERO {
+                    self.observer.on_spin(m, wait);
+                }
+                let alg = completion.saturating_since(since.max(last_arrival));
+                if alg > VirtualDuration::ZERO {
+                    self.observer.on_runtime(m, RuntimeKind::Mpi, alg);
+                }
+                self.observer.sync_logical(m, max_piggy);
+                let mut t = since.max(completion);
+                t = self.emit(m, t, EventInfo::CollectiveEnd { op, bytes, root });
+                let region = match &self.program.ranks[r as usize]
+                    [self.states[r as usize].cursor]
+                {
+                    Action::Mpi(op) => self.mpi_region(op),
+                    other => panic!("blocked cursor not on an MPI action: {other:?}"),
+                };
+                t = self.emit(m, t, EventInfo::Leave { region });
+                self.states[r as usize].time = t;
+                self.states[r as usize].blocked = None;
+                self.states[r as usize].cursor += 1;
+                true
+            }
+        }
+    }
+
+    // ---- OpenMP --------------------------------------------------------
+
+    fn do_parallel(&mut self, r: u32, pr: &ParallelRegion) {
+        let team = self.config.layout.threads_per_rank;
+        let derived = parallel_regions(self.regions, pr.region);
+        let m = Location::master(r);
+        let loc = |i: u32| Location { rank: r, thread: i };
+        let mut t = self.states[r as usize].time;
+
+        // Fork management on the master.
+        t = self.emit(m, t, EventInfo::Enter { region: derived.fork });
+        let fork = Self::sec(self.config.omp.fork_cost(team));
+        self.observer.on_runtime(m, RuntimeKind::Omp, fork);
+        t += fork;
+        t = self.emit(m, t, EventInfo::Leave { region: derived.fork });
+
+        // Team starts: workers wake staggered; their logical clocks sync
+        // with the master's (fork is master -> worker communication).
+        let master_piggy = self.observer.piggyback(m);
+        let mut tt: Vec<VirtualTime> = (0..team)
+            .map(|i| self.clamp(loc(i), t + Self::sec(self.config.omp.wake_delay(i))))
+            .collect();
+        for i in 1..team {
+            self.observer.sync_logical(loc(i), master_piggy);
+        }
+        for i in 0..team {
+            tt[i as usize] = self.emit(loc(i), tt[i as usize], EventInfo::Enter { region: pr.region });
+        }
+
+        for action in &pr.body {
+            match action {
+                OmpAction::For(f) => self.do_omp_for(r, f, &mut tt),
+                OmpAction::Barrier(region) => self.do_omp_barrier(r, *region, &mut tt),
+                OmpAction::Single { region, kernel, nowait } => {
+                    // First-arriving thread executes (deterministic tie
+                    // break by id).
+                    let exec = (0..team)
+                        .min_by_key(|&i| (tt[i as usize], i))
+                        .unwrap();
+                    let l = loc(exec);
+                    let mut te = tt[exec as usize];
+                    te = self.emit(l, te, EventInfo::Enter { region: *region });
+                    te = self.run_kernel(l, kernel, ExecPhase::TeamParallel, te);
+                    te = self.emit(l, te, EventInfo::Leave { region: *region });
+                    tt[exec as usize] = te;
+                    if !nowait {
+                        let ib = implicit_barrier_of(self.regions, *region);
+                        self.do_omp_barrier(r, ib, &mut tt);
+                    }
+                }
+                OmpAction::Master { region, kernel } => {
+                    let mut te = tt[0];
+                    te = self.emit(m, te, EventInfo::Enter { region: *region });
+                    te = self.run_kernel(m, kernel, ExecPhase::TeamParallel, te);
+                    te = self.emit(m, te, EventInfo::Leave { region: *region });
+                    tt[0] = te;
+                }
+                OmpAction::Critical { region, cost } => {
+                    let mut order: Vec<u32> = (0..team).collect();
+                    order.sort_by_key(|&i| (tt[i as usize], i));
+                    let mut lock_free = VirtualTime::ZERO;
+                    for i in order {
+                        let l = loc(i);
+                        let mut te = tt[i as usize];
+                        te = self.emit(l, te, EventInfo::Enter { region: *region });
+                        if lock_free > te {
+                            self.observer.on_spin(l, lock_free - te);
+                            te = lock_free;
+                        }
+                        let inst = self.next_instance(l);
+                        let extra = self.observer.counting_instructions(cost, 0);
+                        let mut instrumented = *cost;
+                        instrumented.instructions += extra;
+                        let dur = self.kernel_duration(
+                            l,
+                            &instrumented,
+                            0,
+                            ExecPhase::TeamParallel,
+                            inst,
+                        );
+                        let wo = self.observer.on_work(
+                            l,
+                            &WorkItem {
+                                cost: *cost,
+                                loop_iters: 0,
+                                duration: dur,
+                                extra_instructions: extra,
+                            },
+                        );
+                        let lockc = Self::sec(self.config.omp.critical_lock);
+                        self.observer.on_runtime(l, RuntimeKind::Omp, lockc);
+                        te = te + dur + wo + lockc;
+                        te = self.emit(l, te, EventInfo::Leave { region: *region });
+                        tt[i as usize] = te;
+                        lock_free = te;
+                    }
+                }
+                OmpAction::Replicated(kernel) => {
+                    for i in 0..team {
+                        tt[i as usize] =
+                            self.run_kernel(loc(i), kernel, ExecPhase::TeamParallel, tt[i as usize]);
+                    }
+                }
+            }
+        }
+
+        // Implicit barrier at region end, then everyone leaves the region.
+        self.do_omp_barrier(r, derived.end_barrier, &mut tt);
+        for i in 0..team {
+            tt[i as usize] = self.emit(loc(i), tt[i as usize], EventInfo::Leave { region: pr.region });
+        }
+
+        // Join management on the master.
+        let mut t = tt[0];
+        t = self.emit(m, t, EventInfo::Enter { region: derived.join });
+        let join = Self::sec(self.config.omp.join_cost());
+        self.observer.on_runtime(m, RuntimeKind::Omp, join);
+        t += join;
+        t = self.emit(m, t, EventInfo::Leave { region: derived.join });
+        self.states[r as usize].time = t;
+    }
+
+    fn do_omp_for(&mut self, r: u32, f: &OmpFor, tt: &mut [VirtualTime]) {
+        let team = tt.len() as u32;
+        let loc = |i: u32| Location { rank: r, thread: i };
+        let dynamic = matches!(f.schedule, Schedule::Dynamic(_) | Schedule::Guided);
+
+        // Loop entry: dispatch overhead + loop region enter.
+        for i in 0..team {
+            let disp = Self::sec(self.config.omp.loop_dispatch_cost(false, 1));
+            self.observer.on_runtime(loc(i), RuntimeKind::Omp, disp);
+            tt[i as usize] += disp;
+            tt[i as usize] = self.emit(loc(i), tt[i as usize], EventInfo::Enter { region: f.region });
+        }
+
+        if dynamic {
+            // Simulate chunk grabbing; record each chunk's cost/duration.
+            let ready: Vec<f64> = tt.iter().map(|&t| Self::secs_of(t)).collect();
+            let mut chunk_log: Vec<Vec<(nrlt_prog::Cost, VirtualDuration, u64)>> =
+                vec![Vec::new(); team as usize];
+            let dispatch = self.config.omp.dispatch_dynamic;
+            // Pre-assign instance numbers deterministically per thread.
+            let mut inst_base = vec![0u64; team as usize];
+            for i in 0..team {
+                inst_base[i as usize] = self.next_instance(loc(i));
+            }
+            let placement = &self.placement;
+            let noise = &self.noise;
+            let footprint = self.footprint;
+            let desync = self.desync;
+            let observer_ref: &O = self.observer;
+            let counting =
+                |c: &nrlt_prog::Cost, iters: u64| observer_ref.counting_instructions(c, iters);
+            let mut counters = vec![0u64; team as usize];
+            let result = simulate_dynamic(
+                f.iters,
+                f.schedule,
+                &ready,
+                |thread, b, e| {
+                    let cost = f.iter_cost.range_cost(b, e, f.iters);
+                    let extra = counting(&cost, e - b);
+                    let mut instrumented = cost;
+                    instrumented.instructions += extra;
+                    let mut model = DurationModel::new(placement, noise);
+                    model.footprint_per_location = footprint;
+                    model.desync = desync;
+                    let inst = inst_base[thread as usize]
+                        .wrapping_add(counters[thread as usize] << 24);
+                    counters[thread as usize] += 1;
+                    let d = model.kernel_duration(
+                        loc(thread),
+                        &instrumented,
+                        f.working_set,
+                        ExecPhase::TeamParallel,
+                        inst,
+                    );
+                    chunk_log[thread as usize].push((cost, d, extra));
+                    d.as_secs_f64()
+                },
+                dispatch,
+            );
+            for i in 0..team as usize {
+                let mut total_ovh = VirtualDuration::ZERO;
+                let mut iters = 0u64;
+                for (range, (cost, dur, extra)) in result.partition.chunks[i]
+                    .iter()
+                    .zip(chunk_log[i].iter())
+                {
+                    iters += range.len();
+                    total_ovh += self.observer.on_work(
+                        loc(i as u32),
+                        &WorkItem {
+                            cost: *cost,
+                            loop_iters: range.len(),
+                            duration: *dur,
+                            extra_instructions: *extra,
+                        },
+                    );
+                }
+                let _ = iters;
+                let chunks = result.partition.chunks[i].len();
+                self.observer.on_runtime(
+                    loc(i as u32),
+                    RuntimeKind::Omp,
+                    Self::sec(dispatch * chunks as f64),
+                );
+                tt[i] = VirtualTime((result.finish[i].max(0.0) * 1e9).round() as u64) + total_ovh;
+            }
+        } else {
+            let partition = static_partition(f.iters, team, f.schedule);
+            for i in 0..team {
+                let mut cost = nrlt_prog::Cost::ZERO;
+                let mut iters = 0u64;
+                for range in &partition.chunks[i as usize] {
+                    cost += f.iter_cost.range_cost(range.begin, range.end, f.iters);
+                    iters += range.len();
+                }
+                let inst = self.next_instance(loc(i));
+                let extra = self.observer.counting_instructions(&cost, iters);
+                let mut instrumented = cost;
+                instrumented.instructions += extra;
+                let dur = self.kernel_duration(
+                    loc(i),
+                    &instrumented,
+                    f.working_set,
+                    ExecPhase::TeamParallel,
+                    inst,
+                );
+                let wo = self.observer.on_work(
+                    loc(i),
+                    &WorkItem {
+                        cost,
+                        loop_iters: iters,
+                        duration: dur,
+                        extra_instructions: extra,
+                    },
+                );
+                tt[i as usize] = tt[i as usize] + dur + wo;
+            }
+        }
+
+        for i in 0..team {
+            tt[i as usize] = self.emit(loc(i), tt[i as usize], EventInfo::Leave { region: f.region });
+        }
+        if !f.nowait {
+            let ib = implicit_barrier_of(self.regions, f.region);
+            self.do_omp_barrier(r, ib, tt);
+        }
+    }
+
+    fn do_omp_barrier(&mut self, r: u32, region: RegionId, tt: &mut [VirtualTime]) {
+        let team = tt.len() as u32;
+        let loc = |i: u32| Location { rank: r, thread: i };
+        for i in 0..team {
+            tt[i as usize] = self.emit(loc(i), tt[i as usize], EventInfo::Enter { region });
+        }
+        let max_arr = tt.iter().copied().max().unwrap_or(VirtualTime::ZERO);
+        let release = max_arr + Self::sec(self.config.omp.barrier_cost(team));
+        let max_piggy = (0..team)
+            .map(|i| self.observer.piggyback(loc(i)))
+            .max()
+            .unwrap_or(0);
+        for i in 0..team {
+            let wait = max_arr.saturating_since(tt[i as usize]);
+            if wait > VirtualDuration::ZERO {
+                self.observer.on_spin(loc(i), wait);
+            }
+            self.observer
+                .on_runtime(loc(i), RuntimeKind::Omp, release.saturating_since(max_arr));
+            self.observer.sync_logical(loc(i), max_piggy);
+            let exit = release + Self::sec(self.config.omp.wake_stagger) * i as u64;
+            tt[i as usize] = self.emit(loc(i), exit, EventInfo::Leave { region });
+        }
+    }
+}

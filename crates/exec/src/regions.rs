@@ -1,0 +1,193 @@
+//! Region preparation: extend the program's region table with the
+//! runtime regions the engine will enter (MPI API calls, OpenMP fork/join
+//! and implicit barriers).
+//!
+//! Interning happens in a single deterministic scan, so the table — and
+//! therefore every region id in the resulting trace — is identical across
+//! repetitions and clock modes.
+
+use nrlt_prog::{Action, MpiOp, OmpAction, Program, RegionId, RegionKind, RegionTable};
+
+/// Derived region ids for one parallel region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelRegions {
+    /// `!$omp fork @name` management region (master only).
+    pub fork: RegionId,
+    /// `!$omp join @name` management region (master only).
+    pub join: RegionId,
+    /// Implicit barrier at the end of the parallel region.
+    pub end_barrier: RegionId,
+}
+
+/// Strip the Opari2-style prefix from a construct region name, returning
+/// the user-facing construct name.
+fn construct_name(full: &str) -> &str {
+    full.split_once('@').map(|(_, n)| n).unwrap_or(full)
+}
+
+/// Intern all runtime regions referenced by `program` into a copy of its
+/// region table.
+pub fn prepare_regions(program: &Program) -> RegionTable {
+    let mut table = program.regions.clone();
+    for actions in &program.ranks {
+        for action in actions {
+            match action {
+                Action::Mpi(op) => {
+                    table.intern(op.api_name(), RegionKind::Mpi);
+                }
+                Action::Parallel(pr) => {
+                    let name = construct_name(table.name(pr.region)).to_owned();
+                    table.intern(&format!("!$omp fork @{name}"), RegionKind::OmpFork);
+                    table.intern(&format!("!$omp join @{name}"), RegionKind::OmpFork);
+                    table.intern(
+                        &format!("!$omp implicit barrier @{name}"),
+                        RegionKind::OmpImplicitBarrier,
+                    );
+                    for body in &pr.body {
+                        match body {
+                            OmpAction::For(f) if !f.nowait => {
+                                let ln = construct_name(table.name(f.region)).to_owned();
+                                table.intern(
+                                    &format!("!$omp implicit barrier @{ln}"),
+                                    RegionKind::OmpImplicitBarrier,
+                                );
+                            }
+                            OmpAction::Single { region, nowait: false, .. } => {
+                                let sn = construct_name(table.name(*region)).to_owned();
+                                table.intern(
+                                    &format!("!$omp implicit barrier @{sn}"),
+                                    RegionKind::OmpImplicitBarrier,
+                                );
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    table
+}
+
+/// Look up the derived regions of a parallel region (after
+/// [`prepare_regions`]).
+pub fn parallel_regions(table: &RegionTable, parallel_region: RegionId) -> ParallelRegions {
+    let name = construct_name(table.name(parallel_region)).to_owned();
+    let find = |prefix: &str| {
+        table
+            .find(&format!("{prefix} @{name}"))
+            .unwrap_or_else(|| panic!("missing derived region `{prefix} @{name}`"))
+    };
+    ParallelRegions {
+        fork: find("!$omp fork"),
+        join: find("!$omp join"),
+        end_barrier: find("!$omp implicit barrier"),
+    }
+}
+
+/// Look up the implicit-barrier region of a worksharing construct.
+pub fn implicit_barrier_of(table: &RegionTable, construct: RegionId) -> RegionId {
+    let name = construct_name(table.name(construct)).to_owned();
+    table
+        .find(&format!("!$omp implicit barrier @{name}"))
+        .unwrap_or_else(|| panic!("missing implicit barrier for @{name}"))
+}
+
+/// Map a program MPI op to the trace collective kind.
+pub fn collective_kind(op: &MpiOp) -> Option<nrlt_trace::CollectiveOp> {
+    use nrlt_trace::CollectiveOp as C;
+    Some(match op {
+        MpiOp::Barrier => C::Barrier,
+        MpiOp::Allreduce { .. } => C::Allreduce,
+        MpiOp::Alltoall { .. } => C::Alltoall,
+        MpiOp::Allgather { .. } => C::Allgather,
+        MpiOp::Bcast { .. } => C::Bcast,
+        MpiOp::Reduce { .. } => C::Reduce,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrlt_prog::{Cost, IterCost, ProgramBuilder, Schedule};
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new(2);
+        for r in 0..2 {
+            let mut rb = pb.rank(r);
+            rb.scoped("main", |rb| {
+                rb.parallel("work", |omp| {
+                    omp.for_loop(
+                        "loop",
+                        100,
+                        Schedule::Static,
+                        IterCost::Uniform(Cost::scalar(10)),
+                        0,
+                    );
+                    omp.single("setup", Cost::scalar(5), 0);
+                });
+                rb.allreduce(8);
+                if r == 0 {
+                    rb.send(1, 0, 64);
+                } else {
+                    rb.recv(0, 0, 64);
+                }
+            });
+        }
+        pb.finish()
+    }
+
+    #[test]
+    fn interns_mpi_regions() {
+        let p = sample();
+        let t = prepare_regions(&p);
+        assert!(t.find("MPI_Allreduce").is_some());
+        assert!(t.find("MPI_Send").is_some());
+        assert!(t.find("MPI_Recv").is_some());
+        assert!(t.find("MPI_Alltoall").is_none());
+    }
+
+    #[test]
+    fn interns_parallel_derived_regions() {
+        let p = sample();
+        let t = prepare_regions(&p);
+        let pr = t.find("!$omp parallel @work").unwrap();
+        let derived = parallel_regions(&t, pr);
+        assert_eq!(t.name(derived.fork), "!$omp fork @work");
+        assert_eq!(t.name(derived.join), "!$omp join @work");
+        assert_eq!(t.kind(derived.fork), RegionKind::OmpFork);
+        assert_eq!(t.kind(derived.end_barrier), RegionKind::OmpImplicitBarrier);
+    }
+
+    #[test]
+    fn interns_loop_and_single_barriers() {
+        let p = sample();
+        let t = prepare_regions(&p);
+        let lp = t.find("!$omp for @loop").unwrap();
+        let ib = implicit_barrier_of(&t, lp);
+        assert_eq!(t.name(ib), "!$omp implicit barrier @loop");
+        let sg = t.find("!$omp single @setup").unwrap();
+        assert_eq!(t.name(implicit_barrier_of(&t, sg)), "!$omp implicit barrier @setup");
+    }
+
+    #[test]
+    fn preparation_is_deterministic() {
+        let p = sample();
+        let a = prepare_regions(&p);
+        let b = prepare_regions(&p);
+        let names_a: Vec<_> = a.iter().map(|(_, r)| r.name.clone()).collect();
+        let names_b: Vec<_> = b.iter().map(|(_, r)| r.name.clone()).collect();
+        assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn collective_kinds() {
+        assert_eq!(collective_kind(&MpiOp::Barrier), Some(nrlt_trace::CollectiveOp::Barrier));
+        assert_eq!(
+            collective_kind(&MpiOp::Allreduce { bytes: 8 }),
+            Some(nrlt_trace::CollectiveOp::Allreduce)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # nrlt-measure — the Score-P analog
+//!
+//! The measurement system of the reproduction: the physical `tsc` timer
+//! and the Lamport logical clock with the paper's five effort models
+//! (`lt_1`, `lt_loop`, `lt_bb`, `lt_stmt`, `lt_hwctr`), piggyback
+//! synchronisation across messages and collectives, Score-P-style filter
+//! rules, and the perturbation model describing what measuring costs the
+//! measured program (per-event recording, counting code, perf reads,
+//! buffer cache pollution, thread desynchronisation).
+//!
+//! [`measure`] runs a program once under a given clock and returns the
+//! trace plus the application timings; [`reference_run`] runs it
+//! uninstrumented for overhead baselines.
+
+#![warn(missing_docs)]
+
+pub mod filter;
+pub mod modes;
+pub mod observer;
+pub mod params;
+pub mod profiling;
+
+pub use filter::FilterRules;
+pub use modes::ClockMode;
+pub use observer::{MeasureConfig, TracingObserver};
+pub use params::{EffortParams, HwCounterSource, OverheadParams};
+pub use profiling::{profile_run, OnlineProfile, ProfilingObserver};
+
+use nrlt_exec::{execute_prepared, ExecConfig, ExecResult, NullObserver};
+use nrlt_prog::Program;
+use nrlt_trace::Trace;
+
+/// Run `program` instrumented under `measure_config`, returning the
+/// recorded trace and the application-level timings of the *instrumented*
+/// run (instrumentation perturbs them — that is the point).
+pub fn measure(
+    program: &Program,
+    exec_config: &ExecConfig,
+    measure_config: &MeasureConfig,
+) -> (Trace, ExecResult) {
+    let regions = nrlt_exec::prepare_regions(program);
+    let mut observer = TracingObserver::new(measure_config.clone(), &regions, exec_config);
+    let result = execute_prepared(program, &regions, exec_config, &mut observer);
+    (observer.into_trace(), result)
+}
+
+/// Run `program` uninstrumented (the reference measurement the paper
+/// repeats five times to establish baselines).
+pub fn reference_run(program: &Program, exec_config: &ExecConfig) -> ExecResult {
+    nrlt_exec::execute(program, exec_config, &mut NullObserver)
+}

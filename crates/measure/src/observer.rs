@@ -1,0 +1,580 @@
+//! The tracing observer: Score-P woven into the replay engine.
+//!
+//! Maintains one clock per location — the physical virtual-time clock or
+//! a Lamport counter driven by the selected effort model — translates
+//! engine events into trace records, applies filter rules, and charges
+//! the measurement's own costs back into the execution.
+
+use crate::filter::FilterRules;
+use crate::modes::ClockMode;
+use crate::params::{EffortParams, HwCounterSource, OverheadParams};
+use nrlt_exec::{EventInfo, ExecConfig, Observer, RuntimeKind, WorkItem};
+use nrlt_prog::{Cost, RegionKind, RegionTable};
+use nrlt_sim::{
+    jitter_factor, Location, Placement, RngFactory, StreamKind, VirtualDuration, VirtualTime,
+};
+use nrlt_trace::{
+    ClockKind, Definitions, Event, EventKind, LocationDef, RegionDef, RegionRef, RegionRole,
+    Trace, NO_ROOT,
+};
+
+/// Full measurement configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureConfig {
+    /// Timer mode.
+    pub mode: ClockMode,
+    /// Region filter rules.
+    pub filter: FilterRules,
+    /// Physical cost parameters (defaults from the mode).
+    pub overhead: OverheadParams,
+    /// Effort-model constants.
+    pub effort: EffortParams,
+}
+
+impl MeasureConfig {
+    /// Default configuration for a mode, without filters.
+    pub fn new(mode: ClockMode) -> Self {
+        MeasureConfig {
+            mode,
+            filter: FilterRules::none(),
+            overhead: OverheadParams::for_mode(mode),
+            effort: EffortParams::default(),
+        }
+    }
+
+    /// Attach filter rules.
+    pub fn with_filter(mut self, filter: FilterRules) -> Self {
+        self.filter = filter;
+        self
+    }
+}
+
+/// Per-location measurement state.
+#[derive(Debug, Clone, Default)]
+struct LocState {
+    /// Lamport counter (logical modes).
+    counter: u64,
+    /// Work cost accumulated since the last recorded event.
+    pending_cost: Cost,
+    /// OpenMP loop iterations accumulated since the last event.
+    pending_iters: u64,
+    /// Virtual instructions retired in runtime code / spinning since the
+    /// last event (lt_hwctr).
+    pending_rt_instr: u64,
+    /// OpenMP runtime calls since the last event (lt_bb / lt_stmt X/Y
+    /// constants).
+    pending_omp_calls: u64,
+    /// Hardware-counter read sequence (jitter stream key).
+    read_seq: u64,
+}
+
+/// The Score-P analog: implements [`Observer`] and produces a [`Trace`].
+pub struct TracingObserver<'a> {
+    config: MeasureConfig,
+    regions: &'a RegionTable,
+    /// region id -> filtered?
+    filtered: Vec<bool>,
+    states: Vec<LocState>,
+    streams: Vec<Vec<Event>>,
+    defs: Definitions,
+    rng: RngFactory,
+    /// Instructions per second of one core (for hwctr conversions).
+    instr_rate: f64,
+}
+
+impl<'a> TracingObserver<'a> {
+    /// Build an observer for `regions` (from `nrlt_exec::prepare_regions`)
+    /// under `exec_config`.
+    pub fn new(config: MeasureConfig, regions: &'a RegionTable, exec_config: &ExecConfig) -> Self {
+        let placement = Placement::new(exec_config.machine.clone(), exec_config.layout.clone());
+        let layout = &exec_config.layout;
+        let locations: Vec<LocationDef> = layout
+            .iter_locations()
+            .map(|loc| LocationDef {
+                rank: loc.rank,
+                thread: loc.thread,
+                core: placement.core_of(loc).0,
+            })
+            .collect();
+        let region_defs: Vec<RegionDef> = regions
+            .iter()
+            .map(|(_, r)| RegionDef { name: r.name.clone(), role: role_of(r.kind) })
+            .collect();
+        let filtered = regions
+            .iter()
+            .map(|(_, r)| config.filter.is_filtered(&r.name))
+            .collect();
+        let clock = match config.mode {
+            ClockMode::Tsc => ClockKind::Physical,
+            m => ClockKind::Logical { model: m.name().to_owned() },
+        };
+        let n = locations.len();
+        let spec = &exec_config.machine.spec;
+        TracingObserver {
+            instr_rate: spec.core_freq_hz * spec.ipc,
+            config,
+            regions,
+            filtered,
+            states: vec![LocState::default(); n],
+            streams: vec![Vec::new(); n],
+            defs: Definitions {
+                regions: region_defs,
+                locations,
+                threads_per_rank: layout.threads_per_rank,
+                clock,
+            },
+            rng: RngFactory::new(exec_config.seed),
+        }
+    }
+
+    /// Consume the observer, yielding the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        Trace { defs: self.defs, streams: self.streams }
+    }
+
+    /// The measurement configuration in effect.
+    pub fn config(&self) -> &MeasureConfig {
+        &self.config
+    }
+
+    fn loc_index(&self, loc: Location) -> usize {
+        (loc.rank * self.defs.threads_per_rank + loc.thread) as usize
+    }
+
+    /// Drain the pending effort into an increment (without the +1 per
+    /// event), applying hwctr jitter.
+    fn drain_pending(&mut self, idx: usize) -> u64 {
+        let st = &mut self.states[idx];
+        let raw = match self.config.mode {
+            ClockMode::Tsc | ClockMode::Lt1 => 0,
+            ClockMode::LtLoop => st.pending_iters,
+            ClockMode::LtBb => {
+                st.pending_cost.basic_blocks
+                    + self.config.effort.omp_call_basic_blocks * st.pending_omp_calls
+            }
+            ClockMode::LtStmt => {
+                st.pending_cost.statements
+                    + self.config.effort.omp_call_statements * st.pending_omp_calls
+            }
+            ClockMode::LtHwctr => {
+                let base = match self.config.effort.hwctr_source {
+                    HwCounterSource::Instructions => {
+                        st.pending_cost.instructions + st.pending_rt_instr
+                    }
+                    // A traffic counter does not tick while spinning or
+                    // inside (compute-only) runtime code.
+                    HwCounterSource::MemoryTraffic => st.pending_cost.mem_bytes,
+                    HwCounterSource::Combined { bytes_weight } => {
+                        st.pending_cost.instructions
+                            + st.pending_rt_instr
+                            + (st.pending_cost.mem_bytes as f64 * bytes_weight) as u64
+                    }
+                };
+                if base > 0 && self.config.effort.hwctr_sigma > 0.0 {
+                    let seq = st.read_seq;
+                    st.read_seq += 1;
+                    let mut rng = self.rng.stream(StreamKind::HwCounter, idx as u64, seq);
+                    let f = jitter_factor(&mut rng, self.config.effort.hwctr_sigma);
+                    (base as f64 * f).round().max(0.0) as u64
+                } else {
+                    base
+                }
+            }
+        };
+        st.pending_cost = Cost::ZERO;
+        st.pending_iters = 0;
+        st.pending_rt_instr = 0;
+        st.pending_omp_calls = 0;
+        raw
+    }
+
+    /// Timestamp for the next event on `loc` (advances logical clocks).
+    fn timestamp(&mut self, idx: usize, now: VirtualTime) -> u64 {
+        match self.config.mode {
+            ClockMode::Tsc => {
+                // Physical timestamps still flush pending state so a later
+                // switch of interpretation stays consistent.
+                self.drain_pending(idx);
+                now.nanos()
+            }
+            _ => {
+                let inc = self.drain_pending(idx) + 1;
+                self.states[idx].counter += inc;
+                self.states[idx].counter
+            }
+        }
+    }
+
+    fn push(&mut self, idx: usize, time: u64, kind: EventKind) {
+        self.streams[idx].push(Event { time, kind });
+    }
+
+    fn sec(v: f64) -> VirtualDuration {
+        VirtualDuration::from_secs_f64(v)
+    }
+}
+
+/// Map program region kinds to trace roles.
+fn role_of(kind: RegionKind) -> RegionRole {
+    match kind {
+        RegionKind::User => RegionRole::Function,
+        RegionKind::Mpi => RegionRole::MpiApi,
+        RegionKind::OmpParallel => RegionRole::OmpParallel,
+        RegionKind::OmpLoop => RegionRole::OmpLoop,
+        RegionKind::OmpImplicitBarrier => RegionRole::OmpImplicitBarrier,
+        RegionKind::OmpBarrier => RegionRole::OmpBarrier,
+        RegionKind::OmpCritical => RegionRole::OmpCritical,
+        RegionKind::OmpSingle => RegionRole::OmpSingle,
+        RegionKind::OmpMaster => RegionRole::OmpMaster,
+        RegionKind::OmpFork => RegionRole::OmpFork,
+    }
+}
+
+impl<'a> Observer for TracingObserver<'a> {
+    fn counting_instructions(&self, work_cost: &Cost, loop_iters: u64) -> u64 {
+        let o = &self.config.overhead;
+        let per_block = o.instr_per_basic_block * work_cost.basic_blocks;
+        // Counter increments are hoisted/batched inside worksharing
+        // loops — but only where control flow is regular enough (few
+        // basic blocks per instruction). Branchy loop bodies keep the
+        // full per-block cost.
+        let regular = work_cost.basic_blocks * 6 <= work_cost.instructions;
+        let per_block = if loop_iters > 0 && regular {
+            per_block / o.loop_hoist_divisor.max(1)
+        } else {
+            per_block
+        };
+        per_block + o.instr_per_loop_iter * loop_iters
+    }
+
+    fn on_work(&mut self, loc: Location, work: &WorkItem) -> VirtualDuration {
+        let idx = self.loc_index(loc);
+        let st = &mut self.states[idx];
+        st.pending_cost = st.pending_cost.saturating_add(&work.cost);
+        st.pending_iters += work.loop_iters;
+        // The hardware counter also retires the counting code's own
+        // instructions; the application-level models do not count them.
+        if self.config.mode == ClockMode::LtHwctr {
+            st.pending_rt_instr += work.extra_instructions;
+        }
+        VirtualDuration::ZERO
+    }
+
+    fn on_runtime(&mut self, loc: Location, kind: RuntimeKind, duration: VirtualDuration) {
+        let idx = self.loc_index(loc);
+        let st = &mut self.states[idx];
+        if kind == RuntimeKind::Omp {
+            st.pending_omp_calls += 1;
+        }
+        if self.config.mode == ClockMode::LtHwctr {
+            st.pending_rt_instr += (duration.as_secs_f64()
+                * self.instr_rate
+                * self.config.effort.runtime_ipc_fraction)
+                .round() as u64;
+        }
+    }
+
+    fn on_spin(&mut self, loc: Location, duration: VirtualDuration) {
+        if self.config.mode == ClockMode::LtHwctr {
+            let idx = self.loc_index(loc);
+            // The spin-loop instruction rate is itself noisy: it varies
+            // per location and per repetition.
+            let rate_factor = if self.config.effort.spin_rate_sigma > 0.0 {
+                let mut rng = self.rng.stream(StreamKind::HwCounter, idx as u64, u64::MAX);
+                jitter_factor(&mut rng, self.config.effort.spin_rate_sigma)
+            } else {
+                1.0
+            };
+            self.states[idx].pending_rt_instr += (duration.as_secs_f64()
+                * self.instr_rate
+                * self.config.effort.spin_ipc_fraction
+                * rate_factor)
+                .round() as u64;
+        }
+    }
+
+    fn on_event(&mut self, loc: Location, now: VirtualTime, info: &EventInfo) -> VirtualDuration {
+        let idx = self.loc_index(loc);
+        let o = self.config.overhead.clone();
+        match *info {
+            EventInfo::Enter { region } => {
+                if self.filtered[region.0 as usize] {
+                    return Self::sec(o.filter_check);
+                }
+                let ts = self.timestamp(idx, now);
+                self.push(idx, ts, EventKind::Enter { region: RegionRef(region.0) });
+                Self::sec(o.record_event)
+            }
+            EventInfo::Leave { region } => {
+                if self.filtered[region.0 as usize] {
+                    return Self::sec(o.filter_check);
+                }
+                let ts = self.timestamp(idx, now);
+                self.push(idx, ts, EventKind::Leave { region: RegionRef(region.0) });
+                Self::sec(o.record_event)
+            }
+            EventInfo::Burst { callee, calls, phys_start } => {
+                if self.filtered[callee.0 as usize] {
+                    // Runtime filtering still checks every call.
+                    return Self::sec(o.filter_check * (2 * calls) as f64);
+                }
+                let (start, end) = match self.config.mode {
+                    ClockMode::Tsc => {
+                        self.drain_pending(idx);
+                        (phys_start.nanos(), now.nanos())
+                    }
+                    _ => {
+                        // The kernel's accumulated work happened inside the
+                        // calls; the calls themselves contribute two events
+                        // each.
+                        let inside = self.drain_pending(idx);
+                        let total = inside + 2 * calls.max(1);
+                        let st = &mut self.states[idx];
+                        let start = st.counter + 1;
+                        st.counter += total;
+                        (start, st.counter)
+                    }
+                };
+                self.push(
+                    idx,
+                    end,
+                    EventKind::CallBurst { region: RegionRef(callee.0), count: calls, start },
+                );
+                Self::sec(o.record_event * (2 * calls) as f64)
+            }
+            EventInfo::SendPost { peer, tag, bytes } => {
+                let ts = self.timestamp(idx, now);
+                self.push(idx, ts, EventKind::SendPost { peer, tag, bytes });
+                Self::sec(o.record_event + o.piggyback_message)
+            }
+            EventInfo::RecvPost { peer, tag, bytes } => {
+                let ts = self.timestamp(idx, now);
+                self.push(idx, ts, EventKind::RecvPost { peer, tag, bytes });
+                Self::sec(o.record_event)
+            }
+            EventInfo::RecvComplete { peer, tag, bytes } => {
+                let ts = self.timestamp(idx, now);
+                self.push(idx, ts, EventKind::RecvComplete { peer, tag, bytes });
+                Self::sec(o.record_event + o.piggyback_message)
+            }
+            EventInfo::CollectiveEnd { op, bytes, root } => {
+                let ts = self.timestamp(idx, now);
+                self.push(
+                    idx,
+                    ts,
+                    EventKind::CollectiveEnd {
+                        op,
+                        bytes,
+                        root: if root == NO_ROOT { NO_ROOT } else { root },
+                    },
+                );
+                Self::sec(o.record_event + o.piggyback_message)
+            }
+        }
+    }
+
+    fn piggyback(&mut self, loc: Location) -> u64 {
+        if self.config.mode == ClockMode::Tsc {
+            return 0;
+        }
+        let idx = self.loc_index(loc);
+        // Apply the pending effort first so the attached value reflects
+        // the clock at the send event (Lamport step 2a).
+        let inc = self.drain_pending(idx);
+        self.states[idx].counter += inc;
+        self.states[idx].counter
+    }
+
+    fn sync_logical(&mut self, loc: Location, incoming: u64) {
+        if self.config.mode == ClockMode::Tsc {
+            return;
+        }
+        let idx = self.loc_index(loc);
+        let st = &mut self.states[idx];
+        st.counter = st.counter.max(incoming + 1);
+    }
+
+    fn cache_footprint_per_location(&self) -> u64 {
+        self.config.overhead.buffer_footprint
+    }
+
+    fn desync(&self) -> f64 {
+        self.config.overhead.desync
+    }
+}
+
+// `regions` is only read; keeping the reference documents that the table
+// must outlive the observer and stay in sync with the engine's ids.
+impl std::fmt::Debug for TracingObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracingObserver")
+            .field("mode", &self.config.mode)
+            .field("locations", &self.states.len())
+            .field("regions", &self.regions.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrlt_prog::RegionId;
+    use nrlt_sim::JobLayout;
+
+    fn setup(mode: ClockMode) -> (RegionTable, ExecConfig) {
+        let mut t = RegionTable::new();
+        t.intern("main", RegionKind::User);
+        t.intern("tiny", RegionKind::User);
+        let _ = mode;
+        (t, ExecConfig::jureca(1, JobLayout::block(1, 1), 1))
+    }
+
+    #[test]
+    fn lt1_increments_once_per_event() {
+        let (t, cfg) = setup(ClockMode::Lt1);
+        let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::Lt1), &t, &cfg);
+        let loc = Location::master(0);
+        let r = RegionId(0);
+        obs.on_event(loc, VirtualTime(100), &EventInfo::Enter { region: r });
+        obs.on_event(loc, VirtualTime(200), &EventInfo::Leave { region: r });
+        let trace = obs.into_trace();
+        assert_eq!(trace.streams[0][0].time, 1);
+        assert_eq!(trace.streams[0][1].time, 2);
+    }
+
+    #[test]
+    fn tsc_records_physical_time() {
+        let (t, cfg) = setup(ClockMode::Tsc);
+        let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::Tsc), &t, &cfg);
+        let loc = Location::master(0);
+        obs.on_event(loc, VirtualTime(12345), &EventInfo::Enter { region: RegionId(0) });
+        let trace = obs.into_trace();
+        assert_eq!(trace.streams[0][0].time, 12345);
+        assert_eq!(trace.defs.clock, ClockKind::Physical);
+    }
+
+    #[test]
+    fn lt_loop_counts_iterations() {
+        let (t, cfg) = setup(ClockMode::LtLoop);
+        let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::LtLoop), &t, &cfg);
+        let loc = Location::master(0);
+        obs.on_work(
+            loc,
+            &WorkItem { cost: Cost::scalar(1000), loop_iters: 50, duration: VirtualDuration(10), extra_instructions: 0 },
+        );
+        obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(0) });
+        let trace = obs.into_trace();
+        assert_eq!(trace.streams[0][0].time, 51); // 50 iters + 1
+    }
+
+    #[test]
+    fn lt_bb_counts_blocks_and_omp_calls() {
+        let (t, cfg) = setup(ClockMode::LtBb);
+        let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::LtBb), &t, &cfg);
+        let loc = Location::master(0);
+        let cost = Cost::ZERO.with_basic_blocks(40);
+        obs.on_work(loc, &WorkItem { cost, loop_iters: 0, duration: VirtualDuration(10), extra_instructions: 0 });
+        obs.on_runtime(loc, RuntimeKind::Omp, VirtualDuration(100));
+        obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(0) });
+        let trace = obs.into_trace();
+        assert_eq!(trace.streams[0][0].time, 40 + 100 + 1); // bb + X + event
+    }
+
+    #[test]
+    fn lt_stmt_uses_y_constant() {
+        let (t, cfg) = setup(ClockMode::LtStmt);
+        let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::LtStmt), &t, &cfg);
+        let loc = Location::master(0);
+        obs.on_runtime(loc, RuntimeKind::Omp, VirtualDuration(100));
+        obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(0) });
+        let trace = obs.into_trace();
+        assert_eq!(trace.streams[0][0].time, 4300 + 1);
+    }
+
+    #[test]
+    fn lt_hwctr_counts_spin_instructions() {
+        let (t, cfg) = setup(ClockMode::LtHwctr);
+        let mut mc = MeasureConfig::new(ClockMode::LtHwctr);
+        mc.effort.hwctr_sigma = 0.0; // deterministic for the assertion
+        mc.effort.spin_rate_sigma = 0.0;
+        let mut obs = TracingObserver::new(mc, &t, &cfg);
+        let loc = Location::master(0);
+        obs.on_spin(loc, VirtualDuration::from_micros(10));
+        obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(0) });
+        let trace = obs.into_trace();
+        // 10us at 2.25GHz × 2 IPC × 0.6 = 27000 instructions.
+        assert_eq!(trace.streams[0][0].time, 27_000 + 1);
+    }
+
+    #[test]
+    fn filtered_regions_produce_no_events_but_cost_a_check() {
+        let (t, cfg) = setup(ClockMode::Tsc);
+        let mc = MeasureConfig::new(ClockMode::Tsc)
+            .with_filter(FilterRules::from_rules(["tiny"]));
+        let mut obs = TracingObserver::new(mc, &t, &cfg);
+        let loc = Location::master(0);
+        let ovh = obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(1) });
+        assert!(ovh > VirtualDuration::ZERO);
+        assert!(ovh < VirtualDuration(10));
+        let trace = obs.into_trace();
+        assert!(trace.streams[0].is_empty());
+    }
+
+    #[test]
+    fn burst_spans_counter_range() {
+        let (t, cfg) = setup(ClockMode::Lt1);
+        let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::Lt1), &t, &cfg);
+        let loc = Location::master(0);
+        obs.on_event(loc, VirtualTime(0), &EventInfo::Enter { region: RegionId(0) });
+        obs.on_event(
+            loc,
+            VirtualTime(100),
+            &EventInfo::Burst { callee: RegionId(1), calls: 10, phys_start: VirtualTime(1) },
+        );
+        let trace = obs.into_trace();
+        match trace.streams[0][1].kind {
+            EventKind::CallBurst { count, start, .. } => {
+                assert_eq!(count, 10);
+                assert_eq!(start, 2); // after the Enter at 1
+                assert_eq!(trace.streams[0][1].time, 1 + 20); // 10 calls × 2 events
+            }
+            ref other => panic!("expected burst, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn piggyback_and_sync_respect_lamport() {
+        let (t, cfg) = setup(ClockMode::Lt1);
+        let cfg2 = ExecConfig::jureca(1, JobLayout::block(2, 1), 1);
+        let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::Lt1), &t, &cfg2);
+        let _ = cfg;
+        let a = Location::master(0);
+        let b = Location::master(1);
+        // a does some events, then sends.
+        obs.on_event(a, VirtualTime(0), &EventInfo::Enter { region: RegionId(0) });
+        obs.on_event(a, VirtualTime(1), &EventInfo::Leave { region: RegionId(0) });
+        let pig = obs.piggyback(a);
+        let send_ts = {
+            obs.on_event(a, VirtualTime(2), &EventInfo::SendPost { peer: 1, tag: 0, bytes: 1 });
+            obs.into_trace().streams[0].last().unwrap().time
+        };
+        assert!(send_ts > pig);
+        // Receiver merges then records: its completion must be after the send.
+        let (t2, _) = setup(ClockMode::Lt1);
+        let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::Lt1), &t2, &cfg2);
+        obs.sync_logical(b, pig);
+        obs.on_event(b, VirtualTime(9), &EventInfo::RecvComplete { peer: 0, tag: 0, bytes: 1 });
+        let recv_ts = obs.into_trace().streams[1].last().unwrap().time;
+        assert!(recv_ts > send_ts, "clock condition: {recv_ts} > {send_ts}");
+    }
+
+    #[test]
+    fn tsc_piggyback_is_zero() {
+        let (t, cfg) = setup(ClockMode::Tsc);
+        let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::Tsc), &t, &cfg);
+        assert_eq!(obs.piggyback(Location::master(0)), 0);
+        obs.sync_logical(Location::master(0), 999); // no-op
+        let trace = obs.into_trace();
+        assert!(trace.streams[0].is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! TeaLeaf skeleton (UoB-HPC C++ port).
+//!
+//! 2-D heat conduction with five-point finite differences, implicit time
+//! stepping via a CG solver. Per CG iteration: a stencil/matvec sweep and
+//! vector updates (OpenMP loops over the rank's strip of the grid), a
+//! halo exchange with strip neighbours, and two dot-product allreduces —
+//! the "frequent MPI all-to-all exchanges" whose cost dominates the
+//! many-rank configurations in the paper.
+//!
+//! The `tea_bm_5` benchmark (4000² cells) is special on Jureca-DC: the
+//! whole working set fits the node's 512 MB of L3, so the un-instrumented
+//! run is cache-resident — and the measurement system's buffers evict it
+//! (Section V-C5).
+
+use crate::common::BenchmarkInstance;
+use nrlt_prog::{Cost, IterCost, ProgramBuilder, Schedule};
+use nrlt_sim::JobLayout;
+
+/// TeaLeaf run parameters.
+#[derive(Debug, Clone)]
+pub struct TeaLeafConfig {
+    /// Grid dimension (tea_bm_5: 4000 → 4000² cells).
+    pub n: u64,
+    /// MPI ranks (1-D strip decomposition).
+    pub ranks: u32,
+    /// Threads per rank.
+    pub threads_per_rank: u32,
+    /// Outer time steps.
+    pub steps: u32,
+    /// CG iterations per step.
+    pub cg_per_step: u32,
+    /// Cost constants.
+    pub costs: TeaLeafCosts,
+}
+
+/// Cost constants (calibration knobs).
+#[derive(Debug, Clone)]
+pub struct TeaLeafCosts {
+    /// Instructions per cell per stencil sweep.
+    pub stencil_instr: u64,
+    /// Bytes per cell per stencil sweep (five-point reads + write).
+    pub stencil_bytes: u64,
+    /// Instructions per cell per vector update.
+    pub update_instr: u64,
+    /// Bytes per cell per vector update.
+    pub update_bytes: u64,
+    /// Instructions per cell per dot product.
+    pub dot_instr: u64,
+    /// Bytes per cell per dot product.
+    pub dot_bytes: u64,
+    /// Bytes of application state per cell (cache model: ~4 fields).
+    pub state_bytes_per_cell: u64,
+}
+
+impl Default for TeaLeafCosts {
+    fn default() -> Self {
+        TeaLeafCosts {
+            stencil_instr: 34,
+            stencil_bytes: 56,
+            update_instr: 10,
+            update_bytes: 24,
+            dot_instr: 6,
+            dot_bytes: 16,
+            state_bytes_per_cell: 32,
+        }
+    }
+}
+
+impl TeaLeafConfig {
+    /// Build the rank programs.
+    pub fn build(&self) -> BenchmarkInstance {
+        let c = &self.costs;
+        let cells_per_rank = self.n * self.n / self.ranks as u64;
+        let ws = cells_per_rank * c.state_bytes_per_cell;
+        let halo_bytes = self.n * 8 * 2; // two field rows
+        let mut pb = ProgramBuilder::new(self.ranks);
+        for rank in 0..self.ranks {
+            let up = rank.checked_sub(1);
+            let down = if rank + 1 < self.ranks { Some(rank + 1) } else { None };
+            let mut rb = pb.rank(rank);
+            let ph_total = rb.phase("total");
+            rb.phase_start(ph_total);
+            rb.enter("main");
+            for _step in 0..self.steps {
+                rb.scoped("solve", |rb| {
+                    for _it in 0..self.cg_per_step {
+                        rb.scoped("halo_update", |rb| {
+                            if up.is_some() || down.is_some() {
+                                // Pack boundary rows (strided copies on the
+                                // master) — the per-rank cost that penalises
+                                // many-rank decompositions.
+                                rb.kernel(
+                                    Cost::scalar(halo_bytes * 8 / 5)
+                                        .with_mem_bytes(halo_bytes * 2),
+                                    halo_bytes * 2,
+                                );
+                                if let Some(u) = up {
+                                    rb.irecv(u, 31, halo_bytes);
+                                }
+                                if let Some(d) = down {
+                                    rb.irecv(d, 32, halo_bytes);
+                                }
+                                if let Some(u) = up {
+                                    rb.isend(u, 32, halo_bytes);
+                                }
+                                if let Some(d) = down {
+                                    rb.isend(d, 31, halo_bytes);
+                                }
+                                rb.waitall();
+                                // Unpack received rows.
+                                rb.kernel(
+                                    Cost::scalar(halo_bytes * 8 / 5)
+                                        .with_mem_bytes(halo_bytes * 2),
+                                    halo_bytes * 2,
+                                );
+                            }
+                        });
+                        rb.scoped("cg_calc_w", |rb| {
+                            rb.parallel("cg_calc_w", |omp| {
+                                omp.for_loop(
+                                    "cg_calc_w",
+                                    cells_per_rank,
+                                    Schedule::Static,
+                                    IterCost::Uniform(
+                                        Cost::scalar(c.stencil_instr)
+                                            .with_mem_bytes(c.stencil_bytes),
+                                    ),
+                                    ws,
+                                );
+                            });
+                        });
+                        rb.scoped("cg_calc_ur", |rb| {
+                            rb.parallel("cg_calc_ur", |omp| {
+                                omp.for_loop(
+                                    "cg_calc_ur",
+                                    cells_per_rank,
+                                    Schedule::Static,
+                                    IterCost::Uniform(
+                                        Cost::scalar(c.update_instr)
+                                            .with_mem_bytes(c.update_bytes),
+                                    ),
+                                    ws,
+                                );
+                            });
+                        });
+                        // Two reductions per iteration (pw and rrn).
+                        for _ in 0..2 {
+                            rb.scoped("cg_calc_p", |rb| {
+                                rb.parallel("cg_calc_p", |omp| {
+                                    omp.for_loop(
+                                        "cg_reduce",
+                                        cells_per_rank,
+                                        Schedule::Static,
+                                        IterCost::Uniform(
+                                            Cost::scalar(c.dot_instr)
+                                                .with_mem_bytes(c.dot_bytes),
+                                        ),
+                                        ws,
+                                    );
+                                });
+                                rb.allreduce(8);
+                            });
+                        }
+                    }
+                });
+            }
+            rb.leave();
+            rb.phase_end(ph_total);
+        }
+        BenchmarkInstance {
+            name: format!("TeaLeaf({}^2, {}r x {}t)", self.n, self.ranks, self.threads_per_rank),
+            program: pb.finish(),
+            nodes: 1,
+            layout: JobLayout::block(self.ranks, self.threads_per_rank),
+            filter_rules: vec!["halo_update".into()],
+            // The paper filtered aggressively, yet overhead stayed high —
+            // the cache pollution does the damage, not the events.
+        }
+        .validated()
+    }
+}
+
+fn tealeaf_named(idx: u32, ranks: u32, threads: u32) -> BenchmarkInstance {
+    let mut b = TeaLeafConfig {
+        n: 4000,
+        ranks,
+        threads_per_rank: threads,
+        steps: 4,
+        cg_per_step: 40,
+        costs: TeaLeafCosts::default(),
+    }
+    .build();
+    b.name = format!("TeaLeaf-{idx}");
+    b
+}
+
+/// TeaLeaf-1: 1 rank × 128 threads — threads span both sockets.
+pub fn tealeaf_1() -> BenchmarkInstance {
+    tealeaf_named(1, 1, 128)
+}
+
+/// TeaLeaf-2: 2 ranks × 64 threads — one rank per socket; the optimal
+/// configuration on Jureca-DC.
+pub fn tealeaf_2() -> BenchmarkInstance {
+    tealeaf_named(2, 2, 64)
+}
+
+/// TeaLeaf-3: 8 ranks × 16 threads — one rank per NUMA domain.
+pub fn tealeaf_3() -> BenchmarkInstance {
+    tealeaf_named(3, 8, 16)
+}
+
+/// TeaLeaf-4: 128 ranks × 1 thread — loses time in the frequent
+/// reductions.
+pub fn tealeaf_4() -> BenchmarkInstance {
+    tealeaf_named(4, 128, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_configs_validate() {
+        for (b, ranks, threads) in [
+            (tealeaf_1(), 1, 128),
+            (tealeaf_2(), 2, 64),
+            (tealeaf_3(), 8, 16),
+            (tealeaf_4(), 128, 1),
+        ] {
+            assert_eq!(b.program.n_ranks(), ranks);
+            assert_eq!(b.layout.threads_per_rank, threads);
+            assert_eq!(b.nodes, 1);
+        }
+    }
+
+    #[test]
+    fn working_set_fits_node_cache() {
+        // tea_bm_5: 4000² × 32 B = 512 MB — exactly the node's L3.
+        let cfg = TeaLeafConfig {
+            n: 4000,
+            ranks: 2,
+            threads_per_rank: 64,
+            steps: 1,
+            cg_per_step: 1,
+            costs: TeaLeafCosts::default(),
+        };
+        let per_rank = cfg.n * cfg.n / 2 * cfg.costs.state_bytes_per_cell;
+        let l3: u64 = 256 << 20;
+        assert!(per_rank <= l3, "per-socket working set must fit the socket L3");
+        assert!(
+            per_rank > l3 * 9 / 10,
+            "…but only marginally, so measurement buffers evict it"
+        );
+    }
+
+    #[test]
+    fn edge_ranks_have_one_neighbour() {
+        let b = tealeaf_3();
+        use nrlt_prog::{Action, MpiOp};
+        let sends = |rank: usize| {
+            b.program.ranks[rank]
+                .iter()
+                .filter(|a| matches!(a, Action::Mpi(MpiOp::Isend { .. })))
+                .count()
+        };
+        // Rank 0 talks only down; rank 3 talks both ways.
+        assert_eq!(sends(0), 160); // 4 steps × 40 iters × 1 neighbour
+        assert_eq!(sends(3), 320);
+    }
+}

@@ -1,0 +1,19 @@
+//! # nrlt-mpisim — MPI semantics and timing models
+//!
+//! The MPI substrate of the reproduction: deterministic FIFO message
+//! matching (no wildcards, as in the paper's benchmarks), eager and
+//! rendezvous point-to-point protocols, and algorithmic collective cost
+//! models. The discrete-event engine (`nrlt-exec`) drives these models to
+//! decide when blocked ranks unblock; the wait intervals they produce are
+//! exactly what Scalasca's late-sender / late-receiver / wait-at-N×N
+//! patterns measure.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod matching;
+pub mod protocol;
+
+pub use collective::{CollectiveModel, CommScope};
+pub use matching::{Channel, Match, Matcher, PostedRecv, PostedSend};
+pub use protocol::{message_timing, LinkKind, P2pModel, P2pTiming};

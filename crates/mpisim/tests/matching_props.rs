@@ -1,0 +1,68 @@
+//! Property tests: message matching is a FIFO bijection regardless of
+//! posting order.
+
+use nrlt_mpisim::{Channel, Matcher};
+use proptest::prelude::*;
+
+/// A randomized interleaving of sends and receives on a few channels,
+/// with equal counts per channel so everything matches eventually.
+fn interleavings() -> impl Strategy<Value = Vec<(bool, u8)>> {
+    // (is_send, channel id), 3 channels, up to 40 ops per side.
+    proptest::collection::vec((any::<bool>(), 0u8..3), 0..80).prop_map(|mut ops| {
+        // Balance: append the missing side per channel.
+        for ch in 0..3u8 {
+            let sends = ops.iter().filter(|&&(s, c)| s && c == ch).count();
+            let recvs = ops.iter().filter(|&&(s, c)| !s && c == ch).count();
+            for _ in recvs..sends {
+                ops.push((false, ch));
+            }
+            for _ in sends..recvs {
+                ops.push((true, ch));
+            }
+        }
+        ops
+    })
+}
+
+proptest! {
+    #[test]
+    fn matching_is_a_fifo_bijection(ops in interleavings()) {
+        let mut m: Matcher<u64, u64> = Matcher::new();
+        let mut send_seq = [0u64; 3];
+        let mut recv_seq = [0u64; 3];
+        let mut matches: Vec<(u8, u64, u64)> = Vec::new();
+        for (is_send, ch) in ops {
+            let channel = Channel { src: 0, dst: 1, tag: ch as u32 };
+            if is_send {
+                let id = send_seq[ch as usize];
+                send_seq[ch as usize] += 1;
+                if let Some(mt) = m.post_send(channel, 8, id) {
+                    matches.push((ch, mt.send.data, mt.recv.data));
+                }
+            } else {
+                let id = recv_seq[ch as usize];
+                recv_seq[ch as usize] += 1;
+                if let Some(mt) = m.post_recv(channel, 8, id) {
+                    matches.push((ch, mt.send.data, mt.recv.data));
+                }
+            }
+        }
+        // Everything matched (the strategy balances the channels).
+        prop_assert!(m.is_drained(), "{}", m.pending_description());
+        // FIFO: the k-th send on a channel pairs with the k-th receive.
+        for &(_, s, r) in &matches {
+            prop_assert_eq!(s, r, "non-FIFO pairing");
+        }
+        // Bijection: every sequence number appears exactly once per side.
+        for ch in 0..3u8 {
+            let mut ids: Vec<u64> = matches
+                .iter()
+                .filter(|&&(c, _, _)| c == ch)
+                .map(|&(_, s, _)| s)
+                .collect();
+            ids.sort_unstable();
+            let expect: Vec<u64> = (0..send_seq[ch as usize]).collect();
+            prop_assert_eq!(ids, expect);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests: every schedule must partition the iteration space
+//! exactly, regardless of shape.
+
+use nrlt_ompsim::{simulate_dynamic, static_partition};
+use nrlt_prog::Schedule;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn static_partitions_cover_exactly(iters in 0u64..100_000, threads in 1u32..64) {
+        let p = static_partition(iters, threads, Schedule::Static);
+        prop_assert!(p.validate(iters).is_ok());
+        // Static balance: no thread holds more than ceil(n/T) iterations.
+        let cap = iters.div_ceil(threads as u64).max(1);
+        for t in 0..threads as usize {
+            prop_assert!(p.thread_iters(t) <= cap);
+        }
+    }
+
+    #[test]
+    fn chunked_partitions_cover_exactly(
+        iters in 0u64..50_000,
+        threads in 1u32..32,
+        chunk in 1u64..500,
+    ) {
+        let p = static_partition(iters, threads, Schedule::StaticChunk(chunk));
+        prop_assert!(p.validate(iters).is_ok());
+        // All chunks except possibly the last have the requested size.
+        let mut all: Vec<_> = p.chunks.iter().flatten().collect();
+        all.sort_by_key(|r| r.begin);
+        for r in &all[..all.len().saturating_sub(1)] {
+            prop_assert_eq!(r.len(), chunk.min(iters));
+        }
+    }
+
+    #[test]
+    fn dynamic_partitions_cover_exactly(
+        iters in 1u64..20_000,
+        threads in 1usize..16,
+        chunk in 1u64..200,
+        ready in proptest::collection::vec(0.0f64..1e-3, 1..16),
+    ) {
+        let ready = if ready.len() >= threads { ready[..threads].to_vec() } else {
+            vec![0.0; threads]
+        };
+        let res = simulate_dynamic(
+            iters,
+            Schedule::Dynamic(chunk),
+            &ready,
+            |_, b, e| (e - b) as f64 * 1e-6,
+            1e-7,
+        );
+        prop_assert!(res.partition.validate(iters).is_ok());
+        // Finish times never precede ready times.
+        for (f, r) in res.finish.iter().zip(&ready) {
+            prop_assert!(f >= r);
+        }
+    }
+
+    #[test]
+    fn guided_partitions_cover_exactly(iters in 1u64..20_000, threads in 1usize..16) {
+        let ready = vec![0.0; threads];
+        let res = simulate_dynamic(
+            iters,
+            Schedule::Guided,
+            &ready,
+            |_, b, e| (e - b) as f64 * 1e-6,
+            0.0,
+        );
+        prop_assert!(res.partition.validate(iters).is_ok());
+    }
+}

@@ -1,0 +1,105 @@
+//! Profile export: flat CSV of the severity cube, for external plotting
+//! or spreadsheet analysis (the role cube_dump plays for Cube files).
+
+use crate::cube::Profile;
+use crate::metric::Metric;
+use std::fmt::Write;
+
+/// Serialise the non-zero exclusive severities as CSV with header
+/// `metric,callpath,rank,thread,value`.
+///
+/// Rows are sorted (metric index, call path id, location) so exports are
+/// byte-stable for identical profiles.
+pub fn to_csv(profile: &Profile) -> String {
+    let mut rows: Vec<(usize, u32, usize, f64)> = Vec::new();
+    for metric in Metric::ALL {
+        for path in profile.call_tree.iter() {
+            for loc in 0..profile.n_locations() {
+                let v = profile.get(metric, path, loc);
+                if v != 0.0 {
+                    rows.push((metric.index(), path.0, loc, v));
+                }
+            }
+        }
+    }
+    rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut out = String::from("metric,callpath,rank,thread,value\n");
+    for (m, c, l, v) in rows {
+        let loc = &profile.locations[l];
+        let _ = writeln!(
+            out,
+            "{},\"{}\",{},{},{}",
+            Metric::ALL[m].name(),
+            profile.path_string(crate::CallPathId(c)),
+            loc.rank,
+            loc.thread,
+            v
+        );
+    }
+    out
+}
+
+/// Serialise the `(metric, call path) → %_T` mapping (the Jaccard
+/// input) as CSV with header `metric,callpath,pct_t`.
+pub fn map_mc_csv(profile: &Profile) -> String {
+    let mut rows: Vec<(String, String, f64)> = profile
+        .map_mc()
+        .into_iter()
+        .map(|((m, c), v)| (m.name().to_owned(), profile.path_string(c), v))
+        .collect();
+    rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut out = String::from("metric,callpath,pct_t\n");
+    for (m, c, v) in rows {
+        let _ = writeln!(out, "{m},\"{c}\",{v:.6}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calltree::CallTree;
+    use nrlt_trace::{LocationDef, RegionDef, RegionRef, RegionRole};
+
+    fn profile() -> Profile {
+        let regions = vec![
+            RegionDef { name: "main".into(), role: RegionRole::Function },
+            RegionDef { name: "kern".into(), role: RegionRole::Function },
+        ];
+        let mut ct = CallTree::new();
+        let root = ct.intern(None, RegionRef(0));
+        let k = ct.intern(Some(root), RegionRef(1));
+        let locations = vec![
+            LocationDef { rank: 0, thread: 0, core: 0 },
+            LocationDef { rank: 0, thread: 1, core: 1 },
+        ];
+        let mut p = Profile::new("tsc".into(), regions, ct, locations);
+        p.add(Metric::Comp, k, 0, 42.0);
+        p.add(Metric::Comp, k, 1, 13.0);
+        p.add(Metric::WaitNxN, root, 0, 5.0);
+        p
+    }
+
+    #[test]
+    fn csv_has_all_nonzero_cells() {
+        let csv = to_csv(&profile());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "metric,callpath,rank,thread,value");
+        assert_eq!(lines.len(), 1 + 3);
+        assert!(csv.contains("comp,\"main/kern\",0,0,42"), "{csv}");
+        assert!(csv.contains("wait_nxn,\"main\",0,0,5"), "{csv}");
+    }
+
+    #[test]
+    fn csv_is_byte_stable() {
+        assert_eq!(to_csv(&profile()), to_csv(&profile()));
+        assert_eq!(map_mc_csv(&profile()), map_mc_csv(&profile()));
+    }
+
+    #[test]
+    fn map_mc_csv_normalises() {
+        let csv = map_mc_csv(&profile());
+        // comp cell: 55/60 of total.
+        assert!(csv.contains("comp,\"main/kern\",91.666667"), "{csv}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Generalized Jaccard similarity (Section V-B).
+//!
+//! Costa's generalization of the Jaccard index to non-negative functions:
+//! `J(A, B) = Σ min(A(x), B(x)) / Σ max(A(x), B(x))`. The paper uses it
+//! to quantify how similar two profiles are — either a logical
+//! measurement against `tsc`, or repetitions of the same measurement
+//! against each other (run-to-run stability).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Generalized Jaccard score of two non-negative mappings. Missing keys
+/// count as zero. Two empty (or all-zero) mappings score 1.
+pub fn jaccard<K: Eq + Hash + Clone>(a: &HashMap<K, f64>, b: &HashMap<K, f64>) -> f64 {
+    let mut intersection = 0.0;
+    let mut union = 0.0;
+    for (k, &va) in a {
+        debug_assert!(va >= 0.0, "jaccard inputs must be non-negative");
+        let vb = b.get(k).copied().unwrap_or(0.0);
+        intersection += va.min(vb);
+        union += va.max(vb);
+    }
+    for (k, &vb) in b {
+        debug_assert!(vb >= 0.0, "jaccard inputs must be non-negative");
+        if !a.contains_key(k) {
+            union += vb;
+        }
+    }
+    if union == 0.0 {
+        1.0
+    } else {
+        intersection / union
+    }
+}
+
+/// Minimum pairwise Jaccard score over a set of mappings — the paper's
+/// run-to-run stability measure (lines/circles in Figs. 3 and 4).
+/// Returns 1 for fewer than two mappings.
+pub fn min_pairwise_jaccard<K: Eq + Hash + Clone>(maps: &[HashMap<K, f64>]) -> f64 {
+    let mut min = 1.0f64;
+    for i in 0..maps.len() {
+        for j in (i + 1)..maps.len() {
+            min = min.min(jaccard(&maps[i], &maps[j]));
+        }
+    }
+    min
+}
+
+/// Weighted mean absolute difference between two mappings (diagnostic
+/// complement to the Jaccard score).
+pub fn total_variation<K: Eq + Hash + Clone>(a: &HashMap<K, f64>, b: &HashMap<K, f64>) -> f64 {
+    let keys: HashSet<&K> = a.keys().chain(b.keys()).collect();
+    keys.into_iter()
+        .map(|k| {
+            (a.get(k).copied().unwrap_or(0.0) - b.get(k).copied().unwrap_or(0.0)).abs()
+        })
+        .sum::<f64>()
+        / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn identical_maps_score_one() {
+        let a = map(&[("x", 1.0), ("y", 2.0)]);
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_maps_score_zero() {
+        let a = map(&[("x", 1.0)]);
+        let b = map(&[("y", 1.0)]);
+        assert_eq!(jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_maps_score_one() {
+        let e: HashMap<String, f64> = HashMap::new();
+        assert_eq!(jaccard(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_scores_between() {
+        let a = map(&[("x", 2.0), ("y", 1.0)]);
+        let b = map(&[("x", 1.0), ("y", 2.0)]);
+        // min sum = 2, max sum = 4.
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = map(&[("x", 3.0), ("z", 0.5)]);
+        let b = map(&[("x", 1.0), ("y", 2.0)]);
+        assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+    }
+
+    #[test]
+    fn scale_invariance_of_identical_shapes() {
+        // Jaccard is NOT scale invariant in general, but doubling both
+        // maps together preserves the score.
+        let a = map(&[("x", 2.0), ("y", 1.0)]);
+        let b = map(&[("x", 1.0), ("y", 2.0)]);
+        let a2 = map(&[("x", 4.0), ("y", 2.0)]);
+        let b2 = map(&[("x", 2.0), ("y", 4.0)]);
+        assert!((jaccard(&a, &b) - jaccard(&a2, &b2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_pairwise_of_repetitions() {
+        let a = map(&[("x", 1.0)]);
+        let b = map(&[("x", 1.0)]);
+        let c = map(&[("x", 2.0)]);
+        assert_eq!(min_pairwise_jaccard(&[a.clone(), b.clone()]), 1.0);
+        let m = min_pairwise_jaccard(&[a, b, c]);
+        assert!((m - 0.5).abs() < 1e-12);
+        let empty: Vec<HashMap<String, f64>> = vec![];
+        assert_eq!(min_pairwise_jaccard(&empty), 1.0);
+    }
+
+    #[test]
+    fn total_variation_basic() {
+        let a = map(&[("x", 60.0), ("y", 40.0)]);
+        let b = map(&[("x", 40.0), ("y", 60.0)]);
+        assert!((total_variation(&a, &b) - 20.0).abs() < 1e-12);
+        assert_eq!(total_variation(&a, &a), 0.0);
+    }
+}

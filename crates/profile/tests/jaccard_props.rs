@@ -1,0 +1,67 @@
+//! Property tests for the generalized Jaccard score: bounds, symmetry,
+//! identity, monotonicity under perturbation.
+
+use nrlt_profile::{jaccard, min_pairwise_jaccard, total_variation};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn map_strategy() -> impl Strategy<Value = HashMap<u32, f64>> {
+    proptest::collection::hash_map(0u32..40, 0.0f64..100.0, 0..30)
+}
+
+proptest! {
+    #[test]
+    fn jaccard_is_bounded_and_symmetric(a in map_strategy(), b in map_strategy()) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j), "out of bounds: {j}");
+        let j2 = jaccard(&b, &a);
+        prop_assert!((j - j2).abs() < 1e-12, "asymmetric: {j} vs {j2}");
+    }
+
+    #[test]
+    fn jaccard_identity(a in map_strategy()) {
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaccard_scale_consistency(a in map_strategy(), b in map_strategy(), s in 0.1f64..10.0) {
+        // Scaling both maps together preserves the score.
+        let scale = |m: &HashMap<u32, f64>| -> HashMap<u32, f64> {
+            m.iter().map(|(&k, &v)| (k, v * s)).collect()
+        };
+        let j1 = jaccard(&a, &b);
+        let j2 = jaccard(&scale(&a), &scale(&b));
+        prop_assert!((j1 - j2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbation_lowers_the_score(a in map_strategy(), key in 0u32..40, bump in 1.0f64..100.0) {
+        // Adding mass to one side can only keep or lower the score…
+        let mut b = a.clone();
+        *b.entry(key).or_insert(0.0) += bump;
+        let j = jaccard(&a, &b);
+        prop_assert!(j <= 1.0 + 1e-12);
+        // …and strictly lowers it when `a` has any mass at all.
+        if a.values().any(|&v| v > 0.0) {
+            prop_assert!(j < 1.0);
+        }
+    }
+
+    #[test]
+    fn min_pairwise_is_a_lower_bound(maps in proptest::collection::vec(map_strategy(), 2..5)) {
+        let min = min_pairwise_jaccard(&maps);
+        for i in 0..maps.len() {
+            for j in (i + 1)..maps.len() {
+                prop_assert!(jaccard(&maps[i], &maps[j]) >= min - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn total_variation_is_a_metric_ish(a in map_strategy(), b in map_strategy()) {
+        let tv = total_variation(&a, &b);
+        prop_assert!(tv >= 0.0);
+        prop_assert!((total_variation(&a, &a)).abs() < 1e-12);
+        prop_assert!((tv - total_variation(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,413 @@
+//! Fluent builders for assembling rank programs.
+//!
+//! Mini-app skeletons use these builders to express their structure the
+//! way the original sources read: enter a function, run kernels and
+//! parallel loops, exchange halos, leave. Region names are interned once
+//! and shared across ranks.
+
+use crate::action::{
+    Action, CallBurst, Kernel, MpiOp, OmpAction, OmpFor, ParallelRegion, PhaseId, Schedule,
+};
+use crate::cost::{Cost, IterCost};
+use crate::program::Program;
+use crate::region::{RegionId, RegionKind, RegionTable};
+use std::collections::HashMap;
+
+/// Builder for a whole multi-rank [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    regions: RegionTable,
+    phases: Vec<String>,
+    phase_by_name: HashMap<String, PhaseId>,
+    ranks: Vec<Vec<Action>>,
+}
+
+impl ProgramBuilder {
+    /// Start a program with `n_ranks` empty rank lists.
+    pub fn new(n_ranks: u32) -> Self {
+        ProgramBuilder {
+            regions: RegionTable::new(),
+            phases: Vec::new(),
+            phase_by_name: HashMap::new(),
+            ranks: vec![Vec::new(); n_ranks as usize],
+        }
+    }
+
+    /// Intern a user region up front (optional; builders intern lazily).
+    pub fn user_region(&mut self, name: &str) -> RegionId {
+        self.regions.intern(name, RegionKind::User)
+    }
+
+    /// Get the builder for one rank's action list.
+    pub fn rank(&mut self, rank: u32) -> RankBuilder<'_> {
+        assert!((rank as usize) < self.ranks.len(), "rank {rank} out of range");
+        RankBuilder { pb: self, rank }
+    }
+
+    /// Finish and return the program. Call [`Program::validate`] before
+    /// handing the result to the engine.
+    pub fn finish(self) -> Program {
+        Program { regions: self.regions, phases: self.phases, ranks: self.ranks }
+    }
+}
+
+/// Builder for one rank's action list.
+#[derive(Debug)]
+pub struct RankBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    rank: u32,
+}
+
+impl<'a> RankBuilder<'a> {
+    fn push(&mut self, action: Action) {
+        self.pb.ranks[self.rank as usize].push(action);
+    }
+
+    /// This builder's rank.
+    pub fn rank_id(&self) -> u32 {
+        self.rank
+    }
+
+    /// Intern (or look up) a stopwatch phase by name.
+    pub fn phase(&mut self, name: &str) -> PhaseId {
+        if let Some(&id) = self.pb.phase_by_name.get(name) {
+            return id;
+        }
+        let id = PhaseId(self.pb.phases.len() as u32);
+        self.pb.phases.push(name.to_owned());
+        self.pb.phase_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Start the named stopwatch.
+    pub fn phase_start(&mut self, phase: PhaseId) {
+        self.push(Action::PhaseStart(phase));
+    }
+
+    /// Stop the named stopwatch.
+    pub fn phase_end(&mut self, phase: PhaseId) {
+        self.push(Action::PhaseEnd(phase));
+    }
+
+    /// Enter a user function region.
+    pub fn enter(&mut self, name: &str) -> RegionId {
+        let id = self.pb.regions.intern(name, RegionKind::User);
+        self.push(Action::Enter(id));
+        id
+    }
+
+    /// Leave the innermost open region. The builder tracks the stack so
+    /// the matching id is recorded for validation.
+    pub fn leave(&mut self) {
+        // Reconstruct the innermost open region from the recorded actions.
+        let mut depth = 0;
+        let actions = &self.pb.ranks[self.rank as usize];
+        let mut open = None;
+        for a in actions.iter().rev() {
+            match a {
+                Action::Leave(_) => depth += 1,
+                Action::Enter(r) => {
+                    if depth == 0 {
+                        open = Some(*r);
+                        break;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        let r = open.expect("leave() without an open region");
+        self.push(Action::Leave(r));
+    }
+
+    /// Enter `name`, run `body`, leave.
+    pub fn scoped(&mut self, name: &str, body: impl FnOnce(&mut RankBuilder<'_>)) {
+        self.enter(name);
+        body(self);
+        self.leave();
+    }
+
+    /// Serial kernel on the master thread.
+    pub fn kernel(&mut self, cost: Cost, working_set: u64) {
+        self.push(Action::Kernel(Kernel::new(cost, working_set)));
+    }
+
+    /// Serial kernel whose work happens in `calls` calls to `callee`.
+    pub fn kernel_burst(&mut self, callee: &str, calls: u64, cost: Cost, working_set: u64) {
+        let callee = self.pb.regions.intern(callee, RegionKind::User);
+        self.push(Action::Kernel(Kernel {
+            cost,
+            working_set,
+            burst: Some(CallBurst { callee, calls }),
+        }));
+    }
+
+    /// OpenMP parallel region; `body` populates its constructs.
+    pub fn parallel(&mut self, name: &str, body: impl FnOnce(&mut OmpBuilder<'_>)) {
+        let region = self
+            .pb
+            .regions
+            .intern(&format!("!$omp parallel @{name}"), RegionKind::OmpParallel);
+        let mut omp = OmpBuilder { regions: &mut self.pb.regions, name: name.to_owned(), body: Vec::new() };
+        body(&mut omp);
+        let body = omp.body;
+        self.push(Action::Parallel(ParallelRegion { region, body }));
+    }
+
+    /// Blocking send.
+    pub fn send(&mut self, dest: u32, tag: u32, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::Send { dest, tag, bytes }));
+    }
+
+    /// Blocking receive.
+    pub fn recv(&mut self, src: u32, tag: u32, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::Recv { src, tag, bytes }));
+    }
+
+    /// Blocking wildcard receive (`MPI_ANY_SOURCE`).
+    pub fn recv_any(&mut self, tag: u32, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::RecvAny { tag, bytes }));
+    }
+
+    /// Non-blocking send.
+    pub fn isend(&mut self, dest: u32, tag: u32, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::Isend { dest, tag, bytes }));
+    }
+
+    /// Non-blocking receive.
+    pub fn irecv(&mut self, src: u32, tag: u32, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::Irecv { src, tag, bytes }));
+    }
+
+    /// Non-blocking allreduce (completes in [`RankBuilder::waitall`]).
+    pub fn iallreduce(&mut self, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::Iallreduce { bytes }));
+    }
+
+    /// Non-blocking barrier (completes in [`RankBuilder::waitall`]).
+    pub fn ibarrier(&mut self) {
+        self.push(Action::Mpi(MpiOp::Ibarrier));
+    }
+
+    /// Complete all pending non-blocking operations.
+    pub fn waitall(&mut self) {
+        self.push(Action::Mpi(MpiOp::Waitall));
+    }
+
+    /// World barrier.
+    pub fn mpi_barrier(&mut self) {
+        self.push(Action::Mpi(MpiOp::Barrier));
+    }
+
+    /// Allreduce of `bytes` per rank.
+    pub fn allreduce(&mut self, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::Allreduce { bytes }));
+    }
+
+    /// All-to-all of `bytes` per peer.
+    pub fn alltoall(&mut self, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::Alltoall { bytes }));
+    }
+
+    /// Allgather of `bytes` per rank.
+    pub fn allgather(&mut self, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::Allgather { bytes }));
+    }
+
+    /// Broadcast from `root`.
+    pub fn bcast(&mut self, root: u32, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::Bcast { root, bytes }));
+    }
+
+    /// Reduce to `root`.
+    pub fn reduce(&mut self, root: u32, bytes: u64) {
+        self.push(Action::Mpi(MpiOp::Reduce { root, bytes }));
+    }
+}
+
+/// Builder for the body of one parallel region.
+#[derive(Debug)]
+pub struct OmpBuilder<'a> {
+    regions: &'a mut RegionTable,
+    name: String,
+    body: Vec<OmpAction>,
+}
+
+impl<'a> OmpBuilder<'a> {
+    /// Worksharing loop with implicit barrier.
+    pub fn for_loop(
+        &mut self,
+        loop_name: &str,
+        iters: u64,
+        schedule: Schedule,
+        iter_cost: IterCost,
+        working_set: u64,
+    ) {
+        self.push_for(loop_name, iters, schedule, iter_cost, working_set, false);
+    }
+
+    /// Worksharing loop with `nowait`.
+    pub fn for_loop_nowait(
+        &mut self,
+        loop_name: &str,
+        iters: u64,
+        schedule: Schedule,
+        iter_cost: IterCost,
+        working_set: u64,
+    ) {
+        self.push_for(loop_name, iters, schedule, iter_cost, working_set, true);
+    }
+
+    fn push_for(
+        &mut self,
+        loop_name: &str,
+        iters: u64,
+        schedule: Schedule,
+        iter_cost: IterCost,
+        working_set: u64,
+        nowait: bool,
+    ) {
+        let region = self
+            .regions
+            .intern(&format!("!$omp for @{loop_name}"), RegionKind::OmpLoop);
+        self.body.push(OmpAction::For(OmpFor {
+            region,
+            iters,
+            schedule,
+            iter_cost,
+            working_set,
+            nowait,
+        }));
+    }
+
+    /// Explicit barrier.
+    pub fn barrier(&mut self) {
+        let region = self
+            .regions
+            .intern(&format!("!$omp barrier @{}", self.name), RegionKind::OmpBarrier);
+        self.body.push(OmpAction::Barrier(region));
+    }
+
+    /// `single` construct with implicit barrier.
+    pub fn single(&mut self, name: &str, cost: Cost, working_set: u64) {
+        let region = self
+            .regions
+            .intern(&format!("!$omp single @{name}"), RegionKind::OmpSingle);
+        self.body.push(OmpAction::Single {
+            region,
+            kernel: Kernel::new(cost, working_set),
+            nowait: false,
+        });
+    }
+
+    /// `master` construct (no barrier).
+    pub fn master(&mut self, name: &str, cost: Cost, working_set: u64) {
+        let region = self
+            .regions
+            .intern(&format!("!$omp master @{name}"), RegionKind::OmpMaster);
+        self.body
+            .push(OmpAction::Master { region, kernel: Kernel::new(cost, working_set) });
+    }
+
+    /// `critical` section entered once per thread.
+    pub fn critical(&mut self, name: &str, cost: Cost) {
+        let region = self
+            .regions
+            .intern(&format!("!$omp critical @{name}"), RegionKind::OmpCritical);
+        self.body.push(OmpAction::Critical { region, cost });
+    }
+
+    /// SPMD block executed by every thread.
+    pub fn replicated(&mut self, cost: Cost, working_set: u64) {
+        self.body.push(OmpAction::Replicated(Kernel::new(cost, working_set)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_actions() {
+        let mut pb = ProgramBuilder::new(1);
+        {
+            let mut rb = pb.rank(0);
+            rb.scoped("main", |rb| {
+                rb.kernel(Cost::scalar(100), 64);
+                rb.parallel("work", |omp| {
+                    omp.for_loop("loop", 1000, Schedule::Static, IterCost::Uniform(Cost::scalar(5)), 0);
+                    omp.barrier();
+                    omp.master("io", Cost::scalar(50), 0);
+                });
+                rb.allreduce(8);
+            });
+        }
+        let p = pb.finish();
+        assert!(p.validate().is_ok());
+        let a = &p.ranks[0];
+        assert!(matches!(a[0], Action::Enter(_)));
+        assert!(matches!(a[1], Action::Kernel(_)));
+        match &a[2] {
+            Action::Parallel(pr) => {
+                assert_eq!(pr.body.len(), 3);
+                assert!(matches!(pr.body[0], OmpAction::For(_)));
+                assert!(matches!(pr.body[1], OmpAction::Barrier(_)));
+                assert!(matches!(pr.body[2], OmpAction::Master { .. }));
+            }
+            other => panic!("expected parallel, got {other:?}"),
+        }
+        assert!(matches!(a[3], Action::Mpi(MpiOp::Allreduce { bytes: 8 })));
+        assert!(matches!(a[4], Action::Leave(_)));
+    }
+
+    #[test]
+    fn nested_scoped_leaves_match() {
+        let mut pb = ProgramBuilder::new(1);
+        {
+            let mut rb = pb.rank(0);
+            rb.scoped("outer", |rb| {
+                rb.scoped("inner", |rb| {
+                    rb.kernel(Cost::scalar(1), 0);
+                });
+            });
+        }
+        let p = pb.finish();
+        assert!(p.validate().is_ok());
+        // Leave records carry the matching ids.
+        let outer = p.regions.find("outer").unwrap();
+        let inner = p.regions.find("inner").unwrap();
+        let a = &p.ranks[0];
+        assert_eq!(a[0], Action::Enter(outer));
+        assert_eq!(a[1], Action::Enter(inner));
+        assert!(matches!(a[3], Action::Leave(r) if r == inner));
+        assert!(matches!(a[4], Action::Leave(r) if r == outer));
+    }
+
+    #[test]
+    fn phases_are_interned_once() {
+        let mut pb = ProgramBuilder::new(2);
+        let p0 = pb.rank(0).phase("solve");
+        let p1 = pb.rank(1).phase("solve");
+        assert_eq!(p0, p1);
+        let prog = pb.finish();
+        assert_eq!(prog.phases, vec!["solve".to_owned()]);
+    }
+
+    #[test]
+    fn omp_regions_get_opari_style_names() {
+        let mut pb = ProgramBuilder::new(1);
+        pb.rank(0).parallel("cg", |omp| {
+            omp.for_loop("matvec", 10, Schedule::Static, IterCost::Uniform(Cost::scalar(1)), 0);
+        });
+        let p = pb.finish();
+        assert!(p.regions.find("!$omp parallel @cg").is_some());
+        assert!(p.regions.find("!$omp for @matvec").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "without an open region")]
+    fn leave_without_enter_panics() {
+        let mut pb = ProgramBuilder::new(1);
+        pb.rank(0).leave();
+    }
+}

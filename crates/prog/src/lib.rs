@@ -1,0 +1,29 @@
+//! # nrlt-prog — program intermediate representation
+//!
+//! Mini-apps are expressed as per-rank action lists over an IR of user
+//! regions, compute kernels with static cost vectors, OpenMP constructs
+//! and MPI operations. The IR plays the role of the *instrumented
+//! application* in the paper: compiler instrumentation knows each code
+//! block's LLVM basic-block and statement counts, Opari2 knows the OpenMP
+//! construct boundaries, and PMPI knows the MPI calls — here all three
+//! kinds of knowledge are attached to the IR directly.
+//!
+//! Control flow is unrolled when a skeleton is built. This is faithful to
+//! the paper's benchmarks, whose iteration counts do not depend on
+//! received data (no wildcard receives, deterministic traces).
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod builder;
+pub mod cost;
+pub mod program;
+pub mod region;
+
+pub use action::{
+    Action, CallBurst, Kernel, MpiOp, OmpAction, OmpFor, ParallelRegion, PhaseId, Schedule,
+};
+pub use builder::{OmpBuilder, ProgramBuilder, RankBuilder};
+pub use cost::{Cost, IterCost};
+pub use program::{Program, ValidationError};
+pub use region::{Region, RegionId, RegionKind, RegionTable};

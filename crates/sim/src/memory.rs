@@ -1,0 +1,159 @@
+//! Memory-hierarchy cost model: cache fit and bandwidth contention.
+//!
+//! A compute kernel's duration has a CPU part (instructions retired at the
+//! core's sustained IPC) and a memory part (bytes moved at the effective
+//! bandwidth available to the thread). Two effects the paper relies on are
+//! captured here:
+//!
+//! * **Bandwidth contention** — threads pinned to the same NUMA domain
+//!   share its DRAM bandwidth. MiniFE-2's CG slowdown and LULESH-2's
+//!   uneven-occupancy late senders come from this sharing.
+//! * **Cache fit** — bytes served from L3 cost far less than DRAM bytes.
+//!   TeaLeaf's working set fits the node's L3 until the measurement
+//!   system's buffers evict it, which is how instrumentation skews the
+//!   physical-clock analysis in the paper (Section V-C5).
+
+use crate::topology::NodeSpec;
+
+/// Fraction of a kernel's traffic that must go to DRAM given how much of
+/// the socket's L3 the resident working set (plus any measurement
+/// footprint) exceeds.
+///
+/// * `working_set` — bytes of application data resident on the socket.
+/// * `footprint` — extra bytes competing for the same cache (e.g. trace
+///   buffers of the measurement system).
+/// * `l3` — socket L3 capacity in bytes.
+///
+/// Returns a value in `[floor, 1]`; even a fully cache-resident kernel
+/// pays `floor` of its traffic to DRAM for cold misses and write-backs.
+pub fn dram_fraction(working_set: u64, footprint: u64, l3: u64) -> f64 {
+    const FLOOR: f64 = 0.05;
+    let total = working_set.saturating_add(footprint);
+    if total == 0 {
+        return FLOOR;
+    }
+    let overflow = total.saturating_sub(l3);
+    let frac = overflow as f64 / total as f64;
+    frac.clamp(FLOOR, 1.0)
+}
+
+/// Effective per-thread DRAM bandwidth when `active_threads` threads on the
+/// same NUMA domain stream memory concurrently.
+///
+/// Bandwidth scales sub-linearly with thread count up to a saturation
+/// point: a single EPYC core cannot saturate its domain, so the first few
+/// threads add throughput, after which everyone shares a fixed pie.
+/// `overlap` ∈ [0, 1] models how synchronised the threads' memory phases
+/// are: fully synchronised threads (1.0) contend maximally, desynchronised
+/// threads (toward 0.0) interleave their bursts and see less contention —
+/// the Afzal et al. effect responsible for the paper's *negative*
+/// instrumentation overheads in MiniFE.
+pub fn shared_bandwidth(domain_bw: f64, active_threads: u32, overlap: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&overlap));
+    if active_threads <= 1 {
+        // One thread achieves roughly 40% of the domain's bandwidth.
+        return domain_bw * SINGLE_THREAD_FRACTION;
+    }
+    // Unshared demand: each thread would like the single-thread bandwidth.
+    let demand = active_threads as f64 * SINGLE_THREAD_FRACTION * domain_bw;
+    // Effective contention pool grows when threads are desynchronised:
+    // with overlap < 1 a thread's bursts partially fit into others' gaps.
+    let effective_capacity = domain_bw * (1.0 + DESYNC_GAIN * (1.0 - overlap));
+    if demand <= effective_capacity {
+        domain_bw * SINGLE_THREAD_FRACTION
+    } else {
+        effective_capacity / active_threads as f64
+    }
+}
+
+/// Fraction of the domain bandwidth one lone thread can draw.
+pub const SINGLE_THREAD_FRACTION: f64 = 0.4;
+/// How much extra effective capacity full desynchronisation buys.
+pub const DESYNC_GAIN: f64 = 0.55;
+
+/// Time in seconds to move `bytes` with a DRAM fraction `dram_frac`,
+/// per-thread DRAM bandwidth `dram_bw` and per-thread cache bandwidth
+/// `cache_bw`.
+pub fn memory_time(bytes: u64, dram_frac: f64, dram_bw: f64, cache_bw: f64) -> f64 {
+    debug_assert!(dram_bw > 0.0 && cache_bw > 0.0);
+    let b = bytes as f64;
+    b * dram_frac / dram_bw + b * (1.0 - dram_frac) / cache_bw
+}
+
+/// Convenience: per-thread share of the socket's L3 bandwidth.
+pub fn cache_bandwidth_share(spec: &NodeSpec, active_threads_on_socket: u32) -> f64 {
+    spec.l3_bandwidth / active_threads_on_socket.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_fraction_bounds() {
+        let l3 = 256 * 1024 * 1024;
+        // Fits entirely: floor.
+        assert_eq!(dram_fraction(l3 / 2, 0, l3), 0.05);
+        // Vastly exceeds: near 1.
+        assert!(dram_fraction(100 * l3, 0, l3) > 0.98);
+        // Empty working set: floor.
+        assert_eq!(dram_fraction(0, 0, l3), 0.05);
+    }
+
+    #[test]
+    fn footprint_pushes_out_of_cache() {
+        let l3 = 100u64;
+        let no_fp = dram_fraction(90, 0, l3);
+        let with_fp = dram_fraction(90, 40, l3);
+        assert!(with_fp > no_fp, "measurement footprint must increase misses");
+    }
+
+    #[test]
+    fn dram_fraction_monotone_in_working_set() {
+        let l3 = 1000u64;
+        let mut prev = 0.0;
+        for ws in (0..5000).step_by(100) {
+            let f = dram_fraction(ws, 0, l3);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn single_thread_gets_fixed_share() {
+        let bw = shared_bandwidth(48e9, 1, 1.0);
+        assert!((bw - 0.4 * 48e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn contention_reduces_share() {
+        let one = shared_bandwidth(48e9, 1, 1.0);
+        let sixteen = shared_bandwidth(48e9, 16, 1.0);
+        assert!(sixteen < one / 4.0, "16 threads must see heavy contention");
+        // Aggregate throughput still exceeds single-thread throughput.
+        assert!(16.0 * sixteen > one);
+    }
+
+    #[test]
+    fn desync_increases_share_under_contention() {
+        let synced = shared_bandwidth(48e9, 16, 1.0);
+        let desynced = shared_bandwidth(48e9, 16, 0.0);
+        assert!(desynced > synced);
+        // But not when there is no contention to relieve.
+        assert_eq!(shared_bandwidth(48e9, 1, 0.0), shared_bandwidth(48e9, 1, 1.0));
+    }
+
+    #[test]
+    fn memory_time_prefers_cache() {
+        let cached = memory_time(1 << 30, 0.05, 20e9, 900e9);
+        let dram = memory_time(1 << 30, 1.0, 20e9, 900e9);
+        assert!(cached < dram / 5.0);
+    }
+
+    #[test]
+    fn memory_time_linear_in_bytes() {
+        let t1 = memory_time(1000, 0.5, 1e9, 1e10);
+        let t2 = memory_time(2000, 0.5, 1e9, 1e10);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,270 @@
+//! Noise models.
+//!
+//! Following the classification of Ates et al. (HPAS), the simulator
+//! injects noise at three points:
+//!
+//! * **CPU/OS noise** — operating-system detours that steal a core for a
+//!   short while (Petrini et al.'s classic missing-performance effect).
+//!   Modelled as Poisson-arriving interruptions of exponential-ish length
+//!   during any computation interval.
+//! * **Memory noise** — run-to-run variability of effective bandwidth and
+//!   cache behaviour, modelled as multiplicative jitter on the memory part
+//!   of a kernel's execution time.
+//! * **Network noise** — variability of message latency and achievable
+//!   bandwidth in the shared interconnect (cf. Beni et al.), modelled as
+//!   multiplicative jitter per message or collective.
+//!
+//! All draws come from [`RngFactory`] streams keyed by core or message
+//! identity, so the noise a location experiences does not depend on the
+//! order the engine processes events in. Setting [`NoiseConfig::silent`]
+//! reproduces an idealised noise-free machine — useful in tests to verify
+//! that logical and physical measurements coincide structurally.
+
+use crate::rng::{jitter_factor, RngFactory, StreamKind};
+
+/// Tunable noise intensities. All default values are calibrated so that
+/// uninstrumented run-to-run variation stays in the low single-digit
+/// percent range, matching what the paper reports for its benchmarks
+/// (e.g. "below 1 % run-to-run variation" for LULESH).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseConfig {
+    /// Log-scale sigma of multiplicative jitter on the CPU part of kernels.
+    pub cpu_sigma: f64,
+    /// Log-scale sigma of multiplicative jitter on the memory part.
+    pub mem_sigma: f64,
+    /// Mean rate of OS detours per core, in events per second.
+    pub detour_rate: f64,
+    /// Mean duration of one OS detour, in seconds.
+    pub detour_mean: f64,
+    /// Log-scale sigma of multiplicative jitter on message transfer times.
+    pub net_sigma: f64,
+    /// Log-scale sigma of a *persistent* per-core memory-speed bias,
+    /// drawn once per repetition: page-placement and NUMA-distance luck
+    /// makes some threads systematically slower at memory than others —
+    /// the "timing variations of memory accesses" behind the paper's
+    /// barrier waits in balanced loops (LULESH, Section V-C3).
+    pub mem_bias_sigma: f64,
+}
+
+impl NoiseConfig {
+    /// A quiet but realistic production machine.
+    pub fn realistic() -> Self {
+        NoiseConfig {
+            cpu_sigma: 0.004,
+            mem_sigma: 0.08,
+            detour_rate: 25.0,
+            detour_mean: 12.0e-6,
+            net_sigma: 0.10,
+            mem_bias_sigma: 0.05,
+        }
+    }
+
+    /// A perfectly noise-free machine.
+    pub fn silent() -> Self {
+        NoiseConfig {
+            cpu_sigma: 0.0,
+            mem_sigma: 0.0,
+            detour_rate: 0.0,
+            detour_mean: 0.0,
+            net_sigma: 0.0,
+            mem_bias_sigma: 0.0,
+        }
+    }
+
+    /// Scale every intensity by `factor` (for noise-sweep studies).
+    pub fn scaled(&self, factor: f64) -> Self {
+        NoiseConfig {
+            cpu_sigma: self.cpu_sigma * factor,
+            mem_sigma: self.mem_sigma * factor,
+            detour_rate: self.detour_rate * factor,
+            detour_mean: self.detour_mean,
+            net_sigma: self.net_sigma * factor,
+            mem_bias_sigma: self.mem_bias_sigma * factor,
+        }
+    }
+
+    /// True if every channel is switched off.
+    pub fn is_silent(&self) -> bool {
+        self.cpu_sigma == 0.0
+            && self.mem_sigma == 0.0
+            && (self.detour_rate == 0.0 || self.detour_mean == 0.0)
+            && self.net_sigma == 0.0
+            && self.mem_bias_sigma == 0.0
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig::realistic()
+    }
+}
+
+/// Stateless sampler bound to one experiment repetition.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    config: NoiseConfig,
+    rng: RngFactory,
+}
+
+impl NoiseModel {
+    /// Bind `config` to the RNG streams of one repetition.
+    pub fn new(config: NoiseConfig, rng: RngFactory) -> Self {
+        NoiseModel { config, rng }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Multiplicative factor on the CPU part of the `instance`-th kernel
+    /// on `core`.
+    pub fn cpu_factor(&self, core: u64, instance: u64) -> f64 {
+        if self.config.cpu_sigma == 0.0 {
+            return 1.0;
+        }
+        let mut rng = self.rng.stream(StreamKind::KernelJitter, core, instance);
+        jitter_factor(&mut rng, self.config.cpu_sigma)
+    }
+
+    /// Multiplicative factor on the memory part of the `instance`-th
+    /// kernel on `core`.
+    pub fn mem_factor(&self, core: u64, instance: u64) -> f64 {
+        if self.config.mem_sigma == 0.0 {
+            return 1.0;
+        }
+        let mut rng = self.rng.stream(StreamKind::KernelJitter, core, instance.wrapping_add(1 << 32));
+        jitter_factor(&mut rng, self.config.mem_sigma)
+    }
+
+    /// Extra time stolen by OS detours from a computation of length
+    /// `span_secs` on `core`, in seconds.
+    ///
+    /// The number of detours is drawn from a Poisson distribution with
+    /// mean `detour_rate × span`, each detour contributing an exponential
+    /// duration with the configured mean.
+    pub fn detour_time(&self, core: u64, instance: u64, span_secs: f64) -> f64 {
+        if self.config.detour_rate == 0.0 || self.config.detour_mean == 0.0 || span_secs <= 0.0 {
+            return 0.0;
+        }
+        use rand::Rng;
+        let mut rng = self.rng.stream(StreamKind::OsDetour, core, instance);
+        let mean_events = self.config.detour_rate * span_secs;
+        let n = poisson(&mut rng, mean_events);
+        let mut total = 0.0;
+        for _ in 0..n {
+            // Exponential via inverse transform.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            total += -self.config.detour_mean * u.ln();
+        }
+        total
+    }
+
+    /// Persistent memory-speed factor of `core` for this repetition.
+    pub fn mem_bias(&self, core: u64) -> f64 {
+        if self.config.mem_bias_sigma == 0.0 {
+            return 1.0;
+        }
+        let mut rng = self.rng.stream(StreamKind::MemBias, core, 0);
+        jitter_factor(&mut rng, self.config.mem_bias_sigma)
+    }
+
+    /// Multiplicative factor on the transfer time of message or collective
+    /// `msg_id`.
+    pub fn net_factor(&self, msg_id: u64) -> f64 {
+        if self.config.net_sigma == 0.0 {
+            return 1.0;
+        }
+        let mut rng = self.rng.stream(StreamKind::Network, msg_id, 0);
+        jitter_factor(&mut rng, self.config.net_sigma)
+    }
+}
+
+/// Poisson sampler (Knuth's method for small means, normal approximation
+/// for large means — detour counts per kernel are almost always small).
+fn poisson<R: rand::Rng>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 64.0 {
+        // Normal approximation with continuity correction.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        return (mean + z * mean.sqrt()).round().max(0.0) as u64;
+    }
+    let threshold = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= threshold {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(cfg: NoiseConfig) -> NoiseModel {
+        NoiseModel::new(cfg, RngFactory::new(7))
+    }
+
+    #[test]
+    fn silent_is_identity() {
+        let m = model(NoiseConfig::silent());
+        assert_eq!(m.cpu_factor(0, 0), 1.0);
+        assert_eq!(m.mem_factor(0, 0), 1.0);
+        assert_eq!(m.detour_time(0, 0, 1.0), 0.0);
+        assert_eq!(m.net_factor(0), 1.0);
+        assert!(NoiseConfig::silent().is_silent());
+        assert!(!NoiseConfig::realistic().is_silent());
+    }
+
+    #[test]
+    fn factors_are_deterministic_per_key() {
+        let m = model(NoiseConfig::realistic());
+        assert_eq!(m.cpu_factor(3, 9), m.cpu_factor(3, 9));
+        assert_eq!(m.net_factor(11), m.net_factor(11));
+        assert_ne!(m.cpu_factor(3, 9), m.cpu_factor(3, 10));
+    }
+
+    #[test]
+    fn detour_time_grows_with_span() {
+        let m = model(NoiseConfig { detour_rate: 1000.0, detour_mean: 1e-5, ..NoiseConfig::silent() });
+        let short: f64 = (0..200).map(|i| m.detour_time(0, i, 0.001)).sum();
+        let long: f64 = (0..200).map(|i| m.detour_time(0, i + 1000, 0.01)).sum();
+        assert!(long > short * 3.0, "long spans must collect more detours ({long} vs {short})");
+    }
+
+    #[test]
+    fn detour_time_nonnegative_and_zero_for_zero_span() {
+        let m = model(NoiseConfig::realistic());
+        assert_eq!(m.detour_time(0, 0, 0.0), 0.0);
+        for i in 0..100 {
+            assert!(m.detour_time(1, i, 0.005) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn scaled_zero_is_silent() {
+        assert!(NoiseConfig::realistic().scaled(0.0).is_silent());
+    }
+
+    #[test]
+    fn poisson_mean_roughly_matches() {
+        let f = RngFactory::new(3);
+        let mut rng = f.stream(StreamKind::OsDetour, 0, 0);
+        let n = 5000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 4.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "poisson mean {mean} too far from 4");
+        // Large-mean branch.
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 100.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 1.5, "poisson mean {mean} too far from 100");
+    }
+}

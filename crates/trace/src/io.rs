@@ -1,0 +1,402 @@
+//! Compact binary trace format.
+//!
+//! A self-contained, versioned encoding playing the role of OTF2:
+//! definitions first, then one delta-timestamped event stream per
+//! location. Integers use LEB128 varints; timestamps within a stream are
+//! delta-encoded because both physical and logical clocks are
+//! monotonically non-decreasing per location, which makes the deltas
+//! small.
+
+use crate::defs::{ClockKind, Definitions, LocationDef, RegionDef, RegionRef, RegionRole};
+use crate::event::{CollectiveOp, Event, EventKind};
+use crate::Trace;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes at the start of every trace file.
+pub const MAGIC: &[u8; 4] = b"NRLT";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// A decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input does not start with the magic bytes.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// Input ended in the middle of a record.
+    Truncated,
+    /// An enum byte had no defined meaning.
+    BadTag(u8),
+    /// A string was not valid UTF-8.
+    BadString,
+    /// Timestamps in a stream went backwards (corrupt delta).
+    NonMonotoneTime,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not an NRLT trace (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::Truncated => write!(f, "trace truncated"),
+            DecodeError::BadTag(t) => write!(f, "invalid tag byte {t:#x}"),
+            DecodeError::BadString => write!(f, "invalid UTF-8 in string"),
+            DecodeError::NonMonotoneTime => write!(f, "timestamps not monotone"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(DecodeError::BadTag(byte));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, DecodeError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadString)
+}
+
+// Event tag bytes.
+const TAG_ENTER: u8 = 1;
+const TAG_LEAVE: u8 = 2;
+const TAG_BURST: u8 = 3;
+const TAG_SEND_POST: u8 = 4;
+const TAG_RECV_POST: u8 = 5;
+const TAG_RECV_COMPLETE: u8 = 6;
+const TAG_COLLECTIVE_END: u8 = 7;
+
+/// Serialise a trace to bytes.
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(1024 + trace.total_events() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+
+    // Clock.
+    match &trace.defs.clock {
+        ClockKind::Physical => buf.put_u8(0),
+        ClockKind::Logical { model } => {
+            buf.put_u8(1);
+            put_string(&mut buf, model);
+        }
+    }
+
+    // Regions.
+    put_varint(&mut buf, trace.defs.regions.len() as u64);
+    for r in &trace.defs.regions {
+        put_string(&mut buf, &r.name);
+        buf.put_u8(r.role as u8);
+    }
+
+    // Locations.
+    put_varint(&mut buf, trace.defs.threads_per_rank as u64);
+    put_varint(&mut buf, trace.defs.locations.len() as u64);
+    for l in &trace.defs.locations {
+        put_varint(&mut buf, l.rank as u64);
+        put_varint(&mut buf, l.thread as u64);
+        put_varint(&mut buf, l.core as u64);
+    }
+
+    // Streams.
+    put_varint(&mut buf, trace.streams.len() as u64);
+    for stream in &trace.streams {
+        put_varint(&mut buf, stream.len() as u64);
+        let mut last = 0u64;
+        for ev in stream {
+            debug_assert!(ev.time >= last, "stream timestamps must be monotone");
+            put_varint(&mut buf, ev.time - last);
+            last = ev.time;
+            match ev.kind {
+                EventKind::Enter { region } => {
+                    buf.put_u8(TAG_ENTER);
+                    put_varint(&mut buf, region.0 as u64);
+                }
+                EventKind::Leave { region } => {
+                    buf.put_u8(TAG_LEAVE);
+                    put_varint(&mut buf, region.0 as u64);
+                }
+                EventKind::CallBurst { region, count, start } => {
+                    buf.put_u8(TAG_BURST);
+                    put_varint(&mut buf, region.0 as u64);
+                    put_varint(&mut buf, count);
+                    // start <= event time; store backwards delta.
+                    put_varint(&mut buf, ev.time - start);
+                }
+                EventKind::SendPost { peer, tag, bytes } => {
+                    buf.put_u8(TAG_SEND_POST);
+                    put_varint(&mut buf, peer as u64);
+                    put_varint(&mut buf, tag as u64);
+                    put_varint(&mut buf, bytes);
+                }
+                EventKind::RecvPost { peer, tag, bytes } => {
+                    buf.put_u8(TAG_RECV_POST);
+                    put_varint(&mut buf, peer as u64);
+                    put_varint(&mut buf, tag as u64);
+                    put_varint(&mut buf, bytes);
+                }
+                EventKind::RecvComplete { peer, tag, bytes } => {
+                    buf.put_u8(TAG_RECV_COMPLETE);
+                    put_varint(&mut buf, peer as u64);
+                    put_varint(&mut buf, tag as u64);
+                    put_varint(&mut buf, bytes);
+                }
+                EventKind::CollectiveEnd { op, bytes, root } => {
+                    buf.put_u8(TAG_COLLECTIVE_END);
+                    buf.put_u8(op as u8);
+                    put_varint(&mut buf, bytes);
+                    put_varint(&mut buf, root as u64);
+                }
+            }
+        }
+    }
+
+    buf.to_vec()
+}
+
+/// Deserialise a trace from bytes.
+pub fn decode(data: &[u8]) -> Result<Trace, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 6 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+
+    let clock = match require_u8(&mut buf)? {
+        0 => ClockKind::Physical,
+        1 => ClockKind::Logical { model: get_string(&mut buf)? },
+        t => return Err(DecodeError::BadTag(t)),
+    };
+
+    // Length fields come from untrusted input: never pre-allocate more
+    // than a sane bound, or a corrupted varint aborts the process.
+    const CAP: usize = 1 << 16;
+    let n_regions = get_varint(&mut buf)? as usize;
+    let mut regions = Vec::with_capacity(n_regions.min(CAP));
+    for _ in 0..n_regions {
+        let name = get_string(&mut buf)?;
+        let role_byte = require_u8(&mut buf)?;
+        let role = RegionRole::from_u8(role_byte).ok_or(DecodeError::BadTag(role_byte))?;
+        regions.push(RegionDef { name, role });
+    }
+
+    let threads_per_rank = get_varint(&mut buf)? as u32;
+    let n_locations = get_varint(&mut buf)? as usize;
+    let mut locations = Vec::with_capacity(n_locations.min(CAP));
+    for _ in 0..n_locations {
+        locations.push(LocationDef {
+            rank: get_varint(&mut buf)? as u32,
+            thread: get_varint(&mut buf)? as u32,
+            core: get_varint(&mut buf)? as u32,
+        });
+    }
+
+    let n_streams = get_varint(&mut buf)? as usize;
+    let mut streams = Vec::with_capacity(n_streams.min(CAP));
+    for _ in 0..n_streams {
+        let n_events = get_varint(&mut buf)? as usize;
+        let mut stream = Vec::with_capacity(n_events.min(CAP));
+        let mut last = 0u64;
+        for _ in 0..n_events {
+            let delta = get_varint(&mut buf)?;
+            let time = last.checked_add(delta).ok_or(DecodeError::NonMonotoneTime)?;
+            last = time;
+            let tag = require_u8(&mut buf)?;
+            let kind = match tag {
+                TAG_ENTER => EventKind::Enter { region: RegionRef(get_varint(&mut buf)? as u32) },
+                TAG_LEAVE => EventKind::Leave { region: RegionRef(get_varint(&mut buf)? as u32) },
+                TAG_BURST => {
+                    let region = RegionRef(get_varint(&mut buf)? as u32);
+                    let count = get_varint(&mut buf)?;
+                    let back = get_varint(&mut buf)?;
+                    let start = time.checked_sub(back).ok_or(DecodeError::NonMonotoneTime)?;
+                    EventKind::CallBurst { region, count, start }
+                }
+                TAG_SEND_POST => EventKind::SendPost {
+                    peer: get_varint(&mut buf)? as u32,
+                    tag: get_varint(&mut buf)? as u32,
+                    bytes: get_varint(&mut buf)?,
+                },
+                TAG_RECV_POST => EventKind::RecvPost {
+                    peer: get_varint(&mut buf)? as u32,
+                    tag: get_varint(&mut buf)? as u32,
+                    bytes: get_varint(&mut buf)?,
+                },
+                TAG_RECV_COMPLETE => EventKind::RecvComplete {
+                    peer: get_varint(&mut buf)? as u32,
+                    tag: get_varint(&mut buf)? as u32,
+                    bytes: get_varint(&mut buf)?,
+                },
+                TAG_COLLECTIVE_END => {
+                    let op_byte = require_u8(&mut buf)?;
+                    let op = CollectiveOp::from_u8(op_byte).ok_or(DecodeError::BadTag(op_byte))?;
+                    let bytes = get_varint(&mut buf)?;
+                    let root = get_varint(&mut buf)? as u32;
+                    EventKind::CollectiveEnd { op, bytes, root }
+                }
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            stream.push(Event { time, kind });
+        }
+        streams.push(stream);
+    }
+
+    Ok(Trace {
+        defs: Definitions { regions, locations, threads_per_rank, clock },
+        streams,
+    })
+}
+
+fn require_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defs::LocationDef;
+
+    fn sample_trace() -> Trace {
+        let defs = Definitions {
+            regions: vec![
+                RegionDef { name: "main".into(), role: RegionRole::Function },
+                RegionDef { name: "MPI_Allreduce".into(), role: RegionRole::MpiApi },
+            ],
+            locations: vec![
+                LocationDef { rank: 0, thread: 0, core: 0 },
+                LocationDef { rank: 1, thread: 0, core: 16 },
+            ],
+            threads_per_rank: 1,
+            clock: ClockKind::Logical { model: "lt_stmt".into() },
+        };
+        let r0 = RegionRef(0);
+        let r1 = RegionRef(1);
+        let s0 = vec![
+            Event::new(0, EventKind::Enter { region: r0 }),
+            Event::new(10, EventKind::CallBurst { region: r1, count: 42, start: 2 }),
+            Event::new(12, EventKind::Enter { region: r1 }),
+            Event::new(12, EventKind::SendPost { peer: 1, tag: 7, bytes: 4096 }),
+            Event::new(20, EventKind::CollectiveEnd {
+                op: CollectiveOp::Allreduce,
+                bytes: 8,
+                root: crate::event::NO_ROOT,
+            }),
+            Event::new(21, EventKind::Leave { region: r1 }),
+            Event::new(30, EventKind::Leave { region: r0 }),
+        ];
+        let s1 = vec![
+            Event::new(5, EventKind::Enter { region: r0 }),
+            Event::new(6, EventKind::RecvPost { peer: 0, tag: 7, bytes: 4096 }),
+            Event::new(15, EventKind::RecvComplete { peer: 0, tag: 7, bytes: 4096 }),
+            Event::new(33, EventKind::Leave { region: r0 }),
+        ];
+        Trace { defs, streams: vec![s0, s1] }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample_trace();
+        let bytes = encode(&t);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.defs, t.defs);
+        assert_eq!(back.streams, t.streams);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&sample_trace());
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode(&sample_trace());
+        bytes[5] = 99;
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode(&sample_trace());
+        for cut in [3, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        let mut buf = BytesMut::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut bytes = buf.freeze();
+        for &v in &values {
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace {
+            defs: Definitions {
+                regions: vec![],
+                locations: vec![],
+                threads_per_rank: 1,
+                clock: ClockKind::Physical,
+            },
+            streams: vec![],
+        };
+        let back = decode(&encode(&t)).unwrap();
+        assert_eq!(back.streams.len(), 0);
+        assert_eq!(back.defs.clock, ClockKind::Physical);
+    }
+}

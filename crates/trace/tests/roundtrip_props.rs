@@ -1,0 +1,122 @@
+//! Property tests: the binary trace format round-trips arbitrary
+//! well-formed traces losslessly, and rejects corruption.
+
+use nrlt_trace::{
+    decode, encode, ClockKind, CollectiveOp, Definitions, Event, EventKind, LocationDef,
+    RegionDef, RegionRef, RegionRole, Trace, NO_ROOT,
+};
+use proptest::prelude::*;
+
+fn region_strategy() -> impl Strategy<Value = RegionDef> {
+    ("[a-zA-Z_!$@ ]{1,24}", 0u8..10).prop_map(|(name, role)| RegionDef {
+        name,
+        role: RegionRole::from_u8(role).unwrap(),
+    })
+}
+
+fn kind_strategy(n_regions: u32) -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        (0..n_regions).prop_map(|r| EventKind::Enter { region: RegionRef(r) }),
+        (0..n_regions).prop_map(|r| EventKind::Leave { region: RegionRef(r) }),
+        (0..n_regions, 1u64..1_000_000).prop_map(|(r, count)| EventKind::CallBurst {
+            region: RegionRef(r),
+            count,
+            start: 0, // fixed up below
+        }),
+        (0u32..16, 0u32..100, 0u64..1 << 40)
+            .prop_map(|(peer, tag, bytes)| EventKind::SendPost { peer, tag, bytes }),
+        (0u32..16, 0u32..100, 0u64..1 << 40)
+            .prop_map(|(peer, tag, bytes)| EventKind::RecvPost { peer, tag, bytes }),
+        (0u32..16, 0u32..100, 0u64..1 << 40)
+            .prop_map(|(peer, tag, bytes)| EventKind::RecvComplete { peer, tag, bytes }),
+        (0u8..6, 0u64..1 << 30).prop_map(|(op, bytes)| EventKind::CollectiveEnd {
+            op: CollectiveOp::from_u8(op).unwrap(),
+            bytes,
+            root: NO_ROOT,
+        }),
+    ]
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    (
+        proptest::collection::vec(region_strategy(), 1..8),
+        1u32..4, // threads per rank
+        1u32..4, // ranks
+        proptest::bool::ANY,
+    )
+        .prop_flat_map(|(regions, tpr, ranks, physical)| {
+            let n_regions = regions.len() as u32;
+            let n_locs = (tpr * ranks) as usize;
+            let streams = proptest::collection::vec(
+                proptest::collection::vec(
+                    (0u64..1000, kind_strategy(n_regions)),
+                    0..40,
+                ),
+                n_locs..=n_locs,
+            );
+            (Just(regions), Just(tpr), Just(ranks), Just(physical), streams)
+        })
+        .prop_map(|(regions, tpr, ranks, physical, raw_streams)| {
+            let locations: Vec<LocationDef> = (0..ranks)
+                .flat_map(|r| {
+                    (0..tpr).map(move |t| LocationDef { rank: r, thread: t, core: r * tpr + t })
+                })
+                .collect();
+            // Make timestamps monotone per stream (cumulative deltas) and
+            // fix burst starts to lie before their event time.
+            let streams = raw_streams
+                .into_iter()
+                .map(|raw| {
+                    let mut t = 0u64;
+                    raw.into_iter()
+                        .map(|(delta, mut kind)| {
+                            t += delta;
+                            if let EventKind::CallBurst { start, .. } = &mut kind {
+                                *start = t / 2;
+                            }
+                            Event { time: t, kind }
+                        })
+                        .collect()
+                })
+                .collect();
+            Trace {
+                defs: Definitions {
+                    regions,
+                    locations,
+                    threads_per_rank: tpr,
+                    clock: if physical {
+                        ClockKind::Physical
+                    } else {
+                        ClockKind::Logical { model: "lt_test".into() }
+                    },
+                },
+                streams,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_is_lossless(trace in trace_strategy()) {
+        let bytes = encode(&trace);
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn truncation_never_panics(trace in trace_strategy(), cut in 0usize..4096) {
+        let bytes = encode(&trace);
+        let cut = cut.min(bytes.len());
+        // Must error or produce a different trace, never panic.
+        let _ = decode(&bytes[..cut]);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(trace in trace_strategy(), pos in 0usize..4096, val in 0u8..255) {
+        let mut bytes = encode(&trace);
+        if bytes.is_empty() { return Ok(()); }
+        let pos = pos % bytes.len();
+        bytes[pos] ^= val.wrapping_add(1);
+        let _ = decode(&bytes); // any Result is fine; panics are not
+    }
+}

@@ -1,0 +1,66 @@
+//! Combined physical + logical analysis — the paper's proposed future
+//! work (Section VI), implemented: measure the same configuration with
+//! `tsc` and `lt_stmt`, then classify every wait state as *intrinsic*
+//! (algorithmic imbalance, predicted by the effort model) or *extrinsic*
+//! (resource contention / noise, visible only in physical time).
+//!
+//! The showcase is a LULESH-2-style run: work is perfectly balanced, but
+//! 27 ranks cannot spread evenly over 8 NUMA domains, so ranks on full
+//! domains have less memory bandwidth — a purely extrinsic problem.
+//!
+//! Run with: `cargo run --release --example intrinsic_vs_extrinsic`
+
+use nrlt::analysis::combine;
+use nrlt::miniapps::{LuleshConfig, LuleshCosts};
+use nrlt::prelude::*;
+
+fn run(instance: &BenchmarkInstance) {
+    let cfg = ExecConfig::jureca(instance.nodes, instance.layout.clone(), 31);
+    let (pt, _) = measure(&instance.program, &cfg, &MeasureConfig::new(ClockMode::Tsc));
+    let (lt, _) = measure(&instance.program, &cfg, &MeasureConfig::new(ClockMode::LtStmt));
+    let physical = analyze(&pt);
+    let logical = analyze(&lt);
+    let report = combine(&physical, &logical);
+    println!("{}", report.render(0.2));
+    for cell in report.extrinsic_hotspots(0.5) {
+        println!(
+            "  extrinsic hotspot: {} at {} ({:.2}%_T) — look at the machine, not the code",
+            cell.metric.name(),
+            cell.path_string,
+            cell.extrinsic
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // Balanced work, uneven NUMA occupancy: waits are extrinsic.
+    println!("== LULESH-2-like: balanced work, uneven NUMA occupancy ==");
+    let extrinsic_case = LuleshConfig {
+        ranks: 27,
+        threads_per_rank: 4,
+        edge: 40,
+        steps: 12,
+        imbalance: 0.0,
+        spread_placement: true,
+        nodes: 1,
+        costs: LuleshCosts::default(),
+    }
+    .build();
+    run(&extrinsic_case);
+
+    // Artificial imbalance, even hardware: waits are intrinsic.
+    println!("== LULESH-1-like: imbalanced work, even hardware ==");
+    let intrinsic_case = LuleshConfig {
+        ranks: 27,
+        threads_per_rank: 4,
+        edge: 40,
+        steps: 12,
+        imbalance: 0.8,
+        spread_placement: false,
+        nodes: 1,
+        costs: LuleshCosts::default(),
+    }
+    .build();
+    run(&intrinsic_case);
+}

@@ -1,0 +1,77 @@
+//! Noise study: sweep the machine's noise intensity and watch the
+//! physical clock's analysis degrade while the logical clocks stay put.
+//!
+//! This is the paper's central claim in one table: repeated `tsc`
+//! measurements disagree with each other more and more as the machine
+//! gets noisier (falling run-to-run Jaccard score), while `lt_stmt`
+//! produces the identical profile every time — and still finds the
+//! injected load imbalance.
+//!
+//! Run with: `cargo run --release --example noise_study`
+
+use nrlt::prelude::*;
+
+/// An imbalanced stencil job: rank 2 gets ~17 % more cells.
+fn program(ranks: u32) -> Program {
+    let mut pb = ProgramBuilder::new(ranks);
+    for r in 0..ranks {
+        let cells: u64 = if r == 2 { 70_000 } else { 60_000 };
+        let mut rb = pb.rank(r);
+        rb.scoped("main", |rb| {
+            for _ in 0..25 {
+                rb.scoped("sweep", |rb| {
+                    rb.parallel("sweep", |omp| {
+                        omp.for_loop(
+                            "stencil",
+                            cells,
+                            Schedule::Static,
+                            IterCost::Uniform(Cost::scalar(150).with_mem_bytes(500)),
+                            cells * 500,
+                        );
+                    });
+                });
+                rb.scoped("reduce", |rb| rb.allreduce(8));
+            }
+        });
+    }
+    pb.finish()
+}
+
+fn main() {
+    let ranks = 8;
+    let program = program(ranks);
+    let instance = BenchmarkInstance {
+        name: "noise-study".into(),
+        program,
+        nodes: 1,
+        layout: JobLayout::block(ranks, 4),
+        filter_rules: vec![],
+    };
+
+    println!(
+        "{:>11} | {:>13} {:>13} | {:>12} {:>12}",
+        "noise scale", "tsc r2r J", "lt_stmt r2r J", "tsc nxn%_T", "stmt nxn%_T"
+    );
+    for scale in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let options = ExperimentOptions {
+            noise: NoiseConfig::realistic().scaled(scale),
+            repetitions: 5,
+            base_seed: 77,
+            modes: vec![ClockMode::Tsc, ClockMode::LtStmt],
+        };
+        let res = run_experiment(&instance, &options);
+        let tsc = res.mode(ClockMode::Tsc);
+        let stmt = res.mode(ClockMode::LtStmt);
+        println!(
+            "{:>11} | {:>13.3} {:>13.3} | {:>12.1} {:>12.1}",
+            format!("x{scale}"),
+            tsc.min_run_to_run_jaccard(),
+            stmt.min_run_to_run_jaccard(),
+            tsc.mean.pct_t(Metric::WaitNxN),
+            stmt.mean.pct_t(Metric::WaitNxN),
+        );
+    }
+    println!();
+    println!("The logical profile is bit-identical at every noise level (J = 1),");
+    println!("and both clocks keep reporting the rank-2 imbalance as wait_nxn.");
+}

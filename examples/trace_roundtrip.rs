@@ -1,0 +1,44 @@
+//! Trace files: record a measurement, write the binary trace to disk,
+//! read it back, and analyze the loaded copy — the decoupled
+//! measure-then-analyze workflow of Score-P + Scalasca.
+//!
+//! Run with: `cargo run --release --example trace_roundtrip`
+
+use nrlt::prelude::*;
+use nrlt::trace::{decode, encode};
+
+fn main() {
+    // A small TeaLeaf-like run (scaled down).
+    let instance = nrlt::miniapps::TeaLeafConfig {
+        n: 1000,
+        ranks: 4,
+        threads_per_rank: 8,
+        steps: 2,
+        cg_per_step: 10,
+        costs: Default::default(),
+    }
+    .build();
+    let cfg = ExecConfig::jureca(1, instance.layout.clone(), 99);
+    let (trace, result) =
+        measure(&instance.program, &cfg, &MeasureConfig::new(ClockMode::LtBb));
+    println!("measured {}: {} events, run time {}", instance.name, trace.total_events(), result.total);
+
+    // Serialise, persist, reload.
+    let bytes = encode(&trace);
+    let path = std::env::temp_dir().join("nrlt_trace.otf2ish");
+    std::fs::write(&path, &bytes).expect("write trace");
+    println!(
+        "wrote {} ({:.1} KiB, {:.1} bytes/event)",
+        path.display(),
+        bytes.len() as f64 / 1024.0,
+        bytes.len() as f64 / trace.total_events() as f64
+    );
+    let loaded = decode(&std::fs::read(&path).expect("read trace")).expect("decode trace");
+    assert_eq!(loaded, trace, "round-trip must be lossless");
+
+    // Analyze the loaded copy.
+    let profile = analyze(&loaded);
+    println!("\nanalysis of the reloaded trace ({} clock):", loaded.defs.clock.name());
+    println!("{}", metric_table(&profile, 0.5));
+    std::fs::remove_file(&path).ok();
+}

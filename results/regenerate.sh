@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerate every archived experiment output. From the repo root:
+#   sh results/regenerate.sh
+set -e
+cargo build --release -p nrlt-bench
+for b in table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 narrative ablation counters; do
+    echo "running $b ..."
+    ./target/release/$b > results/$b.txt
+done
+echo "done; outputs in results/"

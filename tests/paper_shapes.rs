@@ -1,0 +1,214 @@
+//! Integration tests asserting the paper's qualitative findings on the
+//! actual benchmark configurations (scaled-down where noted). These are
+//! the repository's ground truth: if a refactor breaks one of these, the
+//! reproduction no longer tells the paper's story.
+
+use nrlt::prelude::*;
+use nrlt::miniapps::{LuleshConfig, LuleshCosts, MiniFeConfig, MiniFeCosts};
+
+fn quick_options(modes: Vec<ClockMode>) -> ExperimentOptions {
+    ExperimentOptions { repetitions: 3, base_seed: 400, modes, ..Default::default() }
+}
+
+/// Scaled-down MiniFE-2 (same structure, fewer iterations/elements).
+fn minife2_small() -> BenchmarkInstance {
+    MiniFeConfig {
+        nx: 200,
+        ranks: 8,
+        threads_per_rank: 16,
+        imbalance_pct: 50,
+        cg_iters: 50,
+        costs: MiniFeCosts::default(),
+    }
+    .build()
+}
+
+/// Scaled-down LULESH-1.
+fn lulesh1_small() -> BenchmarkInstance {
+    LuleshConfig {
+        ranks: 8,
+        threads_per_rank: 4,
+        edge: 40,
+        steps: 12,
+        imbalance: 0.8,
+        spread_placement: false,
+        nodes: 1,
+        costs: LuleshCosts::default(),
+    }
+    .build()
+}
+
+#[test]
+fn minife2_idle_threads_dominate_and_lt1_overestimates_them() {
+    let res = run_experiment(
+        &minife2_small(),
+        &quick_options(vec![ClockMode::Tsc, ClockMode::Lt1, ClockMode::LtLoop]),
+    );
+    let tsc = &res.mode(ClockMode::Tsc).mean;
+    // tsc: idle threads are the dominant category (paper: 58 %_T).
+    let idle = tsc.pct_t(Metric::IdleThreads);
+    assert!((35.0..80.0).contains(&idle), "idle threads dominate: {idle:.1}");
+    assert!(tsc.pct_t(Metric::Comp) > 15.0);
+    // lt_1 sees almost no worker effort: >90 % idle (paper: 93 %_T).
+    let lt1_idle = res.mode(ClockMode::Lt1).mean.pct_t(Metric::IdleThreads);
+    assert!(lt1_idle > 88.0, "lt_1 must show ~93% idle: {lt1_idle:.1}");
+    // lt_loop cannot see serial regions: far less idle than tsc.
+    let loop_idle = res.mode(ClockMode::LtLoop).mean.pct_t(Metric::IdleThreads);
+    assert!(loop_idle < idle, "lt_loop under-reports idle: {loop_idle:.1} vs {idle:.1}");
+}
+
+#[test]
+fn minife2_imbalance_visible_to_all_clocks() {
+    let res = run_experiment(&minife2_small(), &quick_options(ClockMode::ALL.to_vec()));
+    for m in &res.modes {
+        let nxn = m.mean.pct_t(Metric::WaitNxN);
+        assert!(
+            nxn > 0.5,
+            "{}: the 3x rank imbalance must appear as wait_nxn ({nxn:.2})",
+            m.mode
+        );
+    }
+}
+
+#[test]
+fn minife2_counting_modes_cost_most_in_init() {
+    let res = run_experiment(
+        &minife2_small(),
+        &quick_options(vec![ClockMode::Tsc, ClockMode::LtBb]),
+    );
+    let bb_init = res.overhead_phase(ClockMode::LtBb, "init");
+    let bb_solve = res.overhead_phase(ClockMode::LtBb, "solve");
+    let tsc_init = res.overhead_phase(ClockMode::Tsc, "init");
+    // Paper Table I: init ~98 % vs solve ~0.2 % for lt_bb; tsc init small.
+    assert!(bb_init > 40.0, "bb counting must hammer the call-dense init: {bb_init:.1}");
+    assert!(bb_solve < 8.0, "bb counting absorbed by the memory-bound solve: {bb_solve:.1}");
+    assert!(tsc_init < 20.0, "tsc init overhead stays small: {tsc_init:.1}");
+}
+
+#[test]
+fn lulesh_logical_modes_blame_the_material_update() {
+    let res = run_experiment(
+        &lulesh1_small(),
+        &quick_options(vec![ClockMode::Tsc, ClockMode::LtStmt, ClockMode::LtHwctr]),
+    );
+    // The artificial imbalance lives in ApplyMaterialPropertiesForElems;
+    // lt_stmt's delay costs must point there (paper Fig 9b).
+    let stmt = &res.mode(ClockMode::LtStmt).mean;
+    let material_share: f64 = stmt
+        .map_c(Metric::DelayN2n)
+        .iter()
+        .filter(|(c, _)| stmt.path_string(**c).contains("Material"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(
+        material_share > 60.0,
+        "lt_stmt delay must point at the material update: {material_share:.1}%"
+    );
+    // lt_hwctr mislocates part of the delay inside MPI waiting (spin
+    // instructions), as the paper observes.
+    let hw = &res.mode(ClockMode::LtHwctr).mean;
+    let waitall_share: f64 = hw
+        .map_c(Metric::DelayN2n)
+        .iter()
+        .filter(|(c, _)| hw.path_string(**c).contains("MPI_"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(
+        waitall_share > 20.0,
+        "lt_hwctr delay partly sits in MPI calls: {waitall_share:.1}%"
+    );
+}
+
+#[test]
+fn lulesh2_late_sender_only_for_tsc_and_hwctr() {
+    // Uneven NUMA occupancy (27 ranks on 8 domains) slows the full
+    // domains' ranks; only time-like clocks can see it. Scaled: same
+    // spread placement with 27 ranks.
+    let instance = LuleshConfig {
+        ranks: 27,
+        threads_per_rank: 4,
+        edge: 40,
+        steps: 12,
+        imbalance: 0.0,
+        spread_placement: true,
+        nodes: 1,
+        costs: LuleshCosts::default(),
+    }
+    .build();
+    let res = run_experiment(&instance, &quick_options(ClockMode::ALL.to_vec()));
+    let tsc_ls = res.mode(ClockMode::Tsc).mean.pct_t(Metric::LateSender);
+    let hw_ls = res.mode(ClockMode::LtHwctr).mean.pct_t(Metric::LateSender);
+    assert!(tsc_ls > 1.0, "tsc must find the NUMA late senders: {tsc_ls:.2}");
+    assert!(hw_ls > 0.5, "lt_hwctr is the only logical clock seeing them: {hw_ls:.2}");
+    for mode in [ClockMode::Lt1, ClockMode::LtLoop, ClockMode::LtBb, ClockMode::LtStmt] {
+        let ls = res.mode(mode).mean.pct_t(Metric::LateSender);
+        assert!(
+            ls < tsc_ls / 4.0,
+            "{mode} is blind to extrinsic waits by design: {ls:.2} vs tsc {tsc_ls:.2}"
+        );
+    }
+}
+
+#[test]
+fn jaccard_ranking_lt1_is_worst() {
+    let res = run_experiment(&minife2_small(), &quick_options(ClockMode::ALL.to_vec()));
+    let j1 = res.jaccard_vs_tsc(ClockMode::Lt1);
+    for mode in [ClockMode::LtBb, ClockMode::LtStmt, ClockMode::LtHwctr] {
+        let j = res.jaccard_vs_tsc(mode);
+        assert!(
+            j > j1,
+            "{mode} must beat lt_1 (paper: lt_1 has the lowest score): {j:.3} vs {j1:.3}"
+        );
+    }
+}
+
+#[test]
+fn logical_measurements_are_exactly_repeatable_noise_free_modes() {
+    let res = run_experiment(
+        &lulesh1_small(),
+        &quick_options(vec![ClockMode::Tsc, ClockMode::LtStmt, ClockMode::LtHwctr]),
+    );
+    // Noise-free logical modes run once; their stability is structural
+    // (verified in crate tests); the noise-carrying modes vary:
+    assert!(res.mode(ClockMode::Tsc).min_run_to_run_jaccard() < 1.0);
+    assert!(res.mode(ClockMode::LtHwctr).min_run_to_run_jaccard() < 1.0);
+    // And lt_stmt's profile is identical when run twice explicitly.
+    let a = nrlt::run_mode(&lulesh1_small(), ClockMode::LtStmt, &quick_options(vec![]));
+    let mut opts = quick_options(vec![]);
+    opts.base_seed += 13;
+    let b = nrlt::run_mode(&lulesh1_small(), ClockMode::LtStmt, &opts);
+    let ja = a.mean.map_mc();
+    let jb = b.mean.map_mc();
+    assert_eq!(ja.len(), jb.len());
+    for (k, v) in &ja {
+        assert!((v - jb[k]).abs() < 1e-9, "lt_stmt must not depend on the seed");
+    }
+}
+
+#[test]
+fn tealeaf_cache_pollution_shows_only_in_physical_overhead() {
+    // Scaled TeaLeaf whose working set just fits the socket L3.
+    let instance = nrlt::miniapps::TeaLeafConfig {
+        n: 4000,
+        ranks: 2,
+        threads_per_rank: 64,
+        steps: 1,
+        cg_per_step: 12,
+        costs: Default::default(),
+    }
+    .build();
+    let res = run_experiment(
+        &instance,
+        &quick_options(vec![ClockMode::Tsc, ClockMode::LtStmt]),
+    );
+    let ovh = res.overhead_total(ClockMode::Tsc);
+    assert!(
+        ovh > 15.0,
+        "measurement buffers must evict the cache-resident working set: {ovh:.1}%"
+    );
+    // The logical analysis itself is not skewed: barrier overhead stays
+    // small under lt_stmt (paper: < 2 %_T).
+    let stmt_omp_ovh = res.mode(ClockMode::LtStmt).mean.pct_t(Metric::OmpBarrierOverhead)
+        + res.mode(ClockMode::LtStmt).mean.pct_t(Metric::OmpManagement);
+    assert!(stmt_omp_ovh < 4.0, "lt_stmt sees balanced threads: {stmt_omp_ovh:.1}");
+}

@@ -1,0 +1,186 @@
+//! System-level property tests: random (valid) hybrid programs pushed
+//! through the whole pipeline must uphold the library's invariants under
+//! every clock mode.
+
+use nrlt::prelude::*;
+use nrlt::trace::{decode, encode, EventKind, Trace};
+use proptest::prelude::*;
+
+/// One step of a random SPMD program — always globally consistent, so
+/// generated programs never deadlock.
+#[derive(Debug, Clone)]
+enum Step {
+    Kernel { instr: u64, bytes: u64 },
+    Burst { calls: u64, instr: u64 },
+    ParallelLoop { iters: u64, instr: u64, bytes: u64, ramp: bool },
+    Allreduce,
+    Alltoall,
+    RingExchange { bytes: u64 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1_000u64..2_000_000, 0u64..100_000)
+            .prop_map(|(instr, bytes)| Step::Kernel { instr, bytes }),
+        (1u64..2_000, 1_000u64..500_000)
+            .prop_map(|(calls, instr)| Step::Burst { calls, instr }),
+        (16u64..20_000, 50u64..2_000, 0u64..256, any::<bool>()).prop_map(
+            |(iters, instr, bytes, ramp)| Step::ParallelLoop { iters, instr, bytes, ramp }
+        ),
+        Just(Step::Allreduce),
+        Just(Step::Alltoall),
+        (64u64..100_000).prop_map(|bytes| Step::RingExchange { bytes }),
+    ]
+}
+
+fn build(ranks: u32, threads: u32, steps: &[Step], skew: bool) -> BenchmarkInstance {
+    let mut pb = ProgramBuilder::new(ranks);
+    for r in 0..ranks {
+        let left = (r + ranks - 1) % ranks;
+        let right = (r + 1) % ranks;
+        // Optional per-rank skew so waits appear.
+        let factor = if skew { 1.0 + r as f64 / ranks as f64 } else { 1.0 };
+        let mut rb = pb.rank(r);
+        rb.scoped("main", |rb| {
+            for (i, step) in steps.iter().enumerate() {
+                match *step {
+                    Step::Kernel { instr, bytes } => rb.kernel(
+                        Cost::scalar((instr as f64 * factor) as u64).with_mem_bytes(bytes),
+                        bytes,
+                    ),
+                    Step::Burst { calls, instr } => rb.kernel_burst(
+                        "tiny",
+                        calls,
+                        Cost::scalar((instr as f64 * factor) as u64),
+                        0,
+                    ),
+                    Step::ParallelLoop { iters, instr, bytes, ramp } => {
+                        let name = format!("loop{i}");
+                        rb.parallel(&name, |omp| {
+                            let cost = Cost::scalar(instr).with_mem_bytes(bytes);
+                            let ic = if ramp {
+                                IterCost::Ramp { base: cost, last_factor: 3.0 }
+                            } else {
+                                IterCost::Uniform(cost)
+                            };
+                            omp.for_loop(
+                                &name,
+                                (iters as f64 * factor) as u64,
+                                Schedule::Static,
+                                ic,
+                                bytes * iters,
+                            );
+                        });
+                    }
+                    Step::Allreduce => rb.allreduce(8),
+                    Step::Alltoall => rb.alltoall(512),
+                    Step::RingExchange { bytes } => {
+                        rb.irecv(left, 5, bytes);
+                        rb.isend(right, 5, bytes);
+                        rb.waitall();
+                    }
+                }
+            }
+        });
+    }
+    BenchmarkInstance {
+        name: "random".into(),
+        program: pb.finish(),
+        nodes: 1,
+        layout: JobLayout::block(ranks, threads),
+        filter_rules: vec![],
+    }
+}
+
+/// Check Lamport's clock condition over all matched messages of a trace.
+fn assert_clock_condition(trace: &Trace) {
+    use std::collections::HashMap;
+    let tpr = trace.defs.threads_per_rank;
+    let mut sends: HashMap<(u32, u32, u32), Vec<u64>> = HashMap::new();
+    for (i, stream) in trace.streams.iter().enumerate() {
+        let rank = i as u32 / tpr;
+        for ev in stream {
+            if let EventKind::SendPost { peer, tag, .. } = ev.kind {
+                sends.entry((rank, peer, tag)).or_default().push(ev.time);
+            }
+        }
+    }
+    let mut cursor: HashMap<(u32, u32, u32), usize> = HashMap::new();
+    for (i, stream) in trace.streams.iter().enumerate() {
+        let rank = i as u32 / tpr;
+        for ev in stream {
+            if let EventKind::RecvComplete { peer, tag, .. } = ev.kind {
+                let key = (peer, rank, tag);
+                let k = cursor.entry(key).or_insert(0);
+                let send_ts = sends[&key][*k];
+                *k += 1;
+                assert!(ev.time > send_ts, "clock condition violated");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pipeline_invariants_hold_for_random_programs(
+        steps in proptest::collection::vec(step_strategy(), 2..10),
+        ranks in 2u32..5,
+        threads in prop_oneof![Just(1u32), Just(2), Just(4)],
+        skew in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let instance = build(ranks, threads, &steps, skew);
+        prop_assert!(instance.program.validate().is_ok());
+        let cfg = ExecConfig::jureca(1, instance.layout.clone(), seed);
+
+        for mode in [ClockMode::Tsc, ClockMode::Lt1, ClockMode::LtStmt, ClockMode::LtHwctr] {
+            let (trace, result) = measure(&instance.program, &cfg, &MeasureConfig::new(mode));
+            // Trace structure.
+            prop_assert!(trace.check_consistency().is_ok());
+            prop_assert!(result.total.nanos() > 0);
+            // Binary round trip is lossless.
+            let back = decode(&encode(&trace)).unwrap();
+            prop_assert_eq!(&back, &trace);
+            // Lamport condition under logical clocks — both the local
+            // message check and the full happens-before oracle.
+            if mode.is_logical() {
+                assert_clock_condition(&trace);
+                let violations = nrlt::analysis::verify_clock_condition(&trace);
+                prop_assert!(violations.is_empty(), "causality oracle: {violations:?}");
+            }
+            // Analysis conserves time and never goes negative.
+            let profile = analyze(&trace);
+            let total = profile.total_time();
+            let parts: f64 = Metric::Time
+                .subtree()
+                .into_iter()
+                .map(|m| profile.metric_excl_total(m))
+                .sum();
+            prop_assert!((total - parts).abs() <= 1e-6 * total.max(1.0));
+            for m in Metric::ALL {
+                prop_assert!(profile.metric_excl_total(m) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_free_logical_traces_ignore_the_seed(
+        steps in proptest::collection::vec(step_strategy(), 2..6),
+        ranks in 2u32..4,
+    ) {
+        let instance = build(ranks, 2, &steps, true);
+        let a = measure(
+            &instance.program,
+            &ExecConfig::jureca(1, instance.layout.clone(), 1),
+            &MeasureConfig::new(ClockMode::LtBb),
+        ).0;
+        let b = measure(
+            &instance.program,
+            &ExecConfig::jureca(1, instance.layout.clone(), 999),
+            &MeasureConfig::new(ClockMode::LtBb),
+        ).0;
+        prop_assert_eq!(a.streams, b.streams);
+    }
+}

@@ -1,0 +1,133 @@
+//! Wildcard receives (`MPI_ANY_SOURCE`): the paper's Section II caveat.
+//!
+//! "In programs relying on nondeterministic MPI semantics, such as
+//! wildcard receives, the happens-before relation is insufficient […]
+//! messages can be matched differently depending on the timing,
+//! therefore the event order and logical time stamps might vary between
+//! executions."
+//!
+//! These tests demonstrate exactly that: a master/worker program with
+//! wildcard receives produces *different logical traces* under different
+//! noise seeds, while the same program with specific receives — and the
+//! wildcard program on a noise-free machine — stays bit-identical.
+
+use nrlt::prelude::*;
+use nrlt::trace::EventKind;
+
+/// Master/worker: rank 0 collects one result from every worker.
+fn master_worker(wildcard: bool, ranks: u32, rounds: u32) -> Program {
+    let mut pb = ProgramBuilder::new(ranks);
+    {
+        let mut rb = pb.rank(0);
+        rb.scoped("master", |rb| {
+            for _ in 0..rounds {
+                rb.kernel(Cost::scalar(200_000), 0);
+                if wildcard {
+                    for _ in 1..ranks {
+                        rb.recv_any(7, 4096);
+                    }
+                } else {
+                    for src in 1..ranks {
+                        rb.recv(src, 7, 4096);
+                    }
+                }
+            }
+        });
+    }
+    for r in 1..ranks {
+        let mut rb = pb.rank(r);
+        rb.scoped("worker", |rb| {
+            for _ in 0..rounds {
+                // Memory-heavy work whose duration is noise-sensitive, so
+                // the finish order varies between repetitions.
+                rb.kernel(
+                    Cost::scalar(1_000_000 + r as u64 * 1_000)
+                        .with_mem_bytes(2_000_000),
+                    64 << 20,
+                );
+                rb.send(0, 7, 4096);
+            }
+        });
+    }
+    let p = pb.finish();
+    p.validate().unwrap_or_else(|e| panic!("{e:?}"));
+    p
+}
+
+fn trace_for(p: &Program, seed: u64, noise: NoiseConfig) -> nrlt::trace::Trace {
+    let cfg = ExecConfig::jureca(1, JobLayout::block(p.n_ranks(), 1), seed).with_noise(noise);
+    measure(p, &cfg, &MeasureConfig::new(ClockMode::LtStmt)).0
+}
+
+/// The order in which the master's completions name their sources.
+fn completion_order(t: &nrlt::trace::Trace) -> Vec<u32> {
+    t.streams[0]
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::RecvComplete { peer, .. } => Some(peer),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn wildcard_matching_is_timing_dependent() {
+    let p = master_worker(true, 6, 8);
+    let orders: Vec<Vec<u32>> = (0..8)
+        .map(|seed| completion_order(&trace_for(&p, seed, NoiseConfig::realistic())))
+        .collect();
+    assert!(
+        orders.iter().any(|o| o != &orders[0]),
+        "with noise, wildcard matching must vary across seeds: {orders:?}"
+    );
+    // And the logical traces therefore differ too.
+    let a = trace_for(&p, 0, NoiseConfig::realistic());
+    let b = trace_for(&p, 1, NoiseConfig::realistic());
+    assert_ne!(a.streams, b.streams, "logical repeatability is lost with wildcards");
+}
+
+#[test]
+fn specific_receives_stay_deterministic() {
+    let p = master_worker(false, 6, 8);
+    let a = trace_for(&p, 0, NoiseConfig::realistic());
+    let b = trace_for(&p, 1, NoiseConfig::realistic());
+    assert_eq!(a.streams, b.streams, "specific receives keep logical traces identical");
+}
+
+#[test]
+fn silent_machine_restores_determinism_even_with_wildcards() {
+    let p = master_worker(true, 6, 8);
+    let a = trace_for(&p, 0, NoiseConfig::silent());
+    let b = trace_for(&p, 1, NoiseConfig::silent());
+    assert_eq!(a.streams, b.streams);
+}
+
+#[test]
+fn wildcard_traces_still_satisfy_causality_and_analyze() {
+    let p = master_worker(true, 6, 8);
+    for seed in 0..4 {
+        let t = trace_for(&p, seed, NoiseConfig::realistic());
+        t.check_consistency().unwrap();
+        let violations = nrlt::analysis::verify_clock_condition(&t);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        let profile = analyze(&t);
+        assert!(profile.total_time() > 0.0);
+        // Wait time at the master's receives shows up regardless of the
+        // matching order.
+        assert!(profile.metric_incl_total(Metric::MpiP2p) > 0.0);
+    }
+}
+
+#[test]
+fn wildcard_completions_record_the_actual_source() {
+    let p = master_worker(true, 4, 2);
+    let t = trace_for(&p, 3, NoiseConfig::realistic());
+    let order = completion_order(&t);
+    assert_eq!(order.len(), 2 * 3);
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    // Every worker delivered exactly `rounds` messages.
+    assert_eq!(sorted, vec![1, 1, 2, 2, 3, 3]);
+    // No completion carries the ANY sentinel.
+    assert!(order.iter().all(|&p| p != u32::MAX));
+}

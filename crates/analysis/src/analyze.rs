@@ -3,8 +3,13 @@
 //! Mirrors Scalasca's pipeline: replay every location, match
 //! communication, detect wait-state patterns, account idle threads, and
 //! attribute delay costs. The delay phase — the expensive part — runs on
-//! a crossbeam thread pool with deterministic chunked merging, so
-//! repeated analyses of the same trace produce bit-identical profiles.
+//! scoped worker threads (`std::thread::scope`) with deterministic
+//! chunked merging, so repeated analyses of the same trace produce
+//! bit-identical profiles.
+//!
+//! When handed a [`Telemetry`] handle, the driver records one span per
+//! phase, per-pattern hit counters, replay throughput, and per-worker
+//! timing of the delay phase. With `None`, no telemetry work happens.
 
 use crate::delay::{delay_for_wait, DelayContribution, SpanIndex};
 use crate::idle::master_serial_chunks;
@@ -14,6 +19,7 @@ use crate::patterns::{
 };
 use crate::replay::{replay, LocalReplay, SegClass};
 use nrlt_profile::{Metric, Profile};
+use nrlt_telemetry::Telemetry;
 use nrlt_trace::Trace;
 use std::collections::HashMap;
 
@@ -49,7 +55,29 @@ struct WaitInstance {
 
 /// Analyze a trace.
 pub fn analyze_with(trace: &Trace, config: &AnalysisConfig) -> Profile {
+    analyze_telemetry(trace, config, None)
+}
+
+/// Analyze a trace, optionally recording self-telemetry.
+pub fn analyze_telemetry(
+    trace: &Trace,
+    config: &AnalysisConfig,
+    tel: Option<&Telemetry>,
+) -> Profile {
+    let mut _phase = tel.map(|t| t.span_cat("analyze.replay", "analysis"));
     let (tree, locals) = replay(trace);
+    if let Some(t) = tel {
+        // Replay throughput: events per wall millisecond of the replay span.
+        _phase = None;
+        let replay_ns =
+            t.spans().iter().rev().find(|s| s.name == "analyze.replay").map_or(0, |s| s.dur_ns);
+        t.add("analysis.replay.events", trace.total_events() as u64);
+        if let Some(rate) =
+            (trace.total_events() as u64).saturating_mul(1_000_000).checked_div(replay_ns)
+        {
+            t.set("analysis.replay.events_per_ms", rate);
+        }
+    }
     let tpr = trace.defs.threads_per_rank;
     let n_ranks = trace.defs.n_ranks();
     let mut profile = Profile::new(
@@ -75,7 +103,12 @@ pub fn analyze_with(trace: &Trace, config: &AnalysisConfig) -> Profile {
     }
 
     // --- point-to-point patterns -----------------------------------------
+    _phase = None;
+    _phase = tel.map(|t| t.span_cat("analyze.p2p", "analysis"));
     let messages = match_messages(&locals, tpr);
+    if let Some(t) = tel {
+        t.add("analysis.messages_matched", messages.len() as u64);
+    }
     // Late sender: group messages by completing instance.
     let mut by_recv_instance: HashMap<(usize, usize), Vec<&MatchedMessage>> = HashMap::new();
     // Late receiver: group by sending instance.
@@ -96,13 +129,14 @@ pub fn analyze_with(trace: &Trace, config: &AnalysisConfig) -> Profile {
                 let send_ts: Vec<u64> = msgs.iter().map(|m| m.send_enter).collect();
                 let ls = late_sender_severity(mi.enter, mi.leave, &send_ts);
                 if ls > 0 {
+                    if let Some(t) = tel {
+                        t.incr("analysis.patterns.late_sender");
+                    }
                     profile.add(Metric::LateSender, mi.path, loc, ls as f64);
                     classified += ls;
                     // Delay: the latest sender is the culprit.
-                    let culprit = msgs
-                        .iter()
-                        .max_by_key(|m| m.send_enter)
-                        .expect("non-empty message group");
+                    let culprit =
+                        msgs.iter().max_by_key(|m| m.send_enter).expect("non-empty message group");
                     waits.push(WaitInstance {
                         metric: Metric::DelayP2p,
                         waiter_loc: loc,
@@ -123,21 +157,24 @@ pub fn analyze_with(trace: &Trace, config: &AnalysisConfig) -> Profile {
                 // values on eager sends are classified as plain p2p time.
                 let lr = lr.min(dur - classified.min(dur));
                 if lr > dur / 20 && lr > 0 {
+                    if let Some(t) = tel {
+                        t.incr("analysis.patterns.late_receiver");
+                    }
                     profile.add(Metric::LateReceiver, mi.path, loc, lr as f64);
                     classified += lr;
                 }
             }
-            profile.add(
-                Metric::MpiP2p,
-                mi.path,
-                loc,
-                dur.saturating_sub(classified) as f64,
-            );
+            profile.add(Metric::MpiP2p, mi.path, loc, dur.saturating_sub(classified) as f64);
         }
     }
 
     // --- collectives -------------------------------------------------------
+    _phase = None;
+    _phase = tel.map(|t| t.span_cat("analyze.collectives", "analysis"));
     let collectives = gather_collectives(&locals, tpr);
+    if let Some(t) = tel {
+        t.add("analysis.collectives", collectives.len() as u64);
+    }
     for inst in &collectives {
         let latest = inst
             .members
@@ -158,6 +195,9 @@ pub fn analyze_with(trace: &Trace, config: &AnalysisConfig) -> Profile {
             if is_nxn {
                 let wait = wait_nxn_severity(mi.enter, mi.leave, latest);
                 if wait > 0 {
+                    if let Some(t) = tel {
+                        t.incr("analysis.patterns.wait_nxn");
+                    }
                     profile.add(Metric::WaitNxN, mi.path, loc, wait as f64);
                     waits.push(WaitInstance {
                         metric: Metric::DelayN2n,
@@ -176,6 +216,8 @@ pub fn analyze_with(trace: &Trace, config: &AnalysisConfig) -> Profile {
     }
 
     // --- OpenMP barriers ----------------------------------------------------
+    _phase = None;
+    _phase = tel.map(|t| t.span_cat("analyze.omp_barriers", "analysis"));
     for rank in 0..n_ranks {
         for inst in gather_barriers(&locals, rank, tpr) {
             let latest = inst
@@ -195,6 +237,9 @@ pub fn analyze_with(trace: &Trace, config: &AnalysisConfig) -> Profile {
                 let dur = b.leave - b.enter;
                 let wait = latest.saturating_sub(b.enter).min(dur);
                 if wait > 0 {
+                    if let Some(t) = tel {
+                        t.incr("analysis.patterns.omp_barrier_wait");
+                    }
                     profile.add(Metric::OmpBarrierWait, b.path, loc, wait as f64);
                     waits.push(WaitInstance {
                         metric: Metric::DelayBarrier,
@@ -211,6 +256,8 @@ pub fn analyze_with(trace: &Trace, config: &AnalysisConfig) -> Profile {
     }
 
     // --- idle threads ---------------------------------------------------------
+    _phase = None;
+    _phase = tel.map(|t| t.span_cat("analyze.idle_threads", "analysis"));
     if tpr > 1 {
         for rank in 0..n_ranks {
             let master = (rank * tpr) as usize;
@@ -225,9 +272,14 @@ pub fn analyze_with(trace: &Trace, config: &AnalysisConfig) -> Profile {
     }
 
     // --- delay costs -----------------------------------------------------------
+    _phase = None;
+    _phase = tel.map(|t| t.span_cat("analyze.delay_costs", "analysis"));
+    if let Some(t) = tel {
+        t.add("analysis.wait_instances", waits.len() as u64);
+    }
     if config.delay_costs && !waits.is_empty() {
         let index = SpanIndex::build(&locals);
-        let contributions = compute_delays(&waits, &index, &locals, config.workers);
+        let contributions = compute_delays(&waits, &index, &locals, config.workers, tel);
         for (metric, batch) in contributions {
             for (path, loc, v) in batch {
                 profile.add(metric, path, loc, v);
@@ -245,6 +297,7 @@ fn compute_delays(
     index: &SpanIndex,
     locals: &[LocalReplay],
     workers: usize,
+    tel: Option<&Telemetry>,
 ) -> Vec<(Metric, Vec<DelayContribution>)> {
     let n_workers = if workers == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
@@ -253,14 +306,26 @@ fn compute_delays(
     };
     let chunk_size = waits.len().div_ceil(n_workers).max(1);
     let chunks: Vec<&[WaitInstance]> = waits.chunks(chunk_size).collect();
-    let mut results: Vec<Vec<(Metric, Vec<DelayContribution>)>> =
-        Vec::with_capacity(chunks.len());
-    crossbeam::scope(|scope| {
+    if let Some(t) = tel {
+        t.set("analysis.delay.workers", chunks.len() as u64);
+    }
+    let mut results: Vec<Vec<(Metric, Vec<DelayContribution>)>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
+            .enumerate()
+            .map(|(worker, chunk)| {
+                scope.spawn(move || {
+                    // `Telemetry` is `Sync`; each worker records on its
+                    // own track so the spans render side by side.
+                    let _span = tel.map(|t| {
+                        t.span_track(
+                            format!("delay worker {worker}"),
+                            "analysis",
+                            worker as u32 + 1,
+                        )
+                    });
+                    let out = chunk
                         .iter()
                         .map(|w| {
                             (
@@ -277,14 +342,17 @@ fn compute_delays(
                                 ),
                             )
                         })
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    if let Some(t) = tel {
+                        t.add("analysis.delay.instances", chunk.len() as u64);
+                    }
+                    out
                 })
             })
             .collect();
         for h in handles {
             results.push(h.join().expect("delay worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.into_iter().flatten().collect()
 }

@@ -100,11 +100,8 @@ pub fn happens_before_edges(trace: &Trace) -> Vec<Edge> {
     let n_ranks = trace.defs.n_ranks();
     for rank in 0..n_ranks {
         for inst in crate::patterns::gather_barriers(&locals, rank, tpr) {
-            let recs: Vec<(usize, &crate::replay::BarrierRec)> = inst
-                .members
-                .iter()
-                .map(|&(loc, i)| (loc, &locals[loc].barriers[i]))
-                .collect();
+            let recs: Vec<(usize, &crate::replay::BarrierRec)> =
+                inst.members.iter().map(|&(loc, i)| (loc, &locals[loc].barriers[i])).collect();
             for &(floc, f) in &recs {
                 for &(tloc, t) in &recs {
                     if floc != tloc {
@@ -206,9 +203,8 @@ pub fn assign_lamport_postprocess(trace: &Trace) -> Vec<Vec<u64>> {
         incoming.entry(e.to).or_default().push(e.from);
     }
     let mut out: Vec<Vec<u64>> = trace.streams.iter().map(|s| vec![0; s.len()]).collect();
-    let mut order: Vec<EventId> = (0..n)
-        .flat_map(|l| (0..trace.streams[l].len()).map(move |i| (l, i)))
-        .collect();
+    let mut order: Vec<EventId> =
+        (0..n).flat_map(|l| (0..trace.streams[l].len()).map(move |i| (l, i))).collect();
     order.sort_by_key(|&(l, i)| (trace.streams[l][i].time, l, i));
     for (l, i) in order {
         let mut c = if i > 0 { out[l][i - 1] } else { 0 };

@@ -29,12 +29,8 @@ use nrlt_profile::{CallPathId, Metric, Profile};
 use std::collections::HashMap;
 
 /// Wait-state metrics subject to the intrinsic/extrinsic split.
-pub const WAIT_METRICS: [Metric; 4] = [
-    Metric::LateSender,
-    Metric::LateReceiver,
-    Metric::WaitNxN,
-    Metric::OmpBarrierWait,
-];
+pub const WAIT_METRICS: [Metric; 4] =
+    [Metric::LateSender, Metric::LateReceiver, Metric::WaitNxN, Metric::OmpBarrierWait];
 
 /// One classified wait cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -172,10 +168,7 @@ pub fn combine(physical: &Profile, logical: &Profile) -> CombinedReport {
         }
     }
     cells.sort_by(|a, b| {
-        b.physical
-            .partial_cmp(&a.physical)
-            .unwrap()
-            .then_with(|| a.path_string.cmp(&b.path_string))
+        b.physical.partial_cmp(&a.physical).unwrap().then_with(|| a.path_string.cmp(&b.path_string))
     });
     CombinedReport { cells }
 }

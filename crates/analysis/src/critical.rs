@@ -88,9 +88,7 @@ pub fn critical_path(trace: &Trace) -> CriticalPath {
         // Candidate predecessors: the previous event on the same
         // location, and the latest cross-location cause.
         let local = if cur.1 > 0 { Some((cur.0, cur.1 - 1)) } else { None };
-        let cross = incoming
-            .get(&cur)
-            .and_then(|v| v.iter().copied().max_by_key(|&e| (ts(e), e)));
+        let cross = incoming.get(&cur).and_then(|v| v.iter().copied().max_by_key(|&e| (ts(e), e)));
         let next = match (local, cross) {
             (Some(l), Some(c)) => {
                 // The later predecessor determined this event's time: a
@@ -138,8 +136,8 @@ pub fn critical_path(trace: &Trace) -> CriticalPath {
 mod tests {
     use super::*;
     use nrlt_trace::{
-        ClockKind, CollectiveOp, Definitions, Event, EventKind, LocationDef, RegionDef,
-        RegionRef, RegionRole, NO_ROOT,
+        ClockKind, CollectiveOp, Definitions, Event, EventKind, LocationDef, RegionDef, RegionRef,
+        RegionRole, NO_ROOT,
     };
 
     /// Two ranks: rank 1 computes 80 ticks, rank 0 computes 10 and waits
@@ -161,11 +159,12 @@ mod tests {
             clock: ClockKind::Physical,
         };
         let r = RegionRef;
-        let coll = |t| Event::new(t, EventKind::CollectiveEnd {
-            op: CollectiveOp::Allreduce,
-            bytes: 8,
-            root: NO_ROOT,
-        });
+        let coll = |t| {
+            Event::new(
+                t,
+                EventKind::CollectiveEnd { op: CollectiveOp::Allreduce, bytes: 8, root: NO_ROOT },
+            )
+        };
         let s0 = vec![
             Event::new(0, EventKind::Enter { region: r(0) }),
             Event::new(1, EventKind::Enter { region: r(1) }),
@@ -196,18 +195,14 @@ mod tests {
         let heavy_total: u64 = by_path
             .iter()
             .filter(|(p, _)| {
-                cp.call_tree
-                    .path_string(*p, |r| t.defs.region(r).name.clone())
-                    .contains("heavy")
+                cp.call_tree.path_string(*p, |r| t.defs.region(r).name.clone()).contains("heavy")
             })
             .map(|&(_, v)| v)
             .sum();
         let light_total: u64 = by_path
             .iter()
             .filter(|(p, _)| {
-                cp.call_tree
-                    .path_string(*p, |r| t.defs.region(r).name.clone())
-                    .contains("light")
+                cp.call_tree.path_string(*p, |r| t.defs.region(r).name.clone()).contains("light")
             })
             .map(|&(_, v)| v)
             .sum();
@@ -215,8 +210,7 @@ mod tests {
         assert_eq!(light_total, 0, "the waiting rank's work is off the path");
         // The walked path visits both locations (it ends on rank 0, which
         // finishes last, but came through rank 1's collective arrival).
-        let locs: std::collections::HashSet<usize> =
-            cp.events.iter().map(|e| e.0).collect();
+        let locs: std::collections::HashSet<usize> = cp.events.iter().map(|e| e.0).collect();
         assert_eq!(locs.len(), 2);
     }
 

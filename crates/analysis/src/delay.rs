@@ -147,13 +147,7 @@ mod tests {
     use crate::replay::{SegClass, Segment};
 
     fn seg(path: u32, start: u64, end: u64) -> Segment {
-        Segment {
-            path: CallPathId(path),
-            class: SegClass::Comp,
-            start,
-            end,
-            in_parallel: false,
-        }
+        Segment { path: CallPathId(path), class: SegClass::Comp, start, end, in_parallel: false }
     }
 
     #[test]
@@ -196,11 +190,7 @@ mod tests {
         // synced at 0.
         let locals = vec![
             LocalReplay { syncs: vec![], ..Default::default() },
-            LocalReplay {
-                segments: vec![seg(1, 0, 80)],
-                syncs: vec![],
-                ..Default::default()
-            },
+            LocalReplay { segments: vec![seg(1, 0, 80)], syncs: vec![], ..Default::default() },
         ];
         let idx = SpanIndex::build(&locals);
         let c = delay_for_wait(&idx, &locals, 0, 10, 1, 80, 70, true);

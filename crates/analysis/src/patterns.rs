@@ -77,13 +77,8 @@ pub fn match_messages(locals: &[LocalReplay], threads_per_rank: u32) -> Vec<Matc
     let mut out = Vec::new();
     for (key, send_list) in &sends {
         let post_list = posts.get(key).map_or(&[] as &[u64], Vec::as_slice);
-        let complete_list =
-            completes.get(key).map_or(&[] as &[(usize, usize)], Vec::as_slice);
-        assert_eq!(
-            send_list.len(),
-            complete_list.len(),
-            "unmatched traffic on channel {key:?}"
-        );
+        let complete_list = completes.get(key).map_or(&[] as &[(usize, usize)], Vec::as_slice);
+        assert_eq!(send_list.len(), complete_list.len(), "unmatched traffic on channel {key:?}");
         for k in 0..send_list.len() {
             let (sl, si) = send_list[k];
             let (rl, ri) = complete_list[k];
@@ -103,8 +98,7 @@ pub fn match_messages(locals: &[LocalReplay], threads_per_rank: u32) -> Vec<Matc
                     }
                 })
             });
-            let recv_post =
-                recv_post.unwrap_or_else(|| locals[rl].mpi_instances[c.instance].enter);
+            let recv_post = recv_post.unwrap_or_else(|| locals[rl].mpi_instances[c.instance].enter);
             out.push(MatchedMessage {
                 send_loc: sl,
                 send_idx: si,
@@ -155,33 +149,23 @@ pub fn gather_collectives(
     locals: &[LocalReplay],
     threads_per_rank: u32,
 ) -> Vec<CollectiveInstance> {
-    let masters: Vec<usize> =
-        (0..locals.len()).step_by(threads_per_rank as usize).collect();
+    let masters: Vec<usize> = (0..locals.len()).step_by(threads_per_rank as usize).collect();
     let mut instances: Vec<CollectiveInstance> = Vec::new();
     for &loc in &masters {
         for (idx, mi) in locals[loc].mpi_instances.iter().enumerate() {
             if let Some((op, seq)) = mi.collective {
                 let seq = seq as usize;
                 if instances.len() <= seq {
-                    instances.resize_with(seq + 1, || CollectiveInstance {
-                        op,
-                        members: Vec::new(),
-                    });
+                    instances
+                        .resize_with(seq + 1, || CollectiveInstance { op, members: Vec::new() });
                 }
-                assert_eq!(
-                    instances[seq].op, op,
-                    "collective order mismatch at sequence {seq}"
-                );
+                assert_eq!(instances[seq].op, op, "collective order mismatch at sequence {seq}");
                 instances[seq].members.push((loc, idx));
             }
         }
     }
     for (i, inst) in instances.iter().enumerate() {
-        assert_eq!(
-            inst.members.len(),
-            masters.len(),
-            "collective {i} is missing participants"
-        );
+        assert_eq!(inst.members.len(), masters.len(), "collective {i} is missing participants");
     }
     instances
 }
@@ -225,9 +209,7 @@ pub fn gather_barriers(
     type Occurrence = ((u32, usize), Vec<(usize, usize)>);
     let mut out: Vec<Occurrence> = instances.into_iter().collect();
     out.sort_by_key(|&((region, k), _)| (region, k));
-    out.into_iter()
-        .map(|(_, members)| BarrierInstance { members })
-        .collect()
+    out.into_iter().map(|(_, members)| BarrierInstance { members }).collect()
 }
 
 #[cfg(test)]

@@ -280,11 +280,7 @@ fn replay_location(
             }
             EventKind::CollectiveEnd { op, .. } => {
                 let instance = open_mpi.expect("collective end outside an MPI region");
-                let seq = r
-                    .mpi_instances
-                    .iter()
-                    .filter(|i| i.collective.is_some())
-                    .count() as u64;
+                let seq = r.mpi_instances.iter().filter(|i| i.collective.is_some()).count() as u64;
                 r.mpi_instances[instance].collective = Some((op, seq));
                 r.mpi_instances[instance].collective_end_ts = Some(ts);
                 r.syncs.push(ts);
@@ -450,7 +446,11 @@ mod tests {
                 ev(t_enter, EventKind::Enter { region: r1 }),
                 ev(
                     t_enter + 5,
-                    EventKind::CollectiveEnd { op: CollectiveOp::Allreduce, bytes: 8, root: u32::MAX },
+                    EventKind::CollectiveEnd {
+                        op: CollectiveOp::Allreduce,
+                        bytes: 8,
+                        root: u32::MAX,
+                    },
                 ),
                 ev(t_enter + 6, EventKind::Leave { region: r1 }),
             ]
@@ -461,11 +461,8 @@ mod tests {
         stream.push(ev(50, EventKind::Leave { region: r0 }));
         let trace = Trace { defs: defs(), streams: vec![stream] };
         let (_, locals) = replay(&trace);
-        let colls: Vec<u64> = locals[0]
-            .mpi_instances
-            .iter()
-            .filter_map(|i| i.collective.map(|(_, s)| s))
-            .collect();
+        let colls: Vec<u64> =
+            locals[0].mpi_instances.iter().filter_map(|i| i.collective.map(|(_, s)| s)).collect();
         assert_eq!(colls, vec![0, 1]);
     }
 }

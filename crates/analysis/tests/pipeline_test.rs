@@ -130,10 +130,9 @@ fn omp_barrier_wait_from_thread_imbalance() {
             // Iterations are perfectly balanced across threads in count,
             // so lt_loop sees no barrier wait — the paper's LULESH
             // observation.
-            ClockMode::LtLoop => assert!(
-                wait <= 4.0,
-                "lt_loop counts iterations, which are balanced: {wait}"
-            ),
+            ClockMode::LtLoop => {
+                assert!(wait <= 4.0, "lt_loop counts iterations, which are balanced: {wait}")
+            }
             _ => {
                 assert!(wait > 0.0, "{mode}: ramp must cause barrier waiting");
                 // Thread 0 (cheap half) waits more than thread 3.
@@ -194,8 +193,7 @@ fn lt1_overweights_call_dense_code() {
         });
     }
     let p = pb.finish();
-    let cfg = ExecConfig::jureca(1, JobLayout::block(1, 1), 1)
-        .with_noise(NoiseConfig::silent());
+    let cfg = ExecConfig::jureca(1, JobLayout::block(1, 1), 1).with_noise(NoiseConfig::silent());
     let tsc = run(&p, &cfg, ClockMode::Tsc);
     let lt1 = run(&p, &cfg, ClockMode::Lt1);
     let share = |prof: &Profile, path: &str| {
@@ -212,14 +210,8 @@ fn lt1_overweights_call_dense_code() {
     };
     let tsc_dense = share(&tsc, "main/call_dense");
     let lt1_dense = share(&lt1, "main/call_dense");
-    assert!(
-        (tsc_dense - 50.0).abs() < 15.0,
-        "tsc sees roughly equal halves: {tsc_dense:.1}"
-    );
-    assert!(
-        lt1_dense > 90.0,
-        "lt_1 must overweight the call-dense phase: {lt1_dense:.1}"
-    );
+    assert!((tsc_dense - 50.0).abs() < 15.0, "tsc sees roughly equal halves: {tsc_dense:.1}");
+    assert!(lt1_dense > 90.0, "lt_1 must overweight the call-dense phase: {lt1_dense:.1}");
 }
 
 #[test]
@@ -247,11 +239,7 @@ fn severity_is_conserved() {
     let cfg = ExecConfig::jureca(1, JobLayout::block(4, 1), 1);
     let prof = run(&p, &cfg, ClockMode::Tsc);
     let total = prof.total_time();
-    let parts: f64 = Metric::Time
-        .subtree()
-        .into_iter()
-        .map(|m| prof.metric_excl_total(m))
-        .sum();
+    let parts: f64 = Metric::Time.subtree().into_iter().map(|m| prof.metric_excl_total(m)).sum();
     assert!((total - parts).abs() < 1e-6);
     for m in Metric::ALL {
         assert!(prof.metric_excl_total(m) >= 0.0);

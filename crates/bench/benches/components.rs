@@ -1,13 +1,35 @@
-//! Criterion benchmarks of the hot components: trace encode/decode,
-//! message matching, trace analysis, the replay engine, and the Jaccard
-//! score.
+//! Micro-benchmarks of the hot components: trace encode/decode, message
+//! matching, trace analysis, the replay engine, and the Jaccard score.
+//!
+//! A dependency-free harness (criterion is unavailable offline): each
+//! benchmark runs a warm-up pass, then a fixed number of timed
+//! iterations, reporting min / mean wall time per iteration. Run with
+//! `cargo bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use nrlt_core::analysis::analyze;
 use nrlt_core::measure_sys::{measure, MeasureConfig};
 use nrlt_core::mpisim::{Channel, Matcher};
 use nrlt_core::prelude::*;
 use nrlt_core::trace::{decode, encode};
+use std::time::Instant;
+
+/// Time `f` over `iters` iterations after one warm-up call.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{name:<28} min {:>9.3} ms   mean {:>9.3} ms   ({iters} iters)",
+        min * 1e3,
+        mean * 1e3
+    );
+}
 
 /// A mid-size hybrid program for engine/analysis benches.
 fn workload() -> (Program, ExecConfig) {
@@ -38,86 +60,47 @@ fn workload() -> (Program, ExecConfig) {
     (pb.finish(), ExecConfig::jureca(1, JobLayout::block(ranks, 4), 7))
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let (program, cfg) = workload();
-    let mut group = c.benchmark_group("engine");
-    group.bench_function("execute_reference", |b| {
-        b.iter(|| nrlt_core::exec::execute(&program, &cfg, &mut NullObserver))
+    println!("== engine ==");
+    bench("execute_reference", 10, || nrlt_core::exec::execute(&program, &cfg, &mut NullObserver));
+    bench("execute_traced_tsc", 10, || {
+        measure(&program, &cfg, &MeasureConfig::new(ClockMode::Tsc))
     });
-    group.bench_function("execute_traced_tsc", |b| {
-        b.iter(|| measure(&program, &cfg, &MeasureConfig::new(ClockMode::Tsc)))
+    bench("execute_traced_lt_stmt", 10, || {
+        measure(&program, &cfg, &MeasureConfig::new(ClockMode::LtStmt))
     });
-    group.bench_function("execute_traced_lt_stmt", |b| {
-        b.iter(|| measure(&program, &cfg, &MeasureConfig::new(ClockMode::LtStmt)))
-    });
-    group.finish();
-}
 
-fn bench_trace_io(c: &mut Criterion) {
-    let (program, cfg) = workload();
+    println!("== trace_io ==");
     let (trace, _) = measure(&program, &cfg, &MeasureConfig::new(ClockMode::Tsc));
+    println!("({} events)", trace.total_events());
+    bench("encode", 20, || encode(&trace));
     let bytes = encode(&trace);
-    let mut group = c.benchmark_group("trace_io");
-    group.throughput(Throughput::Elements(trace.total_events() as u64));
-    group.bench_function("encode", |b| b.iter(|| encode(&trace)));
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("decode", |b| b.iter(|| decode(&bytes).unwrap()));
-    group.finish();
-}
+    bench("decode", 20, || decode(&bytes).unwrap());
 
-fn bench_analysis(c: &mut Criterion) {
-    let (program, cfg) = workload();
-    let (trace, _) = measure(&program, &cfg, &MeasureConfig::new(ClockMode::Tsc));
-    let mut group = c.benchmark_group("analysis");
-    group.throughput(Throughput::Elements(trace.total_events() as u64));
-    group.bench_function("analyze_full", |b| b.iter(|| analyze(&trace)));
-    group.bench_function("analyze_no_delay", |b| {
-        b.iter(|| {
-            nrlt_core::analysis::analyze_with(
-                &trace,
-                &nrlt_core::analysis::AnalysisConfig { delay_costs: false, workers: 0 },
-            )
-        })
-    });
-    group.finish();
-}
-
-fn bench_matcher(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matching");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("post_10k_pairs", |b| {
-        b.iter_batched(
-            Matcher::<u64, u64>::new,
-            |mut m| {
-                for i in 0..10_000u64 {
-                    let ch = Channel { src: (i % 16) as u32, dst: ((i + 1) % 16) as u32, tag: 0 };
-                    m.post_send(ch, 1024, i);
-                    m.post_recv(ch, 1024, i);
-                }
-                m
-            },
-            BatchSize::SmallInput,
+    println!("== analysis ==");
+    bench("analyze_full", 10, || analyze(&trace));
+    bench("analyze_no_delay", 10, || {
+        nrlt_core::analysis::analyze_with(
+            &trace,
+            &nrlt_core::analysis::AnalysisConfig { delay_costs: false, workers: 0 },
         )
     });
-    group.finish();
-}
 
-fn bench_jaccard(c: &mut Criterion) {
+    println!("== matching ==");
+    bench("post_10k_pairs", 20, || {
+        let mut m = Matcher::<u64, u64>::new();
+        for i in 0..10_000u64 {
+            let ch = Channel { src: (i % 16) as u32, dst: ((i + 1) % 16) as u32, tag: 0 };
+            m.post_send(ch, 1024, i);
+            m.post_recv(ch, 1024, i);
+        }
+        m
+    });
+
+    println!("== profile ==");
     use std::collections::HashMap;
     let a: HashMap<u64, f64> = (0..10_000).map(|i| (i, (i % 97) as f64)).collect();
     let b: HashMap<u64, f64> = (0..10_000).map(|i| (i + 500, (i % 89) as f64)).collect();
-    let mut group = c.benchmark_group("profile");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("jaccard_10k_cells", |bch| bch.iter(|| jaccard(&a, &b)));
-    group.finish();
+    bench("jaccard_10k_cells", 50, || jaccard(&a, &b));
 }
-
-criterion_group!(
-    benches,
-    bench_engine,
-    bench_trace_io,
-    bench_analysis,
-    bench_matcher,
-    bench_jaccard
-);
-criterion_main!(benches);

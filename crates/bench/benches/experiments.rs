@@ -1,12 +1,34 @@
 //! End-to-end experiment benchmarks: one group per table/figure, each
 //! timing the full pipeline (reference runs + measurement + analysis)
 //! that regenerates the corresponding result, at reduced repetition
-//! count. `cargo bench` therefore exercises every experiment of the
-//! paper; the printing front-ends live in `src/bin/`.
+//! count. `cargo bench --bench experiments` therefore exercises every
+//! experiment of the paper; the printing front-ends live in `src/bin/`.
+//!
+//! Uses the same dependency-free harness as `components.rs` (criterion
+//! is unavailable offline): warm-up, fixed iterations, min / mean.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nrlt_core::prelude::*;
-use nrlt_miniapps::{LuleshConfig, LuleshCosts, MiniFeConfig, MiniFeCosts, TeaLeafConfig, TeaLeafCosts};
+use nrlt_miniapps::{
+    LuleshConfig, LuleshCosts, MiniFeConfig, MiniFeCosts, TeaLeafConfig, TeaLeafCosts,
+};
+use std::time::Instant;
+
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{name:<32} min {:>9.3} ms   mean {:>9.3} ms   ({iters} iters)",
+        min * 1e3,
+        mean * 1e3
+    );
+}
 
 fn quick() -> ExperimentOptions {
     ExperimentOptions { repetitions: 2, ..Default::default() }
@@ -51,97 +73,47 @@ fn tealeaf_small(ranks: u32, threads: u32) -> BenchmarkInstance {
     .build()
 }
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_table1");
-    g.sample_size(10);
+fn main() {
+    println!("== exp_table1 ==");
     let mf = minife_small(16);
-    g.bench_function("minife2_overheads", |b| b.iter(|| run_experiment(&mf, &quick())));
+    bench("minife2_overheads", 3, || run_experiment(&mf, &quick()));
     let lu = lulesh_small();
-    g.bench_function("lulesh1_overheads", |b| b.iter(|| run_experiment(&lu, &quick())));
-    g.finish();
-}
+    bench("lulesh1_overheads", 3, || run_experiment(&lu, &quick()));
 
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_table2");
-    g.sample_size(10);
+    println!("== exp_table2 ==");
     for (ranks, threads) in [(2u32, 64u32), (128, 1)] {
         let tl = tealeaf_small(ranks, threads);
         let opts = ExperimentOptions { modes: vec![ClockMode::Tsc], ..quick() };
-        g.bench_function(format!("tealeaf_{ranks}x{threads}_tsc"), |b| {
-            b.iter(|| run_experiment(&tl, &opts))
-        });
+        bench(&format!("tealeaf_{ranks}x{threads}_tsc"), 3, || run_experiment(&tl, &opts));
     }
-    g.finish();
-}
 
-fn bench_fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_fig2");
-    g.sample_size(10);
-    let mf = minife_small(16);
+    println!("== exp_fig2 ==");
     let opts = ExperimentOptions { modes: vec![ClockMode::Tsc, ClockMode::LtBb], ..quick() };
-    g.bench_function("structure_gen_repetitions", |b| b.iter(|| run_experiment(&mf, &opts)));
-    g.finish();
-}
+    bench("structure_gen_repetitions", 3, || run_experiment(&mf, &opts));
 
-fn bench_fig3_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_fig3_fig4");
-    g.sample_size(10);
-    let mf = minife_small(1);
-    g.bench_function("jaccard_minife1", |b| {
-        b.iter(|| {
-            let res = run_experiment(&mf, &quick());
-            ClockMode::LOGICAL.map(|m| res.jaccard_vs_tsc(m))
-        })
+    println!("== exp_fig3_fig4 ==");
+    let mf1 = minife_small(1);
+    bench("jaccard_minife1", 3, || {
+        let res = run_experiment(&mf1, &quick());
+        ClockMode::LOGICAL.map(|m| res.jaccard_vs_tsc(m))
     });
     let tl = tealeaf_small(8, 16);
-    g.bench_function("jaccard_tealeaf3", |b| {
-        b.iter(|| {
-            let res = run_experiment(&tl, &quick());
-            ClockMode::LOGICAL.map(|m| res.jaccard_vs_tsc(m))
-        })
+    bench("jaccard_tealeaf3", 3, || {
+        let res = run_experiment(&tl, &quick());
+        ClockMode::LOGICAL.map(|m| res.jaccard_vs_tsc(m))
     });
-    g.finish();
-}
 
-fn bench_fig5_to_7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_fig5_fig6_fig7");
-    g.sample_size(10);
-    let mf = minife_small(16);
-    g.bench_function("minife2_callpath_views", |b| {
-        b.iter(|| {
-            let res = run_experiment(&mf, &quick());
-            let p = &res.mode(ClockMode::Tsc).mean;
-            (
-                p.map_c(Metric::Comp),
-                p.map_c(Metric::WaitNxN),
-                p.pct_t(Metric::IdleThreads),
-            )
-        })
+    println!("== exp_fig5_fig6_fig7 ==");
+    bench("minife2_callpath_views", 3, || {
+        let res = run_experiment(&mf, &quick());
+        let p = &res.mode(ClockMode::Tsc).mean;
+        (p.map_c(Metric::Comp), p.map_c(Metric::WaitNxN), p.pct_t(Metric::IdleThreads))
     });
-    g.finish();
-}
 
-fn bench_fig8_fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exp_fig8_fig9");
-    g.sample_size(10);
-    let lu = lulesh_small();
-    g.bench_function("lulesh1_paradigms_and_delay", |b| {
-        b.iter(|| {
-            let res = run_experiment(&lu, &quick());
-            let p = &res.mode(ClockMode::Tsc).mean;
-            (p.pct_t(Metric::Omp), p.map_c(Metric::DelayN2n))
-        })
+    println!("== exp_fig8_fig9 ==");
+    bench("lulesh1_paradigms_and_delay", 3, || {
+        let res = run_experiment(&lu, &quick());
+        let p = &res.mode(ClockMode::Tsc).mean;
+        (p.pct_t(Metric::Omp), p.map_c(Metric::DelayN2n))
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_table2,
-    bench_fig2,
-    bench_fig3_fig4,
-    bench_fig5_to_7,
-    bench_fig8_fig9
-);
-criterion_main!(benches);

@@ -1,12 +1,13 @@
 //! Calibration dashboard: key numbers for every configuration, compared
 //! against the paper's headline values (development tool).
 
-use nrlt_bench::{header, modes, run_named};
+use nrlt_bench::{header, modes, Harness};
 use nrlt_core::prelude::*;
 use nrlt_core::profile::callpath_table;
 use std::time::Instant;
 
 fn main() {
+    let mut h = Harness::from_env("calib");
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
     let detail = args.iter().any(|a| a == "--detail");
@@ -16,7 +17,7 @@ fn main() {
         .collect();
     for instance in configs {
         let t0 = Instant::now();
-        let res = run_named(&instance);
+        let res = h.run_named(&instance);
         header(&format!("{} (wall {:?})", res.name, t0.elapsed()));
         println!("reference total: {}", res.reference_time());
         for mode in modes() {
@@ -47,4 +48,5 @@ fn main() {
             }
         }
     }
+    h.finish();
 }

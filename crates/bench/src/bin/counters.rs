@@ -5,16 +5,17 @@
 //! Compares three virtual counters on MiniFE-1 and LULESH-2:
 //! instructions (the paper's), memory traffic, and a combined model.
 
-use nrlt_bench::header;
+use nrlt_bench::{header, Harness};
+use nrlt_core::measure_config_for;
 use nrlt_core::measure_sys::HwCounterSource;
 use nrlt_core::prelude::*;
-use nrlt_core::{measure_config_for, run_mode, run_mode_with};
 
 fn options() -> ExperimentOptions {
     ExperimentOptions { repetitions: 3, ..Default::default() }
 }
 
 fn main() {
+    let mut h = Harness::from_env("counters");
     let sources = [
         ("instructions", HwCounterSource::Instructions),
         ("mem_traffic", HwCounterSource::MemoryTraffic),
@@ -23,7 +24,7 @@ fn main() {
 
     for instance in [minife_1(), lulesh_2()] {
         header(&format!("hwctr counter study on {}", instance.name));
-        let tsc = run_mode(&instance, ClockMode::Tsc, &options());
+        let tsc = h.run_mode(&instance, ClockMode::Tsc, &options());
         let tsc_map = tsc.mean.map_mc();
         println!(
             "{:<14} {:>9} {:>9} | {:>7} {:>7} {:>7}",
@@ -41,7 +42,7 @@ fn main() {
         for (name, source) in sources {
             let mut mcfg = measure_config_for(&instance, ClockMode::LtHwctr);
             mcfg.effort.hwctr_source = source;
-            let res = run_mode_with(&instance, mcfg, &options());
+            let res = h.run_mode_with(&instance, mcfg, &options());
             println!(
                 "{:<14} {:>9.3} {:>9.3} | {:>7.1} {:>7.1} {:>7.1}",
                 name,
@@ -57,4 +58,5 @@ fn main() {
     println!("The traffic counter is exactly repeatable (no spin ticks) but loses");
     println!("the extrinsic waits that made instructions interesting; the combined");
     println!("counter trades between the two — the design space the paper sketches.");
+    h.finish();
 }

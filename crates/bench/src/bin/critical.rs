@@ -3,18 +3,30 @@
 //! critical-path analysis applied to the paper's question ("can we draw
 //! useful conclusions from logical event traces?").
 
-use nrlt_bench::header;
+use nrlt_bench::{header, Harness};
 use nrlt_core::analysis::critical_path;
-use nrlt_core::measure_sys::{measure, MeasureConfig};
-use nrlt_core::prelude::*;
 use nrlt_core::exec_config_for;
+use nrlt_core::measure_sys::{measure_telemetry, MeasureConfig};
+use nrlt_core::prelude::*;
 
 fn main() {
+    let mut h = Harness::from_env("critical");
     for instance in [minife_1(), lulesh_1()] {
         header(&format!("critical path of {}", instance.name));
         for mode in [ClockMode::Tsc, ClockMode::LtStmt] {
             let cfg = exec_config_for(&instance, &NoiseConfig::realistic(), 1000);
-            let (trace, _) = measure(&instance.program, &cfg, &MeasureConfig::new(mode));
+            h.note_run(
+                &format!("critical:{}:{}", instance.name, mode.name()),
+                "single run",
+                1000,
+                1,
+            );
+            let (trace, _) = measure_telemetry(
+                &instance.program,
+                &cfg,
+                &MeasureConfig::new(mode),
+                h.telemetry(),
+            );
             let cp = critical_path(&trace);
             println!(
                 "{}: length {} ticks, {} hops, {:.0}% attributed to computation",
@@ -24,9 +36,7 @@ fn main() {
                 cp.attributed_fraction() * 100.0
             );
             for (path, ticks) in cp.by_callpath().into_iter().take(5) {
-                let name = cp
-                    .call_tree
-                    .path_string(path, |r| trace.defs.region(r).name.clone());
+                let name = cp.call_tree.path_string(path, |r| trace.defs.region(r).name.clone());
                 println!("  {:>5.1}%  {}", 100.0 * ticks as f64 / cp.length as f64, name);
             }
         }
@@ -34,4 +44,5 @@ fn main() {
     }
     println!("Both clocks rank the same routines at the top of the critical path:");
     println!("the noise-resilient view is good enough to pick optimisation targets.");
+    h.finish();
 }

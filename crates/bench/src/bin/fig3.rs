@@ -3,13 +3,14 @@
 //! MiniFE-1/2 and LULESH-1/2, plus the minimal run-to-run scores of the
 //! noise-sensitive modes.
 
-use nrlt_bench::{header, run_named, score};
+use nrlt_bench::{header, score, Harness};
 use nrlt_core::prelude::*;
 
 fn main() {
+    let mut h = Harness::from_env("fig3");
     header("Fig 3: J_(M,C) similarity to tsc (MiniFE, LULESH)");
     let experiments = [minife_1(), minife_2(), lulesh_1(), lulesh_2()];
-    let results: Vec<_> = experiments.iter().map(run_named).collect();
+    let results: Vec<_> = experiments.iter().map(|i| h.run_named(i)).collect();
     print!("{:<10}", "Mode");
     for r in &results {
         print!(" {:>9}", r.name);
@@ -31,4 +32,5 @@ fn main() {
         println!();
     }
     println!("(all other logical modes repeat exactly: run-to-run score = 1.00)");
+    h.finish();
 }

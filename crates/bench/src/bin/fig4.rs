@@ -1,13 +1,14 @@
 //! Figure 4: similarity of the logical measurements to tsc for the four
 //! TeaLeaf configurations (J_(M,C)), with run-to-run minima.
 
-use nrlt_bench::{header, run_named, score};
+use nrlt_bench::{header, score, Harness};
 use nrlt_core::prelude::*;
 
 fn main() {
+    let mut h = Harness::from_env("fig4");
     header("Fig 4: J_(M,C) similarity to tsc (TeaLeaf)");
     let experiments = [tealeaf_1(), tealeaf_2(), tealeaf_3(), tealeaf_4()];
-    let results: Vec<_> = experiments.iter().map(run_named).collect();
+    let results: Vec<_> = experiments.iter().map(|i| h.run_named(i)).collect();
     print!("{:<10}", "Mode");
     for r in &results {
         print!(" {:>10}", r.name);
@@ -28,4 +29,5 @@ fn main() {
         }
         println!();
     }
+    h.finish();
 }

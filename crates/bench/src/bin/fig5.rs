@@ -1,13 +1,15 @@
 //! Figure 5: MiniFE-1 and MiniFE-2 — contributions of selected call
 //! paths to user computation (metric `comp`, in %_M), per clock mode.
 
-use nrlt_bench::{callpath_bars, header, run_named};
+use nrlt_bench::{callpath_bars, header, Harness};
 use nrlt_core::prelude::*;
 
 fn main() {
+    let mut h = Harness::from_env("fig5");
     for instance in [minife_1(), minife_2()] {
-        let res = run_named(&instance);
+        let res = h.run_named(&instance);
         header(&format!("Fig 5: {} call-path contributions to comp", res.name));
         callpath_bars(&res, Metric::Comp, 3.0);
     }
+    h.finish();
 }

@@ -1,13 +1,15 @@
 //! Figure 6: MiniFE-1 and MiniFE-2 — contributions of selected call
 //! paths to all-to-all wait time (metric `wait_nxn`, in %_M).
 
-use nrlt_bench::{callpath_bars, header, run_named};
+use nrlt_bench::{callpath_bars, header, Harness};
 use nrlt_core::prelude::*;
 
 fn main() {
+    let mut h = Harness::from_env("fig6");
     for instance in [minife_1(), minife_2()] {
-        let res = run_named(&instance);
+        let res = h.run_named(&instance);
         header(&format!("Fig 6: {} call-path contributions to wait_nxn", res.name));
         callpath_bars(&res, Metric::WaitNxN, 2.0);
     }
+    h.finish();
 }

@@ -1,11 +1,12 @@
 //! Figure 8: LULESH-1 — time in user computation, OpenMP, MPI and idle
 //! threads relative to total run time (%_T), per clock mode.
 
-use nrlt_bench::{header, run_named};
+use nrlt_bench::{header, Harness};
 use nrlt_core::prelude::*;
 
 fn main() {
-    let res = run_named(&lulesh_1());
+    let mut h = Harness::from_env("fig8");
+    let res = h.run_named(&lulesh_1());
     header("Fig 8: LULESH-1 paradigm split (%_T)");
     println!("{:<10} {:>7} {:>7} {:>7} {:>7}", "Mode", "comp", "omp", "mpi", "idle");
     for m in &res.modes {
@@ -18,4 +19,5 @@ fn main() {
             m.mean.pct_t(Metric::IdleThreads),
         );
     }
+    h.finish();
 }

@@ -2,13 +2,15 @@
 //! computation (9a) and to the delay costs of MPI all-to-all wait
 //! states (9b), per clock mode.
 
-use nrlt_bench::{callpath_bars, header, run_named};
+use nrlt_bench::{callpath_bars, header, Harness};
 use nrlt_core::prelude::*;
 
 fn main() {
-    let res = run_named(&lulesh_1());
+    let mut h = Harness::from_env("fig9");
+    let res = h.run_named(&lulesh_1());
     header("Fig 9a: LULESH-1 call-path contributions to comp");
     callpath_bars(&res, Metric::Comp, 3.0);
     header("Fig 9b: LULESH-1 call-path contributions to delay_mpi_collective_n2n");
     callpath_bars(&res, Metric::DelayN2n, 3.0);
+    h.finish();
 }

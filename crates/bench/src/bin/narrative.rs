@@ -1,7 +1,7 @@
 //! The headline percentages of Section V-C, printed next to the paper's
 //! values so EXPERIMENTS.md can record paper-vs-measured per claim.
 
-use nrlt_bench::{header, run_named};
+use nrlt_bench::{header, Harness};
 use nrlt_core::prelude::*;
 use nrlt_core::ExperimentResult;
 
@@ -12,16 +12,14 @@ fn claim(what: &str, paper: f64, measured: f64) {
 fn share(res: &ExperimentResult, mode: ClockMode, metric: Metric, region: &str) -> f64 {
     let p = &res.mode(mode).mean;
     let map = p.map_c(metric);
-    map.iter()
-        .filter(|(c, _)| p.path_string(**c).contains(region))
-        .map(|(_, v)| v)
-        .sum()
+    map.iter().filter(|(c, _)| p.path_string(**c).contains(region)).map(|(_, v)| v).sum()
 }
 
 fn main() {
+    let mut h = Harness::from_env("narrative");
     header("Section V-C narrative claims (all values %_T unless noted %_M)");
 
-    let mf1 = run_named(&minife_1());
+    let mf1 = h.run_named(&minife_1());
     let tsc = &mf1.mode(ClockMode::Tsc).mean;
     println!("\n-- MiniFE-1 --");
     claim("tsc: time in computation", 60.0, tsc.pct_t(Metric::Comp));
@@ -53,14 +51,10 @@ fn main() {
     );
     for m in ClockMode::LOGICAL {
         let p = &mf1.mode(m).mean;
-        claim(
-            &format!("{m}: computation (paper range 62-68)"),
-            65.0,
-            p.pct_t(Metric::Comp),
-        );
+        claim(&format!("{m}: computation (paper range 62-68)"), 65.0, p.pct_t(Metric::Comp));
     }
 
-    let mf2 = run_named(&minife_2());
+    let mf2 = h.run_named(&minife_2());
     let tsc = &mf2.mode(ClockMode::Tsc).mean;
     println!("\n-- MiniFE-2 --");
     claim("tsc: idle threads", 58.0, tsc.pct_t(Metric::IdleThreads));
@@ -98,7 +92,7 @@ fn main() {
         mf2.mode(ClockMode::LtLoop).mean.pct_t(Metric::IdleThreads),
     );
 
-    let lu1 = run_named(&lulesh_1());
+    let lu1 = h.run_named(&lulesh_1());
     let tsc = &lu1.mode(ClockMode::Tsc).mean;
     println!("\n-- LULESH-1 --");
     claim("tsc: computation", 78.0, tsc.pct_t(Metric::Comp));
@@ -128,7 +122,7 @@ fn main() {
         share(&lu1, ClockMode::LtBb, Metric::DelayN2n, "ApplyMaterial"),
     );
 
-    let lu2 = run_named(&lulesh_2());
+    let lu2 = h.run_named(&lulesh_2());
     println!("\n-- LULESH-2 --");
     claim(
         "tsc: late-sender wait (uneven NUMA occupancy)",
@@ -153,8 +147,8 @@ fn main() {
         lu2.mode(ClockMode::LtHwctr).mean.pct_t(Metric::LateSender),
     );
 
-    let tl2 = run_named(&tealeaf_2());
-    let tl4 = run_named(&tealeaf_4());
+    let tl2 = h.run_named(&tealeaf_2());
+    let tl4 = h.run_named(&tealeaf_4());
     println!("\n-- TeaLeaf --");
     claim(
         "TeaLeaf-2 tsc: OpenMP time (skewed by measurement)",
@@ -186,4 +180,5 @@ fn main() {
             tl4.mode(m).mean.pct_t(Metric::Mpi),
         );
     }
+    h.finish();
 }

@@ -1,14 +1,15 @@
 //! Table I: measurement overheads for MiniFE-2 (init/solve/total),
 //! LULESH-1 and TeaLeaf-2 under each clock mode.
 
-use nrlt_bench::{header, modes, pct, run_named};
+use nrlt_bench::{header, modes, pct, Harness};
 use nrlt_core::prelude::*;
 
 fn main() {
+    let mut h = Harness::from_env("table1");
     header("Table I: measurement overheads / %");
-    let minife2 = run_named(&minife_2());
-    let lulesh1 = run_named(&lulesh_1());
-    let tealeaf2 = run_named(&tealeaf_2());
+    let minife2 = h.run_named(&minife_2());
+    let lulesh1 = h.run_named(&lulesh_1());
+    let tealeaf2 = h.run_named(&tealeaf_2());
     println!(
         "{:<9} {:>8} {:>8} {:>8} | {:>9} | {:>9}",
         "Mode", "MF2-init", "MF2-slv", "MF2-tot", "LULESH-1", "TeaLeaf-2"
@@ -24,4 +25,5 @@ fn main() {
             pct(tealeaf2.overhead_total(mode)),
         );
     }
+    h.finish();
 }

@@ -1,17 +1,18 @@
 //! Table II: TeaLeaf run times and tsc measurement overheads for the
 //! four rank/thread splits of one node.
 
-use nrlt_bench::{header, run_named};
+use nrlt_bench::{header, Harness};
 use nrlt_core::prelude::*;
 
 fn main() {
+    let mut h = Harness::from_env("table2");
     header("Table II: TeaLeaf run times and tsc overheads");
     println!(
         "{:<11} {:>5} | {:>10} {:>10} | {:>10}",
         "Name", "Ranks", "Ref/s", "tsc/s", "overhead/%"
     );
     for instance in [tealeaf_1(), tealeaf_2(), tealeaf_3(), tealeaf_4()] {
-        let res = run_named(&instance);
+        let res = h.run_named(&instance);
         let reference = res.reference_time();
         let tsc = res.mode(ClockMode::Tsc).mean_run_time();
         println!(
@@ -25,4 +26,5 @@ fn main() {
     }
     println!("\n(Virtual seconds; the simulated problem runs fewer CG iterations than");
     println!(" tea_bm_5, so absolute times are smaller than the paper's by design.)");
+    h.finish();
 }

@@ -10,6 +10,9 @@
 
 use nrlt_core::prelude::*;
 use nrlt_core::ExperimentResult;
+use nrlt_telemetry::{write_exports, Manifest, RunInfo, Telemetry};
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// The standard options used for all paper experiments.
 pub fn paper_options() -> ExperimentOptions {
@@ -19,6 +22,128 @@ pub fn paper_options() -> ExperimentOptions {
 /// Run one named configuration under the standard protocol.
 pub fn run_named(instance: &BenchmarkInstance) -> ExperimentResult {
     run_experiment(instance, &paper_options())
+}
+
+/// Per-binary telemetry harness.
+///
+/// Every figure/table binary accepts `--telemetry <dir>` (also
+/// `--telemetry=<dir>`). Without the flag the harness is inert: no
+/// [`Telemetry`] handle exists, the pipeline runs on its `None` paths,
+/// and output is byte-identical to before the flag existed. With the
+/// flag, [`Harness::finish`] writes `manifest.json`, `metrics.jsonl`,
+/// `pipeline.trace.json`, and `summary.txt` into the directory.
+pub struct Harness {
+    tel: Option<Telemetry>,
+    manifest: Manifest,
+    dir: Option<PathBuf>,
+    started: Instant,
+}
+
+impl Harness {
+    /// Build a harness for binary `bin`, reading `--telemetry <dir>`
+    /// from the command line.
+    pub fn from_env(bin: &str) -> Harness {
+        let mut dir = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--telemetry" {
+                dir = args.next().map(PathBuf::from);
+            } else if let Some(d) = a.strip_prefix("--telemetry=") {
+                dir = Some(PathBuf::from(d));
+            }
+        }
+        Harness {
+            tel: dir.as_ref().map(|_| Telemetry::new()),
+            manifest: Manifest::new(bin),
+            dir,
+            started: Instant::now(),
+        }
+    }
+
+    /// The telemetry sink to thread into the pipeline (`None` without
+    /// `--telemetry`).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.tel.as_ref()
+    }
+
+    fn push_run(
+        &mut self,
+        name: String,
+        instance: &BenchmarkInstance,
+        options: &ExperimentOptions,
+    ) {
+        self.manifest.runs.push(RunInfo {
+            name,
+            config: format!(
+                "{} nodes × {} ranks × {} threads",
+                instance.nodes, instance.layout.ranks, instance.layout.threads_per_rank
+            ),
+            seed: options.base_seed,
+            repetitions: options.repetitions,
+        });
+    }
+
+    /// [`run_named`] through the harness.
+    pub fn run_named(&mut self, instance: &BenchmarkInstance) -> ExperimentResult {
+        self.run_experiment(instance, &paper_options())
+    }
+
+    /// [`nrlt_core::run_experiment`] through the harness.
+    pub fn run_experiment(
+        &mut self,
+        instance: &BenchmarkInstance,
+        options: &ExperimentOptions,
+    ) -> ExperimentResult {
+        self.push_run(instance.name.clone(), instance, options);
+        nrlt_core::run_experiment_telemetry(instance, options, self.tel.as_ref())
+    }
+
+    /// [`nrlt_core::run_mode`] through the harness.
+    pub fn run_mode(
+        &mut self,
+        instance: &BenchmarkInstance,
+        mode: ClockMode,
+        options: &ExperimentOptions,
+    ) -> ModeResult {
+        self.push_run(format!("{}:{}", instance.name, mode.name()), instance, options);
+        nrlt_core::run_mode_telemetry(instance, mode, options, self.tel.as_ref())
+    }
+
+    /// [`nrlt_core::run_mode_with`] through the harness.
+    pub fn run_mode_with(
+        &mut self,
+        instance: &BenchmarkInstance,
+        mcfg: MeasureConfig,
+        options: &ExperimentOptions,
+    ) -> ModeResult {
+        self.push_run(format!("{}:{}", instance.name, mcfg.mode.name()), instance, options);
+        nrlt_core::run_mode_with_telemetry(instance, mcfg, options, self.tel.as_ref())
+    }
+
+    /// Record a manifest row for a run the harness did not drive itself
+    /// (binaries that call `measure`/`execute` directly).
+    pub fn note_run(&mut self, name: &str, config: &str, seed: u64, repetitions: u32) {
+        self.manifest.runs.push(RunInfo {
+            name: name.to_owned(),
+            config: config.to_owned(),
+            seed,
+            repetitions,
+        });
+    }
+
+    /// Write the telemetry bundle, if `--telemetry` was given. Returns
+    /// the directory written to.
+    pub fn finish(mut self) -> Option<PathBuf> {
+        let dir = self.dir.take()?;
+        let tel = self.tel.take()?;
+        self.manifest.wall_seconds = self.started.elapsed().as_secs_f64();
+        if let Err(e) = write_exports(&dir, &tel, &self.manifest) {
+            eprintln!("warning: could not write telemetry to {}: {e}", dir.display());
+            return None;
+        }
+        eprintln!("telemetry bundle written to {}", dir.display());
+        Some(dir)
+    }
 }
 
 /// Scaled-down experiment options for smoke tests and criterion
@@ -60,11 +185,9 @@ pub fn callpath_bars(result: &ExperimentResult, metric: Metric, min_pct: f64) {
     for (i, m) in result.modes.iter().enumerate() {
         for (path, v) in m.mean.map_c(metric) {
             if v >= min_pct {
-                rows.entry(m.mean.path_string(path))
-                    .or_insert_with(|| vec![0.0; n_modes])[i] = v;
+                rows.entry(m.mean.path_string(path)).or_insert_with(|| vec![0.0; n_modes])[i] = v;
             } else {
-                rows.entry("(other)".into())
-                    .or_insert_with(|| vec![0.0; n_modes])[i] += v;
+                rows.entry("(other)".into()).or_insert_with(|| vec![0.0; n_modes])[i] += v;
             }
         }
     }
@@ -76,11 +199,7 @@ pub fn callpath_bars(result: &ExperimentResult, metric: Metric, min_pct: f64) {
     let mut entries: Vec<_> = rows.into_iter().collect();
     entries.sort_by(|a, b| b.1[0].partial_cmp(&a.1[0]).unwrap());
     for (path, values) in entries {
-        let label = if path.len() > 70 {
-            format!("…{}", &path[path.len() - 69..])
-        } else {
-            path
-        };
+        let label = if path.len() > 70 { format!("…{}", &path[path.len() - 69..]) } else { path };
         print!("{label:<72}");
         for v in values {
             print!(" {v:>8.1}");

@@ -11,13 +11,14 @@
 //! 4. compare: overheads against the reference, Jaccard scores against
 //!    `tsc`, minimum run-to-run Jaccard within each mode.
 
-use nrlt_analysis::analyze;
+use nrlt_analysis::{analyze_telemetry, AnalysisConfig};
 use nrlt_exec::{overhead_percent, ExecConfig, ExecResult};
-use nrlt_measure::{measure, reference_run, ClockMode, FilterRules, MeasureConfig};
+use nrlt_measure::{measure_telemetry, reference_run, ClockMode, FilterRules, MeasureConfig};
 use nrlt_miniapps::BenchmarkInstance;
 use nrlt_profile::{jaccard, min_pairwise_jaccard, Profile};
 use nrlt_prog::PhaseId;
 use nrlt_sim::{NoiseConfig, VirtualDuration};
+use nrlt_telemetry::Telemetry;
 use std::collections::BTreeMap;
 
 /// Options of one experiment.
@@ -67,12 +68,8 @@ impl ModeResult {
 
     /// Mean instrumented duration of a named phase.
     pub fn mean_phase(&self, phase: &str) -> VirtualDuration {
-        let values: Vec<VirtualDuration> = self
-            .phase_times
-            .iter()
-            .filter_map(|m| m.get(phase))
-            .copied()
-            .collect();
+        let values: Vec<VirtualDuration> =
+            self.phase_times.iter().filter_map(|m| m.get(phase)).copied().collect();
         mean_duration(&values)
     }
 
@@ -118,8 +115,7 @@ impl ExperimentResult {
             Some(i) => PhaseId(i as u32),
             None => return VirtualDuration::ZERO,
         };
-        let values: Vec<VirtualDuration> =
-            self.reference.iter().map(|r| r.phase_max(id)).collect();
+        let values: Vec<VirtualDuration> = self.reference.iter().map(|r| r.phase_max(id)).collect();
         mean_duration(&values)
     }
 
@@ -150,13 +146,8 @@ fn mean_duration(values: &[VirtualDuration]) -> VirtualDuration {
 }
 
 /// The [`ExecConfig`] for one repetition of an instance.
-pub fn exec_config_for(
-    instance: &BenchmarkInstance,
-    noise: &NoiseConfig,
-    seed: u64,
-) -> ExecConfig {
-    ExecConfig::jureca(instance.nodes, instance.layout.clone(), seed)
-        .with_noise(noise.clone())
+pub fn exec_config_for(instance: &BenchmarkInstance, noise: &NoiseConfig, seed: u64) -> ExecConfig {
+    ExecConfig::jureca(instance.nodes, instance.layout.clone(), seed).with_noise(noise.clone())
 }
 
 /// Measurement configuration for an instance under `mode`, applying the
@@ -175,6 +166,16 @@ pub fn run_mode(
     run_mode_with(instance, measure_config_for(instance, mode), options)
 }
 
+/// [`run_mode`] with optional self-telemetry.
+pub fn run_mode_telemetry(
+    instance: &BenchmarkInstance,
+    mode: ClockMode,
+    options: &ExperimentOptions,
+    tel: Option<&Telemetry>,
+) -> ModeResult {
+    run_mode_with_telemetry(instance, measure_config_for(instance, mode), options, tel)
+}
+
 /// Like [`run_mode`], with an explicit measurement configuration — the
 /// entry point for ablation studies that tweak overhead or effort
 /// parameters away from their calibrated defaults.
@@ -183,21 +184,37 @@ pub fn run_mode_with(
     mcfg: MeasureConfig,
     options: &ExperimentOptions,
 ) -> ModeResult {
+    run_mode_with_telemetry(instance, mcfg, options, None)
+}
+
+/// [`run_mode_with`] with optional self-telemetry: one `mode:{name}` span
+/// wraps all repetitions, and measurement + analysis report their own
+/// spans and counters underneath it. `None` adds zero telemetry work.
+pub fn run_mode_with_telemetry(
+    instance: &BenchmarkInstance,
+    mcfg: MeasureConfig,
+    options: &ExperimentOptions,
+    tel: Option<&Telemetry>,
+) -> ModeResult {
     let mode = mcfg.mode;
+    let _span = tel.map(|t| t.span_cat(format!("mode:{}", mode.name()), "experiment"));
     let reps = if mode.is_noise_free() { 1 } else { options.repetitions.max(1) };
     let mut profiles = Vec::new();
     let mut run_times = Vec::new();
     let mut phase_times = Vec::new();
     for rep in 0..reps {
         let cfg = exec_config_for(instance, &options.noise, options.base_seed + rep as u64);
-        let (trace, result) = measure(&instance.program, &cfg, &mcfg);
-        profiles.push(analyze(&trace));
+        let (trace, result) = measure_telemetry(&instance.program, &cfg, &mcfg, tel);
+        profiles.push(analyze_telemetry(&trace, &AnalysisConfig::default(), tel));
         run_times.push(result.total);
         let mut phases = BTreeMap::new();
         for (i, name) in instance.program.phases.iter().enumerate() {
             phases.insert(name.clone(), result.phase_max(PhaseId(i as u32)));
         }
         phase_times.push(phases);
+        if let Some(t) = tel {
+            t.incr("experiment.repetitions");
+        }
     }
     let mean = Profile::mean(&profiles);
     ModeResult { mode, profiles, mean, run_times, phase_times }
@@ -208,17 +225,32 @@ pub fn run_experiment(
     instance: &BenchmarkInstance,
     options: &ExperimentOptions,
 ) -> ExperimentResult {
-    let reference = (0..options.repetitions.max(1))
-        .map(|rep| {
-            let cfg =
-                exec_config_for(instance, &options.noise, options.base_seed + 100 + rep as u64);
-            reference_run(&instance.program, &cfg)
-        })
-        .collect();
+    run_experiment_telemetry(instance, options, None)
+}
+
+/// [`run_experiment`] with optional self-telemetry: reference runs are
+/// wrapped in an `experiment.reference` span, every mode in its own
+/// `mode:{name}` span, with the engine, measurement, and analysis layers
+/// reporting underneath. `None` adds zero telemetry work.
+pub fn run_experiment_telemetry(
+    instance: &BenchmarkInstance,
+    options: &ExperimentOptions,
+    tel: Option<&Telemetry>,
+) -> ExperimentResult {
+    let reference = {
+        let _span = tel.map(|t| t.span_cat("experiment.reference", "experiment"));
+        (0..options.repetitions.max(1))
+            .map(|rep| {
+                let cfg =
+                    exec_config_for(instance, &options.noise, options.base_seed + 100 + rep as u64);
+                reference_run(&instance.program, &cfg)
+            })
+            .collect()
+    };
     let modes = options
         .modes
         .iter()
-        .map(|&mode| run_mode(instance, mode, options))
+        .map(|&mode| run_mode_telemetry(instance, mode, options, tel))
         .collect();
     ExperimentResult {
         name: instance.name.clone(),

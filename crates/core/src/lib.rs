@@ -38,8 +38,9 @@
 pub mod experiment;
 
 pub use experiment::{
-    exec_config_for, measure_config_for, run_experiment, run_mode, run_mode_with,
-    ExperimentOptions, ExperimentResult, ModeResult,
+    exec_config_for, measure_config_for, run_experiment, run_experiment_telemetry, run_mode,
+    run_mode_telemetry, run_mode_with, run_mode_with_telemetry, ExperimentOptions,
+    ExperimentResult, ModeResult,
 };
 
 // Re-export the component crates under stable names.
@@ -52,28 +53,29 @@ pub use nrlt_ompsim as ompsim;
 pub use nrlt_profile as profile;
 pub use nrlt_prog as prog;
 pub use nrlt_sim as sim;
+pub use nrlt_telemetry as telemetry;
 pub use nrlt_trace as trace;
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use nrlt_analysis::{analyze, analyze_with, AnalysisConfig};
     pub use nrlt_exec::{execute, overhead_percent, ExecConfig, NullObserver};
-    pub use nrlt_measure::{
-        measure, reference_run, ClockMode, FilterRules, MeasureConfig,
-    };
+    pub use nrlt_measure::{measure, reference_run, ClockMode, FilterRules, MeasureConfig};
     pub use nrlt_miniapps::{
         all_configurations, lulesh_1, lulesh_2, minife_1, minife_2, tealeaf_1, tealeaf_2,
         tealeaf_3, tealeaf_4, BenchmarkInstance,
     };
     pub use nrlt_profile::{
-        callpath_table, jaccard, metric_table, min_pairwise_jaccard, paradigm_summary,
-        CallPathId, Metric, Profile,
+        callpath_table, jaccard, metric_table, min_pairwise_jaccard, paradigm_summary, CallPathId,
+        Metric, Profile,
     };
     pub use nrlt_prog::{Cost, IterCost, Program, ProgramBuilder, Schedule};
     pub use nrlt_sim::{JobLayout, Machine, NoiseConfig, VirtualDuration, VirtualTime};
+    pub use nrlt_telemetry::Telemetry;
     pub use nrlt_trace::{ClockKind, Trace};
 
     pub use crate::experiment::{
-        run_experiment, run_mode, ExperimentOptions, ExperimentResult, ModeResult,
+        run_experiment, run_experiment_telemetry, run_mode, run_mode_telemetry, ExperimentOptions,
+        ExperimentResult, ModeResult,
     };
 }

@@ -73,8 +73,7 @@ impl<'a> DurationModel<'a> {
         let socket = self.placement.socket_of(loc);
 
         // CPU term.
-        let cpu = spec.cpu_time(cost.instructions)
-            * self.noise.cpu_factor(core.0 as u64, instance);
+        let cpu = spec.cpu_time(cost.instructions) * self.noise.cpu_factor(core.0 as u64, instance);
 
         // Memory term.
         let mem = if cost.mem_bytes == 0 {
@@ -102,8 +101,7 @@ impl<'a> DurationModel<'a> {
             let _ = ranks_on_socket;
             let socket_ws = (working_set as f64 * threads_on_socket as f64
                 / threads_per_rank.max(1) as f64) as u64;
-            let footprint =
-                self.footprint_per_location.saturating_mul(threads_on_socket as u64);
+            let footprint = self.footprint_per_location.saturating_mul(threads_on_socket as u64);
             let dram_frac = dram_fraction(socket_ws, footprint, spec.l3_per_socket);
             // Desynchronisation accumulates over a kernel's lifetime
             // (Afzal et al.): threads drift apart in long uninterrupted

@@ -16,15 +16,14 @@ use crate::duration::{DurationModel, ExecPhase};
 use crate::observer::{EventInfo, Observer, RuntimeKind, WorkItem};
 use crate::regions::{collective_kind, implicit_barrier_of, parallel_regions, prepare_regions};
 use crate::result::ExecResult;
-use nrlt_mpisim::{Channel, Matcher, message_timing, CommScope, LinkKind};
+use nrlt_mpisim::{message_timing, Channel, CommScope, LinkKind, Matcher};
 use nrlt_ompsim::{simulate_dynamic, static_partition};
 use nrlt_prog::{
     Action, Kernel, MpiOp, OmpAction, OmpFor, ParallelRegion, PhaseId, Program, RegionId,
     RegionTable, Schedule,
 };
-use nrlt_sim::{
-    Location, NoiseModel, Placement, RngFactory, VirtualDuration, VirtualTime,
-};
+use nrlt_sim::{Location, NoiseModel, Placement, RngFactory, VirtualDuration, VirtualTime};
+use nrlt_telemetry::Telemetry;
 use nrlt_trace::CollectiveOp;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -45,8 +44,21 @@ pub fn execute<O: Observer>(
     config: &ExecConfig,
     observer: &mut O,
 ) -> ExecResult {
+    execute_telemetry(program, config, observer, None)
+}
+
+/// Like [`execute`], with optional self-telemetry: counters for events
+/// dispatched, busy-wait conversions, matches and collectives, a
+/// ready-queue depth histogram, and the final virtual time. With `None`
+/// the engine performs no telemetry work at all.
+pub fn execute_telemetry<O: Observer>(
+    program: &Program,
+    config: &ExecConfig,
+    observer: &mut O,
+    tel: Option<&Telemetry>,
+) -> ExecResult {
     let regions = prepare_regions(program);
-    execute_prepared(program, &regions, config, observer)
+    execute_prepared_telemetry(program, &regions, config, observer, tel)
 }
 
 /// Like [`execute`], but with a region table already prepared via
@@ -59,12 +71,24 @@ pub fn execute_prepared<O: Observer>(
     config: &ExecConfig,
     observer: &mut O,
 ) -> ExecResult {
+    execute_prepared_telemetry(program, regions, config, observer, None)
+}
+
+/// [`execute_prepared`] with optional self-telemetry.
+pub fn execute_prepared_telemetry<O: Observer>(
+    program: &Program,
+    regions: &RegionTable,
+    config: &ExecConfig,
+    observer: &mut O,
+    tel: Option<&Telemetry>,
+) -> ExecResult {
     assert_eq!(
         program.n_ranks(),
         config.layout.ranks,
         "program rank count must match the job layout"
     );
-    let mut engine = Engine::new(program, regions, config, observer);
+    let _span = tel.map(|t| t.span_cat("engine.execute", "exec"));
+    let mut engine = Engine::new(program, regions, config, observer, tel);
     engine.run();
     engine.into_result()
 }
@@ -167,6 +191,17 @@ struct Engine<'a, O: Observer> {
     worklist: VecDeque<u32>,
     phase_open: Vec<HashMap<PhaseId, VirtualTime>>,
     phase_total: Vec<BTreeMap<PhaseId, VirtualDuration>>,
+    /// Self-telemetry sink; `None` means zero instrumentation work.
+    tel: Option<&'a Telemetry>,
+    /// Events dispatched (accumulated locally, flushed once at the end,
+    /// so the hot path stays lock-free even with telemetry on).
+    n_events: u64,
+    /// Busy-wait intervals converted to idle waiting via `on_spin`.
+    n_spin_conversions: u64,
+    /// Point-to-point matches resolved.
+    n_matches: u64,
+    /// Collective instances resolved.
+    n_collectives: u64,
 }
 
 impl<'a, O: Observer> Engine<'a, O> {
@@ -175,6 +210,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         regions: &'a RegionTable,
         config: &'a ExecConfig,
         observer: &'a mut O,
+        tel: Option<&'a Telemetry>,
     ) -> Self {
         let placement = Placement::new(config.machine.clone(), config.layout.clone());
         let noise = NoiseModel::new(config.noise.clone(), RngFactory::new(config.seed));
@@ -184,9 +220,19 @@ impl<'a, O: Observer> Engine<'a, O> {
         let desync = observer.desync();
         let mut mpi_region_ids = HashMap::new();
         for name in [
-            "MPI_Send", "MPI_Recv", "MPI_Isend", "MPI_Irecv", "MPI_Waitall", "MPI_Barrier",
-            "MPI_Allreduce", "MPI_Alltoall", "MPI_Allgather", "MPI_Bcast", "MPI_Reduce",
-            "MPI_Iallreduce", "MPI_Ibarrier",
+            "MPI_Send",
+            "MPI_Recv",
+            "MPI_Isend",
+            "MPI_Irecv",
+            "MPI_Waitall",
+            "MPI_Barrier",
+            "MPI_Allreduce",
+            "MPI_Alltoall",
+            "MPI_Allgather",
+            "MPI_Bcast",
+            "MPI_Reduce",
+            "MPI_Iallreduce",
+            "MPI_Ibarrier",
         ] {
             if let Some(id) = regions.find(name) {
                 mpi_region_ids.insert(name, id);
@@ -221,6 +267,11 @@ impl<'a, O: Observer> Engine<'a, O> {
             worklist: VecDeque::new(),
             phase_open: vec![HashMap::new(); n_ranks],
             phase_total: vec![BTreeMap::new(); n_ranks],
+            tel,
+            n_events: 0,
+            n_spin_conversions: 0,
+            n_matches: 0,
+            n_collectives: 0,
         }
     }
 
@@ -229,6 +280,9 @@ impl<'a, O: Observer> Engine<'a, O> {
             self.worklist.push_back(r);
         }
         while let Some(r) = self.worklist.pop_front() {
+            if let Some(t) = self.tel {
+                t.observe("engine.ready_queue_depth", self.worklist.len() as u64 + 1);
+            }
             self.run_rank(r);
         }
         let stuck: Vec<u32> = self
@@ -250,6 +304,13 @@ impl<'a, O: Observer> Engine<'a, O> {
 
     fn into_result(self) -> ExecResult {
         let total_end = self.loc_last.iter().copied().max().unwrap_or(VirtualTime::ZERO);
+        if let Some(t) = self.tel {
+            t.add("engine.events", self.n_events);
+            t.add("engine.spin_conversions", self.n_spin_conversions);
+            t.add("engine.messages_matched", self.n_matches);
+            t.add("engine.collectives_resolved", self.n_collectives);
+            t.set_max("engine.virtual_time_ns", total_end.nanos());
+        }
         ExecResult {
             phase_times: self.phase_total,
             rank_end: self.states.iter().map(|s| s.time).collect(),
@@ -274,6 +335,7 @@ impl<'a, O: Observer> Engine<'a, O> {
     /// monotone clock), charging the observer's overhead. Returns the
     /// time after the event.
     fn emit(&mut self, loc: Location, t: VirtualTime, info: EventInfo) -> VirtualTime {
+        self.n_events += 1;
         let idx = self.loc_index(loc);
         let t = t.max(self.loc_last[idx]);
         let ovh = self.observer.on_event(loc, t, &info);
@@ -363,9 +425,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                         .remove(p)
                         .expect("phase end without start (validate the program)");
                     let d = t.saturating_since(start);
-                    *self.phase_total[r as usize]
-                        .entry(*p)
-                        .or_insert(VirtualDuration::ZERO) += d;
+                    *self.phase_total[r as usize].entry(*p).or_insert(VirtualDuration::ZERO) += d;
                 }
                 Action::Mpi(op) => {
                     if self.do_mpi(r, op) {
@@ -392,8 +452,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         let extra = self.observer.counting_instructions(&kernel.cost, 0);
         let mut instrumented = kernel.cost;
         instrumented.instructions += extra;
-        let duration =
-            self.kernel_duration(loc, &instrumented, kernel.working_set, phase, inst);
+        let duration = self.kernel_duration(loc, &instrumented, kernel.working_set, phase, inst);
         let work_ovh = self.observer.on_work(
             loc,
             &WorkItem { cost: kernel.cost, loop_iters: 0, duration, extra_instructions: extra },
@@ -488,16 +547,12 @@ impl<'a, O: Observer> Engine<'a, O> {
                     MpiOp::Allreduce { bytes }
                     | MpiOp::Alltoall { bytes }
                     | MpiOp::Allgather { bytes } => (*bytes, nrlt_trace::NO_ROOT),
-                    MpiOp::Bcast { root, bytes } | MpiOp::Reduce { root, bytes } => {
-                        (*bytes, *root)
-                    }
+                    MpiOp::Bcast { root, bytes } | MpiOp::Reduce { root, bytes } => (*bytes, *root),
                     _ => unreachable!(),
                 };
                 let index = self.register_collective(r, kind, bytes, root);
-                self.states[r as usize].blocked = Some(Blocked::Collective {
-                    since: self.states[r as usize].time,
-                    index,
-                });
+                self.states[r as usize].blocked =
+                    Some(Blocked::Collective { since: self.states[r as usize].time, index });
                 !self.try_unblock(r)
             }
         }
@@ -530,8 +585,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         });
         let channel = Channel { src: r, dst: dest, tag };
         if let Some(mtch) =
-            self.matcher
-                .post_send(channel, bytes, SendInfo { rank: r, req, post: t, piggyback })
+            self.matcher.post_send(channel, bytes, SendInfo { rank: r, req, post: t, piggyback })
         {
             self.resolve_match(channel, mtch.send.data, mtch.recv.data, bytes);
         } else if let Some(waiters) = self.wildcard_waiting.get_mut(&(dest, tag)) {
@@ -566,8 +620,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         });
         let channel = Channel { src, dst: r, tag };
         if let Some(mtch) =
-            self.matcher
-                .post_recv(channel, bytes, RecvInfo { rank: r, req, post: t })
+            self.matcher.post_recv(channel, bytes, RecvInfo { rank: r, req, post: t })
         {
             let bytes = mtch.send.bytes;
             self.resolve_match(channel, mtch.send.data, mtch.recv.data, bytes);
@@ -611,6 +664,7 @@ impl<'a, O: Observer> Engine<'a, O> {
     /// A send met its receive: compute the message timing and fill both
     /// requests, waking blocked owners.
     fn resolve_match(&mut self, channel: Channel, send: SendInfo, recv: RecvInfo, bytes: u64) {
+        self.n_matches += 1;
         let seq = {
             let c = self.channel_seq.entry(channel).or_insert(0);
             let v = *c;
@@ -623,13 +677,14 @@ impl<'a, O: Observer> Engine<'a, O> {
             | (channel.tag as u64 & 0xfffff);
         let noise = {
             use nrlt_sim::{jitter_factor, StreamKind};
-            let mut rng = RngFactory::new(self.config.seed).stream(StreamKind::Network, entity, seq);
+            let mut rng =
+                RngFactory::new(self.config.seed).stream(StreamKind::Network, entity, seq);
             jitter_factor(&mut rng, self.noise.config().net_sigma)
         };
-        let link = if self.placement.same_node(
-            Location::master(channel.src),
-            Location::master(channel.dst),
-        ) {
+        let link = if self
+            .placement
+            .same_node(Location::master(channel.src), Location::master(channel.dst))
+        {
             LinkKind::SharedMem
         } else {
             LinkKind::Network
@@ -730,44 +785,31 @@ impl<'a, O: Observer> Engine<'a, O> {
     }
 
     fn resolve_collective(&mut self, index: usize) {
+        self.n_collectives += 1;
         let spec = &self.config.machine.spec;
-        let scope = if self.config.machine.nodes > 1 {
-            CommScope::InterNode
-        } else {
-            CommScope::IntraNode
-        };
+        let scope =
+            if self.config.machine.nodes > 1 { CommScope::InterNode } else { CommScope::IntraNode };
         let inst = &self.collectives[index];
-        let arrivals: Vec<f64> = inst
-            .arrivals
-            .iter()
-            .map(|a| Self::secs_of(a.expect("unresolved arrival").0))
-            .collect();
-        let max_piggy =
-            inst.arrivals.iter().map(|a| a.unwrap().1).max().unwrap_or(0);
+        let arrivals: Vec<f64> =
+            inst.arrivals.iter().map(|a| Self::secs_of(a.expect("unresolved arrival").0)).collect();
+        let max_piggy = inst.arrivals.iter().map(|a| a.unwrap().1).max().unwrap_or(0);
         let noise = {
             use nrlt_sim::{jitter_factor, StreamKind};
-            let mut rng = RngFactory::new(self.config.seed)
-                .stream(StreamKind::Network, u64::MAX, index as u64);
+            let mut rng = RngFactory::new(self.config.seed).stream(
+                StreamKind::Network,
+                u64::MAX,
+                index as u64,
+            );
             jitter_factor(&mut rng, self.noise.config().net_sigma)
         };
-        let completions_s = self.config.collective.completion_times(
-            inst.op,
-            spec,
-            scope,
-            inst.bytes,
-            &arrivals,
-            noise,
-        );
-        let completions: Vec<VirtualTime> = completions_s
-            .iter()
-            .map(|&s| VirtualTime((s.max(0.0) * 1e9).round() as u64))
-            .collect();
-        let last_arrival = inst
-            .arrivals
-            .iter()
-            .map(|a| a.unwrap().0)
-            .max()
-            .unwrap_or(VirtualTime::ZERO);
+        let completions_s = self
+            .config
+            .collective
+            .completion_times(inst.op, spec, scope, inst.bytes, &arrivals, noise);
+        let completions: Vec<VirtualTime> =
+            completions_s.iter().map(|&s| VirtualTime((s.max(0.0) * 1e9).round() as u64)).collect();
+        let last_arrival =
+            inst.arrivals.iter().map(|a| a.unwrap().0).max().unwrap_or(VirtualTime::ZERO);
         let nb: Vec<(usize, usize, VirtualTime)> = self.collectives[index]
             .nb_reqs
             .iter()
@@ -805,10 +847,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                         .map(|(i, _)| i)
                         .collect(),
                 };
-                if needed
-                    .iter()
-                    .any(|&i| self.states[r as usize].pending[i].completion.is_none())
-                {
+                if needed.iter().any(|&i| self.states[r as usize].pending[i].completion.is_none()) {
                     return false;
                 }
                 let latest = needed
@@ -819,12 +858,11 @@ impl<'a, O: Observer> Engine<'a, O> {
                 let resume = since.max(latest);
                 let waited = resume.saturating_since(since);
                 if waited > VirtualDuration::ZERO {
+                    self.n_spin_conversions += 1;
                     self.observer.on_spin(m, waited);
                 }
                 let mut t = resume;
-                let region = match &self.program.ranks[r as usize]
-                    [self.states[r as usize].cursor]
-                {
+                let region = match &self.program.ranks[r as usize][self.states[r as usize].cursor] {
                     Action::Mpi(op) => self.mpi_region(op),
                     other => panic!("blocked cursor not on an MPI action: {other:?}"),
                 };
@@ -867,20 +905,16 @@ impl<'a, O: Observer> Engine<'a, O> {
                     let inst = &self.collectives[index];
                     match &inst.resolution {
                         None => return false,
-                        Some((last, completions, piggy)) => (
-                            *last,
-                            completions[r as usize],
-                            *piggy,
-                            inst.op,
-                            inst.bytes,
-                            inst.root,
-                        ),
+                        Some((last, completions, piggy)) => {
+                            (*last, completions[r as usize], *piggy, inst.op, inst.bytes, inst.root)
+                        }
                     }
                 };
                 // Decompose the block: spinning until the last participant
                 // arrives, then executing the collective algorithm.
                 let wait = last_arrival.saturating_since(since);
                 if wait > VirtualDuration::ZERO {
+                    self.n_spin_conversions += 1;
                     self.observer.on_spin(m, wait);
                 }
                 let alg = completion.saturating_since(since.max(last_arrival));
@@ -890,9 +924,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                 self.observer.sync_logical(m, max_piggy);
                 let mut t = since.max(completion);
                 t = self.emit(m, t, EventInfo::CollectiveEnd { op, bytes, root });
-                let region = match &self.program.ranks[r as usize]
-                    [self.states[r as usize].cursor]
-                {
+                let region = match &self.program.ranks[r as usize][self.states[r as usize].cursor] {
                     Action::Mpi(op) => self.mpi_region(op),
                     other => panic!("blocked cursor not on an MPI action: {other:?}"),
                 };
@@ -931,7 +963,8 @@ impl<'a, O: Observer> Engine<'a, O> {
             self.observer.sync_logical(loc(i), master_piggy);
         }
         for i in 0..team {
-            tt[i as usize] = self.emit(loc(i), tt[i as usize], EventInfo::Enter { region: pr.region });
+            tt[i as usize] =
+                self.emit(loc(i), tt[i as usize], EventInfo::Enter { region: pr.region });
         }
 
         for action in &pr.body {
@@ -941,9 +974,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                 OmpAction::Single { region, kernel, nowait } => {
                     // First-arriving thread executes (deterministic tie
                     // break by id).
-                    let exec = (0..team)
-                        .min_by_key(|&i| (tt[i as usize], i))
-                        .unwrap();
+                    let exec = (0..team).min_by_key(|&i| (tt[i as usize], i)).unwrap();
                     let l = loc(exec);
                     let mut te = tt[exec as usize];
                     te = self.emit(l, te, EventInfo::Enter { region: *region });
@@ -971,6 +1002,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                         let mut te = tt[i as usize];
                         te = self.emit(l, te, EventInfo::Enter { region: *region });
                         if lock_free > te {
+                            self.n_spin_conversions += 1;
                             self.observer.on_spin(l, lock_free - te);
                             te = lock_free;
                         }
@@ -1004,8 +1036,12 @@ impl<'a, O: Observer> Engine<'a, O> {
                 }
                 OmpAction::Replicated(kernel) => {
                     for i in 0..team {
-                        tt[i as usize] =
-                            self.run_kernel(loc(i), kernel, ExecPhase::TeamParallel, tt[i as usize]);
+                        tt[i as usize] = self.run_kernel(
+                            loc(i),
+                            kernel,
+                            ExecPhase::TeamParallel,
+                            tt[i as usize],
+                        );
                     }
                 }
             }
@@ -1014,7 +1050,8 @@ impl<'a, O: Observer> Engine<'a, O> {
         // Implicit barrier at region end, then everyone leaves the region.
         self.do_omp_barrier(r, derived.end_barrier, &mut tt);
         for i in 0..team {
-            tt[i as usize] = self.emit(loc(i), tt[i as usize], EventInfo::Leave { region: pr.region });
+            tt[i as usize] =
+                self.emit(loc(i), tt[i as usize], EventInfo::Leave { region: pr.region });
         }
 
         // Join management on the master.
@@ -1037,7 +1074,8 @@ impl<'a, O: Observer> Engine<'a, O> {
             let disp = Self::sec(self.config.omp.loop_dispatch_cost(false, 1));
             self.observer.on_runtime(loc(i), RuntimeKind::Omp, disp);
             tt[i as usize] += disp;
-            tt[i as usize] = self.emit(loc(i), tt[i as usize], EventInfo::Enter { region: f.region });
+            tt[i as usize] =
+                self.emit(loc(i), tt[i as usize], EventInfo::Enter { region: f.region });
         }
 
         if dynamic {
@@ -1071,8 +1109,8 @@ impl<'a, O: Observer> Engine<'a, O> {
                     let mut model = DurationModel::new(placement, noise);
                     model.footprint_per_location = footprint;
                     model.desync = desync;
-                    let inst = inst_base[thread as usize]
-                        .wrapping_add(counters[thread as usize] << 24);
+                    let inst =
+                        inst_base[thread as usize].wrapping_add(counters[thread as usize] << 24);
                     counters[thread as usize] += 1;
                     let d = model.kernel_duration(
                         loc(thread),
@@ -1089,9 +1127,8 @@ impl<'a, O: Observer> Engine<'a, O> {
             for i in 0..team as usize {
                 let mut total_ovh = VirtualDuration::ZERO;
                 let mut iters = 0u64;
-                for (range, (cost, dur, extra)) in result.partition.chunks[i]
-                    .iter()
-                    .zip(chunk_log[i].iter())
+                for (range, (cost, dur, extra)) in
+                    result.partition.chunks[i].iter().zip(chunk_log[i].iter())
                 {
                     iters += range.len();
                     total_ovh += self.observer.on_work(
@@ -1135,19 +1172,15 @@ impl<'a, O: Observer> Engine<'a, O> {
                 );
                 let wo = self.observer.on_work(
                     loc(i),
-                    &WorkItem {
-                        cost,
-                        loop_iters: iters,
-                        duration: dur,
-                        extra_instructions: extra,
-                    },
+                    &WorkItem { cost, loop_iters: iters, duration: dur, extra_instructions: extra },
                 );
                 tt[i as usize] = tt[i as usize] + dur + wo;
             }
         }
 
         for i in 0..team {
-            tt[i as usize] = self.emit(loc(i), tt[i as usize], EventInfo::Leave { region: f.region });
+            tt[i as usize] =
+                self.emit(loc(i), tt[i as usize], EventInfo::Leave { region: f.region });
         }
         if !f.nowait {
             let ib = implicit_barrier_of(self.regions, f.region);
@@ -1163,17 +1196,14 @@ impl<'a, O: Observer> Engine<'a, O> {
         }
         let max_arr = tt.iter().copied().max().unwrap_or(VirtualTime::ZERO);
         let release = max_arr + Self::sec(self.config.omp.barrier_cost(team));
-        let max_piggy = (0..team)
-            .map(|i| self.observer.piggyback(loc(i)))
-            .max()
-            .unwrap_or(0);
+        let max_piggy = (0..team).map(|i| self.observer.piggyback(loc(i))).max().unwrap_or(0);
         for i in 0..team {
             let wait = max_arr.saturating_since(tt[i as usize]);
             if wait > VirtualDuration::ZERO {
+                self.n_spin_conversions += 1;
                 self.observer.on_spin(loc(i), wait);
             }
-            self.observer
-                .on_runtime(loc(i), RuntimeKind::Omp, release.saturating_since(max_arr));
+            self.observer.on_runtime(loc(i), RuntimeKind::Omp, release.saturating_since(max_arr));
             self.observer.sync_logical(loc(i), max_piggy);
             let exit = release + Self::sec(self.config.omp.wake_stagger) * i as u64;
             tt[i as usize] = self.emit(loc(i), exit, EventInfo::Leave { region });

@@ -20,7 +20,11 @@ pub mod result;
 
 pub use config::ExecConfig;
 pub use duration::{DurationModel, ExecPhase};
-pub use engine::{execute, execute_prepared, ANY_SOURCE};
+pub use engine::{
+    execute, execute_prepared, execute_prepared_telemetry, execute_telemetry, ANY_SOURCE,
+};
 pub use observer::{EventInfo, NullObserver, Observer, RuntimeKind, WorkItem};
-pub use regions::{collective_kind, implicit_barrier_of, parallel_regions, prepare_regions, ParallelRegions};
+pub use regions::{
+    collective_kind, implicit_barrier_of, parallel_regions, prepare_regions, ParallelRegions,
+};
 pub use result::{overhead_percent, ExecResult};

@@ -186,7 +186,12 @@ impl Observer for NullObserver {
 
     fn on_spin(&mut self, _loc: Location, _duration: VirtualDuration) {}
 
-    fn on_event(&mut self, _loc: Location, _now: VirtualTime, _info: &EventInfo) -> VirtualDuration {
+    fn on_event(
+        &mut self,
+        _loc: Location,
+        _now: VirtualTime,
+        _info: &EventInfo,
+    ) -> VirtualDuration {
         VirtualDuration::ZERO
     }
 

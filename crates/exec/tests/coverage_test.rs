@@ -2,7 +2,7 @@
 //! rooted collectives, MPI_Barrier, chunked/guided schedules,
 //! single-nowait, replicated burst kernels, and multi-node runs.
 
-use nrlt_exec::{execute, ExecConfig, EventInfo, NullObserver, Observer, RuntimeKind, WorkItem};
+use nrlt_exec::{execute, EventInfo, ExecConfig, NullObserver, Observer, RuntimeKind, WorkItem};
 use nrlt_prog::{Cost, IterCost, ProgramBuilder, Schedule};
 use nrlt_sim::{JobLayout, Location, NoiseConfig, VirtualDuration, VirtualTime};
 
@@ -53,11 +53,7 @@ fn bcast_and_reduce_complete() {
     assert!(res.total > VirtualDuration::ZERO);
     // Three collective completions per rank.
     for r in 0..4 {
-        let n = log
-            .0
-            .iter()
-            .filter(|(l, e)| l.rank == r && e.contains("CollectiveEnd"))
-            .count();
+        let n = log.0.iter().filter(|(l, e)| l.rank == r && e.contains("CollectiveEnd")).count();
         assert_eq!(n, 3, "rank {r}");
     }
 }
@@ -70,13 +66,7 @@ fn chunked_and_guided_schedules_run() {
             let mut rb = pb.rank(0);
             rb.scoped("main", |rb| {
                 rb.parallel("p", |omp| {
-                    omp.for_loop(
-                        "l",
-                        1000,
-                        schedule,
-                        IterCost::Uniform(Cost::scalar(10_000)),
-                        0,
-                    );
+                    omp.for_loop("l", 1000, schedule, IterCost::Uniform(Cost::scalar(10_000)), 0);
                 });
             });
         }
@@ -117,10 +107,7 @@ fn multi_node_collectives_cost_more_than_single_node() {
         &mut NullObserver,
     )
     .total;
-    assert!(
-        multi > single,
-        "inter-node collectives must cost more: {multi} vs {single}"
-    );
+    assert!(multi > single, "inter-node collectives must cost more: {multi} vs {single}");
 }
 
 #[test]
@@ -137,11 +124,7 @@ fn replicated_burst_emits_per_thread_events() {
     let mut log = EventLog::default();
     execute(&p, &cfg(1, 4, 1), &mut log);
     // Explicit barrier events for every thread.
-    let barrier_enters = log
-        .0
-        .iter()
-        .filter(|(_, e)| e.contains("Enter"))
-        .count();
+    let barrier_enters = log.0.iter().filter(|(_, e)| e.contains("Enter")).count();
     assert!(barrier_enters >= 4 * 3, "parallel + barriers per thread: {barrier_enters}");
 }
 

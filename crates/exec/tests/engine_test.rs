@@ -95,16 +95,8 @@ fn late_sender_blocks_receiver_and_spins() {
     execute(&p, &cfg, &mut rec);
     // Rank 1 posted its receive immediately while rank 0 was computing
     // ~222us of work: rank 1 must have spun for roughly that long.
-    let spin1: u64 = rec
-        .spins
-        .iter()
-        .filter(|(l, _)| l.rank == 1)
-        .map(|(_, d)| d.nanos())
-        .sum();
-    assert!(
-        spin1 > 100_000,
-        "receiver must wait for the late sender, spun only {spin1}ns"
-    );
+    let spin1: u64 = rec.spins.iter().filter(|(l, _)| l.rank == 1).map(|(_, d)| d.nanos()).sum();
+    assert!(spin1 > 100_000, "receiver must wait for the late sender, spun only {spin1}ns");
 }
 
 #[test]
@@ -255,8 +247,7 @@ fn worker_events_are_emitted_per_thread() {
     let mut rec = Recorder::default();
     execute(&p, &silent_config(1, 4, 1), &mut rec);
     for t in 0..4 {
-        let thread_events: Vec<_> =
-            rec.events.iter().filter(|(l, _, _)| l.thread == t).collect();
+        let thread_events: Vec<_> = rec.events.iter().filter(|(l, _, _)| l.thread == t).collect();
         assert!(
             thread_events.len() >= 6,
             "thread {t} must enter/leave parallel, loop, barrier: {thread_events:?}"
@@ -279,11 +270,8 @@ fn single_runs_on_first_arriving_thread_only() {
     let p = pb.finish();
     let mut rec = Recorder::default();
     execute(&p, &silent_config(1, 4, 1), &mut rec);
-    let singles = rec
-        .events
-        .iter()
-        .filter(|(_, _, e)| e.contains("Enter") && e.contains("single"))
-        .count();
+    let singles =
+        rec.events.iter().filter(|(_, _, e)| e.contains("Enter") && e.contains("single")).count();
     // Only region names are in the table; count enters of the single
     // region via work instead: exactly one thread did the kernel.
     assert_eq!(rec.work.len(), 1);
@@ -303,11 +291,7 @@ fn critical_serialises_threads() {
     let mut rec = Recorder::default();
     let res = execute(&p, &silent_config(1, 4, 1), &mut rec);
     // 4 threads × ~222us serialised ≈ 889us minimum.
-    assert!(
-        res.total.nanos() > 800_000,
-        "critical sections must serialise: {}",
-        res.total
-    );
+    assert!(res.total.nanos() > 800_000, "critical sections must serialise: {}", res.total);
     // Later threads spun on the lock.
     assert!(!rec.spins.is_empty());
 }
@@ -440,11 +424,7 @@ fn rendezvous_send_blocks_until_recv() {
     let p = pb.finish();
     let mut rec = Recorder::default();
     execute(&p, &silent_config(2, 1, 1), &mut rec);
-    let sender_spin: u64 = rec
-        .spins
-        .iter()
-        .filter(|(l, _)| l.rank == 0)
-        .map(|(_, d)| d.nanos())
-        .sum();
+    let sender_spin: u64 =
+        rec.spins.iter().filter(|(l, _)| l.rank == 0).map(|(_, d)| d.nanos()).sum();
     assert!(sender_spin > 5_000_000, "late receiver must block sender: {sender_spin}ns");
 }

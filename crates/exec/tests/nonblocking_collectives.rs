@@ -48,16 +48,12 @@ fn iallreduce_overlaps_with_computation() {
     let rb = execute(&blocking, &config(4), &mut NullObserver);
     let ro = execute(&overlapped, &config(4), &mut NullObserver);
     // The slow rank is the critical path either way.
-    let total_diff =
-        rb.total.nanos().abs_diff(ro.total.nanos());
+    let total_diff = rb.total.nanos().abs_diff(ro.total.nanos());
     assert!(total_diff < 200_000, "slow rank unchanged: {} vs {}", rb.total, ro.total);
     // But the early ranks hide their wait behind the post-collective
     // computation and finish ~4.4 ms earlier.
     let saved = rb.rank_end[0].nanos() as i64 - ro.rank_end[0].nanos() as i64;
-    assert!(
-        saved > 3_000_000,
-        "rank 0 must finish earlier with overlap: saved {saved}ns"
-    );
+    assert!(saved > 3_000_000, "rank 0 must finish earlier with overlap: saved {saved}ns");
 }
 
 #[test]

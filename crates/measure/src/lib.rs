@@ -26,8 +26,9 @@ pub use observer::{MeasureConfig, TracingObserver};
 pub use params::{EffortParams, HwCounterSource, OverheadParams};
 pub use profiling::{profile_run, OnlineProfile, ProfilingObserver};
 
-use nrlt_exec::{execute_prepared, ExecConfig, ExecResult, NullObserver};
+use nrlt_exec::{execute_prepared_telemetry, ExecConfig, ExecResult, NullObserver};
 use nrlt_prog::Program;
+use nrlt_telemetry::Telemetry;
 use nrlt_trace::Trace;
 
 /// Run `program` instrumented under `measure_config`, returning the
@@ -38,9 +39,25 @@ pub fn measure(
     exec_config: &ExecConfig,
     measure_config: &MeasureConfig,
 ) -> (Trace, ExecResult) {
+    measure_telemetry(program, exec_config, measure_config, None)
+}
+
+/// [`measure`] with optional self-telemetry: wraps the run in a
+/// `measure.run` span and reports events recorded vs filtered, buffer
+/// flushes, and the overhead charged back, alongside the engine's own
+/// counters. `None` adds zero instrumentation work.
+pub fn measure_telemetry(
+    program: &Program,
+    exec_config: &ExecConfig,
+    measure_config: &MeasureConfig,
+    tel: Option<&Telemetry>,
+) -> (Trace, ExecResult) {
+    let _span =
+        tel.map(|t| t.span_cat(format!("measure.run:{}", measure_config.mode.name()), "measure"));
     let regions = nrlt_exec::prepare_regions(program);
-    let mut observer = TracingObserver::new(measure_config.clone(), &regions, exec_config);
-    let result = execute_prepared(program, &regions, exec_config, &mut observer);
+    let mut observer =
+        TracingObserver::with_telemetry(measure_config.clone(), &regions, exec_config, tel);
+    let result = execute_prepared_telemetry(program, &regions, exec_config, &mut observer, tel);
     (observer.into_trace(), result)
 }
 

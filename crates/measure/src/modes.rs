@@ -36,13 +36,8 @@ impl ClockMode {
     ];
 
     /// The logical modes only.
-    pub const LOGICAL: [ClockMode; 5] = [
-        ClockMode::Lt1,
-        ClockMode::LtLoop,
-        ClockMode::LtBb,
-        ClockMode::LtStmt,
-        ClockMode::LtHwctr,
-    ];
+    pub const LOGICAL: [ClockMode; 5] =
+        [ClockMode::Lt1, ClockMode::LtLoop, ClockMode::LtBb, ClockMode::LtStmt, ClockMode::LtHwctr];
 
     /// Display name as used in the paper.
     pub fn name(self) -> &'static str {

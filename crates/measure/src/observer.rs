@@ -13,10 +13,15 @@ use nrlt_prog::{Cost, RegionKind, RegionTable};
 use nrlt_sim::{
     jitter_factor, Location, Placement, RngFactory, StreamKind, VirtualDuration, VirtualTime,
 };
+use nrlt_telemetry::Telemetry;
 use nrlt_trace::{
-    ClockKind, Definitions, Event, EventKind, LocationDef, RegionDef, RegionRef, RegionRole,
-    Trace, NO_ROOT,
+    ClockKind, Definitions, Event, EventKind, LocationDef, RegionDef, RegionRef, RegionRole, Trace,
+    NO_ROOT,
 };
+
+/// Events per stream between simulated buffer flushes (Score-P flushes
+/// its per-thread trace buffer when it fills; we count, not charge).
+const FLUSH_EVERY: usize = 4096;
 
 /// Full measurement configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,12 +85,34 @@ pub struct TracingObserver<'a> {
     rng: RngFactory,
     /// Instructions per second of one core (for hwctr conversions).
     instr_rate: f64,
+    /// Self-telemetry sink; counters below accumulate locally and are
+    /// flushed once in [`TracingObserver::into_trace`] so the per-event
+    /// path stays free of locks — and free of any work when `None`.
+    tel: Option<&'a Telemetry>,
+    n_recorded: u64,
+    n_filtered: u64,
+    n_flushes: u64,
+    ovh_record_ns: u64,
+    ovh_filter_ns: u64,
+    ovh_piggyback_ns: u64,
 }
 
 impl<'a> TracingObserver<'a> {
     /// Build an observer for `regions` (from `nrlt_exec::prepare_regions`)
     /// under `exec_config`.
     pub fn new(config: MeasureConfig, regions: &'a RegionTable, exec_config: &ExecConfig) -> Self {
+        Self::with_telemetry(config, regions, exec_config, None)
+    }
+
+    /// [`TracingObserver::new`] with an optional self-telemetry sink:
+    /// counts recorded vs filtered events, simulated buffer flushes, and
+    /// the overhead charged back into the run per category.
+    pub fn with_telemetry(
+        config: MeasureConfig,
+        regions: &'a RegionTable,
+        exec_config: &ExecConfig,
+        tel: Option<&'a Telemetry>,
+    ) -> Self {
         let placement = Placement::new(exec_config.machine.clone(), exec_config.layout.clone());
         let layout = &exec_config.layout;
         let locations: Vec<LocationDef> = layout
@@ -100,10 +127,7 @@ impl<'a> TracingObserver<'a> {
             .iter()
             .map(|(_, r)| RegionDef { name: r.name.clone(), role: role_of(r.kind) })
             .collect();
-        let filtered = regions
-            .iter()
-            .map(|(_, r)| config.filter.is_filtered(&r.name))
-            .collect();
+        let filtered = regions.iter().map(|(_, r)| config.filter.is_filtered(&r.name)).collect();
         let clock = match config.mode {
             ClockMode::Tsc => ClockKind::Physical,
             m => ClockKind::Logical { model: m.name().to_owned() },
@@ -124,11 +148,29 @@ impl<'a> TracingObserver<'a> {
                 clock,
             },
             rng: RngFactory::new(exec_config.seed),
+            tel,
+            n_recorded: 0,
+            n_filtered: 0,
+            n_flushes: 0,
+            ovh_record_ns: 0,
+            ovh_filter_ns: 0,
+            ovh_piggyback_ns: 0,
         }
     }
 
     /// Consume the observer, yielding the recorded trace.
     pub fn into_trace(self) -> Trace {
+        if let Some(t) = self.tel {
+            t.add("measure.events_recorded", self.n_recorded);
+            t.add("measure.events_filtered", self.n_filtered);
+            t.add("measure.buffer_flushes", self.n_flushes);
+            t.add("measure.overhead.record_ns", self.ovh_record_ns);
+            t.add("measure.overhead.filter_ns", self.ovh_filter_ns);
+            t.add("measure.overhead.piggyback_ns", self.ovh_piggyback_ns);
+            for s in &self.streams {
+                t.observe("measure.stream_events", s.len() as u64);
+            }
+        }
         Trace { defs: self.defs, streams: self.streams }
     }
 
@@ -207,10 +249,22 @@ impl<'a> TracingObserver<'a> {
 
     fn push(&mut self, idx: usize, time: u64, kind: EventKind) {
         self.streams[idx].push(Event { time, kind });
+        if self.streams[idx].len().is_multiple_of(FLUSH_EVERY) {
+            self.n_flushes += 1;
+        }
     }
 
     fn sec(v: f64) -> VirtualDuration {
         VirtualDuration::from_secs_f64(v)
+    }
+
+    /// Charge overhead back into the run, attributing it per category
+    /// (plain field adds — no telemetry work happens here).
+    fn charge(&mut self, record: f64, filter: f64, piggyback: f64) -> VirtualDuration {
+        self.ovh_record_ns += Self::sec(record).nanos();
+        self.ovh_filter_ns += Self::sec(filter).nanos();
+        self.ovh_piggyback_ns += Self::sec(piggyback).nanos();
+        Self::sec(record + filter + piggyback)
     }
 }
 
@@ -299,24 +353,29 @@ impl<'a> Observer for TracingObserver<'a> {
         match *info {
             EventInfo::Enter { region } => {
                 if self.filtered[region.0 as usize] {
-                    return Self::sec(o.filter_check);
+                    self.n_filtered += 1;
+                    return self.charge(0.0, o.filter_check, 0.0);
                 }
                 let ts = self.timestamp(idx, now);
                 self.push(idx, ts, EventKind::Enter { region: RegionRef(region.0) });
-                Self::sec(o.record_event)
+                self.n_recorded += 1;
+                self.charge(o.record_event, 0.0, 0.0)
             }
             EventInfo::Leave { region } => {
                 if self.filtered[region.0 as usize] {
-                    return Self::sec(o.filter_check);
+                    self.n_filtered += 1;
+                    return self.charge(0.0, o.filter_check, 0.0);
                 }
                 let ts = self.timestamp(idx, now);
                 self.push(idx, ts, EventKind::Leave { region: RegionRef(region.0) });
-                Self::sec(o.record_event)
+                self.n_recorded += 1;
+                self.charge(o.record_event, 0.0, 0.0)
             }
             EventInfo::Burst { callee, calls, phys_start } => {
                 if self.filtered[callee.0 as usize] {
                     // Runtime filtering still checks every call.
-                    return Self::sec(o.filter_check * (2 * calls) as f64);
+                    self.n_filtered += 2 * calls;
+                    return self.charge(0.0, o.filter_check * (2 * calls) as f64, 0.0);
                 }
                 let (start, end) = match self.config.mode {
                     ClockMode::Tsc => {
@@ -340,22 +399,26 @@ impl<'a> Observer for TracingObserver<'a> {
                     end,
                     EventKind::CallBurst { region: RegionRef(callee.0), count: calls, start },
                 );
-                Self::sec(o.record_event * (2 * calls) as f64)
+                self.n_recorded += 1;
+                self.charge(o.record_event * (2 * calls) as f64, 0.0, 0.0)
             }
             EventInfo::SendPost { peer, tag, bytes } => {
                 let ts = self.timestamp(idx, now);
                 self.push(idx, ts, EventKind::SendPost { peer, tag, bytes });
-                Self::sec(o.record_event + o.piggyback_message)
+                self.n_recorded += 1;
+                self.charge(o.record_event, 0.0, o.piggyback_message)
             }
             EventInfo::RecvPost { peer, tag, bytes } => {
                 let ts = self.timestamp(idx, now);
                 self.push(idx, ts, EventKind::RecvPost { peer, tag, bytes });
-                Self::sec(o.record_event)
+                self.n_recorded += 1;
+                self.charge(o.record_event, 0.0, 0.0)
             }
             EventInfo::RecvComplete { peer, tag, bytes } => {
                 let ts = self.timestamp(idx, now);
                 self.push(idx, ts, EventKind::RecvComplete { peer, tag, bytes });
-                Self::sec(o.record_event + o.piggyback_message)
+                self.n_recorded += 1;
+                self.charge(o.record_event, 0.0, o.piggyback_message)
             }
             EventInfo::CollectiveEnd { op, bytes, root } => {
                 let ts = self.timestamp(idx, now);
@@ -368,7 +431,8 @@ impl<'a> Observer for TracingObserver<'a> {
                         root: if root == NO_ROOT { NO_ROOT } else { root },
                     },
                 );
-                Self::sec(o.record_event + o.piggyback_message)
+                self.n_recorded += 1;
+                self.charge(o.record_event, 0.0, o.piggyback_message)
             }
         }
     }
@@ -460,7 +524,12 @@ mod tests {
         let loc = Location::master(0);
         obs.on_work(
             loc,
-            &WorkItem { cost: Cost::scalar(1000), loop_iters: 50, duration: VirtualDuration(10), extra_instructions: 0 },
+            &WorkItem {
+                cost: Cost::scalar(1000),
+                loop_iters: 50,
+                duration: VirtualDuration(10),
+                extra_instructions: 0,
+            },
         );
         obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(0) });
         let trace = obs.into_trace();
@@ -473,7 +542,10 @@ mod tests {
         let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::LtBb), &t, &cfg);
         let loc = Location::master(0);
         let cost = Cost::ZERO.with_basic_blocks(40);
-        obs.on_work(loc, &WorkItem { cost, loop_iters: 0, duration: VirtualDuration(10), extra_instructions: 0 });
+        obs.on_work(
+            loc,
+            &WorkItem { cost, loop_iters: 0, duration: VirtualDuration(10), extra_instructions: 0 },
+        );
         obs.on_runtime(loc, RuntimeKind::Omp, VirtualDuration(100));
         obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(0) });
         let trace = obs.into_trace();
@@ -509,8 +581,7 @@ mod tests {
     #[test]
     fn filtered_regions_produce_no_events_but_cost_a_check() {
         let (t, cfg) = setup(ClockMode::Tsc);
-        let mc = MeasureConfig::new(ClockMode::Tsc)
-            .with_filter(FilterRules::from_rules(["tiny"]));
+        let mc = MeasureConfig::new(ClockMode::Tsc).with_filter(FilterRules::from_rules(["tiny"]));
         let mut obs = TracingObserver::new(mc, &t, &cfg);
         let loc = Location::master(0);
         let ovh = obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(1) });

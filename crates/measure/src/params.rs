@@ -63,11 +63,9 @@ impl OverheadParams {
         };
         match mode {
             ClockMode::Tsc => base,
-            ClockMode::Lt1 => OverheadParams {
-                record_event: 28e-9,
-                piggyback_message: 120e-9,
-                ..base
-            },
+            ClockMode::Lt1 => {
+                OverheadParams { record_event: 28e-9, piggyback_message: 120e-9, ..base }
+            }
             ClockMode::LtLoop => OverheadParams {
                 record_event: 28e-9,
                 instr_per_loop_iter: 1,
@@ -88,7 +86,7 @@ impl OverheadParams {
             },
             ClockMode::LtHwctr => OverheadParams {
                 record_event: 1000e-9, // perf read syscall per event
-                filter_check: 40e-9,  // perf infrastructure per call
+                filter_check: 40e-9,   // perf infrastructure per call
                 piggyback_message: 120e-9,
                 buffer_footprint: 3 << 20,
                 ..base

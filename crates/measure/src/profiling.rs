@@ -31,11 +31,7 @@ pub struct OnlineProfile {
 impl OnlineProfile {
     /// Exclusive ticks of a call path summed over locations.
     pub fn exclusive_of(&self, path: &str) -> u64 {
-        self.exclusive
-            .iter()
-            .filter(|((p, _), _)| p == path)
-            .map(|(_, v)| v)
-            .sum()
+        self.exclusive.iter().filter(|((p, _), _)| p == path).map(|(_, v)| v).sum()
     }
 
     /// Total exclusive ticks.
@@ -80,8 +76,14 @@ impl<'a> ProfilingObserver<'a> {
         filter: FilterRules,
     ) -> Self {
         assert!(
-            matches!(mode, ClockMode::Tsc | ClockMode::Lt1 | ClockMode::LtLoop
-                | ClockMode::LtBb | ClockMode::LtStmt),
+            matches!(
+                mode,
+                ClockMode::Tsc
+                    | ClockMode::Lt1
+                    | ClockMode::LtLoop
+                    | ClockMode::LtBb
+                    | ClockMode::LtStmt
+            ),
             "profile mode supports the deterministic clocks"
         );
         ProfilingObserver {

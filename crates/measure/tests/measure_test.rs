@@ -81,10 +81,7 @@ fn logical_modes_are_repetition_invariant() {
     for mode in [ClockMode::Lt1, ClockMode::LtLoop, ClockMode::LtBb, ClockMode::LtStmt] {
         let a = run(mode, 1);
         let b = run(mode, 2);
-        assert_eq!(
-            a.streams, b.streams,
-            "{mode}: logical trace must not depend on the noise seed"
-        );
+        assert_eq!(a.streams, b.streams, "{mode}: logical trace must not depend on the noise seed");
     }
 }
 
@@ -148,11 +145,7 @@ fn filtering_removes_burst_events() {
     )
     .0;
     let bursts = |t: &Trace| {
-        t.streams
-            .iter()
-            .flatten()
-            .filter(|e| matches!(e.kind, EventKind::CallBurst { .. }))
-            .count()
+        t.streams.iter().flatten().filter(|e| matches!(e.kind, EventKind::CallBurst { .. })).count()
     };
     assert!(bursts(&unfiltered) > 0);
     assert_eq!(bursts(&filtered), 0);

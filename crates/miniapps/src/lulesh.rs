@@ -179,9 +179,8 @@ impl LuleshConfig {
                         // Many small OpenMP loops doing little work each —
                         // the OpenMP-overhead hotspot of the paper. The
                         // artificial imbalance scales this rank's cost.
-                        let per_loop = ((elems as f64 * imb) as u64
-                            / c.material_loops as u64)
-                            .max(1);
+                        let per_loop =
+                            ((elems as f64 * imb) as u64 / c.material_loops as u64).max(1);
                         for _ in 0..c.material_loops {
                             rb.parallel("ApplyMaterialPropertiesForElems", |omp| {
                                 omp.for_loop(
@@ -224,9 +223,7 @@ impl LuleshConfig {
                             "CalcCourantConstraintForElems",
                             elems,
                             Schedule::Static,
-                            IterCost::Uniform(
-                                Cost::scalar(c.constraints_instr).with_mem_bytes(16),
-                            ),
+                            IterCost::Uniform(Cost::scalar(c.constraints_instr).with_mem_bytes(16)),
                             ws,
                         );
                     });

@@ -92,8 +92,7 @@ impl MiniFeConfig {
         let heavy_ranks = self.ranks / 2;
         let light_ranks = self.ranks - heavy_ranks;
         let heavy_weight = 1.0 + 2.0 * self.imbalance_pct as f64 / 50.0;
-        let unit =
-            total as f64 / (heavy_ranks as f64 * heavy_weight + light_ranks as f64);
+        let unit = total as f64 / (heavy_ranks as f64 * heavy_weight + light_ranks as f64);
         if rank < heavy_ranks {
             (unit * heavy_weight) as u64
         } else {

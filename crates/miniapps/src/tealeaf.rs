@@ -90,8 +90,7 @@ impl TeaLeafConfig {
                                 // master) — the per-rank cost that penalises
                                 // many-rank decompositions.
                                 rb.kernel(
-                                    Cost::scalar(halo_bytes * 8 / 5)
-                                        .with_mem_bytes(halo_bytes * 2),
+                                    Cost::scalar(halo_bytes * 8 / 5).with_mem_bytes(halo_bytes * 2),
                                     halo_bytes * 2,
                                 );
                                 if let Some(u) = up {
@@ -109,8 +108,7 @@ impl TeaLeafConfig {
                                 rb.waitall();
                                 // Unpack received rows.
                                 rb.kernel(
-                                    Cost::scalar(halo_bytes * 8 / 5)
-                                        .with_mem_bytes(halo_bytes * 2),
+                                    Cost::scalar(halo_bytes * 8 / 5).with_mem_bytes(halo_bytes * 2),
                                     halo_bytes * 2,
                                 );
                             }
@@ -136,8 +134,7 @@ impl TeaLeafConfig {
                                     cells_per_rank,
                                     Schedule::Static,
                                     IterCost::Uniform(
-                                        Cost::scalar(c.update_instr)
-                                            .with_mem_bytes(c.update_bytes),
+                                        Cost::scalar(c.update_instr).with_mem_bytes(c.update_bytes),
                                     ),
                                     ws,
                                 );
@@ -152,8 +149,7 @@ impl TeaLeafConfig {
                                         cells_per_rank,
                                         Schedule::Static,
                                         IterCost::Uniform(
-                                            Cost::scalar(c.dot_instr)
-                                                .with_mem_bytes(c.dot_bytes),
+                                            Cost::scalar(c.dot_instr).with_mem_bytes(c.dot_bytes),
                                         ),
                                         ws,
                                     );
@@ -248,10 +244,7 @@ mod tests {
         let per_rank = cfg.n * cfg.n / 2 * cfg.costs.state_bytes_per_cell;
         let l3: u64 = 256 << 20;
         assert!(per_rank <= l3, "per-socket working set must fit the socket L3");
-        assert!(
-            per_rank > l3 * 9 / 10,
-            "…but only marginally, so measurement buffers evict it"
-        );
+        assert!(per_rank > l3 * 9 / 10, "…but only marginally, so measurement buffers evict it");
     }
 
     #[test]

@@ -69,7 +69,9 @@ impl CollectiveModel {
                 (n - 1) as f64 * self.stage_overhead + stages * lat + (n - 1) as f64 * b / bw
             }
             // Binomial tree.
-            CollectiveOp::Bcast | CollectiveOp::Reduce => stages * (lat + self.stage_overhead + b / bw),
+            CollectiveOp::Bcast | CollectiveOp::Reduce => {
+                stages * (lat + self.stage_overhead + b / bw)
+            }
         }
     }
 
@@ -179,10 +181,22 @@ mod tests {
     fn noise_multiplies_cost_only() {
         let m = CollectiveModel::default();
         let arrivals = [0.0, 10.0];
-        let quiet =
-            m.completion_times(CollectiveOp::Allreduce, &spec(), CommScope::InterNode, 1 << 20, &arrivals, 1.0);
-        let noisy =
-            m.completion_times(CollectiveOp::Allreduce, &spec(), CommScope::InterNode, 1 << 20, &arrivals, 3.0);
+        let quiet = m.completion_times(
+            CollectiveOp::Allreduce,
+            &spec(),
+            CommScope::InterNode,
+            1 << 20,
+            &arrivals,
+            1.0,
+        );
+        let noisy = m.completion_times(
+            CollectiveOp::Allreduce,
+            &spec(),
+            CommScope::InterNode,
+            1 << 20,
+            &arrivals,
+            3.0,
+        );
         assert!(noisy[0] > quiet[0]);
         // Both still bounded below by the latest arrival.
         assert!(quiet[0] > 10.0 && noisy[0] > 10.0);

@@ -1,32 +1,50 @@
 //! Property tests: message matching is a FIFO bijection regardless of
-//! posting order.
+//! posting order. A deterministic splitmix64 generator replaces
+//! proptest so the suite runs with no external dependencies.
 
 use nrlt_mpisim::{Channel, Matcher};
-use proptest::prelude::*;
 
-/// A randomized interleaving of sends and receives on a few channels,
-/// with equal counts per channel so everything matches eventually.
-fn interleavings() -> impl Strategy<Value = Vec<(bool, u8)>> {
-    // (is_send, channel id), 3 channels, up to 40 ops per side.
-    proptest::collection::vec((any::<bool>(), 0u8..3), 0..80).prop_map(|mut ops| {
-        // Balance: append the missing side per channel.
-        for ch in 0..3u8 {
-            let sends = ops.iter().filter(|&&(s, c)| s && c == ch).count();
-            let recvs = ops.iter().filter(|&&(s, c)| !s && c == ch).count();
-            for _ in recvs..sends {
-                ops.push((false, ch));
-            }
-            for _ in sends..recvs {
-                ops.push((true, ch));
-            }
-        }
-        ops
-    })
+/// Deterministic pseudo-random generator (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
 }
 
-proptest! {
-    #[test]
-    fn matching_is_a_fifo_bijection(ops in interleavings()) {
+/// A randomized interleaving of sends and receives on 3 channels,
+/// balanced per channel so everything matches eventually.
+fn interleaving(g: &mut Gen) -> Vec<(bool, u8)> {
+    let len = g.below(80) as usize;
+    let mut ops: Vec<(bool, u8)> =
+        (0..len).map(|_| (g.next() & 1 == 0, g.below(3) as u8)).collect();
+    for ch in 0..3u8 {
+        let sends = ops.iter().filter(|&&(s, c)| s && c == ch).count();
+        let recvs = ops.iter().filter(|&&(s, c)| !s && c == ch).count();
+        for _ in recvs..sends {
+            ops.push((false, ch));
+        }
+        for _ in sends..recvs {
+            ops.push((true, ch));
+        }
+    }
+    ops
+}
+
+#[test]
+fn matching_is_a_fifo_bijection() {
+    let mut g = Gen(0x6d70_6973_696d); // "mpisim"
+    for _case in 0..300 {
+        let ops = interleaving(&mut g);
         let mut m: Matcher<u64, u64> = Matcher::new();
         let mut send_seq = [0u64; 3];
         let mut recv_seq = [0u64; 3];
@@ -47,22 +65,19 @@ proptest! {
                 }
             }
         }
-        // Everything matched (the strategy balances the channels).
-        prop_assert!(m.is_drained(), "{}", m.pending_description());
+        // Everything matched (the interleaving balances the channels).
+        assert!(m.is_drained(), "{}", m.pending_description());
         // FIFO: the k-th send on a channel pairs with the k-th receive.
         for &(_, s, r) in &matches {
-            prop_assert_eq!(s, r, "non-FIFO pairing");
+            assert_eq!(s, r, "non-FIFO pairing");
         }
         // Bijection: every sequence number appears exactly once per side.
         for ch in 0..3u8 {
-            let mut ids: Vec<u64> = matches
-                .iter()
-                .filter(|&&(c, _, _)| c == ch)
-                .map(|&(_, s, _)| s)
-                .collect();
+            let mut ids: Vec<u64> =
+                matches.iter().filter(|&&(c, _, _)| c == ch).map(|&(_, s, _)| s).collect();
             ids.sort_unstable();
             let expect: Vec<u64> = (0..send_seq[ch as usize]).collect();
-            prop_assert_eq!(ids, expect);
+            assert_eq!(ids, expect);
         }
     }
 }

@@ -58,7 +58,10 @@ impl LoopPartition {
         let mut cursor = 0;
         for r in &all {
             if r.begin != cursor {
-                return Err(format!("gap or overlap at iteration {cursor} (next range starts {})", r.begin));
+                return Err(format!(
+                    "gap or overlap at iteration {cursor} (next range starts {})",
+                    r.begin
+                ));
             }
             cursor = r.end;
         }
@@ -161,11 +164,8 @@ pub fn simulate_dynamic(
     dispatch: f64,
 ) -> DynamicResult {
     let nthreads = ready.len() as u32;
-    let mut heap: BinaryHeap<ReadyThread> = ready
-        .iter()
-        .enumerate()
-        .map(|(t, &time)| ReadyThread { time, thread: t as u32 })
-        .collect();
+    let mut heap: BinaryHeap<ReadyThread> =
+        ready.iter().enumerate().map(|(t, &time)| ReadyThread { time, thread: t as u32 }).collect();
     let mut chunks: Vec<Vec<IterRange>> = vec![Vec::new(); nthreads as usize];
     let mut finish = ready.to_vec();
     let mut next = 0u64;
@@ -215,11 +215,14 @@ mod tests {
     fn static_chunk_round_robins() {
         let p = static_partition(10, 2, Schedule::StaticChunk(2));
         p.validate(10).unwrap();
-        assert_eq!(p.chunks[0], vec![
-            IterRange { begin: 0, end: 2 },
-            IterRange { begin: 4, end: 6 },
-            IterRange { begin: 8, end: 10 },
-        ]);
+        assert_eq!(
+            p.chunks[0],
+            vec![
+                IterRange { begin: 0, end: 2 },
+                IterRange { begin: 4, end: 6 },
+                IterRange { begin: 8, end: 10 },
+            ]
+        );
         assert_eq!(p.chunks[1].len(), 2);
     }
 
@@ -259,22 +262,18 @@ mod tests {
 
     #[test]
     fn guided_chunks_shrink() {
-        let res = simulate_dynamic(1000, Schedule::Guided, &[0.0, 0.0], |_, b, e| (e - b) as f64, 0.0);
+        let res =
+            simulate_dynamic(1000, Schedule::Guided, &[0.0, 0.0], |_, b, e| (e - b) as f64, 0.0);
         res.partition.validate(1000).unwrap();
-        let sizes: Vec<u64> = res
-            .partition
-            .chunks
-            .iter()
-            .flatten()
-            .map(IterRange::len)
-            .collect();
+        let sizes: Vec<u64> = res.partition.chunks.iter().flatten().map(IterRange::len).collect();
         assert!(sizes.first().unwrap() > sizes.last().unwrap());
     }
 
     #[test]
     fn dispatch_overhead_counts_per_chunk() {
         let no = simulate_dynamic(100, Schedule::Dynamic(1), &[0.0], |_, b, e| (e - b) as f64, 0.0);
-        let with = simulate_dynamic(100, Schedule::Dynamic(1), &[0.0], |_, b, e| (e - b) as f64, 0.5);
+        let with =
+            simulate_dynamic(100, Schedule::Dynamic(1), &[0.0], |_, b, e| (e - b) as f64, 0.5);
         assert!((with.finish[0] - no.finish[0] - 50.0).abs() < 1e-9);
     }
 
@@ -299,8 +298,10 @@ mod tests {
 
     #[test]
     fn deterministic_tie_breaking() {
-        let a = simulate_dynamic(50, Schedule::Dynamic(3), &[0.0; 4], |_, b, e| (e - b) as f64, 0.1);
-        let b = simulate_dynamic(50, Schedule::Dynamic(3), &[0.0; 4], |_, b, e| (e - b) as f64, 0.1);
+        let a =
+            simulate_dynamic(50, Schedule::Dynamic(3), &[0.0; 4], |_, b, e| (e - b) as f64, 0.1);
+        let b =
+            simulate_dynamic(50, Schedule::Dynamic(3), &[0.0; 4], |_, b, e| (e - b) as f64, 0.1);
         assert_eq!(a, b);
     }
 }

@@ -1,48 +1,77 @@
 //! Property tests: every schedule must partition the iteration space
-//! exactly, regardless of shape.
+//! exactly, regardless of shape. A deterministic splitmix64 generator
+//! replaces proptest so the suite runs with no external dependencies.
 
 use nrlt_ompsim::{simulate_dynamic, static_partition};
 use nrlt_prog::Schedule;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn static_partitions_cover_exactly(iters in 0u64..100_000, threads in 1u32..64) {
+/// Deterministic pseudo-random generator (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[test]
+fn static_partitions_cover_exactly() {
+    let mut g = Gen(1);
+    for _case in 0..200 {
+        let iters = g.below(100_000);
+        let threads = g.range(1, 64) as u32;
         let p = static_partition(iters, threads, Schedule::Static);
-        prop_assert!(p.validate(iters).is_ok());
+        assert!(p.validate(iters).is_ok());
         // Static balance: no thread holds more than ceil(n/T) iterations.
         let cap = iters.div_ceil(threads as u64).max(1);
         for t in 0..threads as usize {
-            prop_assert!(p.thread_iters(t) <= cap);
+            assert!(p.thread_iters(t) <= cap);
         }
     }
+}
 
-    #[test]
-    fn chunked_partitions_cover_exactly(
-        iters in 0u64..50_000,
-        threads in 1u32..32,
-        chunk in 1u64..500,
-    ) {
+#[test]
+fn chunked_partitions_cover_exactly() {
+    let mut g = Gen(2);
+    for _case in 0..200 {
+        let iters = g.below(50_000);
+        let threads = g.range(1, 32) as u32;
+        let chunk = g.range(1, 500);
         let p = static_partition(iters, threads, Schedule::StaticChunk(chunk));
-        prop_assert!(p.validate(iters).is_ok());
+        assert!(p.validate(iters).is_ok());
         // All chunks except possibly the last have the requested size.
         let mut all: Vec<_> = p.chunks.iter().flatten().collect();
         all.sort_by_key(|r| r.begin);
         for r in &all[..all.len().saturating_sub(1)] {
-            prop_assert_eq!(r.len(), chunk.min(iters));
+            assert_eq!(r.len(), chunk.min(iters));
         }
     }
+}
 
-    #[test]
-    fn dynamic_partitions_cover_exactly(
-        iters in 1u64..20_000,
-        threads in 1usize..16,
-        chunk in 1u64..200,
-        ready in proptest::collection::vec(0.0f64..1e-3, 1..16),
-    ) {
-        let ready = if ready.len() >= threads { ready[..threads].to_vec() } else {
-            vec![0.0; threads]
-        };
+#[test]
+fn dynamic_partitions_cover_exactly() {
+    let mut g = Gen(3);
+    for _case in 0..150 {
+        let iters = g.range(1, 20_000);
+        let threads = g.range(1, 16) as usize;
+        let chunk = g.range(1, 200);
+        let ready: Vec<f64> = (0..threads).map(|_| g.f64() * 1e-3).collect();
         let res = simulate_dynamic(
             iters,
             Schedule::Dynamic(chunk),
@@ -50,23 +79,23 @@ proptest! {
             |_, b, e| (e - b) as f64 * 1e-6,
             1e-7,
         );
-        prop_assert!(res.partition.validate(iters).is_ok());
+        assert!(res.partition.validate(iters).is_ok());
         // Finish times never precede ready times.
         for (f, r) in res.finish.iter().zip(&ready) {
-            prop_assert!(f >= r);
+            assert!(f >= r);
         }
     }
+}
 
-    #[test]
-    fn guided_partitions_cover_exactly(iters in 1u64..20_000, threads in 1usize..16) {
+#[test]
+fn guided_partitions_cover_exactly() {
+    let mut g = Gen(4);
+    for _case in 0..150 {
+        let iters = g.range(1, 20_000);
+        let threads = g.range(1, 16) as usize;
         let ready = vec![0.0; threads];
-        let res = simulate_dynamic(
-            iters,
-            Schedule::Guided,
-            &ready,
-            |_, b, e| (e - b) as f64 * 1e-6,
-            0.0,
-        );
-        prop_assert!(res.partition.validate(iters).is_ok());
+        let res =
+            simulate_dynamic(iters, Schedule::Guided, &ready, |_, b, e| (e - b) as f64 * 1e-6, 0.0);
+        assert!(res.partition.validate(iters).is_ok());
     }
 }

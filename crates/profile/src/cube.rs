@@ -46,10 +46,8 @@ impl Profile {
     pub fn add(&mut self, metric: Metric, path: CallPathId, location: usize, value: f64) {
         debug_assert!(value >= 0.0, "severities are non-negative ({metric:?}: {value})");
         debug_assert!(location < self.locations.len());
-        let cell = self
-            .sev
-            .entry((metric, path))
-            .or_insert_with(|| vec![0.0; self.locations.len()]);
+        let cell =
+            self.sev.entry((metric, path)).or_insert_with(|| vec![0.0; self.locations.len()]);
         cell[location] += value;
     }
 
@@ -66,11 +64,7 @@ impl Profile {
     /// Exclusive severity of a metric summed over call paths and
     /// locations.
     pub fn metric_excl_total(&self, metric: Metric) -> f64 {
-        self.sev
-            .iter()
-            .filter(|((m, _), _)| *m == metric)
-            .map(|(_, v)| v.iter().sum::<f64>())
-            .sum()
+        self.sev.iter().filter(|((m, _), _)| *m == metric).map(|(_, v)| v.iter().sum::<f64>()).sum()
     }
 
     /// Inclusive severity of a metric (its whole subtree), summed over
@@ -175,22 +169,20 @@ impl Profile {
     /// Render a call-path id as `a/b/c`.
     pub fn path_string(&self, path: CallPathId) -> String {
         let regions = &self.regions;
-        self.call_tree
-            .path_string(path, |r: RegionRef| regions[r.0 as usize].name.clone())
+        self.call_tree.path_string(path, |r: RegionRef| regions[r.0 as usize].name.clone())
     }
 
     /// Find a call path by rendered string.
     pub fn find_path(&self, s: &str) -> Option<CallPathId> {
         let regions = &self.regions;
-        self.call_tree
-            .find_by_string(s, |r: RegionRef| regions[r.0 as usize].name.clone())
+        self.call_tree.find_by_string(s, |r: RegionRef| regions[r.0 as usize].name.clone())
     }
 
     /// Find the first call path ending in a region with the given name.
     pub fn find_path_by_region(&self, region_name: &str) -> Option<CallPathId> {
-        self.call_tree.iter().find(|&id| {
-            self.regions[self.call_tree.region(id).0 as usize].name == region_name
-        })
+        self.call_tree
+            .iter()
+            .find(|&id| self.regions[self.call_tree.region(id).0 as usize].name == region_name)
     }
 
     /// Cell-wise arithmetic mean of several same-shape profiles (the
@@ -211,10 +203,8 @@ impl Profile {
         let n = profiles.len() as f64;
         for p in profiles {
             for (&(m, c), v) in &p.sev {
-                let cell = out
-                    .sev
-                    .entry((m, c))
-                    .or_insert_with(|| vec![0.0; first.locations.len()]);
+                let cell =
+                    out.sev.entry((m, c)).or_insert_with(|| vec![0.0; first.locations.len()]);
                 for (o, x) in cell.iter_mut().zip(v) {
                     *o += x / n;
                 }

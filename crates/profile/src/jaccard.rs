@@ -51,9 +51,7 @@ pub fn min_pairwise_jaccard<K: Eq + Hash + Clone>(maps: &[HashMap<K, f64>]) -> f
 pub fn total_variation<K: Eq + Hash + Clone>(a: &HashMap<K, f64>, b: &HashMap<K, f64>) -> f64 {
     let keys: HashSet<&K> = a.keys().chain(b.keys()).collect();
     keys.into_iter()
-        .map(|k| {
-            (a.get(k).copied().unwrap_or(0.0) - b.get(k).copied().unwrap_or(0.0)).abs()
-        })
+        .map(|k| (a.get(k).copied().unwrap_or(0.0) - b.get(k).copied().unwrap_or(0.0)).abs())
         .sum::<f64>()
         / 2.0
 }

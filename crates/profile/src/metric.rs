@@ -76,7 +76,10 @@ impl Metric {
     /// Parent in the metric tree (None for roots).
     pub fn parent(self) -> Option<Metric> {
         Some(match self {
-            Metric::Time | Metric::DelayN2n | Metric::DelayP2p | Metric::DelayBarrier
+            Metric::Time
+            | Metric::DelayN2n
+            | Metric::DelayP2p
+            | Metric::DelayBarrier
             | Metric::Visits => return None,
             Metric::Comp | Metric::Mpi | Metric::Omp | Metric::IdleThreads => Metric::Time,
             Metric::MpiP2p | Metric::MpiCollective => Metric::Mpi,

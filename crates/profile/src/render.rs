@@ -13,7 +13,8 @@ pub fn metric_table(profile: &Profile, min_pct: f64) -> String {
     fn rec(p: &Profile, m: Metric, depth: usize, min_pct: f64, out: &mut String) {
         let pct = p.pct_t(m);
         if pct >= min_pct || m == Metric::Time {
-            let _ = writeln!(out, "{:indent$}{:<22} {:>7.2}", "", m.name(), pct, indent = depth * 2);
+            let _ =
+                writeln!(out, "{:indent$}{:<22} {:>7.2}", "", m.name(), pct, indent = depth * 2);
         }
         for &c in m.children() {
             rec(p, c, depth + 1, min_pct, out);

@@ -37,13 +37,7 @@ pub fn location_spread(profile: &Profile, metric: Metric) -> LocationSpread {
         .map(|(i, _)| i)
         .unwrap_or(0);
     let mean = values.iter().sum::<f64>() / n as f64;
-    LocationSpread {
-        min,
-        mean,
-        max,
-        argmax,
-        imbalance: if mean > 0.0 { max / mean } else { 1.0 },
-    }
+    LocationSpread { min, mean, max, argmax, imbalance: if mean > 0.0 { max / mean } else { 1.0 } }
 }
 
 /// Per-rank inclusive totals of a metric (summed over the rank's

@@ -1,67 +1,121 @@
 //! Property tests for the generalized Jaccard score: bounds, symmetry,
-//! identity, monotonicity under perturbation.
+//! identity, monotonicity under perturbation. A deterministic
+//! splitmix64 generator replaces proptest so the suite runs with no
+//! external dependencies.
 
 use nrlt_profile::{jaccard, min_pairwise_jaccard, total_variation};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-fn map_strategy() -> impl Strategy<Value = HashMap<u32, f64>> {
-    proptest::collection::hash_map(0u32..40, 0.0f64..100.0, 0..30)
+/// Deterministic pseudo-random generator (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A random contribution map: up to 30 keys in 0..40, values in
+    /// [0, 100).
+    fn map(&mut self) -> HashMap<u32, f64> {
+        let n = self.below(30) as usize;
+        (0..n).map(|_| (self.below(40) as u32, self.f64() * 100.0)).collect()
+    }
 }
 
-proptest! {
-    #[test]
-    fn jaccard_is_bounded_and_symmetric(a in map_strategy(), b in map_strategy()) {
+#[test]
+fn jaccard_is_bounded_and_symmetric() {
+    let mut g = Gen(10);
+    for _case in 0..300 {
+        let a = g.map();
+        let b = g.map();
         let j = jaccard(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&j), "out of bounds: {j}");
+        assert!((0.0..=1.0).contains(&j), "out of bounds: {j}");
         let j2 = jaccard(&b, &a);
-        prop_assert!((j - j2).abs() < 1e-12, "asymmetric: {j} vs {j2}");
+        assert!((j - j2).abs() < 1e-12, "asymmetric: {j} vs {j2}");
     }
+}
 
-    #[test]
-    fn jaccard_identity(a in map_strategy()) {
-        prop_assert_eq!(jaccard(&a, &a), 1.0);
+#[test]
+fn jaccard_identity() {
+    let mut g = Gen(11);
+    for _case in 0..300 {
+        let a = g.map();
+        assert_eq!(jaccard(&a, &a), 1.0);
     }
+}
 
-    #[test]
-    fn jaccard_scale_consistency(a in map_strategy(), b in map_strategy(), s in 0.1f64..10.0) {
+#[test]
+fn jaccard_scale_consistency() {
+    let mut g = Gen(12);
+    for _case in 0..300 {
+        let a = g.map();
+        let b = g.map();
+        let s = 0.1 + g.f64() * 9.9;
         // Scaling both maps together preserves the score.
         let scale = |m: &HashMap<u32, f64>| -> HashMap<u32, f64> {
             m.iter().map(|(&k, &v)| (k, v * s)).collect()
         };
         let j1 = jaccard(&a, &b);
         let j2 = jaccard(&scale(&a), &scale(&b));
-        prop_assert!((j1 - j2).abs() < 1e-9);
+        assert!((j1 - j2).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn perturbation_lowers_the_score(a in map_strategy(), key in 0u32..40, bump in 1.0f64..100.0) {
+#[test]
+fn perturbation_lowers_the_score() {
+    let mut g = Gen(13);
+    for _case in 0..300 {
+        let a = g.map();
+        let key = g.below(40) as u32;
+        let bump = 1.0 + g.f64() * 99.0;
         // Adding mass to one side can only keep or lower the score…
         let mut b = a.clone();
         *b.entry(key).or_insert(0.0) += bump;
         let j = jaccard(&a, &b);
-        prop_assert!(j <= 1.0 + 1e-12);
+        assert!(j <= 1.0 + 1e-12);
         // …and strictly lowers it when `a` has any mass at all.
         if a.values().any(|&v| v > 0.0) {
-            prop_assert!(j < 1.0);
+            assert!(j < 1.0);
         }
     }
+}
 
-    #[test]
-    fn min_pairwise_is_a_lower_bound(maps in proptest::collection::vec(map_strategy(), 2..5)) {
+#[test]
+fn min_pairwise_is_a_lower_bound() {
+    let mut g = Gen(14);
+    for _case in 0..150 {
+        let n = 2 + g.below(3) as usize;
+        let maps: Vec<HashMap<u32, f64>> = (0..n).map(|_| g.map()).collect();
         let min = min_pairwise_jaccard(&maps);
         for i in 0..maps.len() {
             for j in (i + 1)..maps.len() {
-                prop_assert!(jaccard(&maps[i], &maps[j]) >= min - 1e-12);
+                assert!(jaccard(&maps[i], &maps[j]) >= min - 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn total_variation_is_a_metric_ish(a in map_strategy(), b in map_strategy()) {
+#[test]
+fn total_variation_is_a_metric_ish() {
+    let mut g = Gen(15);
+    for _case in 0..300 {
+        let a = g.map();
+        let b = g.map();
         let tv = total_variation(&a, &b);
-        prop_assert!(tv >= 0.0);
-        prop_assert!((total_variation(&a, &a)).abs() < 1e-12);
-        prop_assert!((tv - total_variation(&b, &a)).abs() < 1e-12);
+        assert!(tv >= 0.0);
+        assert!((total_variation(&a, &a)).abs() < 1e-12);
+        assert!((tv - total_variation(&b, &a)).abs() < 1e-12);
     }
 }

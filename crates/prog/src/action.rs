@@ -242,10 +242,7 @@ impl MpiOp {
     /// True for the N×N collectives whose wait time Scalasca classifies
     /// as `wait_nxn` (Wait at N×N pattern).
     pub fn is_nxn_collective(&self) -> bool {
-        matches!(
-            self,
-            MpiOp::Allreduce { .. } | MpiOp::Alltoall { .. } | MpiOp::Allgather { .. }
-        )
+        matches!(self, MpiOp::Allreduce { .. } | MpiOp::Alltoall { .. } | MpiOp::Allgather { .. })
     }
 
     /// True for any collective operation.

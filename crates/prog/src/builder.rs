@@ -144,11 +144,10 @@ impl<'a> RankBuilder<'a> {
 
     /// OpenMP parallel region; `body` populates its constructs.
     pub fn parallel(&mut self, name: &str, body: impl FnOnce(&mut OmpBuilder<'_>)) {
-        let region = self
-            .pb
-            .regions
-            .intern(&format!("!$omp parallel @{name}"), RegionKind::OmpParallel);
-        let mut omp = OmpBuilder { regions: &mut self.pb.regions, name: name.to_owned(), body: Vec::new() };
+        let region =
+            self.pb.regions.intern(&format!("!$omp parallel @{name}"), RegionKind::OmpParallel);
+        let mut omp =
+            OmpBuilder { regions: &mut self.pb.regions, name: name.to_owned(), body: Vec::new() };
         body(&mut omp);
         let body = omp.body;
         self.push(Action::Parallel(ParallelRegion { region, body }));
@@ -267,9 +266,7 @@ impl<'a> OmpBuilder<'a> {
         working_set: u64,
         nowait: bool,
     ) {
-        let region = self
-            .regions
-            .intern(&format!("!$omp for @{loop_name}"), RegionKind::OmpLoop);
+        let region = self.regions.intern(&format!("!$omp for @{loop_name}"), RegionKind::OmpLoop);
         self.body.push(OmpAction::For(OmpFor {
             region,
             iters,
@@ -282,17 +279,14 @@ impl<'a> OmpBuilder<'a> {
 
     /// Explicit barrier.
     pub fn barrier(&mut self) {
-        let region = self
-            .regions
-            .intern(&format!("!$omp barrier @{}", self.name), RegionKind::OmpBarrier);
+        let region =
+            self.regions.intern(&format!("!$omp barrier @{}", self.name), RegionKind::OmpBarrier);
         self.body.push(OmpAction::Barrier(region));
     }
 
     /// `single` construct with implicit barrier.
     pub fn single(&mut self, name: &str, cost: Cost, working_set: u64) {
-        let region = self
-            .regions
-            .intern(&format!("!$omp single @{name}"), RegionKind::OmpSingle);
+        let region = self.regions.intern(&format!("!$omp single @{name}"), RegionKind::OmpSingle);
         self.body.push(OmpAction::Single {
             region,
             kernel: Kernel::new(cost, working_set),
@@ -302,18 +296,14 @@ impl<'a> OmpBuilder<'a> {
 
     /// `master` construct (no barrier).
     pub fn master(&mut self, name: &str, cost: Cost, working_set: u64) {
-        let region = self
-            .regions
-            .intern(&format!("!$omp master @{name}"), RegionKind::OmpMaster);
-        self.body
-            .push(OmpAction::Master { region, kernel: Kernel::new(cost, working_set) });
+        let region = self.regions.intern(&format!("!$omp master @{name}"), RegionKind::OmpMaster);
+        self.body.push(OmpAction::Master { region, kernel: Kernel::new(cost, working_set) });
     }
 
     /// `critical` section entered once per thread.
     pub fn critical(&mut self, name: &str, cost: Cost) {
-        let region = self
-            .regions
-            .intern(&format!("!$omp critical @{name}"), RegionKind::OmpCritical);
+        let region =
+            self.regions.intern(&format!("!$omp critical @{name}"), RegionKind::OmpCritical);
         self.body.push(OmpAction::Critical { region, cost });
     }
 
@@ -335,7 +325,13 @@ mod tests {
             rb.scoped("main", |rb| {
                 rb.kernel(Cost::scalar(100), 64);
                 rb.parallel("work", |omp| {
-                    omp.for_loop("loop", 1000, Schedule::Static, IterCost::Uniform(Cost::scalar(5)), 0);
+                    omp.for_loop(
+                        "loop",
+                        1000,
+                        Schedule::Static,
+                        IterCost::Uniform(Cost::scalar(5)),
+                        0,
+                    );
                     omp.barrier();
                     omp.master("io", Cost::scalar(50), 0);
                 });

@@ -26,13 +26,8 @@ pub struct Cost {
 
 impl Cost {
     /// The zero cost.
-    pub const ZERO: Cost = Cost {
-        instructions: 0,
-        basic_blocks: 0,
-        statements: 0,
-        flops: 0,
-        mem_bytes: 0,
-    };
+    pub const ZERO: Cost =
+        Cost { instructions: 0, basic_blocks: 0, statements: 0, flops: 0, mem_bytes: 0 };
 
     /// A cost with every counter derived from an instruction count using
     /// typical ratios for compiled scalar C++ code: one IR statement per

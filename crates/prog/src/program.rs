@@ -82,10 +82,9 @@ impl std::fmt::Display for ValidationError {
             ValidationError::BadPeer { rank, peer } => {
                 write!(f, "rank {rank}: message endpoint {peer} outside job")
             }
-            ValidationError::UnmatchedTraffic { src, dst, tag, sends, recvs } => write!(
-                f,
-                "traffic {src}->{dst} tag {tag}: {sends} sends vs {recvs} receives"
-            ),
+            ValidationError::UnmatchedTraffic { src, dst, tag, sends, recvs } => {
+                write!(f, "traffic {src}->{dst} tag {tag}: {sends} sends vs {recvs} receives")
+            }
             ValidationError::PhaseMisuse { rank, phase } => {
                 write!(f, "rank {rank}: phase {} started twice or stopped while idle", phase.0)
             }
@@ -176,9 +175,10 @@ impl Program {
                                 *wildcards.entry((rank, *tag)).or_default() += 1;
                             }
                             MpiOp::Bcast { root, .. } | MpiOp::Reduce { root, .. }
-                                if *root >= n => {
-                                    errors.push(ValidationError::BadPeer { rank, peer: *root });
-                                }
+                                if *root >= n =>
+                            {
+                                errors.push(ValidationError::BadPeer { rank, peer: *root });
+                            }
                             _ => {}
                         }
                         match op {
@@ -289,9 +289,7 @@ mod tests {
         pb.rank(0).send(1, 0, 8);
         let p = pb.finish();
         let errs = p.validate().unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::UnmatchedTraffic { .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::UnmatchedTraffic { .. })));
     }
 
     #[test]
@@ -300,9 +298,7 @@ mod tests {
         pb.rank(0).enter("main");
         let p = pb.finish();
         let errs = p.validate().unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::UnbalancedRegions { .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::UnbalancedRegions { .. })));
     }
 
     #[test]
@@ -322,9 +318,7 @@ mod tests {
         let p = pb.finish();
         let errs = p.validate().unwrap_err();
         assert_eq!(
-            errs.iter()
-                .filter(|e| matches!(e, ValidationError::DanglingRequests { .. }))
-                .count(),
+            errs.iter().filter(|e| matches!(e, ValidationError::DanglingRequests { .. })).count(),
             2
         );
     }

@@ -42,9 +42,7 @@ impl RegionKind {
     pub fn is_omp_construct(self) -> bool {
         matches!(
             self,
-            RegionKind::OmpImplicitBarrier
-                | RegionKind::OmpBarrier
-                | RegionKind::OmpFork
+            RegionKind::OmpImplicitBarrier | RegionKind::OmpBarrier | RegionKind::OmpFork
         )
     }
 
@@ -127,10 +125,7 @@ impl RegionTable {
 
     /// Iterate `(id, region)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (RegionId, &Region)> {
-        self.regions
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (RegionId(i as u32), r))
+        self.regions.iter().enumerate().map(|(i, r)| (RegionId(i as u32), r))
     }
 }
 

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chacha;
 pub mod memory;
 pub mod noise;
 pub mod placement;
@@ -28,6 +29,7 @@ pub mod rng;
 pub mod time;
 pub mod topology;
 
+pub use chacha::ChaCha8;
 pub use memory::{cache_bandwidth_share, dram_fraction, memory_time, shared_bandwidth};
 pub use noise::{NoiseConfig, NoiseModel};
 pub use placement::{JobLayout, Location, PinPolicy, Placement};

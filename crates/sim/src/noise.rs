@@ -133,7 +133,8 @@ impl NoiseModel {
         if self.config.mem_sigma == 0.0 {
             return 1.0;
         }
-        let mut rng = self.rng.stream(StreamKind::KernelJitter, core, instance.wrapping_add(1 << 32));
+        let mut rng =
+            self.rng.stream(StreamKind::KernelJitter, core, instance.wrapping_add(1 << 32));
         jitter_factor(&mut rng, self.config.mem_sigma)
     }
 
@@ -147,14 +148,13 @@ impl NoiseModel {
         if self.config.detour_rate == 0.0 || self.config.detour_mean == 0.0 || span_secs <= 0.0 {
             return 0.0;
         }
-        use rand::Rng;
         let mut rng = self.rng.stream(StreamKind::OsDetour, core, instance);
         let mean_events = self.config.detour_rate * span_secs;
         let n = poisson(&mut rng, mean_events);
         let mut total = 0.0;
         for _ in 0..n {
             // Exponential via inverse transform.
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u: f64 = rng.range_f64(f64::EPSILON, 1.0);
             total += -self.config.detour_mean * u.ln();
         }
         total
@@ -182,14 +182,14 @@ impl NoiseModel {
 
 /// Poisson sampler (Knuth's method for small means, normal approximation
 /// for large means — detour counts per kernel are almost always small).
-fn poisson<R: rand::Rng>(rng: &mut R, mean: f64) -> u64 {
+fn poisson(rng: &mut crate::chacha::ChaCha8, mean: f64) -> u64 {
     if mean <= 0.0 {
         return 0;
     }
     if mean > 64.0 {
         // Normal approximation with continuity correction.
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen::<f64>();
+        let u1: f64 = rng.range_f64(f64::EPSILON, 1.0);
+        let u2: f64 = rng.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         return (mean + z * mean.sqrt()).round().max(0.0) as u64;
     }
@@ -197,7 +197,7 @@ fn poisson<R: rand::Rng>(rng: &mut R, mean: f64) -> u64 {
     let mut k = 0u64;
     let mut p = 1.0;
     loop {
-        p *= rng.gen::<f64>();
+        p *= rng.next_f64();
         if p <= threshold {
             return k;
         }
@@ -234,7 +234,8 @@ mod tests {
 
     #[test]
     fn detour_time_grows_with_span() {
-        let m = model(NoiseConfig { detour_rate: 1000.0, detour_mean: 1e-5, ..NoiseConfig::silent() });
+        let m =
+            model(NoiseConfig { detour_rate: 1000.0, detour_mean: 1e-5, ..NoiseConfig::silent() });
         let short: f64 = (0..200).map(|i| m.detour_time(0, i, 0.001)).sum();
         let long: f64 = (0..200).map(|i| m.detour_time(0, i + 1000, 0.01)).sum();
         assert!(long > short * 3.0, "long spans must collect more detours ({long} vs {short})");

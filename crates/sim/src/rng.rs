@@ -8,8 +8,7 @@
 //! same seed produce bit-identical timings, and a "repetition" of an
 //! experiment is simply a different seed.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::chacha::ChaCha8;
 
 /// Identifies the purpose of a random stream, so that independent
 /// consumers never share a stream by accident.
@@ -36,9 +35,10 @@ pub enum StreamKind {
 
 /// Factory for deterministic, structurally keyed RNG streams.
 ///
-/// Streams are ChaCha8: fast, high-quality, and stable across platforms
-/// and library versions (unlike `rand::rngs::StdRng`, whose algorithm may
-/// change between `rand` releases).
+/// Streams are the in-repo [`ChaCha8`]: fast, high-quality, and stable
+/// across platforms and versions by construction — the generator lives
+/// in this repository, so no dependency upgrade can ever change the
+/// streams an experiment seed produces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RngFactory {
     seed: u64,
@@ -60,7 +60,7 @@ impl RngFactory {
     /// `entity` typically identifies a location (rank/thread) or a core;
     /// `instance` distinguishes successive uses by the same entity when a
     /// fresh stream per use is wanted (e.g. one stream per message).
-    pub fn stream(&self, kind: StreamKind, entity: u64, instance: u64) -> ChaCha8Rng {
+    pub fn stream(&self, kind: StreamKind, entity: u64, instance: u64) -> ChaCha8 {
         let mut key = [0u8; 32];
         key[..8].copy_from_slice(&self.seed.to_le_bytes());
         key[8..16].copy_from_slice(&(kind as u64).to_le_bytes());
@@ -76,7 +76,7 @@ impl RngFactory {
             x ^= x >> 31;
             chunk.copy_from_slice(&x.to_le_bytes());
         }
-        ChaCha8Rng::from_seed(key)
+        ChaCha8::from_seed(key)
     }
 }
 
@@ -86,13 +86,13 @@ impl RngFactory {
 /// plain uniform draw: cheap, bounded below, right-skewed — a reasonable
 /// match for run-time noise which occasionally slows things down a lot but
 /// never speeds them up beyond the noiseless baseline by much.
-pub fn jitter_factor<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+pub fn jitter_factor(rng: &mut ChaCha8, sigma: f64) -> f64 {
     if sigma <= 0.0 {
         return 1.0;
     }
     // Sum of three uniforms approximates a normal (Irwin-Hall), then
     // exponentiate for right skew.
-    let u: f64 = (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()) / 1.5 - 1.0; // ~[-1,1], mean 0
+    let u: f64 = (rng.next_f64() + rng.next_f64() + rng.next_f64()) / 1.5 - 1.0; // ~[-1,1], mean 0
     (sigma * u).exp()
 }
 
@@ -103,19 +103,19 @@ mod tests {
     #[test]
     fn streams_are_deterministic() {
         let f = RngFactory::new(42);
-        let a: u64 = f.stream(StreamKind::KernelJitter, 7, 0).gen();
-        let b: u64 = f.stream(StreamKind::KernelJitter, 7, 0).gen();
+        let a: u64 = f.stream(StreamKind::KernelJitter, 7, 0).next_u64();
+        let b: u64 = f.stream(StreamKind::KernelJitter, 7, 0).next_u64();
         assert_eq!(a, b);
     }
 
     #[test]
     fn streams_differ_by_kind_entity_instance_seed() {
         let f = RngFactory::new(42);
-        let base: u64 = f.stream(StreamKind::KernelJitter, 7, 0).gen();
-        let by_kind: u64 = f.stream(StreamKind::OsDetour, 7, 0).gen();
-        let by_entity: u64 = f.stream(StreamKind::KernelJitter, 8, 0).gen();
-        let by_instance: u64 = f.stream(StreamKind::KernelJitter, 7, 1).gen();
-        let by_seed: u64 = RngFactory::new(43).stream(StreamKind::KernelJitter, 7, 0).gen();
+        let base: u64 = f.stream(StreamKind::KernelJitter, 7, 0).next_u64();
+        let by_kind: u64 = f.stream(StreamKind::OsDetour, 7, 0).next_u64();
+        let by_entity: u64 = f.stream(StreamKind::KernelJitter, 8, 0).next_u64();
+        let by_instance: u64 = f.stream(StreamKind::KernelJitter, 7, 1).next_u64();
+        let by_seed: u64 = RngFactory::new(43).stream(StreamKind::KernelJitter, 7, 0).next_u64();
         assert_ne!(base, by_kind);
         assert_ne!(base, by_entity);
         assert_ne!(base, by_instance);

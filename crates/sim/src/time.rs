@@ -218,14 +218,8 @@ mod tests {
 
     #[test]
     fn saturating_since_clamps() {
-        assert_eq!(
-            VirtualTime(10).saturating_since(VirtualTime(100)),
-            VirtualDuration::ZERO
-        );
-        assert_eq!(
-            VirtualTime(100).saturating_since(VirtualTime(10)),
-            VirtualDuration(90)
-        );
+        assert_eq!(VirtualTime(10).saturating_since(VirtualTime(100)), VirtualDuration::ZERO);
+        assert_eq!(VirtualTime(100).saturating_since(VirtualTime(10)), VirtualDuration(90));
     }
 
     #[test]
@@ -239,10 +233,7 @@ mod tests {
     fn duration_constructors_agree() {
         assert_eq!(VirtualDuration::from_micros(1), VirtualDuration(1_000));
         assert_eq!(VirtualDuration::from_millis(1), VirtualDuration(1_000_000));
-        assert_eq!(
-            VirtualDuration::from_secs_f64(1.5),
-            VirtualDuration(1_500_000_000)
-        );
+        assert_eq!(VirtualDuration::from_secs_f64(1.5), VirtualDuration(1_500_000_000));
         assert_eq!(VirtualDuration::from_secs_f64(-1.0), VirtualDuration::ZERO);
     }
 
@@ -257,9 +248,7 @@ mod tests {
     #[test]
     fn sum_of_durations() {
         let total: VirtualDuration =
-            [VirtualDuration(1), VirtualDuration(2), VirtualDuration(3)]
-                .into_iter()
-                .sum();
+            [VirtualDuration(1), VirtualDuration(2), VirtualDuration(3)].into_iter().sum();
         assert_eq!(total, VirtualDuration(6));
     }
 }

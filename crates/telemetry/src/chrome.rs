@@ -1,0 +1,251 @@
+//! Chrome trace-event exporters.
+//!
+//! Both functions emit the JSON object format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! `{"traceEvents": [...]}` with `ph` = `B`/`E` (nested begin/end),
+//! `X` (complete), `i` (instant) and `M` (metadata) records, timestamps
+//! in microseconds.
+//!
+//! [`pipeline_trace_json`] renders the *host-side* telemetry of a run —
+//! the pipeline spans recorded through a [`Telemetry`] handle.
+//! [`trace_to_chrome`] renders a *simulated* [`Trace`] — whatever the
+//! measurement layer produced — with one track (tid) per location. For a
+//! physical-clock trace, virtual nanoseconds become microseconds; for a
+//! logical-clock trace the Lamport counter values are rendered as-is, so
+//! the horizontal axis reads "Lamport time" rather than wall time.
+
+use crate::json;
+use crate::Telemetry;
+use nrlt_trace::{ClockKind, EventKind, Trace};
+
+/// Render the host-side pipeline spans and counters of a run as a Chrome
+/// trace document. Spans become `B`/`E` pairs on their track's tid;
+/// counters are attached as `args` of a final instant event so they show
+/// up in the UI without needing counter tracks.
+pub fn pipeline_trace_json(tel: &Telemetry) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(meta_event(0, 0, "process_name", "nrlt pipeline"));
+
+    let spans = tel.spans();
+    let mut tracks: Vec<u32> = spans.iter().map(|s| s.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for &track in &tracks {
+        let name = if track == 0 { "pipeline".to_owned() } else { format!("worker {}", track - 1) };
+        events.push(meta_event(0, track, "thread_name", &name));
+    }
+
+    for s in &spans {
+        let start_us = ns_to_us(s.start_ns);
+        events.push(format!(
+            "{{\"name\":{},\"cat\":{},\"ph\":\"B\",\"ts\":{},\"pid\":0,\"tid\":{}}}",
+            json::string(&s.name),
+            json::string(&s.cat),
+            start_us,
+            s.track
+        ));
+        events.push(format!(
+            "{{\"name\":{},\"cat\":{},\"ph\":\"E\",\"ts\":{},\"pid\":0,\"tid\":{}}}",
+            json::string(&s.name),
+            json::string(&s.cat),
+            ns_to_us(s.start_ns + s.dur_ns),
+            s.track
+        ));
+    }
+
+    // B/E pairs interleave across tracks; the viewer pairs them per tid,
+    // but keeping the document globally time-sorted is tidier.
+    let counters = tel.counters();
+    if !counters.is_empty() {
+        let args: Vec<String> =
+            counters.iter().map(|(k, v)| format!("{}:{}", json::string(k), v)).collect();
+        events.push(format!(
+            "{{\"name\":\"counters\",\"cat\":\"pipeline\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{{}}}}}",
+            ns_to_us(tel.elapsed_ns()),
+            args.join(",")
+        ));
+    }
+
+    wrap(events)
+}
+
+/// Render a simulated [`Trace`] as a Chrome trace document with one
+/// track per location.
+///
+/// * `Enter`/`Leave` become `B`/`E` pairs named after the region.
+/// * `CallBurst` becomes a single `X` (complete) slice spanning
+///   `[start, time]`, with the call count in `args`.
+/// * Sends, receives, and collective completions become instant events.
+///
+/// Physical timestamps (virtual nanoseconds) are converted to
+/// microseconds; logical (Lamport) timestamps are emitted verbatim —
+/// one Lamport tick renders as one "microsecond" on an axis that should
+/// be read as Lamport time.
+pub fn trace_to_chrome(trace: &Trace) -> String {
+    let logical = matches!(trace.defs.clock, ClockKind::Logical { .. });
+    let clock = trace.defs.clock.name();
+    let mut events: Vec<String> = Vec::new();
+    events.push(meta_event(0, 0, "process_name", &format!("nrlt trace (clock: {clock})")));
+
+    let ts = |t: u64| -> String {
+        if logical {
+            format!("{t}")
+        } else {
+            ns_to_us(t)
+        }
+    };
+
+    for (i, stream) in trace.streams.iter().enumerate() {
+        let loc = trace.defs.location(nrlt_trace::LocationRef(i as u32));
+        let tid = i as u32;
+        events.push(meta_event(
+            0,
+            tid,
+            "thread_name",
+            &format!("rank {} thread {} (core {})", loc.rank, loc.thread, loc.core),
+        ));
+        for ev in stream {
+            match ev.kind {
+                EventKind::Enter { region } => {
+                    let name = &trace.defs.region(region).name;
+                    events.push(format!(
+                        "{{\"name\":{},\"cat\":\"region\",\"ph\":\"B\",\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                        json::string(name),
+                        ts(ev.time),
+                        tid
+                    ));
+                }
+                EventKind::Leave { region } => {
+                    let name = &trace.defs.region(region).name;
+                    events.push(format!(
+                        "{{\"name\":{},\"cat\":\"region\",\"ph\":\"E\",\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                        json::string(name),
+                        ts(ev.time),
+                        tid
+                    ));
+                }
+                EventKind::CallBurst { region, count, start } => {
+                    let name = &trace.defs.region(region).name;
+                    let dur = if logical {
+                        format!("{}", ev.time.saturating_sub(start))
+                    } else {
+                        ns_to_us(ev.time.saturating_sub(start))
+                    };
+                    events.push(format!(
+                        "{{\"name\":{},\"cat\":\"burst\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"calls\":{}}}}}",
+                        json::string(name),
+                        ts(start),
+                        dur,
+                        tid,
+                        count
+                    ));
+                }
+                EventKind::SendPost { peer, tag, bytes } => {
+                    events.push(instant(
+                        "send",
+                        "p2p",
+                        &ts(ev.time),
+                        tid,
+                        &format!("\"peer\":{peer},\"tag\":{tag},\"bytes\":{bytes}"),
+                    ));
+                }
+                EventKind::RecvPost { peer, tag, bytes } => {
+                    events.push(instant(
+                        "recv.post",
+                        "p2p",
+                        &ts(ev.time),
+                        tid,
+                        &format!("\"peer\":{peer},\"tag\":{tag},\"bytes\":{bytes}"),
+                    ));
+                }
+                EventKind::RecvComplete { peer, tag, bytes } => {
+                    events.push(instant(
+                        "recv.complete",
+                        "p2p",
+                        &ts(ev.time),
+                        tid,
+                        &format!("\"peer\":{peer},\"tag\":{tag},\"bytes\":{bytes}"),
+                    ));
+                }
+                EventKind::CollectiveEnd { op, bytes, root } => {
+                    events.push(instant(
+                        &format!("collective.{op:?}"),
+                        "collective",
+                        &ts(ev.time),
+                        tid,
+                        &format!("\"bytes\":{bytes},\"root\":{root}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    wrap(events)
+}
+
+fn wrap(events: Vec<String>) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+fn meta_event(pid: u32, tid: u32, kind: &str, name: &str) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":{}}}}}",
+        json::string(kind),
+        pid,
+        tid,
+        json::string(name)
+    )
+}
+
+fn instant(name: &str, cat: &str, ts: &str, tid: u32, args: &str) -> String {
+    format!(
+        "{{\"name\":{},\"cat\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{{}}}}}",
+        json::string(name),
+        json::string(cat),
+        ts,
+        tid,
+        args
+    )
+}
+
+/// Nanoseconds → microseconds with sub-µs precision preserved.
+fn ns_to_us(ns: u64) -> String {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        format!("{whole}.{frac:03}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_to_us_preserves_sub_microsecond() {
+        assert_eq!(ns_to_us(0), "0");
+        assert_eq!(ns_to_us(1_000), "1");
+        assert_eq!(ns_to_us(1_500), "1.500");
+        assert_eq!(ns_to_us(999), "0.999");
+        assert_eq!(ns_to_us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn pipeline_export_is_valid_json() {
+        let t = Telemetry::new();
+        {
+            let _s = t.span("phase \"one\"");
+        }
+        t.incr("events");
+        let doc = pipeline_trace_json(&t);
+        let v = json::parse(&doc).expect("valid JSON");
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // process_name + thread_name + B + E + counters instant.
+        assert_eq!(evs.len(), 5);
+    }
+}

@@ -1,0 +1,172 @@
+//! Text exporters: machine-readable JSON-lines metrics and a
+//! human-readable summary table.
+
+use crate::json;
+use crate::Telemetry;
+use std::fmt::Write as _;
+
+/// All counters, histograms, and spans as JSON lines — one self-contained
+/// JSON object per line, each tagged with a `"kind"` field
+/// (`counter` / `histogram` / `span`). Suited to `grep`/`jq`-style
+/// post-processing and append-friendly aggregation across runs.
+pub fn metrics_jsonl(tel: &Telemetry) -> String {
+    let mut out = String::new();
+    for (name, value) in tel.counters() {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"counter\",\"name\":{},\"value\":{}}}",
+            json::string(&name),
+            value
+        );
+    }
+    for (name, h) in tel.histograms() {
+        let buckets: Vec<String> = h
+            .nonzero_buckets()
+            .iter()
+            .map(|(_, lo, hi, c)| format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{c}}}"))
+            .collect();
+        let min = if h.is_empty() { 0 } else { h.min };
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[{}]}}",
+            json::string(&name),
+            h.count,
+            h.sum,
+            min,
+            h.max,
+            json::number(h.mean()),
+            buckets.join(",")
+        );
+    }
+    for s in tel.spans() {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"span\",\"name\":{},\"cat\":{},\"track\":{},\"depth\":{},\"start_ns\":{},\"dur_ns\":{},\"closed\":{}}}",
+            json::string(&s.name),
+            json::string(&s.cat),
+            s.track,
+            s.depth,
+            s.start_ns,
+            s.dur_ns,
+            s.closed
+        );
+    }
+    out
+}
+
+/// Human-readable summary: spans as an indented per-phase timing table,
+/// then counters, then histogram digests.
+pub fn summary_table(tel: &Telemetry) -> String {
+    let mut out = String::new();
+
+    let spans = tel.spans();
+    if !spans.is_empty() {
+        let _ = writeln!(out, "phase timings (host wall clock)");
+        let _ = writeln!(out, "  {:<44} {:>12}  track", "span", "duration");
+        for s in &spans {
+            let label = format!(
+                "{}{}{}",
+                "  ".repeat(s.depth as usize),
+                s.name,
+                if s.closed { "" } else { " (open)" }
+            );
+            let _ = writeln!(out, "  {:<44} {:>12}  {}", label, fmt_ns(s.dur_ns), s.track);
+        }
+        let _ = writeln!(out);
+    }
+
+    let counters = tel.counters();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "counters");
+        for (name, value) in &counters {
+            let _ = writeln!(out, "  {name:<44} {value:>16}");
+        }
+        let _ = writeln!(out);
+    }
+
+    let hists = tel.histograms();
+    if !hists.is_empty() {
+        let _ = writeln!(out, "histograms (log-scale buckets)");
+        for (name, h) in &hists {
+            let _ = writeln!(
+                out,
+                "  {:<44} n={} min={} mean={:.1} max={}",
+                name,
+                h.count,
+                if h.is_empty() { 0 } else { h.min },
+                h.mean(),
+                h.max
+            );
+            for (_, lo, hi, c) in h.nonzero_buckets() {
+                let _ = writeln!(out, "    [{lo:>20}, {hi:>20}] {c:>12}");
+            }
+        }
+    }
+
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let t = Telemetry::new();
+        t.add("engine.events", 42);
+        t.observe("depth", 3);
+        t.observe("depth", 900);
+        {
+            let _s = t.span("measure");
+        }
+        let dump = metrics_jsonl(&t);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let v = json::parse(line).expect("line is valid JSON");
+            assert!(v.get("kind").is_some());
+            assert!(v.get("name").is_some());
+        }
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let t = Telemetry::new();
+        t.add("engine.events", 7);
+        t.observe("engine.ready_queue_depth", 5);
+        {
+            let _s = t.span("analyze");
+        }
+        let s = summary_table(&t);
+        assert!(s.contains("engine.events"));
+        assert!(s.contains("engine.ready_queue_depth"));
+        assert!(s.contains("analyze"));
+    }
+
+    #[test]
+    fn empty_handle_exports_cleanly() {
+        let t = Telemetry::new();
+        assert_eq!(metrics_jsonl(&t), "");
+        assert_eq!(summary_table(&t), "");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(17), "17 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -149,10 +149,7 @@ impl Definitions {
 
     /// Look up a region by name.
     pub fn find_region(&self, name: &str) -> Option<RegionRef> {
-        self.regions
-            .iter()
-            .position(|r| r.name == name)
-            .map(|i| RegionRef(i as u32))
+        self.regions.iter().position(|r| r.name == name).map(|i| RegionRef(i as u32))
     }
 }
 

@@ -167,9 +167,9 @@ mod tests {
     fn region_event_predicate() {
         let r = RegionRef(0);
         assert!(Event::new(0, EventKind::Enter { region: r }).is_region_event());
-        assert!(Event::new(0, EventKind::CallBurst { region: r, count: 1, start: 0 })
-            .is_region_event());
-        assert!(!Event::new(0, EventKind::SendPost { peer: 0, tag: 0, bytes: 0 })
-            .is_region_event());
+        assert!(
+            Event::new(0, EventKind::CallBurst { region: r, count: 1, start: 0 }).is_region_event()
+        );
+        assert!(!Event::new(0, EventKind::SendPost { peer: 0, tag: 0, bytes: 0 }).is_region_event());
     }
 }

@@ -10,7 +10,6 @@
 use crate::defs::{ClockKind, Definitions, LocationDef, RegionDef, RegionRef, RegionRole};
 use crate::event::{CollectiveOp, Event, EventKind};
 use crate::Trace;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Magic bytes at the start of every trace file.
 pub const MAGIC: &[u8; 4] = b"NRLT";
@@ -49,26 +48,62 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+/// A cursor over the input slice; all reads are bounds-checked and
+/// return [`DecodeError::Truncated`] past the end.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.data.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn get_u16(&mut self) -> Result<u16, DecodeError> {
+        // Big-endian, matching what the format has always written.
+        let hi = self.get_u8()?;
+        let lo = self.get_u8()?;
+        Ok(u16::from_be_bytes([hi, lo]))
+    }
+
+    fn get_slice(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+fn get_varint(buf: &mut Reader<'_>) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     let mut shift = 0;
     loop {
-        if !buf.has_remaining() {
-            return Err(DecodeError::Truncated);
-        }
-        let byte = buf.get_u8();
+        let byte = buf.get_u8()?;
         if shift >= 64 {
             return Err(DecodeError::BadTag(byte));
         }
@@ -80,17 +115,14 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
     }
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
+fn put_string(buf: &mut Vec<u8>, s: &str) {
     put_varint(buf, s.len() as u64);
-    buf.put_slice(s.as_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut Bytes) -> Result<String, DecodeError> {
+fn get_string(buf: &mut Reader<'_>) -> Result<String, DecodeError> {
     let len = get_varint(buf)? as usize;
-    if buf.remaining() < len {
-        return Err(DecodeError::Truncated);
-    }
-    let raw = buf.copy_to_bytes(len);
+    let raw = buf.get_slice(len)?;
     String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadString)
 }
 
@@ -105,15 +137,15 @@ const TAG_COLLECTIVE_END: u8 = 7;
 
 /// Serialise a trace to bytes.
 pub fn encode(trace: &Trace) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(1024 + trace.total_events() * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u16(VERSION);
+    let mut buf = Vec::with_capacity(1024 + trace.total_events() * 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_be_bytes());
 
     // Clock.
     match &trace.defs.clock {
-        ClockKind::Physical => buf.put_u8(0),
+        ClockKind::Physical => buf.push(0),
         ClockKind::Logical { model } => {
-            buf.put_u8(1);
+            buf.push(1);
             put_string(&mut buf, model);
         }
     }
@@ -122,7 +154,7 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
     put_varint(&mut buf, trace.defs.regions.len() as u64);
     for r in &trace.defs.regions {
         put_string(&mut buf, &r.name);
-        buf.put_u8(r.role as u8);
+        buf.push(r.role as u8);
     }
 
     // Locations.
@@ -145,41 +177,41 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
             last = ev.time;
             match ev.kind {
                 EventKind::Enter { region } => {
-                    buf.put_u8(TAG_ENTER);
+                    buf.push(TAG_ENTER);
                     put_varint(&mut buf, region.0 as u64);
                 }
                 EventKind::Leave { region } => {
-                    buf.put_u8(TAG_LEAVE);
+                    buf.push(TAG_LEAVE);
                     put_varint(&mut buf, region.0 as u64);
                 }
                 EventKind::CallBurst { region, count, start } => {
-                    buf.put_u8(TAG_BURST);
+                    buf.push(TAG_BURST);
                     put_varint(&mut buf, region.0 as u64);
                     put_varint(&mut buf, count);
                     // start <= event time; store backwards delta.
                     put_varint(&mut buf, ev.time - start);
                 }
                 EventKind::SendPost { peer, tag, bytes } => {
-                    buf.put_u8(TAG_SEND_POST);
+                    buf.push(TAG_SEND_POST);
                     put_varint(&mut buf, peer as u64);
                     put_varint(&mut buf, tag as u64);
                     put_varint(&mut buf, bytes);
                 }
                 EventKind::RecvPost { peer, tag, bytes } => {
-                    buf.put_u8(TAG_RECV_POST);
+                    buf.push(TAG_RECV_POST);
                     put_varint(&mut buf, peer as u64);
                     put_varint(&mut buf, tag as u64);
                     put_varint(&mut buf, bytes);
                 }
                 EventKind::RecvComplete { peer, tag, bytes } => {
-                    buf.put_u8(TAG_RECV_COMPLETE);
+                    buf.push(TAG_RECV_COMPLETE);
                     put_varint(&mut buf, peer as u64);
                     put_varint(&mut buf, tag as u64);
                     put_varint(&mut buf, bytes);
                 }
                 EventKind::CollectiveEnd { op, bytes, root } => {
-                    buf.put_u8(TAG_COLLECTIVE_END);
-                    buf.put_u8(op as u8);
+                    buf.push(TAG_COLLECTIVE_END);
+                    buf.push(op as u8);
                     put_varint(&mut buf, bytes);
                     put_varint(&mut buf, root as u64);
                 }
@@ -187,21 +219,17 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
         }
     }
 
-    buf.to_vec()
+    buf
 }
 
 /// Deserialise a trace from bytes.
 pub fn decode(data: &[u8]) -> Result<Trace, DecodeError> {
-    let mut buf = Bytes::copy_from_slice(data);
-    if buf.remaining() < 6 {
-        return Err(DecodeError::Truncated);
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let mut buf = Reader::new(data);
+    let magic = buf.get_slice(4)?;
+    if magic != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = buf.get_u16();
+    let version = buf.get_u16()?;
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
@@ -285,17 +313,11 @@ pub fn decode(data: &[u8]) -> Result<Trace, DecodeError> {
         streams.push(stream);
     }
 
-    Ok(Trace {
-        defs: Definitions { regions, locations, threads_per_rank, clock },
-        streams,
-    })
+    Ok(Trace { defs: Definitions { regions, locations, threads_per_rank, clock }, streams })
 }
 
-fn require_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
-    if !buf.has_remaining() {
-        return Err(DecodeError::Truncated);
-    }
-    Ok(buf.get_u8())
+fn require_u8(buf: &mut Reader<'_>) -> Result<u8, DecodeError> {
+    buf.get_u8()
 }
 
 #[cfg(test)]
@@ -323,11 +345,14 @@ mod tests {
             Event::new(10, EventKind::CallBurst { region: r1, count: 42, start: 2 }),
             Event::new(12, EventKind::Enter { region: r1 }),
             Event::new(12, EventKind::SendPost { peer: 1, tag: 7, bytes: 4096 }),
-            Event::new(20, EventKind::CollectiveEnd {
-                op: CollectiveOp::Allreduce,
-                bytes: 8,
-                root: crate::event::NO_ROOT,
-            }),
+            Event::new(
+                20,
+                EventKind::CollectiveEnd {
+                    op: CollectiveOp::Allreduce,
+                    bytes: 8,
+                    root: crate::event::NO_ROOT,
+                },
+            ),
             Event::new(21, EventKind::Leave { region: r1 }),
             Event::new(30, EventKind::Leave { region: r0 }),
         ];
@@ -373,15 +398,16 @@ mod tests {
 
     #[test]
     fn varint_roundtrip_extremes() {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
         for &v in &values {
             put_varint(&mut buf, v);
         }
-        let mut bytes = buf.freeze();
+        let mut reader = Reader::new(&buf);
         for &v in &values {
-            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+            assert_eq!(get_varint(&mut reader).unwrap(), v);
         }
+        assert_eq!(reader.remaining(), 0);
     }
 
     #[test]

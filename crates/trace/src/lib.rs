@@ -17,7 +17,9 @@ pub mod defs;
 pub mod event;
 pub mod io;
 
-pub use defs::{ClockKind, Definitions, LocationDef, LocationRef, RegionDef, RegionRef, RegionRole};
+pub use defs::{
+    ClockKind, Definitions, LocationDef, LocationRef, RegionDef, RegionRef, RegionRole,
+};
 pub use event::{CollectiveOp, Event, EventKind, NO_ROOT};
 pub use io::{decode, encode, DecodeError};
 
@@ -46,22 +48,12 @@ impl Trace {
 
     /// Largest timestamp in the trace (0 for an empty trace).
     pub fn end_time(&self) -> u64 {
-        self.streams
-            .iter()
-            .filter_map(|s| s.last())
-            .map(|e| e.time)
-            .max()
-            .unwrap_or(0)
+        self.streams.iter().filter_map(|s| s.last()).map(|e| e.time).max().unwrap_or(0)
     }
 
     /// Smallest timestamp in the trace (0 for an empty trace).
     pub fn start_time(&self) -> u64 {
-        self.streams
-            .iter()
-            .filter_map(|s| s.first())
-            .map(|e| e.time)
-            .min()
-            .unwrap_or(0)
+        self.streams.iter().filter_map(|s| s.first()).map(|e| e.time).min().unwrap_or(0)
     }
 
     /// Check stream invariants: per-stream monotone timestamps and
@@ -101,10 +93,9 @@ impl Trace {
                             ))
                         }
                     },
-                    EventKind::CallBurst { start, .. }
-                        if start > ev.time => {
-                            return Err(format!("location {i}: burst start after end"));
-                        }
+                    EventKind::CallBurst { start, .. } if start > ev.time => {
+                        return Err(format!("location {i}: burst start after end"));
+                    }
                     _ => {}
                 }
             }

@@ -1,122 +1,146 @@
-//! Property tests: the binary trace format round-trips arbitrary
-//! well-formed traces losslessly, and rejects corruption.
+//! Randomised-but-deterministic tests: the binary trace format
+//! round-trips well-formed traces losslessly and never panics on
+//! truncated or corrupted input. A fixed-seed splitmix64 generator
+//! replaces proptest so the suite runs with no external dependencies
+//! and identical cases on every machine.
 
 use nrlt_trace::{
-    decode, encode, ClockKind, CollectiveOp, Definitions, Event, EventKind, LocationDef,
-    RegionDef, RegionRef, RegionRole, Trace, NO_ROOT,
+    decode, encode, ClockKind, CollectiveOp, Definitions, Event, EventKind, LocationDef, RegionDef,
+    RegionRef, RegionRole, Trace, NO_ROOT,
 };
-use proptest::prelude::*;
 
-fn region_strategy() -> impl Strategy<Value = RegionDef> {
-    ("[a-zA-Z_!$@ ]{1,24}", 0u8..10).prop_map(|(name, role)| RegionDef {
-        name,
-        role: RegionRole::from_u8(role).unwrap(),
-    })
+/// Deterministic 64-bit generator (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
 }
 
-fn kind_strategy(n_regions: u32) -> impl Strategy<Value = EventKind> {
-    prop_oneof![
-        (0..n_regions).prop_map(|r| EventKind::Enter { region: RegionRef(r) }),
-        (0..n_regions).prop_map(|r| EventKind::Leave { region: RegionRef(r) }),
-        (0..n_regions, 1u64..1_000_000).prop_map(|(r, count)| EventKind::CallBurst {
-            region: RegionRef(r),
-            count,
-            start: 0, // fixed up below
-        }),
-        (0u32..16, 0u32..100, 0u64..1 << 40)
-            .prop_map(|(peer, tag, bytes)| EventKind::SendPost { peer, tag, bytes }),
-        (0u32..16, 0u32..100, 0u64..1 << 40)
-            .prop_map(|(peer, tag, bytes)| EventKind::RecvPost { peer, tag, bytes }),
-        (0u32..16, 0u32..100, 0u64..1 << 40)
-            .prop_map(|(peer, tag, bytes)| EventKind::RecvComplete { peer, tag, bytes }),
-        (0u8..6, 0u64..1 << 30).prop_map(|(op, bytes)| EventKind::CollectiveEnd {
-            op: CollectiveOp::from_u8(op).unwrap(),
-            bytes,
+fn random_kind(g: &mut Gen, n_regions: u32, time: u64) -> EventKind {
+    match g.below(7) {
+        0 => EventKind::Enter { region: RegionRef(g.below(n_regions as u64) as u32) },
+        1 => EventKind::Leave { region: RegionRef(g.below(n_regions as u64) as u32) },
+        2 => EventKind::CallBurst {
+            region: RegionRef(g.below(n_regions as u64) as u32),
+            count: 1 + g.below(1_000_000),
+            start: time / 2,
+        },
+        3 => EventKind::SendPost {
+            peer: g.below(16) as u32,
+            tag: g.below(100) as u32,
+            bytes: g.below(1 << 40),
+        },
+        4 => EventKind::RecvPost {
+            peer: g.below(16) as u32,
+            tag: g.below(100) as u32,
+            bytes: g.below(1 << 40),
+        },
+        5 => EventKind::RecvComplete {
+            peer: g.below(16) as u32,
+            tag: g.below(100) as u32,
+            bytes: g.below(1 << 40),
+        },
+        _ => EventKind::CollectiveEnd {
+            op: CollectiveOp::from_u8(g.below(6) as u8).unwrap(),
+            bytes: g.below(1 << 30),
             root: NO_ROOT,
-        }),
-    ]
+        },
+    }
 }
 
-fn trace_strategy() -> impl Strategy<Value = Trace> {
-    (
-        proptest::collection::vec(region_strategy(), 1..8),
-        1u32..4, // threads per rank
-        1u32..4, // ranks
-        proptest::bool::ANY,
-    )
-        .prop_flat_map(|(regions, tpr, ranks, physical)| {
-            let n_regions = regions.len() as u32;
-            let n_locs = (tpr * ranks) as usize;
-            let streams = proptest::collection::vec(
-                proptest::collection::vec(
-                    (0u64..1000, kind_strategy(n_regions)),
-                    0..40,
-                ),
-                n_locs..=n_locs,
-            );
-            (Just(regions), Just(tpr), Just(ranks), Just(physical), streams)
+/// A random well-formed trace: monotone per-stream timestamps, burst
+/// starts before their event, valid region references.
+fn random_trace(g: &mut Gen) -> Trace {
+    let n_regions = 1 + g.below(7) as usize;
+    let names = ["main", "MPI_Send", "solve kernel!", "a$b", "x", "omp for", "crunch", "_"];
+    let regions: Vec<RegionDef> = (0..n_regions)
+        .map(|i| RegionDef {
+            name: format!("{}{}", names[i % names.len()], g.below(100)),
+            role: RegionRole::from_u8(g.below(10) as u8).unwrap(),
         })
-        .prop_map(|(regions, tpr, ranks, physical, raw_streams)| {
-            let locations: Vec<LocationDef> = (0..ranks)
-                .flat_map(|r| {
-                    (0..tpr).map(move |t| LocationDef { rank: r, thread: t, core: r * tpr + t })
+        .collect();
+    let tpr = 1 + g.below(3) as u32;
+    let ranks = 1 + g.below(3) as u32;
+    let locations: Vec<LocationDef> = (0..ranks)
+        .flat_map(|r| (0..tpr).map(move |t| LocationDef { rank: r, thread: t, core: r * tpr + t }))
+        .collect();
+    let streams = (0..locations.len())
+        .map(|_| {
+            let n_events = g.below(40) as usize;
+            let mut t = 0u64;
+            (0..n_events)
+                .map(|_| {
+                    t += g.below(1000);
+                    let kind = random_kind(g, n_regions as u32, t);
+                    Event { time: t, kind }
                 })
-                .collect();
-            // Make timestamps monotone per stream (cumulative deltas) and
-            // fix burst starts to lie before their event time.
-            let streams = raw_streams
-                .into_iter()
-                .map(|raw| {
-                    let mut t = 0u64;
-                    raw.into_iter()
-                        .map(|(delta, mut kind)| {
-                            t += delta;
-                            if let EventKind::CallBurst { start, .. } = &mut kind {
-                                *start = t / 2;
-                            }
-                            Event { time: t, kind }
-                        })
-                        .collect()
-                })
-                .collect();
-            Trace {
-                defs: Definitions {
-                    regions,
-                    locations,
-                    threads_per_rank: tpr,
-                    clock: if physical {
-                        ClockKind::Physical
-                    } else {
-                        ClockKind::Logical { model: "lt_test".into() }
-                    },
-                },
-                streams,
-            }
+                .collect()
         })
+        .collect();
+    Trace {
+        defs: Definitions {
+            regions,
+            locations,
+            threads_per_rank: tpr,
+            clock: if g.below(2) == 0 {
+                ClockKind::Physical
+            } else {
+                ClockKind::Logical { model: "lt_test".into() }
+            },
+        },
+        streams,
+    }
 }
 
-proptest! {
-    #[test]
-    fn roundtrip_is_lossless(trace in trace_strategy()) {
+#[test]
+fn roundtrip_is_lossless() {
+    let mut g = Gen(0xA11CE);
+    for case in 0..200 {
+        let trace = random_trace(&mut g);
         let bytes = encode(&trace);
-        let back = decode(&bytes).unwrap();
-        prop_assert_eq!(back, trace);
+        let back = decode(&bytes).unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
+        assert_eq!(back, trace, "case {case} not lossless");
     }
+}
 
-    #[test]
-    fn truncation_never_panics(trace in trace_strategy(), cut in 0usize..4096) {
+#[test]
+fn truncation_never_panics() {
+    let mut g = Gen(0xB0B);
+    for _ in 0..50 {
+        let trace = random_trace(&mut g);
         let bytes = encode(&trace);
-        let cut = cut.min(bytes.len());
-        // Must error or produce a different trace, never panic.
-        let _ = decode(&bytes[..cut]);
+        for cut in 0..bytes.len() {
+            // Must error or produce a different trace, never panic.
+            let _ = decode(&bytes[..cut]);
+        }
     }
+}
 
-    #[test]
-    fn single_byte_corruption_never_panics(trace in trace_strategy(), pos in 0usize..4096, val in 0u8..255) {
-        let mut bytes = encode(&trace);
-        if bytes.is_empty() { return Ok(()); }
-        let pos = pos % bytes.len();
-        bytes[pos] ^= val.wrapping_add(1);
-        let _ = decode(&bytes); // any Result is fine; panics are not
+#[test]
+fn single_byte_corruption_never_panics() {
+    let mut g = Gen(0xC0FFEE);
+    for _ in 0..50 {
+        let trace = random_trace(&mut g);
+        let bytes = encode(&trace);
+        if bytes.is_empty() {
+            continue;
+        }
+        for _ in 0..64 {
+            let pos = g.below(bytes.len() as u64) as usize;
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 1 + g.below(255) as u8;
+            let _ = decode(&corrupted); // any Result is fine; panics are not
+        }
     }
 }

@@ -44,15 +44,9 @@ fn main() {
     let ranks = 4;
     let threads = 8;
     let program = stencil_job(ranks);
-    let machines = [
-        ("Jureca-DC (EPYC)", NodeSpec::jureca_dc()),
-        ("Skylake", NodeSpec::skylake()),
-    ];
+    let machines = [("Jureca-DC (EPYC)", NodeSpec::jureca_dc()), ("Skylake", NodeSpec::skylake())];
     let mut logical_traces = Vec::new();
-    println!(
-        "{:<20} {:>12} {:>9} {:>9} | logical trace",
-        "machine", "tsc total", "comp%", "nxn%"
-    );
+    println!("{:<20} {:>12} {:>9} {:>9} | logical trace", "machine", "tsc total", "comp%", "nxn%");
     for (name, spec) in machines {
         let cfg = ExecConfig {
             machine: Machine::new(spec, 1),

@@ -19,9 +19,13 @@ fn main() {
     }
     .build();
     let cfg = ExecConfig::jureca(1, instance.layout.clone(), 99);
-    let (trace, result) =
-        measure(&instance.program, &cfg, &MeasureConfig::new(ClockMode::LtBb));
-    println!("measured {}: {} events, run time {}", instance.name, trace.total_events(), result.total);
+    let (trace, result) = measure(&instance.program, &cfg, &MeasureConfig::new(ClockMode::LtBb));
+    println!(
+        "measured {}: {} events, run time {}",
+        instance.name,
+        trace.total_events(),
+        result.total
+    );
 
     // Serialise, persist, reload.
     let bytes = encode(&trace);

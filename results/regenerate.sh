@@ -1,10 +1,12 @@
 #!/bin/sh
 # Regenerate every archived experiment output. From the repo root:
 #   sh results/regenerate.sh
+# Each binary also writes a self-telemetry bundle (run manifest,
+# metrics, Chrome trace) under results/telemetry/<bin>/.
 set -e
 cargo build --release -p nrlt-bench
 for b in table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 narrative ablation counters; do
     echo "running $b ..."
-    ./target/release/$b > results/$b.txt
+    ./target/release/$b --telemetry results/telemetry/$b > results/$b.txt
 done
-echo "done; outputs in results/"
+echo "done; outputs in results/, telemetry in results/telemetry/"

@@ -80,12 +80,8 @@ fn online_profile_tracks_the_imbalance() {
     let profile = profile_run(&instance.program, &cfg, ClockMode::Tsc);
     // The CG solve paths exist and the total is positive.
     assert!(profile.total() > 0);
-    let matvec: u64 = profile
-        .exclusive
-        .iter()
-        .filter(|((p, _), _)| p.contains("matvec"))
-        .map(|(_, v)| v)
-        .sum();
+    let matvec: u64 =
+        profile.exclusive.iter().filter(|((p, _), _)| p.contains("matvec")).map(|(_, v)| v).sum();
     assert!(matvec > 0, "matvec must appear in the online profile");
 }
 

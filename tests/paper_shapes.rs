@@ -3,8 +3,8 @@
 //! the repository's ground truth: if a refactor breaks one of these, the
 //! reproduction no longer tells the paper's story.
 
-use nrlt::prelude::*;
 use nrlt::miniapps::{LuleshConfig, LuleshCosts, MiniFeConfig, MiniFeCosts};
+use nrlt::prelude::*;
 
 fn quick_options(modes: Vec<ClockMode>) -> ExperimentOptions {
     ExperimentOptions { repetitions: 3, base_seed: 400, modes, ..Default::default() }
@@ -62,20 +62,14 @@ fn minife2_imbalance_visible_to_all_clocks() {
     let res = run_experiment(&minife2_small(), &quick_options(ClockMode::ALL.to_vec()));
     for m in &res.modes {
         let nxn = m.mean.pct_t(Metric::WaitNxN);
-        assert!(
-            nxn > 0.5,
-            "{}: the 3x rank imbalance must appear as wait_nxn ({nxn:.2})",
-            m.mode
-        );
+        assert!(nxn > 0.5, "{}: the 3x rank imbalance must appear as wait_nxn ({nxn:.2})", m.mode);
     }
 }
 
 #[test]
 fn minife2_counting_modes_cost_most_in_init() {
-    let res = run_experiment(
-        &minife2_small(),
-        &quick_options(vec![ClockMode::Tsc, ClockMode::LtBb]),
-    );
+    let res =
+        run_experiment(&minife2_small(), &quick_options(vec![ClockMode::Tsc, ClockMode::LtBb]));
     let bb_init = res.overhead_phase(ClockMode::LtBb, "init");
     let bb_solve = res.overhead_phase(ClockMode::LtBb, "solve");
     let tsc_init = res.overhead_phase(ClockMode::Tsc, "init");
@@ -113,10 +107,7 @@ fn lulesh_logical_modes_blame_the_material_update() {
         .filter(|(c, _)| hw.path_string(**c).contains("MPI_"))
         .map(|(_, v)| v)
         .sum();
-    assert!(
-        waitall_share > 20.0,
-        "lt_hwctr delay partly sits in MPI calls: {waitall_share:.1}%"
-    );
+    assert!(waitall_share > 20.0, "lt_hwctr delay partly sits in MPI calls: {waitall_share:.1}%");
 }
 
 #[test]
@@ -197,15 +188,9 @@ fn tealeaf_cache_pollution_shows_only_in_physical_overhead() {
         costs: Default::default(),
     }
     .build();
-    let res = run_experiment(
-        &instance,
-        &quick_options(vec![ClockMode::Tsc, ClockMode::LtStmt]),
-    );
+    let res = run_experiment(&instance, &quick_options(vec![ClockMode::Tsc, ClockMode::LtStmt]));
     let ovh = res.overhead_total(ClockMode::Tsc);
-    assert!(
-        ovh > 15.0,
-        "measurement buffers must evict the cache-resident working set: {ovh:.1}%"
-    );
+    assert!(ovh > 15.0, "measurement buffers must evict the cache-resident working set: {ovh:.1}%");
     // The logical analysis itself is not skewed: barrier overhead stays
     // small under lt_stmt (paper: < 2 %_T).
     let stmt_omp_ovh = res.mode(ClockMode::LtStmt).mean.pct_t(Metric::OmpBarrierOverhead)

@@ -1,10 +1,35 @@
 //! System-level property tests: random (valid) hybrid programs pushed
 //! through the whole pipeline must uphold the library's invariants under
-//! every clock mode.
+//! every clock mode. A deterministic splitmix64 generator replaces
+//! proptest so the suite runs with no external dependencies.
 
 use nrlt::prelude::*;
 use nrlt::trace::{decode, encode, EventKind, Trace};
-use proptest::prelude::*;
+
+/// Deterministic pseudo-random generator (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+}
 
 /// One step of a random SPMD program — always globally consistent, so
 /// generated programs never deadlock.
@@ -18,19 +43,25 @@ enum Step {
     RingExchange { bytes: u64 },
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (1_000u64..2_000_000, 0u64..100_000)
-            .prop_map(|(instr, bytes)| Step::Kernel { instr, bytes }),
-        (1u64..2_000, 1_000u64..500_000)
-            .prop_map(|(calls, instr)| Step::Burst { calls, instr }),
-        (16u64..20_000, 50u64..2_000, 0u64..256, any::<bool>()).prop_map(
-            |(iters, instr, bytes, ramp)| Step::ParallelLoop { iters, instr, bytes, ramp }
-        ),
-        Just(Step::Allreduce),
-        Just(Step::Alltoall),
-        (64u64..100_000).prop_map(|bytes| Step::RingExchange { bytes }),
-    ]
+fn random_step(g: &mut Gen) -> Step {
+    match g.below(6) {
+        0 => Step::Kernel { instr: g.range(1_000, 2_000_000), bytes: g.below(100_000) },
+        1 => Step::Burst { calls: g.range(1, 2_000), instr: g.range(1_000, 500_000) },
+        2 => Step::ParallelLoop {
+            iters: g.range(16, 20_000),
+            instr: g.range(50, 2_000),
+            bytes: g.below(256),
+            ramp: g.bool(),
+        },
+        3 => Step::Allreduce,
+        4 => Step::Alltoall,
+        _ => Step::RingExchange { bytes: g.range(64, 100_000) },
+    }
+}
+
+fn random_steps(g: &mut Gen, lo: u64, hi: u64) -> Vec<Step> {
+    let n = g.range(lo, hi) as usize;
+    (0..n).map(|_| random_step(g)).collect()
 }
 
 fn build(ranks: u32, threads: u32, steps: &[Step], skew: bool) -> BenchmarkInstance {
@@ -120,67 +151,67 @@ fn assert_clock_condition(trace: &Trace) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+#[test]
+fn pipeline_invariants_hold_for_random_programs() {
+    let mut g = Gen(0x5359_5354_454d); // "SYSTEM"
+    for _case in 0..12 {
+        let steps = random_steps(&mut g, 2, 10);
+        let ranks = g.range(2, 5) as u32;
+        let threads = [1u32, 2, 4][g.below(3) as usize];
+        let skew = g.bool();
+        let seed = g.below(1000);
 
-    #[test]
-    fn pipeline_invariants_hold_for_random_programs(
-        steps in proptest::collection::vec(step_strategy(), 2..10),
-        ranks in 2u32..5,
-        threads in prop_oneof![Just(1u32), Just(2), Just(4)],
-        skew in any::<bool>(),
-        seed in 0u64..1000,
-    ) {
         let instance = build(ranks, threads, &steps, skew);
-        prop_assert!(instance.program.validate().is_ok());
+        assert!(instance.program.validate().is_ok());
         let cfg = ExecConfig::jureca(1, instance.layout.clone(), seed);
 
         for mode in [ClockMode::Tsc, ClockMode::Lt1, ClockMode::LtStmt, ClockMode::LtHwctr] {
             let (trace, result) = measure(&instance.program, &cfg, &MeasureConfig::new(mode));
             // Trace structure.
-            prop_assert!(trace.check_consistency().is_ok());
-            prop_assert!(result.total.nanos() > 0);
+            assert!(trace.check_consistency().is_ok());
+            assert!(result.total.nanos() > 0);
             // Binary round trip is lossless.
             let back = decode(&encode(&trace)).unwrap();
-            prop_assert_eq!(&back, &trace);
+            assert_eq!(&back, &trace);
             // Lamport condition under logical clocks — both the local
             // message check and the full happens-before oracle.
             if mode.is_logical() {
                 assert_clock_condition(&trace);
                 let violations = nrlt::analysis::verify_clock_condition(&trace);
-                prop_assert!(violations.is_empty(), "causality oracle: {violations:?}");
+                assert!(violations.is_empty(), "causality oracle: {violations:?}");
             }
             // Analysis conserves time and never goes negative.
             let profile = analyze(&trace);
             let total = profile.total_time();
-            let parts: f64 = Metric::Time
-                .subtree()
-                .into_iter()
-                .map(|m| profile.metric_excl_total(m))
-                .sum();
-            prop_assert!((total - parts).abs() <= 1e-6 * total.max(1.0));
+            let parts: f64 =
+                Metric::Time.subtree().into_iter().map(|m| profile.metric_excl_total(m)).sum();
+            assert!((total - parts).abs() <= 1e-6 * total.max(1.0));
             for m in Metric::ALL {
-                prop_assert!(profile.metric_excl_total(m) >= 0.0);
+                assert!(profile.metric_excl_total(m) >= 0.0);
             }
         }
     }
+}
 
-    #[test]
-    fn noise_free_logical_traces_ignore_the_seed(
-        steps in proptest::collection::vec(step_strategy(), 2..6),
-        ranks in 2u32..4,
-    ) {
+#[test]
+fn noise_free_logical_traces_ignore_the_seed() {
+    let mut g = Gen(0x4c54_4242); // "LTBB"
+    for _case in 0..6 {
+        let steps = random_steps(&mut g, 2, 6);
+        let ranks = g.range(2, 4) as u32;
         let instance = build(ranks, 2, &steps, true);
         let a = measure(
             &instance.program,
             &ExecConfig::jureca(1, instance.layout.clone(), 1),
             &MeasureConfig::new(ClockMode::LtBb),
-        ).0;
+        )
+        .0;
         let b = measure(
             &instance.program,
             &ExecConfig::jureca(1, instance.layout.clone(), 999),
             &MeasureConfig::new(ClockMode::LtBb),
-        ).0;
-        prop_assert_eq!(a.streams, b.streams);
+        )
+        .0;
+        assert_eq!(a.streams, b.streams);
     }
 }

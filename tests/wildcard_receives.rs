@@ -41,8 +41,7 @@ fn master_worker(wildcard: bool, ranks: u32, rounds: u32) -> Program {
                 // Memory-heavy work whose duration is noise-sensitive, so
                 // the finish order varies between repetitions.
                 rb.kernel(
-                    Cost::scalar(1_000_000 + r as u64 * 1_000)
-                        .with_mem_bytes(2_000_000),
+                    Cost::scalar(1_000_000 + r as u64 * 1_000).with_mem_bytes(2_000_000),
                     64 << 20,
                 );
                 rb.send(0, 7, 4096);

@@ -21,7 +21,7 @@ use crate::replay::{replay, LocalReplay, SegClass};
 use nrlt_profile::{Metric, Profile};
 use nrlt_telemetry::Telemetry;
 use nrlt_trace::Trace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Analysis options.
 #[derive(Debug, Clone)]
@@ -69,8 +69,15 @@ pub fn analyze_telemetry(
     if let Some(t) = tel {
         // Replay throughput: events per wall millisecond of the replay span.
         _phase = None;
-        let replay_ns =
-            t.spans().iter().rev().find(|s| s.name == "analyze.replay").map_or(0, |s| s.dur_ns);
+        // Under a parallel sweep several analyses interleave; read the
+        // replay span of *this* worker's track.
+        let track = nrlt_telemetry::current_track();
+        let replay_ns = t
+            .spans()
+            .iter()
+            .rev()
+            .find(|s| s.name == "analyze.replay" && s.track == track)
+            .map_or(0, |s| s.dur_ns);
         t.add("analysis.replay.events", trace.total_events() as u64);
         if let Some(rate) =
             (trace.total_events() as u64).saturating_mul(1_000_000).checked_div(replay_ns)
@@ -109,10 +116,11 @@ pub fn analyze_telemetry(
     if let Some(t) = tel {
         t.add("analysis.messages_matched", messages.len() as u64);
     }
-    // Late sender: group messages by completing instance.
-    let mut by_recv_instance: HashMap<(usize, usize), Vec<&MatchedMessage>> = HashMap::new();
+    // Late sender: group messages by completing instance. Ordered maps:
+    // nothing on a result path may depend on hash iteration order.
+    let mut by_recv_instance: BTreeMap<(usize, usize), Vec<&MatchedMessage>> = BTreeMap::new();
     // Late receiver: group by sending instance.
-    let mut by_send_instance: HashMap<(usize, usize), Vec<&MatchedMessage>> = HashMap::new();
+    let mut by_send_instance: BTreeMap<(usize, usize), Vec<&MatchedMessage>> = BTreeMap::new();
     for m in &messages {
         by_recv_instance.entry((m.recv_loc, m.recv_instance)).or_default().push(m);
         by_send_instance.entry((m.send_loc, m.send_instance)).or_default().push(m);
@@ -310,6 +318,9 @@ fn compute_delays(
         t.set("analysis.delay.workers", chunks.len() as u64);
     }
     let mut results: Vec<Vec<(Metric, Vec<DelayContribution>)>> = Vec::with_capacity(chunks.len());
+    // When the whole analysis already runs on a fan-out worker track,
+    // derive disjoint sub-tracks so concurrent cells don't interleave.
+    let base_track = nrlt_telemetry::current_track() * 16;
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
@@ -322,7 +333,7 @@ fn compute_delays(
                         t.span_track(
                             format!("delay worker {worker}"),
                             "analysis",
-                            worker as u32 + 1,
+                            base_track + worker as u32 + 1,
                         )
                     });
                     let out = chunk

@@ -235,15 +235,15 @@ mod tests {
     /// Two ranks, one message 0 → 1, logical timestamps.
     fn msg_trace(send_ts: u64, recv_complete_ts: u64) -> Trace {
         let defs = Definitions {
-            regions: vec![
+            regions: std::sync::Arc::new(vec![
                 RegionDef { name: "main".into(), role: RegionRole::Function },
                 RegionDef { name: "MPI_Send".into(), role: RegionRole::MpiApi },
                 RegionDef { name: "MPI_Recv".into(), role: RegionRole::MpiApi },
-            ],
-            locations: vec![
+            ]),
+            locations: std::sync::Arc::new(vec![
                 LocationDef { rank: 0, thread: 0, core: 0 },
                 LocationDef { rank: 1, thread: 0, core: 1 },
-            ],
+            ]),
             threads_per_rank: 1,
             clock: ClockKind::Logical { model: "lt_1".into() },
         };

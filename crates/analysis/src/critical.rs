@@ -145,16 +145,16 @@ mod tests {
     /// compute region.
     fn imbalanced_trace() -> Trace {
         let defs = Definitions {
-            regions: vec![
+            regions: std::sync::Arc::new(vec![
                 RegionDef { name: "main".into(), role: RegionRole::Function },
                 RegionDef { name: "light".into(), role: RegionRole::Function },
                 RegionDef { name: "heavy".into(), role: RegionRole::Function },
                 RegionDef { name: "MPI_Allreduce".into(), role: RegionRole::MpiApi },
-            ],
-            locations: vec![
+            ]),
+            locations: std::sync::Arc::new(vec![
                 LocationDef { rank: 0, thread: 0, core: 0 },
                 LocationDef { rank: 1, thread: 0, core: 1 },
-            ],
+            ]),
             threads_per_rank: 1,
             clock: ClockKind::Physical,
         };
@@ -227,8 +227,8 @@ mod tests {
     fn empty_trace_is_fine() {
         let t = Trace {
             defs: Definitions {
-                regions: vec![],
-                locations: vec![],
+                regions: std::sync::Arc::new(vec![]),
+                locations: std::sync::Arc::new(vec![]),
                 threads_per_rank: 1,
                 clock: ClockKind::Physical,
             },

@@ -365,12 +365,12 @@ mod tests {
 
     fn defs() -> Definitions {
         Definitions {
-            regions: vec![
+            regions: std::sync::Arc::new(vec![
                 RegionDef { name: "main".into(), role: RegionRole::Function },
                 RegionDef { name: "MPI_Recv".into(), role: RegionRole::MpiApi },
                 RegionDef { name: "leaf".into(), role: RegionRole::Function },
-            ],
-            locations: vec![LocationDef { rank: 0, thread: 0, core: 0 }],
+            ]),
+            locations: std::sync::Arc::new(vec![LocationDef { rank: 0, thread: 0, core: 0 }]),
             threads_per_rank: 1,
             clock: ClockKind::Physical,
         }

@@ -99,8 +99,8 @@ fn main() {
     });
 
     println!("== profile ==");
-    use std::collections::HashMap;
-    let a: HashMap<u64, f64> = (0..10_000).map(|i| (i, (i % 97) as f64)).collect();
-    let b: HashMap<u64, f64> = (0..10_000).map(|i| (i + 500, (i % 89) as f64)).collect();
+    use std::collections::BTreeMap;
+    let a: BTreeMap<u64, f64> = (0..10_000).map(|i| (i, (i % 97) as f64)).collect();
+    let b: BTreeMap<u64, f64> = (0..10_000).map(|i| (i + 500, (i % 89) as f64)).collect();
     bench("jaccard_10k_cells", 50, || jaccard(&a, &b));
 }

@@ -1,0 +1,171 @@
+//! The `BENCH_pipeline.json` perf baseline: wall time per experiment at
+//! each worker count, merged across invocations.
+//!
+//! The file is written and read only by this module, which keeps the
+//! format deliberately line-oriented — one entry object per line — so it
+//! can be merged without a general JSON parser (the workspace is
+//! dependency-free on purpose). Entries are keyed by
+//! `(bin, run, jobs)`; re-running an experiment replaces its entry, a
+//! new (binary, run, jobs) combination appends, so
+//! `fig3 --jobs 1 --bench-json B.json` followed by
+//! `fig3 --jobs 4 --bench-json B.json` leaves both timing points side
+//! by side.
+
+use crate::BenchEntry;
+use std::io::Write;
+use std::path::Path;
+
+/// Merge `new_entries` into the baseline at `path` (replacing same-key
+/// entries, appending the rest) and rewrite the file.
+pub fn merge_and_write(path: &Path, new_entries: &[BenchEntry]) -> std::io::Result<()> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => parse_entries(&text),
+        Err(_) => Vec::new(),
+    };
+    for new in new_entries {
+        match entries
+            .iter_mut()
+            .find(|e| e.bin == new.bin && e.run == new.run && e.jobs == new.jobs)
+        {
+            Some(existing) => *existing = new.clone(),
+            None => entries.push(new.clone()),
+        }
+    }
+    entries.sort_by(|a, b| (&a.bin, &a.run, a.jobs).cmp(&(&b.bin, &b.run, b.jobs)));
+
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = Vec::new();
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"host_parallelism\": {host},")?;
+    writeln!(out, "  \"entries\": [")?;
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"wall_seconds\": {:.3}}}{comma}",
+            json_string(&e.bin),
+            json_string(&e.run),
+            e.jobs,
+            e.wall_seconds,
+        )?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// Parse the entry lines of a baseline previously written by
+/// [`merge_and_write`]. Lines that do not carry all four fields are
+/// ignored, so a corrupted file degrades to "start fresh" rather than
+/// an error.
+pub fn parse_entries(text: &str) -> Vec<BenchEntry> {
+    text.lines().filter_map(parse_entry_line).collect()
+}
+
+fn parse_entry_line(line: &str) -> Option<BenchEntry> {
+    Some(BenchEntry {
+        bin: field_string(line, "bin")?,
+        run: field_string(line, "run")?,
+        jobs: field_raw(line, "jobs")?.parse().ok()?,
+        wall_seconds: field_raw(line, "wall_seconds")?.parse().ok()?,
+    })
+}
+
+/// The raw token after `"key": `, up to the next `,` or `}`.
+fn field_raw(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_owned())
+}
+
+/// A JSON string field value, unescaped.
+fn field_string(line: &str, key: &str) -> Option<String> {
+    let raw = field_raw(line, key)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bin: &str, run: &str, jobs: usize, wall: f64) -> BenchEntry {
+        BenchEntry { bin: bin.into(), run: run.into(), jobs, wall_seconds: wall }
+    }
+
+    #[test]
+    fn roundtrips_and_merges() {
+        let dir = std::env::temp_dir().join("nrlt-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_pipeline.json");
+        let _ = std::fs::remove_file(&path);
+
+        merge_and_write(&path, &[entry("fig3", "MiniFE-2", 1, 27.5)]).unwrap();
+        merge_and_write(&path, &[entry("fig3", "MiniFE-2", 4, 8.25)]).unwrap();
+        // Same key again: replaces, does not duplicate.
+        merge_and_write(&path, &[entry("fig3", "MiniFE-2", 1, 27.125)]).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entries = parse_entries(&text);
+        assert_eq!(
+            entries,
+            vec![entry("fig3", "MiniFE-2", 1, 27.125), entry("fig3", "MiniFE-2", 4, 8.25)]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let e = entry("tab2", "odd \"name\"\twith\nescapes", 2, 1.0);
+        let dir = std::env::temp_dir().join("nrlt-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("escapes.json");
+        merge_and_write(&path, std::slice::from_ref(&e)).unwrap();
+        let entries = parse_entries(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(entries, vec![e]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_lines_are_ignored() {
+        assert!(parse_entries("not json\n{\"bin\": \"x\"}\n").is_empty());
+    }
+}

@@ -24,7 +24,20 @@ pub fn run_named(instance: &BenchmarkInstance) -> ExperimentResult {
     run_experiment(instance, &paper_options())
 }
 
-/// Per-binary telemetry harness.
+/// One timed experiment for the perf baseline (`--bench-json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Binary that ran the experiment (e.g. `fig3`).
+    pub bin: String,
+    /// Run name from the manifest (e.g. `MiniFE-2`).
+    pub run: String,
+    /// Effective worker count the cells fanned out over.
+    pub jobs: usize,
+    /// Wall-clock seconds of the experiment call.
+    pub wall_seconds: f64,
+}
+
+/// Per-binary telemetry + perf-baseline harness.
 ///
 /// Every figure/table binary accepts `--telemetry <dir>` (also
 /// `--telemetry=<dir>`). Without the flag the harness is inert: no
@@ -32,31 +45,79 @@ pub fn run_named(instance: &BenchmarkInstance) -> ExperimentResult {
 /// and output is byte-identical to before the flag existed. With the
 /// flag, [`Harness::finish`] writes `manifest.json`, `metrics.jsonl`,
 /// `pipeline.trace.json`, and `summary.txt` into the directory.
+///
+/// Two further flags:
+///
+/// * `--jobs N` (also `--jobs=N`) overrides
+///   [`ExperimentOptions::jobs`] for every experiment the harness
+///   drives; `0` (the default) means available parallelism. Output is
+///   byte-identical for every value — the flag only changes wall time.
+/// * `--bench-json <path>` records wall time per experiment into a JSON
+///   perf baseline at `path`. Entries are keyed by (binary, run, jobs),
+///   so running the same binary at `--jobs 1` and `--jobs 4` against
+///   one file accumulates both points for comparison.
 pub struct Harness {
+    bin: String,
     tel: Option<Telemetry>,
     manifest: Manifest,
     dir: Option<PathBuf>,
+    jobs: Option<usize>,
+    bench_json: Option<PathBuf>,
+    bench_entries: Vec<BenchEntry>,
     started: Instant,
 }
 
 impl Harness {
-    /// Build a harness for binary `bin`, reading `--telemetry <dir>`
-    /// from the command line.
+    /// Build a harness for binary `bin`, reading `--telemetry <dir>`,
+    /// `--jobs N`, and `--bench-json <path>` from the command line.
     pub fn from_env(bin: &str) -> Harness {
         let mut dir = None;
+        let mut jobs = None;
+        let mut bench_json = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if a == "--telemetry" {
                 dir = args.next().map(PathBuf::from);
             } else if let Some(d) = a.strip_prefix("--telemetry=") {
                 dir = Some(PathBuf::from(d));
+            } else if a == "--jobs" {
+                jobs = args.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--jobs=") {
+                jobs = v.parse().ok();
+            } else if a == "--bench-json" {
+                bench_json = args.next().map(PathBuf::from);
+            } else if let Some(v) = a.strip_prefix("--bench-json=") {
+                bench_json = Some(PathBuf::from(v));
             }
         }
         Harness {
+            bin: bin.to_owned(),
             tel: dir.as_ref().map(|_| Telemetry::new()),
             manifest: Manifest::new(bin),
             dir,
+            jobs,
+            bench_json,
+            bench_entries: Vec::new(),
             started: Instant::now(),
+        }
+    }
+
+    /// The experiment options with the `--jobs` override applied.
+    pub fn apply_jobs(&self, options: &ExperimentOptions) -> ExperimentOptions {
+        match self.jobs {
+            Some(jobs) => ExperimentOptions { jobs, ..options.clone() },
+            None => options.clone(),
+        }
+    }
+
+    fn record_bench(&mut self, run: String, jobs: usize, wall_seconds: f64) {
+        if self.bench_json.is_some() {
+            self.bench_entries.push(BenchEntry {
+                bin: self.bin.clone(),
+                run,
+                jobs: nrlt_core::effective_jobs(jobs),
+                wall_seconds,
+            });
         }
     }
 
@@ -94,8 +155,12 @@ impl Harness {
         instance: &BenchmarkInstance,
         options: &ExperimentOptions,
     ) -> ExperimentResult {
-        self.push_run(instance.name.clone(), instance, options);
-        nrlt_core::run_experiment_telemetry(instance, options, self.tel.as_ref())
+        let options = self.apply_jobs(options);
+        self.push_run(instance.name.clone(), instance, &options);
+        let start = Instant::now();
+        let result = nrlt_core::run_experiment_telemetry(instance, &options, self.tel.as_ref());
+        self.record_bench(instance.name.clone(), options.jobs, start.elapsed().as_secs_f64());
+        result
     }
 
     /// [`nrlt_core::run_mode`] through the harness.
@@ -105,8 +170,13 @@ impl Harness {
         mode: ClockMode,
         options: &ExperimentOptions,
     ) -> ModeResult {
-        self.push_run(format!("{}:{}", instance.name, mode.name()), instance, options);
-        nrlt_core::run_mode_telemetry(instance, mode, options, self.tel.as_ref())
+        let options = self.apply_jobs(options);
+        let name = format!("{}:{}", instance.name, mode.name());
+        self.push_run(name.clone(), instance, &options);
+        let start = Instant::now();
+        let result = nrlt_core::run_mode_telemetry(instance, mode, &options, self.tel.as_ref());
+        self.record_bench(name, options.jobs, start.elapsed().as_secs_f64());
+        result
     }
 
     /// [`nrlt_core::run_mode_with`] through the harness.
@@ -116,8 +186,14 @@ impl Harness {
         mcfg: MeasureConfig,
         options: &ExperimentOptions,
     ) -> ModeResult {
-        self.push_run(format!("{}:{}", instance.name, mcfg.mode.name()), instance, options);
-        nrlt_core::run_mode_with_telemetry(instance, mcfg, options, self.tel.as_ref())
+        let options = self.apply_jobs(options);
+        let name = format!("{}:{}", instance.name, mcfg.mode.name());
+        self.push_run(name.clone(), instance, &options);
+        let start = Instant::now();
+        let result =
+            nrlt_core::run_mode_with_telemetry(instance, mcfg, &options, self.tel.as_ref());
+        self.record_bench(name, options.jobs, start.elapsed().as_secs_f64());
+        result
     }
 
     /// Record a manifest row for a run the harness did not drive itself
@@ -131,9 +207,18 @@ impl Harness {
         });
     }
 
-    /// Write the telemetry bundle, if `--telemetry` was given. Returns
-    /// the directory written to.
+    /// Write the perf baseline and the telemetry bundle, as requested by
+    /// `--bench-json` and `--telemetry`. Returns the telemetry directory
+    /// written to, if any.
     pub fn finish(mut self) -> Option<PathBuf> {
+        if let Some(path) = self.bench_json.take() {
+            match bench_json::merge_and_write(&path, &self.bench_entries) {
+                Ok(()) => eprintln!("perf baseline written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("warning: could not write perf baseline to {}: {e}", path.display())
+                }
+            }
+        }
         let dir = self.dir.take()?;
         let tel = self.tel.take()?;
         self.manifest.wall_seconds = self.started.elapsed().as_secs_f64();
@@ -145,6 +230,8 @@ impl Harness {
         Some(dir)
     }
 }
+
+pub mod bench_json;
 
 /// Scaled-down experiment options for smoke tests and criterion
 /// benches: fewer repetitions.

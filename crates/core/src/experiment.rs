@@ -11,9 +11,13 @@
 //! 4. compare: overheads against the reference, Jaccard scores against
 //!    `tsc`, minimum run-to-run Jaccard within each mode.
 
+use crate::parallel::{effective_jobs, parallel_map_ordered};
 use nrlt_analysis::{analyze_telemetry, AnalysisConfig};
 use nrlt_exec::{overhead_percent, ExecConfig, ExecResult};
-use nrlt_measure::{measure_telemetry, reference_run, ClockMode, FilterRules, MeasureConfig};
+use nrlt_measure::{
+    measure_prepared_telemetry, prepare_measure, reference_run, ClockMode, FilterRules,
+    MeasureConfig, MeasurePrep,
+};
 use nrlt_miniapps::BenchmarkInstance;
 use nrlt_profile::{jaccard, min_pairwise_jaccard, Profile};
 use nrlt_prog::PhaseId;
@@ -32,6 +36,11 @@ pub struct ExperimentOptions {
     pub base_seed: u64,
     /// Clock modes to measure (defaults to all six).
     pub modes: Vec<ClockMode>,
+    /// Worker threads for (mode, repetition) cells: `0` = available
+    /// parallelism, `1` = serial. Every cell is seeded independently and
+    /// results merge in (mode, repetition) order, so the output is
+    /// byte-identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentOptions {
@@ -41,6 +50,7 @@ impl Default for ExperimentOptions {
             repetitions: 5,
             base_seed: 1000,
             modes: ClockMode::ALL.to_vec(),
+            jobs: 0,
         }
     }
 }
@@ -187,9 +197,60 @@ pub fn run_mode_with(
     run_mode_with_telemetry(instance, mcfg, options, None)
 }
 
-/// [`run_mode_with`] with optional self-telemetry: one `mode:{name}` span
-/// wraps all repetitions, and measurement + analysis report their own
-/// spans and counters underneath it. `None` adds zero telemetry work.
+/// One measured (mode, repetition) cell: what the merge step needs.
+struct CellResult {
+    profile: Profile,
+    run_time: VirtualDuration,
+    phases: BTreeMap<String, VirtualDuration>,
+}
+
+/// The per-cell analysis configuration under a fan-out of `fan` workers.
+/// When cells themselves run concurrently, the delay phase inside each
+/// cell runs single-threaded — nesting thread pools on a machine already
+/// saturated by cells only adds contention. Its chunked merge is
+/// order-preserving either way, so this is a scheduling choice, not a
+/// result change.
+fn cell_analysis_config(fan: usize) -> AnalysisConfig {
+    AnalysisConfig { delay_costs: true, workers: if fan > 1 { 1 } else { 0 } }
+}
+
+/// Measure + analyze one repetition of one mode. Fully self-contained:
+/// the seed derives from `base_seed + rep`, the trace and analysis are
+/// cell-local, and the shared preparation is read-only.
+fn run_cell(
+    instance: &BenchmarkInstance,
+    prep: &MeasurePrep,
+    mcfg: &MeasureConfig,
+    options: &ExperimentOptions,
+    acfg: &AnalysisConfig,
+    rep: u32,
+    tel: Option<&Telemetry>,
+) -> CellResult {
+    let cfg = exec_config_for(instance, &options.noise, options.base_seed + rep as u64);
+    let (trace, result) = measure_prepared_telemetry(&instance.program, prep, &cfg, mcfg, tel);
+    let profile = analyze_telemetry(&trace, acfg, tel);
+    let mut phases = BTreeMap::new();
+    for (i, name) in instance.program.phases.iter().enumerate() {
+        phases.insert(name.clone(), result.phase_max(PhaseId(i as u32)));
+    }
+    if let Some(t) = tel {
+        t.incr("experiment.repetitions");
+    }
+    CellResult { profile, run_time: result.total, phases }
+}
+
+fn mode_repetitions(mode: ClockMode, options: &ExperimentOptions) -> u32 {
+    if mode.is_noise_free() {
+        1
+    } else {
+        options.repetitions.max(1)
+    }
+}
+
+/// [`run_mode_with`] with optional self-telemetry: every repetition runs
+/// under a `mode:{name}` span (on its worker's telemetry track when
+/// repetitions fan out), with measurement + analysis reporting their own
+/// spans and counters underneath. `None` adds zero telemetry work.
 pub fn run_mode_with_telemetry(
     instance: &BenchmarkInstance,
     mcfg: MeasureConfig,
@@ -197,24 +258,29 @@ pub fn run_mode_with_telemetry(
     tel: Option<&Telemetry>,
 ) -> ModeResult {
     let mode = mcfg.mode;
-    let _span = tel.map(|t| t.span_cat(format!("mode:{}", mode.name()), "experiment"));
-    let reps = if mode.is_noise_free() { 1 } else { options.repetitions.max(1) };
-    let mut profiles = Vec::new();
-    let mut run_times = Vec::new();
-    let mut phase_times = Vec::new();
-    for rep in 0..reps {
-        let cfg = exec_config_for(instance, &options.noise, options.base_seed + rep as u64);
-        let (trace, result) = measure_telemetry(&instance.program, &cfg, &mcfg, tel);
-        profiles.push(analyze_telemetry(&trace, &AnalysisConfig::default(), tel));
-        run_times.push(result.total);
-        let mut phases = BTreeMap::new();
-        for (i, name) in instance.program.phases.iter().enumerate() {
-            phases.insert(name.clone(), result.phase_max(PhaseId(i as u32)));
-        }
-        phase_times.push(phases);
-        if let Some(t) = tel {
-            t.incr("experiment.repetitions");
-        }
+    let reps = mode_repetitions(mode, options);
+    let prep = prepare_measure(
+        &instance.program,
+        &exec_config_for(instance, &options.noise, options.base_seed),
+    );
+    let fan = effective_jobs(options.jobs).min(reps as usize);
+    let acfg = cell_analysis_config(fan);
+    let cells = parallel_map_ordered((0..reps).collect(), options.jobs, |_, rep| {
+        let _span = tel.map(|t| t.span_cat(format!("mode:{}", mode.name()), "experiment"));
+        run_cell(instance, &prep, &mcfg, options, &acfg, rep, tel)
+    });
+    merge_mode(mode, cells)
+}
+
+/// Fold cell results — already in repetition order — into a [`ModeResult`].
+fn merge_mode(mode: ClockMode, cells: Vec<CellResult>) -> ModeResult {
+    let mut profiles = Vec::with_capacity(cells.len());
+    let mut run_times = Vec::with_capacity(cells.len());
+    let mut phase_times = Vec::with_capacity(cells.len());
+    for cell in cells {
+        profiles.push(cell.profile);
+        run_times.push(cell.run_time);
+        phase_times.push(cell.phases);
     }
     let mean = Profile::mean(&profiles);
     ModeResult { mode, profiles, mean, run_times, phase_times }
@@ -228,30 +294,83 @@ pub fn run_experiment(
     run_experiment_telemetry(instance, options, None)
 }
 
-/// [`run_experiment`] with optional self-telemetry: reference runs are
-/// wrapped in an `experiment.reference` span, every mode in its own
-/// `mode:{name}` span, with the engine, measurement, and analysis layers
-/// reporting underneath. `None` adds zero telemetry work.
+/// One unit of the experiment fan-out: an uninstrumented reference
+/// repetition or an instrumented (mode, repetition) measurement.
+enum Cell {
+    Reference { rep: u32 },
+    Mode { mode_idx: usize, rep: u32 },
+}
+
+enum CellOutput {
+    Reference(ExecResult),
+    Mode { mode_idx: usize, result: CellResult },
+}
+
+/// [`run_experiment`] with optional self-telemetry: every reference run
+/// is wrapped in an `experiment.reference` span and every (mode,
+/// repetition) cell in a `mode:{name}` span, with the engine,
+/// measurement, and analysis layers reporting underneath. `None` adds
+/// zero telemetry work.
+///
+/// All cells — reference repetitions and (mode, repetition)
+/// measurements — fan out together over [`ExperimentOptions::jobs`]
+/// workers. Each cell derives its RNG stream from the base seed alone
+/// and shares only read-only preparation, and the merge walks the cell
+/// list in its deterministic construction order, so the result is
+/// byte-identical to the serial path for any worker count.
 pub fn run_experiment_telemetry(
     instance: &BenchmarkInstance,
     options: &ExperimentOptions,
     tel: Option<&Telemetry>,
 ) -> ExperimentResult {
-    let reference = {
-        let _span = tel.map(|t| t.span_cat("experiment.reference", "experiment"));
-        (0..options.repetitions.max(1))
-            .map(|rep| {
-                let cfg =
-                    exec_config_for(instance, &options.noise, options.base_seed + 100 + rep as u64);
-                reference_run(&instance.program, &cfg)
-            })
-            .collect()
-    };
-    let modes = options
-        .modes
-        .iter()
-        .map(|&mode| run_mode_telemetry(instance, mode, options, tel))
-        .collect();
+    // Read-only, run-invariant setup, hoisted so a 30-cell sweep interns
+    // regions and builds the Arc-shared definition tables exactly once.
+    let prep = prepare_measure(
+        &instance.program,
+        &exec_config_for(instance, &options.noise, options.base_seed),
+    );
+    let mode_cfgs: Vec<MeasureConfig> =
+        options.modes.iter().map(|&mode| measure_config_for(instance, mode)).collect();
+
+    // The cell list fixes the merge order: reference repetitions first,
+    // then modes in `options.modes` order, repetitions ascending.
+    let ref_reps = options.repetitions.max(1);
+    let mut cells: Vec<Cell> = (0..ref_reps).map(|rep| Cell::Reference { rep }).collect();
+    for (mode_idx, &mode) in options.modes.iter().enumerate() {
+        for rep in 0..mode_repetitions(mode, options) {
+            cells.push(Cell::Mode { mode_idx, rep });
+        }
+    }
+
+    let fan = effective_jobs(options.jobs).min(cells.len());
+    let acfg = cell_analysis_config(fan);
+    let outputs = parallel_map_ordered(cells, options.jobs, |_, cell| match cell {
+        Cell::Reference { rep } => {
+            let _span = tel.map(|t| t.span_cat("experiment.reference", "experiment"));
+            let cfg =
+                exec_config_for(instance, &options.noise, options.base_seed + 100 + rep as u64);
+            CellOutput::Reference(reference_run(&instance.program, &cfg))
+        }
+        Cell::Mode { mode_idx, rep } => {
+            let mcfg = &mode_cfgs[mode_idx];
+            let _span = tel.map(|t| t.span_cat(format!("mode:{}", mcfg.mode.name()), "experiment"));
+            let result = run_cell(instance, &prep, mcfg, options, &acfg, rep, tel);
+            CellOutput::Mode { mode_idx, result }
+        }
+    });
+
+    // Deterministic merge: outputs arrive in cell-list order regardless
+    // of which worker ran what.
+    let mut reference = Vec::with_capacity(ref_reps as usize);
+    let mut per_mode: Vec<Vec<CellResult>> = options.modes.iter().map(|_| Vec::new()).collect();
+    for output in outputs {
+        match output {
+            CellOutput::Reference(r) => reference.push(r),
+            CellOutput::Mode { mode_idx, result } => per_mode[mode_idx].push(result),
+        }
+    }
+    let modes =
+        options.modes.iter().zip(per_mode).map(|(&mode, cells)| merge_mode(mode, cells)).collect();
     ExperimentResult {
         name: instance.name.clone(),
         reference,

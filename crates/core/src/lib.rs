@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod parallel;
 
 pub use experiment::{
     exec_config_for, measure_config_for, run_experiment, run_experiment_telemetry, run_mode,
     run_mode_telemetry, run_mode_with, run_mode_with_telemetry, ExperimentOptions,
     ExperimentResult, ModeResult,
 };
+pub use parallel::{effective_jobs, parallel_map_ordered};
 
 // Re-export the component crates under stable names.
 pub use nrlt_analysis as analysis;

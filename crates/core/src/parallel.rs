@@ -1,0 +1,118 @@
+//! Zero-dependency ordered parallel map for experiment cells.
+//!
+//! The experiment protocol is embarrassingly parallel: every (mode,
+//! repetition) cell derives its own RNG stream from the base seed and
+//! shares nothing mutable with any other cell. [`parallel_map_ordered`]
+//! fans such cells out onto `std::thread::scope` workers and returns the
+//! results **in input order**, so a caller that merges them sequentially
+//! produces byte-identical output no matter how many workers ran.
+//!
+//! Each worker runs under its own telemetry track
+//! ([`nrlt_telemetry::set_track`]), so spans emitted by the layers below
+//! (measurement, engine, analysis) land on per-worker timelines instead
+//! of interleaving on track 0.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a `--jobs` value: `0` means "use the machine's available
+/// parallelism", anything else is taken literally.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs != 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Apply `f` to every item, using up to `jobs` worker threads (`0` =
+/// available parallelism), and return the results in input order.
+///
+/// With one effective worker (or zero/one items) everything runs on the
+/// caller's thread with no threads spawned — the serial fast path is the
+/// exact loop a sequential caller would have written. With more, workers
+/// claim items from an atomic cursor and park each result in its input
+/// slot; the final collect reads the slots front to back, which is what
+/// makes the merge order — and therefore any downstream float
+/// accumulation — independent of scheduling.
+///
+/// `f` receives `(index, item)` so cells can derive seeds or labels from
+/// their position without the caller pre-zipping.
+pub fn parallel_map_ordered<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = effective_jobs(jobs).min(items.len());
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let inputs = &inputs;
+            let outputs = &outputs;
+            let cursor = &cursor;
+            scope.spawn(move || {
+                // Track 0 stays reserved for the coordinating thread.
+                let _track = nrlt_telemetry::set_track(w as u32 + 1);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    let item = inputs[i].lock().unwrap().take().expect("cell claimed twice");
+                    let result = f(i, item);
+                    *outputs[i].lock().unwrap() = Some(result);
+                }
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker left an empty result slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        for jobs in [1, 2, 4, 16] {
+            let out = parallel_map_ordered((0..100).collect(), jobs, |i, x: u64| {
+                assert_eq!(i as u64, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = parallel_map_ordered(Vec::new(), 4, |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map_ordered(vec![7u32], 4, |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn workers_get_distinct_tracks() {
+        let tracks: Vec<u32> = parallel_map_ordered((0..64).collect(), 4, |_, _x: u32| {
+            nrlt_telemetry::current_track()
+        });
+        // Serial caller would report track 0; workers must not.
+        assert!(tracks.iter().all(|&t| t >= 1));
+    }
+}

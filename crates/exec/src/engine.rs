@@ -25,7 +25,7 @@ use nrlt_prog::{
 use nrlt_sim::{Location, NoiseModel, Placement, RngFactory, VirtualDuration, VirtualTime};
 use nrlt_telemetry::Telemetry;
 use nrlt_trace::CollectiveOp;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// `MPI_ANY_SOURCE` sentinel in trace records.
 pub const ANY_SOURCE: u32 = u32::MAX;
@@ -157,6 +157,23 @@ struct RankState {
     done: bool,
 }
 
+/// Reusable per-engine scratch buffers (see `Engine::scratch`).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Per-thread team times of the active parallel region.
+    tt: Vec<VirtualTime>,
+    /// Per-thread ready times (seconds) for dynamic scheduling.
+    ready: Vec<f64>,
+    /// Per-thread (cost, duration, extra instructions) chunk logs.
+    chunk_log: Vec<Vec<(nrlt_prog::Cost, VirtualDuration, u64)>>,
+    /// Per-thread first kernel instance number of the loop.
+    inst_base: Vec<u64>,
+    /// Per-thread chunk counters.
+    counters: Vec<u64>,
+    /// Thread arrival order for critical sections.
+    order: Vec<u32>,
+}
+
 #[derive(Debug)]
 struct CollInstance {
     op: CollectiveOp,
@@ -181,16 +198,22 @@ struct Engine<'a, O: Observer> {
     desync: f64,
     states: Vec<RankState>,
     matcher: Matcher<SendInfo, RecvInfo>,
-    /// Blocked wildcard receives per (dst rank, tag), FIFO.
-    wildcard_waiting: HashMap<(u32, u32), VecDeque<RecvInfo>>,
+    /// Blocked wildcard receives per (dst rank, tag), FIFO. Ordered
+    /// maps throughout: no engine state on a result path may depend on
+    /// hash iteration order.
+    wildcard_waiting: BTreeMap<(u32, u32), VecDeque<RecvInfo>>,
     collectives: Vec<CollInstance>,
-    channel_seq: HashMap<Channel, u64>,
-    mpi_region_ids: HashMap<&'static str, RegionId>,
+    channel_seq: BTreeMap<Channel, u64>,
+    mpi_region_ids: BTreeMap<&'static str, RegionId>,
     loc_last: Vec<VirtualTime>,
     kernel_seq: Vec<u64>,
     worklist: VecDeque<u32>,
-    phase_open: Vec<HashMap<PhaseId, VirtualTime>>,
+    phase_open: Vec<BTreeMap<PhaseId, VirtualTime>>,
     phase_total: Vec<BTreeMap<PhaseId, VirtualDuration>>,
+    /// Reusable scratch buffers for the OpenMP paths (team times, ready
+    /// times, dynamic-chunk logs); cleared and refilled per construct so
+    /// a run allocates them once instead of once per parallel region.
+    scratch: Scratch,
     /// Self-telemetry sink; `None` means zero instrumentation work.
     tel: Option<&'a Telemetry>,
     /// Events dispatched (accumulated locally, flushed once at the end,
@@ -218,7 +241,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         let n_locs = config.layout.locations() as usize;
         let footprint = observer.cache_footprint_per_location();
         let desync = observer.desync();
-        let mut mpi_region_ids = HashMap::new();
+        let mut mpi_region_ids = BTreeMap::new();
         for name in [
             "MPI_Send",
             "MPI_Recv",
@@ -258,15 +281,16 @@ impl<'a, O: Observer> Engine<'a, O> {
                 })
                 .collect(),
             matcher: Matcher::new(),
-            wildcard_waiting: HashMap::new(),
+            wildcard_waiting: BTreeMap::new(),
             collectives: Vec::new(),
-            channel_seq: HashMap::new(),
+            channel_seq: BTreeMap::new(),
             mpi_region_ids,
             loc_last: vec![VirtualTime::ZERO; n_locs],
             kernel_seq: vec![0; n_locs],
             worklist: VecDeque::new(),
-            phase_open: vec![HashMap::new(); n_ranks],
+            phase_open: vec![BTreeMap::new(); n_ranks],
             phase_total: vec![BTreeMap::new(); n_ranks],
+            scratch: Scratch::default(),
             tel,
             n_events: 0,
             n_spin_conversions: 0,
@@ -956,9 +980,11 @@ impl<'a, O: Observer> Engine<'a, O> {
         // Team starts: workers wake staggered; their logical clocks sync
         // with the master's (fork is master -> worker communication).
         let master_piggy = self.observer.piggyback(m);
-        let mut tt: Vec<VirtualTime> = (0..team)
-            .map(|i| self.clamp(loc(i), t + Self::sec(self.config.omp.wake_delay(i))))
-            .collect();
+        let mut tt = std::mem::take(&mut self.scratch.tt);
+        tt.clear();
+        tt.extend(
+            (0..team).map(|i| self.clamp(loc(i), t + Self::sec(self.config.omp.wake_delay(i)))),
+        );
         for i in 1..team {
             self.observer.sync_logical(loc(i), master_piggy);
         }
@@ -994,10 +1020,12 @@ impl<'a, O: Observer> Engine<'a, O> {
                     tt[0] = te;
                 }
                 OmpAction::Critical { region, cost } => {
-                    let mut order: Vec<u32> = (0..team).collect();
+                    let mut order = std::mem::take(&mut self.scratch.order);
+                    order.clear();
+                    order.extend(0..team);
                     order.sort_by_key(|&i| (tt[i as usize], i));
                     let mut lock_free = VirtualTime::ZERO;
-                    for i in order {
+                    for &i in &order {
                         let l = loc(i);
                         let mut te = tt[i as usize];
                         te = self.emit(l, te, EventInfo::Enter { region: *region });
@@ -1033,6 +1061,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                         tt[i as usize] = te;
                         lock_free = te;
                     }
+                    self.scratch.order = order;
                 }
                 OmpAction::Replicated(kernel) => {
                     for i in 0..team {
@@ -1062,6 +1091,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         t += join;
         t = self.emit(m, t, EventInfo::Leave { region: derived.join });
         self.states[r as usize].time = t;
+        self.scratch.tt = tt;
     }
 
     fn do_omp_for(&mut self, r: u32, f: &OmpFor, tt: &mut [VirtualTime]) {
@@ -1080,14 +1110,23 @@ impl<'a, O: Observer> Engine<'a, O> {
 
         if dynamic {
             // Simulate chunk grabbing; record each chunk's cost/duration.
-            let ready: Vec<f64> = tt.iter().map(|&t| Self::secs_of(t)).collect();
-            let mut chunk_log: Vec<Vec<(nrlt_prog::Cost, VirtualDuration, u64)>> =
-                vec![Vec::new(); team as usize];
+            // All four worklist buffers come from the engine scratch and
+            // go back when the loop is done, so repeated dynamic loops
+            // reuse their allocations.
+            let mut ready = std::mem::take(&mut self.scratch.ready);
+            ready.clear();
+            ready.extend(tt.iter().map(|&t| Self::secs_of(t)));
+            let mut chunk_log = std::mem::take(&mut self.scratch.chunk_log);
+            for log in &mut chunk_log {
+                log.clear();
+            }
+            chunk_log.resize_with(team as usize, Vec::new);
             let dispatch = self.config.omp.dispatch_dynamic;
             // Pre-assign instance numbers deterministically per thread.
-            let mut inst_base = vec![0u64; team as usize];
+            let mut inst_base = std::mem::take(&mut self.scratch.inst_base);
+            inst_base.clear();
             for i in 0..team {
-                inst_base[i as usize] = self.next_instance(loc(i));
+                inst_base.push(self.next_instance(loc(i)));
             }
             let placement = &self.placement;
             let noise = &self.noise;
@@ -1096,7 +1135,9 @@ impl<'a, O: Observer> Engine<'a, O> {
             let observer_ref: &O = self.observer;
             let counting =
                 |c: &nrlt_prog::Cost, iters: u64| observer_ref.counting_instructions(c, iters);
-            let mut counters = vec![0u64; team as usize];
+            let mut counters = std::mem::take(&mut self.scratch.counters);
+            counters.clear();
+            counters.resize(team as usize, 0);
             let result = simulate_dynamic(
                 f.iters,
                 f.schedule,
@@ -1150,6 +1191,10 @@ impl<'a, O: Observer> Engine<'a, O> {
                 );
                 tt[i] = VirtualTime((result.finish[i].max(0.0) * 1e9).round() as u64) + total_ovh;
             }
+            self.scratch.ready = ready;
+            self.scratch.chunk_log = chunk_log;
+            self.scratch.inst_base = inst_base;
+            self.scratch.counters = counters;
         } else {
             let partition = static_partition(f.iters, team, f.schedule);
             for i in 0..team {

@@ -22,7 +22,7 @@ pub mod profiling;
 
 pub use filter::FilterRules;
 pub use modes::ClockMode;
-pub use observer::{MeasureConfig, TracingObserver};
+pub use observer::{MeasureConfig, SharedDefs, TracingObserver};
 pub use params::{EffortParams, HwCounterSource, OverheadParams};
 pub use profiling::{profile_run, OnlineProfile, ProfilingObserver};
 
@@ -52,12 +52,53 @@ pub fn measure_telemetry(
     measure_config: &MeasureConfig,
     tel: Option<&Telemetry>,
 ) -> (Trace, ExecResult) {
+    let prep = prepare_measure(program, exec_config);
+    measure_prepared_telemetry(program, &prep, exec_config, measure_config, tel)
+}
+
+/// Per-sweep measurement preparation: the engine's region table plus the
+/// `Arc`-shared trace definition tables and stream sizing.
+///
+/// Building this once per benchmark configuration and reusing it across
+/// every (mode, repetition) cell means a 30-run sweep interns regions and
+/// allocates the definition tables once instead of thirty times.
+#[derive(Debug)]
+pub struct MeasurePrep {
+    /// Prepared region table (program regions + runtime regions).
+    pub regions: nrlt_prog::RegionTable,
+    /// Shared trace definition tables and stream capacity estimate.
+    pub shared: SharedDefs,
+}
+
+/// Build the per-sweep preparation for `program` under `exec_config`.
+/// Only the machine/layout half of the config matters — repetitions that
+/// differ in seed share one preparation.
+pub fn prepare_measure(program: &Program, exec_config: &ExecConfig) -> MeasurePrep {
+    let regions = nrlt_exec::prepare_regions(program);
+    let shared = SharedDefs::new(program, &regions, exec_config);
+    MeasurePrep { regions, shared }
+}
+
+/// [`measure_telemetry`] over a pre-built [`MeasurePrep`] — the repeated
+/// half of a sweep, with all run-invariant setup hoisted out.
+pub fn measure_prepared_telemetry(
+    program: &Program,
+    prep: &MeasurePrep,
+    exec_config: &ExecConfig,
+    measure_config: &MeasureConfig,
+    tel: Option<&Telemetry>,
+) -> (Trace, ExecResult) {
     let _span =
         tel.map(|t| t.span_cat(format!("measure.run:{}", measure_config.mode.name()), "measure"));
-    let regions = nrlt_exec::prepare_regions(program);
-    let mut observer =
-        TracingObserver::with_telemetry(measure_config.clone(), &regions, exec_config, tel);
-    let result = execute_prepared_telemetry(program, &regions, exec_config, &mut observer, tel);
+    let mut observer = TracingObserver::with_shared(
+        measure_config.clone(),
+        &prep.regions,
+        &prep.shared,
+        exec_config,
+        tel,
+    );
+    let result =
+        execute_prepared_telemetry(program, &prep.regions, exec_config, &mut observer, tel);
     (observer.into_trace(), result)
 }
 

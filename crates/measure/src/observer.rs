@@ -9,7 +9,7 @@ use crate::filter::FilterRules;
 use crate::modes::ClockMode;
 use crate::params::{EffortParams, HwCounterSource, OverheadParams};
 use nrlt_exec::{EventInfo, ExecConfig, Observer, RuntimeKind, WorkItem};
-use nrlt_prog::{Cost, RegionKind, RegionTable};
+use nrlt_prog::{Cost, Program, RegionKind, RegionTable};
 use nrlt_sim::{
     jitter_factor, Location, Placement, RngFactory, StreamKind, VirtualDuration, VirtualTime,
 };
@@ -18,6 +18,7 @@ use nrlt_trace::{
     ClockKind, Definitions, Event, EventKind, LocationDef, RegionDef, RegionRef, RegionRole, Trace,
     NO_ROOT,
 };
+use std::sync::Arc;
 
 /// Events per stream between simulated buffer flushes (Score-P flushes
 /// its per-thread trace buffer when it fills; we count, not charge).
@@ -73,6 +74,62 @@ struct LocState {
     read_seq: u64,
 }
 
+/// Trace definition tables and sizing shared across the runs of one
+/// sweep.
+///
+/// The region and location tables depend only on the program and the
+/// machine layout — not on the seed, clock mode, or repetition — so an
+/// experiment builds one `SharedDefs` per configuration and every
+/// repetition's observer clones the `Arc`s instead of rebuilding (and
+/// reallocating) the tables. The event estimate pre-sizes each
+/// per-location stream so recording does not grow buffers from empty.
+#[derive(Debug, Clone)]
+pub struct SharedDefs {
+    regions: Arc<Vec<RegionDef>>,
+    locations: Arc<Vec<LocationDef>>,
+    threads_per_rank: u32,
+    events_per_stream: usize,
+}
+
+impl SharedDefs {
+    /// Build the tables for `regions` under `exec_config`, pre-sizing
+    /// streams from `program`'s event estimate.
+    pub fn new(program: &Program, regions: &RegionTable, exec_config: &ExecConfig) -> SharedDefs {
+        let mut s = SharedDefs::from_table(regions, exec_config);
+        s.events_per_stream = program.events_per_location_estimate();
+        s
+    }
+
+    /// Build the tables without a program (no stream pre-sizing).
+    pub fn from_table(regions: &RegionTable, exec_config: &ExecConfig) -> SharedDefs {
+        let placement = Placement::new(exec_config.machine.clone(), exec_config.layout.clone());
+        let layout = &exec_config.layout;
+        let locations: Vec<LocationDef> = layout
+            .iter_locations()
+            .map(|loc| LocationDef {
+                rank: loc.rank,
+                thread: loc.thread,
+                core: placement.core_of(loc).0,
+            })
+            .collect();
+        let region_defs: Vec<RegionDef> = regions
+            .iter()
+            .map(|(_, r)| RegionDef { name: r.name.clone(), role: role_of(r.kind) })
+            .collect();
+        SharedDefs {
+            regions: Arc::new(region_defs),
+            locations: Arc::new(locations),
+            threads_per_rank: layout.threads_per_rank,
+            events_per_stream: 0,
+        }
+    }
+
+    /// Number of locations.
+    pub fn n_locations(&self) -> usize {
+        self.locations.len()
+    }
+}
+
 /// The Score-P analog: implements [`Observer`] and produces a [`Trace`].
 pub struct TracingObserver<'a> {
     config: MeasureConfig,
@@ -113,26 +170,26 @@ impl<'a> TracingObserver<'a> {
         exec_config: &ExecConfig,
         tel: Option<&'a Telemetry>,
     ) -> Self {
-        let placement = Placement::new(exec_config.machine.clone(), exec_config.layout.clone());
-        let layout = &exec_config.layout;
-        let locations: Vec<LocationDef> = layout
-            .iter_locations()
-            .map(|loc| LocationDef {
-                rank: loc.rank,
-                thread: loc.thread,
-                core: placement.core_of(loc).0,
-            })
-            .collect();
-        let region_defs: Vec<RegionDef> = regions
-            .iter()
-            .map(|(_, r)| RegionDef { name: r.name.clone(), role: role_of(r.kind) })
-            .collect();
+        let shared = SharedDefs::from_table(regions, exec_config);
+        Self::with_shared(config, regions, &shared, exec_config, tel)
+    }
+
+    /// [`TracingObserver::with_telemetry`] over pre-built [`SharedDefs`]:
+    /// the definition tables are `Arc`-shared (no per-run rebuild) and
+    /// the event streams start at the program's estimated capacity.
+    pub fn with_shared(
+        config: MeasureConfig,
+        regions: &'a RegionTable,
+        shared: &SharedDefs,
+        exec_config: &ExecConfig,
+        tel: Option<&'a Telemetry>,
+    ) -> Self {
         let filtered = regions.iter().map(|(_, r)| config.filter.is_filtered(&r.name)).collect();
         let clock = match config.mode {
             ClockMode::Tsc => ClockKind::Physical,
             m => ClockKind::Logical { model: m.name().to_owned() },
         };
-        let n = locations.len();
+        let n = shared.n_locations();
         let spec = &exec_config.machine.spec;
         TracingObserver {
             instr_rate: spec.core_freq_hz * spec.ipc,
@@ -140,11 +197,11 @@ impl<'a> TracingObserver<'a> {
             regions,
             filtered,
             states: vec![LocState::default(); n],
-            streams: vec![Vec::new(); n],
+            streams: Trace::presized_streams(n, shared.events_per_stream),
             defs: Definitions {
-                regions: region_defs,
-                locations,
-                threads_per_rank: layout.threads_per_rank,
+                regions: shared.regions.clone(),
+                locations: shared.locations.clone(),
+                threads_per_rank: shared.threads_per_rank,
                 clock,
             },
             rng: RngFactory::new(exec_config.seed),

@@ -6,10 +6,10 @@
 //! deterministic — the property the paper relies on for reproducible
 //! logical traces (Section II).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Key of a matching queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Channel {
     /// Sending rank.
     pub src: u32,
@@ -55,14 +55,14 @@ pub struct Match<S, R> {
 /// algorithm.
 #[derive(Debug)]
 pub struct Matcher<S, R> {
-    sends: HashMap<Channel, VecDeque<PostedSend<S>>>,
-    recvs: HashMap<Channel, VecDeque<PostedRecv<R>>>,
+    sends: BTreeMap<Channel, VecDeque<PostedSend<S>>>,
+    recvs: BTreeMap<Channel, VecDeque<PostedRecv<R>>>,
     matched: u64,
 }
 
 impl<S, R> Default for Matcher<S, R> {
     fn default() -> Self {
-        Matcher { sends: HashMap::new(), recvs: HashMap::new(), matched: 0 }
+        Matcher { sends: BTreeMap::new(), recvs: BTreeMap::new(), matched: 0 }
     }
 }
 

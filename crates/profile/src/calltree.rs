@@ -13,7 +13,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CallPathId(pub u32);
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Node {
     parent: Option<CallPathId>,
     region: RegionRef,
@@ -22,7 +22,7 @@ struct Node {
 }
 
 /// The call-path tree.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CallTree {
     nodes: Vec<Node>,
     index: HashMap<(Option<CallPathId>, RegionRef), CallPathId>,

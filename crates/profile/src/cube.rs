@@ -9,32 +9,41 @@
 use crate::calltree::{CallPathId, CallTree};
 use crate::metric::Metric;
 use nrlt_trace::{LocationDef, RegionDef, RegionRef};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A measurement profile.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Clock that produced the underlying trace (`tsc`, `lt_bb`, …).
     pub clock_name: String,
-    /// Region definitions (names for call-path rendering).
-    pub regions: Vec<RegionDef>,
+    /// Region definitions (names for call-path rendering), shared with
+    /// the trace that produced the profile (and its sibling repetitions).
+    pub regions: Arc<Vec<RegionDef>>,
     /// The call-path tree.
     pub call_tree: CallTree,
-    /// Location definitions.
-    pub locations: Vec<LocationDef>,
+    /// Location definitions, shared like [`Profile::regions`].
+    pub locations: Arc<Vec<LocationDef>>,
     /// Exclusive severities: `(metric, call path) → per-location values`.
-    sev: HashMap<(Metric, CallPathId), Vec<f64>>,
+    /// Ordered so sums over cells accumulate in one fixed order.
+    sev: BTreeMap<(Metric, CallPathId), Vec<f64>>,
 }
 
 impl Profile {
     /// Empty profile over the given definition tables.
     pub fn new(
         clock_name: String,
-        regions: Vec<RegionDef>,
+        regions: impl Into<Arc<Vec<RegionDef>>>,
         call_tree: CallTree,
-        locations: Vec<LocationDef>,
+        locations: impl Into<Arc<Vec<LocationDef>>>,
     ) -> Self {
-        Profile { clock_name, regions, call_tree, locations, sev: HashMap::new() }
+        Profile {
+            clock_name,
+            regions: regions.into(),
+            call_tree,
+            locations: locations.into(),
+            sev: BTreeMap::new(),
+        }
     }
 
     /// Number of locations.
@@ -106,12 +115,12 @@ impl Profile {
     /// The `(metric, call path) → %_T` mapping over the time hierarchy,
     /// used for the paper's J_(M,C) score. Exclusive in both dimensions;
     /// zero cells are omitted.
-    pub fn map_mc(&self) -> HashMap<(Metric, CallPathId), f64> {
+    pub fn map_mc(&self) -> BTreeMap<(Metric, CallPathId), f64> {
         let total = self.total_time();
         if total == 0.0 {
-            return HashMap::new();
+            return BTreeMap::new();
         }
-        let mut out = HashMap::new();
+        let mut out = BTreeMap::new();
         for (&(m, c), v) in &self.sev {
             if !m.is_time_metric() {
                 continue;
@@ -127,8 +136,8 @@ impl Profile {
     /// The `call path → %_M` mapping for one metric (inclusive over the
     /// metric subtree, exclusive per call path), used for the paper's
     /// J_C^metric score and the stacked-bar figures.
-    pub fn map_c(&self, metric: Metric) -> HashMap<CallPathId, f64> {
-        let mut raw: HashMap<CallPathId, f64> = HashMap::new();
+    pub fn map_c(&self, metric: Metric) -> BTreeMap<CallPathId, f64> {
+        let mut raw: BTreeMap<CallPathId, f64> = BTreeMap::new();
         for m in metric.subtree() {
             for (&(mm, c), v) in &self.sev {
                 if mm == m {
@@ -141,7 +150,7 @@ impl Profile {
         }
         let total: f64 = raw.values().sum();
         if total == 0.0 {
-            return HashMap::new();
+            return BTreeMap::new();
         }
         raw.into_iter().map(|(c, v)| (c, 100.0 * v / total)).collect()
     }

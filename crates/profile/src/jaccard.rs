@@ -6,12 +6,15 @@
 //! measurement against `tsc`, or repetitions of the same measurement
 //! against each other (run-to-run stability).
 
-use std::collections::{HashMap, HashSet};
-use std::hash::Hash;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Generalized Jaccard score of two non-negative mappings. Missing keys
 /// count as zero. Two empty (or all-zero) mappings score 1.
-pub fn jaccard<K: Eq + Hash + Clone>(a: &HashMap<K, f64>, b: &HashMap<K, f64>) -> f64 {
+///
+/// The mappings are ordered (`BTreeMap`) so the floating-point
+/// accumulation below visits keys in one fixed order — scores never
+/// depend on hash-seed or thread-of-origin iteration order.
+pub fn jaccard<K: Ord + Clone>(a: &BTreeMap<K, f64>, b: &BTreeMap<K, f64>) -> f64 {
     let mut intersection = 0.0;
     let mut union = 0.0;
     for (k, &va) in a {
@@ -36,7 +39,7 @@ pub fn jaccard<K: Eq + Hash + Clone>(a: &HashMap<K, f64>, b: &HashMap<K, f64>) -
 /// Minimum pairwise Jaccard score over a set of mappings — the paper's
 /// run-to-run stability measure (lines/circles in Figs. 3 and 4).
 /// Returns 1 for fewer than two mappings.
-pub fn min_pairwise_jaccard<K: Eq + Hash + Clone>(maps: &[HashMap<K, f64>]) -> f64 {
+pub fn min_pairwise_jaccard<K: Ord + Clone>(maps: &[BTreeMap<K, f64>]) -> f64 {
     let mut min = 1.0f64;
     for i in 0..maps.len() {
         for j in (i + 1)..maps.len() {
@@ -48,8 +51,8 @@ pub fn min_pairwise_jaccard<K: Eq + Hash + Clone>(maps: &[HashMap<K, f64>]) -> f
 
 /// Weighted mean absolute difference between two mappings (diagnostic
 /// complement to the Jaccard score).
-pub fn total_variation<K: Eq + Hash + Clone>(a: &HashMap<K, f64>, b: &HashMap<K, f64>) -> f64 {
-    let keys: HashSet<&K> = a.keys().chain(b.keys()).collect();
+pub fn total_variation<K: Ord + Clone>(a: &BTreeMap<K, f64>, b: &BTreeMap<K, f64>) -> f64 {
+    let keys: BTreeSet<&K> = a.keys().chain(b.keys()).collect();
     keys.into_iter()
         .map(|k| (a.get(k).copied().unwrap_or(0.0) - b.get(k).copied().unwrap_or(0.0)).abs())
         .sum::<f64>()
@@ -60,7 +63,7 @@ pub fn total_variation<K: Eq + Hash + Clone>(a: &HashMap<K, f64>, b: &HashMap<K,
 mod tests {
     use super::*;
 
-    fn map(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
         pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
     }
 
@@ -79,7 +82,7 @@ mod tests {
 
     #[test]
     fn empty_maps_score_one() {
-        let e: HashMap<String, f64> = HashMap::new();
+        let e: BTreeMap<String, f64> = BTreeMap::new();
         assert_eq!(jaccard(&e, &e), 1.0);
     }
 
@@ -117,7 +120,7 @@ mod tests {
         assert_eq!(min_pairwise_jaccard(&[a.clone(), b.clone()]), 1.0);
         let m = min_pairwise_jaccard(&[a, b, c]);
         assert!((m - 0.5).abs() < 1e-12);
-        let empty: Vec<HashMap<String, f64>> = vec![];
+        let empty: Vec<BTreeMap<String, f64>> = vec![];
         assert_eq!(min_pairwise_jaccard(&empty), 1.0);
     }
 

@@ -4,7 +4,7 @@
 //! external dependencies.
 
 use nrlt_profile::{jaccard, min_pairwise_jaccard, total_variation};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Deterministic pseudo-random generator (splitmix64).
 struct Gen(u64);
@@ -28,7 +28,7 @@ impl Gen {
 
     /// A random contribution map: up to 30 keys in 0..40, values in
     /// [0, 100).
-    fn map(&mut self) -> HashMap<u32, f64> {
+    fn map(&mut self) -> BTreeMap<u32, f64> {
         let n = self.below(30) as usize;
         (0..n).map(|_| (self.below(40) as u32, self.f64() * 100.0)).collect()
     }
@@ -64,7 +64,7 @@ fn jaccard_scale_consistency() {
         let b = g.map();
         let s = 0.1 + g.f64() * 9.9;
         // Scaling both maps together preserves the score.
-        let scale = |m: &HashMap<u32, f64>| -> HashMap<u32, f64> {
+        let scale = |m: &BTreeMap<u32, f64>| -> BTreeMap<u32, f64> {
             m.iter().map(|(&k, &v)| (k, v * s)).collect()
         };
         let j1 = jaccard(&a, &b);
@@ -97,7 +97,7 @@ fn min_pairwise_is_a_lower_bound() {
     let mut g = Gen(14);
     for _case in 0..150 {
         let n = 2 + g.below(3) as usize;
-        let maps: Vec<HashMap<u32, f64>> = (0..n).map(|_| g.map()).collect();
+        let maps: Vec<BTreeMap<u32, f64>> = (0..n).map(|_| g.map()).collect();
         let min = min_pairwise_jaccard(&maps);
         for i in 0..maps.len() {
             for j in (i + 1)..maps.len() {

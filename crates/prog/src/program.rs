@@ -105,6 +105,49 @@ impl Program {
         &self.phases[phase.0 as usize]
     }
 
+    /// Rough upper estimate of how many events one location's trace
+    /// stream records when this program runs fully instrumented. Used to
+    /// pre-size per-location event buffers (capacity only — over- or
+    /// under-shooting is harmless).
+    pub fn events_per_location_estimate(&self) -> usize {
+        self.ranks.iter().map(|actions| Self::rank_event_estimate(actions)).max().unwrap_or(0)
+    }
+
+    fn rank_event_estimate(actions: &[Action]) -> usize {
+        let mut n = 0usize;
+        for a in actions {
+            n += match a {
+                // Serial events land on the master stream; team events
+                // land on every team stream. Counting both into one
+                // per-location bound over-reserves for workers and is
+                // about right for masters — the streams that grow.
+                Action::Enter(_) | Action::Leave(_) => 1,
+                Action::Kernel(k) => usize::from(k.burst.is_some()),
+                Action::PhaseStart(_) | Action::PhaseEnd(_) => 0,
+                Action::Mpi(_) => 4,
+                Action::Parallel(pr) => {
+                    // Fork/join management + region enter/leave + end
+                    // barrier, then per body construct.
+                    let mut p = 8;
+                    for b in &pr.body {
+                        p += match b {
+                            crate::action::OmpAction::For(_) => 4,
+                            crate::action::OmpAction::Barrier(_) => 2,
+                            crate::action::OmpAction::Single { .. } => 4,
+                            crate::action::OmpAction::Master { .. } => 2,
+                            crate::action::OmpAction::Critical { .. } => 2,
+                            crate::action::OmpAction::Replicated(k) => {
+                                usize::from(k.burst.is_some())
+                            }
+                        };
+                    }
+                    p
+                }
+            };
+        }
+        n
+    }
+
     /// Total number of actions across all ranks (diagnostic).
     pub fn total_actions(&self) -> usize {
         self.ranks.iter().map(Vec::len).sum()

@@ -36,10 +36,45 @@ pub mod manifest;
 pub use hist::Histogram;
 pub use manifest::{git_rev, write_exports, Manifest, RunInfo};
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+thread_local! {
+    /// Default track for spans opened on this thread (see [`set_track`]).
+    static CURRENT_TRACK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The track spans opened on this thread default to (0 unless inside a
+/// [`set_track`] scope).
+pub fn current_track() -> u32 {
+    CURRENT_TRACK.with(Cell::get)
+}
+
+/// Route this thread's [`Telemetry::span`] / [`Telemetry::span_cat`]
+/// calls onto `track` until the returned guard drops (then the previous
+/// track is restored). Worker threads in a parallel fan-out use this so
+/// their spans — including those recorded by layers that never heard of
+/// the fan-out — land on per-worker tracks instead of interleaving on
+/// track 0.
+#[must_use = "the track resets when the guard drops"]
+pub fn set_track(track: u32) -> TrackGuard {
+    let previous = CURRENT_TRACK.with(|t| t.replace(track));
+    TrackGuard { previous }
+}
+
+/// Guard of a [`set_track`] scope; restores the previous track on drop.
+pub struct TrackGuard {
+    previous: u32,
+}
+
+impl Drop for TrackGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACK.with(|t| t.set(self.previous));
+    }
+}
 
 /// One completed (or still open) span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,15 +146,17 @@ impl Telemetry {
 
     // ---- spans ---------------------------------------------------------
 
-    /// Open a span on the main track (track 0), category `"pipeline"`.
-    /// The span closes when the returned guard drops.
+    /// Open a span on the thread's current track (track 0 unless inside
+    /// a [`set_track`] scope), category `"pipeline"`. The span closes
+    /// when the returned guard drops.
     pub fn span(&self, name: impl Into<String>) -> Span<'_> {
-        self.span_track(name, "pipeline", 0)
+        self.span_track(name, "pipeline", current_track())
     }
 
-    /// Open a span with an explicit category on track 0.
+    /// Open a span with an explicit category on the thread's current
+    /// track.
     pub fn span_cat(&self, name: impl Into<String>, cat: &str) -> Span<'_> {
-        self.span_track(name, cat, 0)
+        self.span_track(name, cat, current_track())
     }
 
     /// Open a span on an explicit track (for worker threads).
@@ -317,6 +354,28 @@ mod tests {
         drop(b);
         let spans = t.spans();
         assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].depth, 0);
+    }
+
+    #[test]
+    fn set_track_scopes_and_restores() {
+        let t = Telemetry::new();
+        assert_eq!(current_track(), 0);
+        {
+            let _g = set_track(3);
+            assert_eq!(current_track(), 3);
+            let _s = t.span("on three");
+            {
+                let _g2 = set_track(5);
+                let _s2 = t.span_cat("on five", "worker");
+            }
+            assert_eq!(current_track(), 3);
+        }
+        assert_eq!(current_track(), 0);
+        let spans = t.spans();
+        assert_eq!(spans[0].track, 3);
+        assert_eq!(spans[1].track, 5);
+        // Independent tracks: both spans sit at depth 0 of their track.
         assert_eq!(spans[1].depth, 0);
     }
 

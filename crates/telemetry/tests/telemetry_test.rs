@@ -15,15 +15,15 @@ fn two_rank_trace(clock: ClockKind) -> Trace {
     let recv = RegionRef(2);
     Trace {
         defs: Definitions {
-            regions: vec![
+            regions: std::sync::Arc::new(vec![
                 RegionDef { name: "main".into(), role: RegionRole::Function },
                 RegionDef { name: "MPI_Send".into(), role: RegionRole::MpiApi },
                 RegionDef { name: "MPI_Recv".into(), role: RegionRole::MpiApi },
-            ],
-            locations: vec![
+            ]),
+            locations: std::sync::Arc::new(vec![
                 LocationDef { rank: 0, thread: 0, core: 0 },
                 LocationDef { rank: 1, thread: 0, core: 16 },
-            ],
+            ]),
             threads_per_rank: 1,
             clock,
         },

@@ -5,6 +5,8 @@
 //! streams). Keeping the trace format self-describing lets the analyzer
 //! work on traces alone, without access to the program that produced them.
 
+use std::sync::Arc;
+
 /// Index into [`Definitions::regions`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegionRef(pub u32);
@@ -108,13 +110,19 @@ impl ClockKind {
 }
 
 /// All definition tables of one trace.
+///
+/// The region and location tables are behind [`Arc`]s: a measurement
+/// sweep builds them once per configuration and every trace/profile of
+/// the sweep shares them, so cloning a `Definitions` (or handing the
+/// tables to a [`crate::Trace`] consumer) is a reference-count bump, not
+/// a table copy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Definitions {
     /// Region table; [`RegionRef`] indexes into it.
-    pub regions: Vec<RegionDef>,
+    pub regions: Arc<Vec<RegionDef>>,
     /// Location table; [`LocationRef`] indexes into it. Sorted by
     /// (rank, thread), dense.
-    pub locations: Vec<LocationDef>,
+    pub locations: Arc<Vec<LocationDef>>,
     /// Threads per rank (uniform in this simulator).
     pub threads_per_rank: u32,
     /// Clock that produced the timestamps.
@@ -159,16 +167,16 @@ mod tests {
 
     fn sample() -> Definitions {
         Definitions {
-            regions: vec![
+            regions: Arc::new(vec![
                 RegionDef { name: "main".into(), role: RegionRole::Function },
                 RegionDef { name: "MPI_Send".into(), role: RegionRole::MpiApi },
-            ],
-            locations: vec![
+            ]),
+            locations: Arc::new(vec![
                 LocationDef { rank: 0, thread: 0, core: 0 },
                 LocationDef { rank: 0, thread: 1, core: 1 },
                 LocationDef { rank: 1, thread: 0, core: 16 },
                 LocationDef { rank: 1, thread: 1, core: 17 },
-            ],
+            ]),
             threads_per_rank: 2,
             clock: ClockKind::Physical,
         }

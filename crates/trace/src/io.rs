@@ -152,7 +152,7 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
 
     // Regions.
     put_varint(&mut buf, trace.defs.regions.len() as u64);
-    for r in &trace.defs.regions {
+    for r in trace.defs.regions.iter() {
         put_string(&mut buf, &r.name);
         buf.push(r.role as u8);
     }
@@ -160,7 +160,7 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
     // Locations.
     put_varint(&mut buf, trace.defs.threads_per_rank as u64);
     put_varint(&mut buf, trace.defs.locations.len() as u64);
-    for l in &trace.defs.locations {
+    for l in trace.defs.locations.iter() {
         put_varint(&mut buf, l.rank as u64);
         put_varint(&mut buf, l.thread as u64);
         put_varint(&mut buf, l.core as u64);
@@ -313,7 +313,15 @@ pub fn decode(data: &[u8]) -> Result<Trace, DecodeError> {
         streams.push(stream);
     }
 
-    Ok(Trace { defs: Definitions { regions, locations, threads_per_rank, clock }, streams })
+    Ok(Trace {
+        defs: Definitions {
+            regions: std::sync::Arc::new(regions),
+            locations: std::sync::Arc::new(locations),
+            threads_per_rank,
+            clock,
+        },
+        streams,
+    })
 }
 
 fn require_u8(buf: &mut Reader<'_>) -> Result<u8, DecodeError> {
@@ -327,14 +335,14 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let defs = Definitions {
-            regions: vec![
+            regions: std::sync::Arc::new(vec![
                 RegionDef { name: "main".into(), role: RegionRole::Function },
                 RegionDef { name: "MPI_Allreduce".into(), role: RegionRole::MpiApi },
-            ],
-            locations: vec![
+            ]),
+            locations: std::sync::Arc::new(vec![
                 LocationDef { rank: 0, thread: 0, core: 0 },
                 LocationDef { rank: 1, thread: 0, core: 16 },
-            ],
+            ]),
             threads_per_rank: 1,
             clock: ClockKind::Logical { model: "lt_stmt".into() },
         };
@@ -414,8 +422,8 @@ mod tests {
     fn empty_trace_roundtrips() {
         let t = Trace {
             defs: Definitions {
-                regions: vec![],
-                locations: vec![],
+                regions: std::sync::Arc::new(vec![]),
+                locations: std::sync::Arc::new(vec![]),
                 threads_per_rank: 1,
                 clock: ClockKind::Physical,
             },

@@ -36,6 +36,19 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Pre-sized event streams for `n_locations` locations, each with
+    /// room for `events_per_stream` events. Recording a trace appends
+    /// millions of events per location; growing each stream from empty
+    /// costs a reallocation cascade per stream, so writers that can
+    /// estimate the event count (the measurement system walks the
+    /// program once) should start from this.
+    pub fn presized_streams(n_locations: usize, events_per_stream: usize) -> Vec<Vec<Event>> {
+        // Cap the up-front reservation so a wild estimate cannot ask the
+        // allocator for more than ~16M events (256 MiB) per stream.
+        let cap = events_per_stream.min(1 << 24);
+        (0..n_locations).map(|_| Vec::with_capacity(cap)).collect()
+    }
+
     /// Total number of events across all streams.
     pub fn total_events(&self) -> usize {
         self.streams.iter().map(Vec::len).sum()
@@ -114,8 +127,11 @@ mod tests {
     fn tiny() -> Trace {
         Trace {
             defs: Definitions {
-                regions: vec![RegionDef { name: "main".into(), role: RegionRole::Function }],
-                locations: vec![LocationDef { rank: 0, thread: 0, core: 0 }],
+                regions: std::sync::Arc::new(vec![RegionDef {
+                    name: "main".into(),
+                    role: RegionRole::Function,
+                }]),
+                locations: std::sync::Arc::new(vec![LocationDef { rank: 0, thread: 0, core: 0 }]),
                 threads_per_rank: 1,
                 clock: ClockKind::Physical,
             },

@@ -90,8 +90,8 @@ fn random_trace(g: &mut Gen) -> Trace {
         .collect();
     Trace {
         defs: Definitions {
-            regions,
-            locations,
+            regions: std::sync::Arc::new(regions),
+            locations: std::sync::Arc::new(locations),
             threads_per_rank: tpr,
             clock: if g.below(2) == 0 {
                 ClockKind::Physical

@@ -58,6 +58,7 @@ fn main() {
             repetitions: 5,
             base_seed: 77,
             modes: vec![ClockMode::Tsc, ClockMode::LtStmt],
+            jobs: 0,
         };
         let res = run_experiment(&instance, &options);
         let tsc = res.mode(ClockMode::Tsc);

@@ -3,10 +3,22 @@
 #   sh results/regenerate.sh
 # Each binary also writes a self-telemetry bundle (run manifest,
 # metrics, Chrome trace) under results/telemetry/<bin>/.
+#
+# JOBS controls the experiment fan-out (0 = available parallelism,
+# 1 = serial). Output is byte-identical for every value — the cells
+# merge in deterministic order — so parallel regeneration is safe:
+#   JOBS=8 sh results/regenerate.sh
 set -e
+JOBS="${JOBS:-0}"
 cargo build --release -p nrlt-bench
 for b in table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 narrative ablation counters; do
     echo "running $b ..."
-    ./target/release/$b --telemetry results/telemetry/$b > results/$b.txt
+    ./target/release/$b --jobs "$JOBS" --telemetry results/telemetry/$b > results/$b.txt
 done
-echo "done; outputs in results/, telemetry in results/telemetry/"
+
+# Refresh the perf baseline: the end-to-end fig3 experiment timed
+# serial and at the fan-out width this host supports.
+echo "timing fig3 for BENCH_pipeline.json ..."
+./target/release/fig3 --jobs 1 --bench-json BENCH_pipeline.json > /dev/null
+./target/release/fig3 --jobs 0 --bench-json BENCH_pipeline.json > /dev/null
+echo "done; outputs in results/, telemetry in results/telemetry/, perf baseline in BENCH_pipeline.json"

@@ -1,0 +1,84 @@
+//! The parallel experiment pipeline's contract: fanning (mode,
+//! repetition) cells over worker threads changes wall time only. Every
+//! cell derives its RNG stream from the base seed, and the merge walks
+//! cells in deterministic order, so profiles, run times, phase timings,
+//! and reference runs must be identical — not approximately, exactly —
+//! for every worker count.
+
+use nrlt::miniapps::{MiniFeConfig, MiniFeCosts};
+use nrlt::prelude::*;
+
+/// A deliberately tiny MiniFE so the whole protocol runs in seconds.
+fn tiny_instance() -> BenchmarkInstance {
+    MiniFeConfig {
+        nx: 60,
+        ranks: 4,
+        threads_per_rank: 4,
+        imbalance_pct: 50,
+        cg_iters: 8,
+        costs: MiniFeCosts::default(),
+    }
+    .build()
+}
+
+fn options(jobs: usize) -> ExperimentOptions {
+    ExperimentOptions {
+        repetitions: 3,
+        base_seed: 900,
+        modes: vec![ClockMode::Tsc, ClockMode::Lt1, ClockMode::LtStmt],
+        jobs,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn jobs_do_not_change_experiment_results() {
+    let instance = tiny_instance();
+    let serial = run_experiment(&instance, &options(1));
+    let parallel = run_experiment(&instance, &options(4));
+
+    assert_eq!(serial.reference, parallel.reference, "reference runs diverged");
+    assert_eq!(serial.phase_names, parallel.phase_names);
+    assert_eq!(serial.modes.len(), parallel.modes.len());
+    for (s, p) in serial.modes.iter().zip(&parallel.modes) {
+        assert_eq!(s.mode, p.mode);
+        assert_eq!(s.run_times, p.run_times, "{}: run times diverged", s.mode);
+        assert_eq!(s.phase_times, p.phase_times, "{}: phase times diverged", s.mode);
+        assert_eq!(s.profiles, p.profiles, "{}: per-repetition profiles diverged", s.mode);
+        assert_eq!(s.mean, p.mean, "{}: mean profile diverged", s.mode);
+    }
+}
+
+#[test]
+fn jobs_do_not_change_mode_results() {
+    let instance = tiny_instance();
+    let serial = run_mode(&instance, ClockMode::Tsc, &options(1));
+    let parallel = run_mode(&instance, ClockMode::Tsc, &options(4));
+    assert_eq!(serial.profiles, parallel.profiles);
+    assert_eq!(serial.run_times, parallel.run_times);
+    assert_eq!(serial.phase_times, parallel.phase_times);
+}
+
+#[test]
+fn derived_scores_are_identical_across_jobs() {
+    let instance = tiny_instance();
+    let serial = run_experiment(&instance, &options(1));
+    let parallel = run_experiment(&instance, &options(3));
+    for &mode in &[ClockMode::Lt1, ClockMode::LtStmt] {
+        // Bitwise equality of the floats the tables print.
+        assert_eq!(
+            serial.jaccard_vs_tsc(mode).to_bits(),
+            parallel.jaccard_vs_tsc(mode).to_bits(),
+            "{mode}: J_(M,C) diverged"
+        );
+        assert_eq!(
+            serial.overhead_total(mode).to_bits(),
+            parallel.overhead_total(mode).to_bits(),
+            "{mode}: overhead diverged"
+        );
+    }
+    assert_eq!(
+        serial.mode(ClockMode::Tsc).min_run_to_run_jaccard().to_bits(),
+        parallel.mode(ClockMode::Tsc).min_run_to_run_jaccard().to_bits()
+    );
+}

@@ -9,7 +9,10 @@ use nrlt_core::prelude::*;
 fn main() {
     let mut h = Harness::from_env("fig3");
     header("Fig 3: J_(M,C) similarity to tsc (MiniFE, LULESH)");
-    let experiments = [minife_1(), minife_2(), lulesh_1(), lulesh_2()];
+    let experiments: Vec<_> = [minife_1(), minife_2(), lulesh_1(), lulesh_2()]
+        .into_iter()
+        .filter(|i| h.wants(&i.name))
+        .collect();
     let results: Vec<_> = experiments.iter().map(|i| h.run_named(i)).collect();
     print!("{:<10}", "Mode");
     for r in &results {

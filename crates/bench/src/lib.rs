@@ -24,18 +24,14 @@ pub fn run_named(instance: &BenchmarkInstance) -> ExperimentResult {
     run_experiment(instance, &paper_options())
 }
 
-/// One timed experiment for the perf baseline (`--bench-json`).
-#[derive(Debug, Clone, PartialEq)]
-pub struct BenchEntry {
-    /// Binary that ran the experiment (e.g. `fig3`).
-    pub bin: String,
-    /// Run name from the manifest (e.g. `MiniFE-2`).
-    pub run: String,
-    /// Effective worker count the cells fanned out over.
-    pub jobs: usize,
-    /// Wall-clock seconds of the experiment call.
-    pub wall_seconds: f64,
-}
+/// The perf-baseline format and regression gate live in the report
+/// crate ([`nrlt_report::bench`]); the old `nrlt_bench::bench_json` path
+/// stays valid through this re-export.
+pub use nrlt_report::bench as bench_json;
+pub use nrlt_report::bench::BenchEntry;
+
+/// Hotspot-table depth of the `--report` severity sections.
+const REPORT_TOP_N: usize = 10;
 
 /// Per-binary telemetry + perf-baseline harness.
 ///
@@ -46,7 +42,7 @@ pub struct BenchEntry {
 /// flag, [`Harness::finish`] writes `manifest.json`, `metrics.jsonl`,
 /// `pipeline.trace.json`, and `summary.txt` into the directory.
 ///
-/// Two further flags:
+/// Further flags:
 ///
 /// * `--jobs N` (also `--jobs=N`) overrides
 ///   [`ExperimentOptions::jobs`] for every experiment the harness
@@ -55,23 +51,39 @@ pub struct BenchEntry {
 /// * `--bench-json <path>` records wall time per experiment into a JSON
 ///   perf baseline at `path`. Entries are keyed by (binary, run, jobs),
 ///   so running the same binary at `--jobs 1` and `--jobs 4` against
-///   one file accumulates both points for comparison.
+///   one file accumulates both points for comparison. Every entry also
+///   records the host parallelism it was measured under (see
+///   [`nrlt_report::bench`]).
+/// * `--report <dir>` writes the severity report of every experiment
+///   the harness drove (`report.txt` + `report.json`, deterministic —
+///   derived from the analysis profiles only) and a collapsed-stack
+///   `flamegraph.folded` over the run's telemetry spans. Implies a
+///   telemetry handle even without `--telemetry`.
+/// * `--only <name>` restricts harness-driven experiments to the named
+///   configuration; binaries consult [`Harness::wants`].
 pub struct Harness {
     bin: String,
     tel: Option<Telemetry>,
     manifest: Manifest,
     dir: Option<PathBuf>,
+    report_dir: Option<PathBuf>,
+    only: Option<String>,
     jobs: Option<usize>,
     bench_json: Option<PathBuf>,
     bench_entries: Vec<BenchEntry>,
+    report_text: String,
+    report_json: Vec<String>,
     started: Instant,
 }
 
 impl Harness {
     /// Build a harness for binary `bin`, reading `--telemetry <dir>`,
-    /// `--jobs N`, and `--bench-json <path>` from the command line.
+    /// `--jobs N`, `--bench-json <path>`, `--report <dir>`, and
+    /// `--only <name>` from the command line.
     pub fn from_env(bin: &str) -> Harness {
         let mut dir = None;
+        let mut report_dir = None;
+        let mut only = None;
         let mut jobs = None;
         let mut bench_json = None;
         let mut args = std::env::args().skip(1);
@@ -80,6 +92,14 @@ impl Harness {
                 dir = args.next().map(PathBuf::from);
             } else if let Some(d) = a.strip_prefix("--telemetry=") {
                 dir = Some(PathBuf::from(d));
+            } else if a == "--report" {
+                report_dir = args.next().map(PathBuf::from);
+            } else if let Some(d) = a.strip_prefix("--report=") {
+                report_dir = Some(PathBuf::from(d));
+            } else if a == "--only" {
+                only = args.next();
+            } else if let Some(v) = a.strip_prefix("--only=") {
+                only = Some(v.to_owned());
             } else if a == "--jobs" {
                 jobs = args.next().and_then(|v| v.parse().ok());
             } else if let Some(v) = a.strip_prefix("--jobs=") {
@@ -92,14 +112,23 @@ impl Harness {
         }
         Harness {
             bin: bin.to_owned(),
-            tel: dir.as_ref().map(|_| Telemetry::new()),
+            tel: (dir.is_some() || report_dir.is_some()).then(Telemetry::new),
             manifest: Manifest::new(bin),
             dir,
+            report_dir,
+            only,
             jobs,
             bench_json,
             bench_entries: Vec::new(),
+            report_text: String::new(),
+            report_json: Vec::new(),
             started: Instant::now(),
         }
+    }
+
+    /// True when `--only` is absent or names this configuration.
+    pub fn wants(&self, name: &str) -> bool {
+        self.only.as_deref().is_none_or(|o| o == name)
     }
 
     /// The experiment options with the `--jobs` override applied.
@@ -116,6 +145,7 @@ impl Harness {
                 bin: self.bin.clone(),
                 run,
                 jobs: nrlt_core::effective_jobs(jobs),
+                host_parallelism: bench_json::host_parallelism(),
                 wall_seconds,
             });
         }
@@ -160,6 +190,11 @@ impl Harness {
         let start = Instant::now();
         let result = nrlt_core::run_experiment_telemetry(instance, &options, self.tel.as_ref());
         self.record_bench(instance.name.clone(), options.jobs, start.elapsed().as_secs_f64());
+        if self.report_dir.is_some() {
+            self.report_text.push_str(&nrlt_report::severity_text(&result, REPORT_TOP_N));
+            self.report_text.push('\n');
+            self.report_json.push(nrlt_report::severity_json(&result, REPORT_TOP_N));
+        }
         result
     }
 
@@ -176,6 +211,7 @@ impl Harness {
         let start = Instant::now();
         let result = nrlt_core::run_mode_telemetry(instance, mode, &options, self.tel.as_ref());
         self.record_bench(name, options.jobs, start.elapsed().as_secs_f64());
+        self.record_mode_report(&result);
         result
     }
 
@@ -193,7 +229,15 @@ impl Harness {
         let result =
             nrlt_core::run_mode_with_telemetry(instance, mcfg, &options, self.tel.as_ref());
         self.record_bench(name, options.jobs, start.elapsed().as_secs_f64());
+        self.record_mode_report(&result);
         result
+    }
+
+    fn record_mode_report(&mut self, result: &ModeResult) {
+        if self.report_dir.is_some() {
+            self.report_text.push_str(&nrlt_report::mode_text(result, REPORT_TOP_N));
+            self.report_text.push('\n');
+        }
     }
 
     /// Record a manifest row for a run the harness did not drive itself
@@ -207,15 +251,24 @@ impl Harness {
         });
     }
 
-    /// Write the perf baseline and the telemetry bundle, as requested by
-    /// `--bench-json` and `--telemetry`. Returns the telemetry directory
-    /// written to, if any.
+    /// Write the perf baseline, the report artifacts, and the telemetry
+    /// bundle, as requested by `--bench-json`, `--report`, and
+    /// `--telemetry`. Returns the telemetry directory written to, if
+    /// any.
     pub fn finish(mut self) -> Option<PathBuf> {
         if let Some(path) = self.bench_json.take() {
             match bench_json::merge_and_write(&path, &self.bench_entries) {
                 Ok(()) => eprintln!("perf baseline written to {}", path.display()),
                 Err(e) => {
                     eprintln!("warning: could not write perf baseline to {}: {e}", path.display())
+                }
+            }
+        }
+        if let Some(rdir) = self.report_dir.take() {
+            match self.write_report(&rdir) {
+                Ok(()) => eprintln!("report artifacts written to {}", rdir.display()),
+                Err(e) => {
+                    eprintln!("warning: could not write report to {}: {e}", rdir.display())
                 }
             }
         }
@@ -229,9 +282,28 @@ impl Harness {
         eprintln!("telemetry bundle written to {}", dir.display());
         Some(dir)
     }
-}
 
-pub mod bench_json;
+    /// `report.txt` and `report.json` carry the severity sections (pure
+    /// analysis output — byte-identical across worker counts and
+    /// repeats); `flamegraph.folded` collapses the run's own telemetry
+    /// spans (wall-clock, varies run to run).
+    fn write_report(&self, dir: &PathBuf) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("report.txt"), &self.report_text)?;
+        let runs: Vec<&str> = self.report_json.iter().map(|s| s.trim_end()).collect();
+        let json = format!(
+            "{{\n\"bin\": {},\n\"runs\": [\n{}\n]\n}}\n",
+            nrlt_telemetry::json::string(&self.bin),
+            runs.join(",\n")
+        );
+        std::fs::write(dir.join("report.json"), json)?;
+        let folded = match &self.tel {
+            Some(tel) => nrlt_report::folded(&tel.spans()),
+            None => String::new(),
+        };
+        std::fs::write(dir.join("flamegraph.folded"), folded)
+    }
+}
 
 /// Scaled-down experiment options for smoke tests and criterion
 /// benches: fewer repetitions.

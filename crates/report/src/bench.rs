@@ -1,0 +1,405 @@
+//! The `BENCH_pipeline.json` perf-baseline format and the `bench-check`
+//! regression gate.
+//!
+//! The baseline records wall time per experiment at each worker count,
+//! merged across invocations. The file is written and read only by this
+//! module (the bench harness writes through it, the gate reads through
+//! it), which keeps the format deliberately line-oriented — one entry
+//! object per line — so it can be merged without a general JSON parser.
+//! Entries are keyed by `(bin, run, jobs)`; re-running an experiment
+//! replaces its entry, a new combination appends.
+//!
+//! Every entry also records the **host parallelism** it was measured
+//! under. The original baseline had `fig3 LULESH-1` at `--jobs 4`
+//! recording 20.07 s against 13.10 s at `--jobs 1` — slower *with more
+//! workers* — because the host had a single core and the four workers
+//! were pure oversubscription. Carrying `host_parallelism` per entry
+//! makes that visible in the data, and [`merge_and_write`] warns
+//! whenever an entry's `jobs` exceeds the parallelism of the host that
+//! measured it, so oversubscribed numbers can't silently become the
+//! baseline again.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One timed experiment of the perf baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Binary that ran the experiment (e.g. `fig3`).
+    pub bin: String,
+    /// Run name from the manifest (e.g. `MiniFE-2`).
+    pub run: String,
+    /// Effective worker count the cells fanned out over.
+    pub jobs: usize,
+    /// `available_parallelism` of the host that measured the entry
+    /// (0 = unknown, for entries written before the field existed).
+    pub host_parallelism: usize,
+    /// Wall-clock seconds of the experiment call.
+    pub wall_seconds: f64,
+}
+
+impl BenchEntry {
+    /// The `(bin, run, jobs)` merge/gate key, rendered.
+    pub fn key(&self) -> String {
+        format!("{} {} jobs={}", self.bin, self.run, self.jobs)
+    }
+
+    /// True when the entry was measured with more workers than the host
+    /// had cores — its wall time includes oversubscription, not speedup.
+    pub fn oversubscribed(&self) -> bool {
+        self.host_parallelism > 0 && self.jobs > self.host_parallelism
+    }
+}
+
+/// `available_parallelism` of this host.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Merge `new_entries` into the baseline at `path` (replacing same-key
+/// entries, appending the rest) and rewrite the file. Warns on stderr
+/// for every oversubscribed entry being recorded.
+pub fn merge_and_write(path: &Path, new_entries: &[BenchEntry]) -> std::io::Result<()> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => parse_entries(&text),
+        Err(_) => Vec::new(),
+    };
+    for new in new_entries {
+        if new.oversubscribed() {
+            eprintln!(
+                "warning: {} ran {} workers on a host with parallelism {} — \
+                 its wall time measures oversubscription, not speedup",
+                new.key(),
+                new.jobs,
+                new.host_parallelism
+            );
+        }
+        match entries
+            .iter_mut()
+            .find(|e| e.bin == new.bin && e.run == new.run && e.jobs == new.jobs)
+        {
+            Some(existing) => *existing = new.clone(),
+            None => entries.push(new.clone()),
+        }
+    }
+    entries.sort_by(|a, b| (&a.bin, &a.run, a.jobs).cmp(&(&b.bin, &b.run, b.jobs)));
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"host_parallelism\": {},", host_parallelism());
+    let _ = writeln!(out, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {:.3}}}{comma}",
+            json_string(&e.bin),
+            json_string(&e.run),
+            e.jobs,
+            e.host_parallelism,
+            e.wall_seconds,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// Read and parse a baseline file.
+pub fn read_entries(path: &Path) -> std::io::Result<Vec<BenchEntry>> {
+    Ok(parse_entries(&std::fs::read_to_string(path)?))
+}
+
+/// Parse the entry lines of a baseline previously written by
+/// [`merge_and_write`]. Lines that do not carry the required fields are
+/// ignored, so a corrupted file degrades to "start fresh" rather than an
+/// error. `host_parallelism` is optional (0 when absent) for baselines
+/// written before the field existed.
+pub fn parse_entries(text: &str) -> Vec<BenchEntry> {
+    text.lines().filter_map(parse_entry_line).collect()
+}
+
+fn parse_entry_line(line: &str) -> Option<BenchEntry> {
+    Some(BenchEntry {
+        bin: field_string(line, "bin")?,
+        run: field_string(line, "run")?,
+        jobs: field_raw(line, "jobs")?.parse().ok()?,
+        host_parallelism: field_raw(line, "host_parallelism")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        wall_seconds: field_raw(line, "wall_seconds")?.parse().ok()?,
+    })
+}
+
+/// The raw token after `"key": `, up to the next `,` or `}`.
+fn field_raw(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_owned())
+}
+
+/// A JSON string field value, unescaped.
+fn field_string(line: &str, key: &str) -> Option<String> {
+    let raw = field_raw(line, key)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---- the regression gate -----------------------------------------------
+
+/// One gate comparison: a `(bin, run, jobs)` key present in both the
+/// baseline and the current measurement.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Rendered `(bin, run, jobs)` key.
+    pub key: String,
+    /// Baseline wall seconds.
+    pub baseline: f64,
+    /// Current wall seconds.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// True when the ratio exceeds the allowed factor.
+    pub regressed: bool,
+}
+
+/// The result of a [`bench_check`] run.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-key comparisons.
+    pub rows: Vec<GateRow>,
+    /// Current keys with no usable baseline (missing, or baseline ≤ 0).
+    pub unmatched: Vec<String>,
+    /// The allowed slowdown factor.
+    pub max_regress: f64,
+}
+
+impl GateReport {
+    /// True when any key regressed beyond the allowed factor.
+    pub fn failed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// Render the gate outcome as a table plus a verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "=== bench-check (max allowed slowdown {:.2}x) ===", self.max_regress);
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>10} {:>10} {:>7}  verdict",
+            "key", "baseline", "current", "ratio"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>9.3}s {:>9.3}s {:>6.2}x  {}",
+                r.key,
+                r.baseline,
+                r.current,
+                r.ratio,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+        for key in &self.unmatched {
+            let _ = writeln!(out, "  {key:<40} (no baseline entry — not gated)");
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.failed() { "FAIL — wall-time regression" } else { "pass" }
+        );
+        out
+    }
+}
+
+/// Compare `current` against `baseline`: every current entry whose
+/// `(bin, run, jobs)` key has a positive baseline wall time is gated at
+/// `current / baseline ≤ max_regress`. Current entries without a usable
+/// baseline are listed but never fail the gate (a new experiment must be
+/// able to land before its baseline exists).
+pub fn bench_check(
+    baseline: &[BenchEntry],
+    current: &[BenchEntry],
+    max_regress: f64,
+) -> GateReport {
+    let mut rows = Vec::new();
+    let mut unmatched = Vec::new();
+    let mut current: Vec<&BenchEntry> = current.iter().collect();
+    current.sort_by(|a, b| (&a.bin, &a.run, a.jobs).cmp(&(&b.bin, &b.run, b.jobs)));
+    for cur in current {
+        let base = baseline
+            .iter()
+            .find(|e| e.bin == cur.bin && e.run == cur.run && e.jobs == cur.jobs)
+            .filter(|e| e.wall_seconds > 0.0);
+        match base {
+            Some(base) => {
+                let ratio = cur.wall_seconds / base.wall_seconds;
+                rows.push(GateRow {
+                    key: cur.key(),
+                    baseline: base.wall_seconds,
+                    current: cur.wall_seconds,
+                    ratio,
+                    regressed: ratio > max_regress,
+                });
+            }
+            None => unmatched.push(cur.key()),
+        }
+    }
+    GateReport { rows, unmatched, max_regress }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn entry(bin: &str, run: &str, jobs: usize, wall: f64) -> BenchEntry {
+        BenchEntry {
+            bin: bin.into(),
+            run: run.into(),
+            jobs,
+            host_parallelism: 4,
+            wall_seconds: wall,
+        }
+    }
+
+    #[test]
+    fn roundtrips_and_merges() {
+        let dir = std::env::temp_dir().join("nrlt-report-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_pipeline.json");
+        let _ = std::fs::remove_file(&path);
+
+        merge_and_write(&path, &[entry("fig3", "MiniFE-2", 1, 27.5)]).unwrap();
+        merge_and_write(&path, &[entry("fig3", "MiniFE-2", 4, 8.25)]).unwrap();
+        // Same key again: replaces, does not duplicate.
+        merge_and_write(&path, &[entry("fig3", "MiniFE-2", 1, 27.125)]).unwrap();
+
+        let entries = read_entries(&path).unwrap();
+        assert_eq!(
+            entries,
+            vec![entry("fig3", "MiniFE-2", 1, 27.125), entry("fig3", "MiniFE-2", 4, 8.25)]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let e = entry("tab2", "odd \"name\"\twith\nescapes", 2, 1.0);
+        let dir = std::env::temp_dir().join("nrlt-report-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("escapes.json");
+        merge_and_write(&path, std::slice::from_ref(&e)).unwrap();
+        let entries = read_entries(&path).unwrap();
+        assert_eq!(entries, vec![e]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_lines_are_ignored() {
+        assert!(parse_entries("not json\n{\"bin\": \"x\"}\n").is_empty());
+    }
+
+    #[test]
+    fn legacy_entries_without_host_parallelism_still_parse() {
+        let legacy = r#"    {"bin": "fig3", "run": "LULESH-1", "jobs": 4, "wall_seconds": 20.071}"#;
+        let entries = parse_entries(legacy);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].host_parallelism, 0);
+        assert!(!entries[0].oversubscribed(), "unknown host parallelism is not flagged");
+    }
+
+    #[test]
+    fn oversubscription_is_flagged() {
+        let mut e = entry("fig3", "LULESH-1", 4, 20.0);
+        e.host_parallelism = 1;
+        assert!(e.oversubscribed());
+        e.host_parallelism = 4;
+        assert!(!e.oversubscribed());
+        e.jobs = 1;
+        e.host_parallelism = 1;
+        assert!(!e.oversubscribed());
+    }
+
+    #[test]
+    fn gate_fails_on_a_2x_slowdown() {
+        let baseline = [entry("fig3", "MiniFE-1", 2, 1.0), entry("fig3", "MiniFE-2", 2, 4.0)];
+        let slowed = [entry("fig3", "MiniFE-1", 2, 2.0), entry("fig3", "MiniFE-2", 2, 4.1)];
+        let report = bench_check(&baseline, &slowed, 1.5);
+        assert!(report.failed());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows[0].regressed, "the 2x run trips the gate");
+        assert!(!report.rows[1].regressed, "the unchanged run passes");
+        let text = report.render();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_on_improvements() {
+        let baseline = [entry("fig3", "MiniFE-1", 2, 1.0)];
+        let current = [entry("fig3", "MiniFE-1", 2, 0.4)];
+        let report = bench_check(&baseline, &current, 1.5);
+        assert!(!report.failed());
+        assert!(report.render().contains("pass"));
+    }
+
+    #[test]
+    fn unmatched_keys_never_fail_the_gate() {
+        let baseline = [entry("fig3", "MiniFE-1", 2, 1.0)];
+        let current = [entry("fig9", "new-run", 2, 100.0)];
+        let report = bench_check(&baseline, &current, 1.5);
+        assert!(!report.failed());
+        assert_eq!(report.unmatched, vec!["fig9 new-run jobs=2"]);
+        assert!(report.render().contains("not gated"), "{}", report.render());
+    }
+
+    #[test]
+    fn zero_baseline_is_unmatched_not_infinite() {
+        let baseline = [entry("fig3", "MiniFE-1", 2, 0.0)];
+        let current = [entry("fig3", "MiniFE-1", 2, 1.0)];
+        let report = bench_check(&baseline, &current, 1.5);
+        assert!(!report.failed());
+        assert_eq!(report.unmatched.len(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Diff of two telemetry bundles.
+//!
+//! Aggregates spans per name on each side, then reports per-name deltas
+//! of count and total duration (sorted by absolute time delta, largest
+//! first), followed by counter deltas. The typical use is `nrlt-report
+//! diff results/telemetry/fig3 /tmp/fig3-after` after an optimisation —
+//! the span table answers "where did the time go", the counter table
+//! "did the work itself change".
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::bundle::Bundle;
+use crate::inspect::span_stats;
+
+/// One span-name comparison row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRow {
+    /// Span name.
+    pub name: String,
+    /// Occurrences in bundle A / bundle B.
+    pub count: (u64, u64),
+    /// Total inclusive nanoseconds in bundle A / bundle B.
+    pub total_ns: (u64, u64),
+}
+
+impl DiffRow {
+    /// Signed time delta B − A in nanoseconds.
+    pub fn delta_ns(&self) -> i128 {
+        self.total_ns.1 as i128 - self.total_ns.0 as i128
+    }
+}
+
+/// Per-span-name comparison of two bundles, sorted by |time delta|
+/// descending (name as tie-break).
+pub fn span_diff(a: &Bundle, b: &Bundle) -> Vec<DiffRow> {
+    let sa = span_stats(&a.spans);
+    let sb = span_stats(&b.spans);
+    let names: BTreeSet<&str> =
+        sa.iter().map(|s| s.name.as_str()).chain(sb.iter().map(|s| s.name.as_str())).collect();
+    let find = |set: &[crate::inspect::SpanStats], name: &str| -> (u64, u64) {
+        set.iter().find(|s| s.name == name).map(|s| (s.count, s.total_ns)).unwrap_or((0, 0))
+    };
+    let mut rows: Vec<DiffRow> = names
+        .into_iter()
+        .map(|name| {
+            let (ca, ta) = find(&sa, name);
+            let (cb, tb) = find(&sb, name);
+            DiffRow { name: name.to_owned(), count: (ca, cb), total_ns: (ta, tb) }
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        y.delta_ns().abs().cmp(&x.delta_ns().abs()).then_with(|| x.name.cmp(&y.name))
+    });
+    rows
+}
+
+/// Render the diff of two bundles.
+pub fn diff_text(a: &Bundle, b: &Bundle) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== bundle diff: {} (A) vs {} (B) ===", a.name, b.name);
+
+    let rows = span_diff(a, b);
+    if !rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>8} {:>8} {:>13} {:>13} {:>14} {:>8}",
+            "span", "count A", "count B", "total A", "total B", "delta", "ratio"
+        );
+        for r in &rows {
+            let ratio = if r.total_ns.0 == 0 {
+                "-".to_owned()
+            } else {
+                format!("{:.2}x", r.total_ns.1 as f64 / r.total_ns.0 as f64)
+            };
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>8} {:>8} {:>12}µs {:>12}µs {:>+13}µs {:>8}",
+                r.name,
+                r.count.0,
+                r.count.1,
+                r.total_ns.0 / 1_000,
+                r.total_ns.1 / 1_000,
+                r.delta_ns() / 1_000,
+                ratio
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    let keys: BTreeSet<&String> = a.counters.keys().chain(b.counters.keys()).collect();
+    if !keys.is_empty() {
+        let _ = writeln!(out, "  {:<44} {:>14} {:>14} {:>14}", "counter", "A", "B", "delta");
+        for k in keys {
+            let va = a.counters.get(k).copied().unwrap_or(0);
+            let vb = b.counters.get(k).copied().unwrap_or(0);
+            let _ =
+                writeln!(out, "  {:<44} {:>14} {:>14} {:>+14}", k, va, vb, vb as i128 - va as i128);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrlt_telemetry::SpanRecord;
+
+    fn bundle(name: &str, spans: &[(&str, u64)], counters: &[(&str, u64)]) -> Bundle {
+        let mut b = Bundle { name: name.into(), ..Default::default() };
+        for (i, &(n, dur)) in spans.iter().enumerate() {
+            b.spans.push(SpanRecord {
+                name: n.into(),
+                cat: "pipeline".into(),
+                track: 0,
+                depth: 0,
+                start_ns: i as u64 * 1_000_000,
+                dur_ns: dur,
+                closed: true,
+            });
+        }
+        for &(k, v) in counters {
+            b.counters.insert(k.into(), v);
+        }
+        b
+    }
+
+    #[test]
+    fn diff_ranks_by_absolute_delta() {
+        let a = bundle("a", &[("fast", 1_000), ("slow", 100_000)], &[("events", 10)]);
+        let b = bundle("b", &[("fast", 2_000), ("slow", 400_000)], &[("events", 12)]);
+        let rows = span_diff(&a, &b);
+        assert_eq!(rows[0].name, "slow");
+        assert_eq!(rows[0].delta_ns(), 300_000);
+        assert_eq!(rows[1].name, "fast");
+        let s = diff_text(&a, &b);
+        assert!(s.contains("4.00x"), "{s}");
+        assert!(s.contains("events"), "{s}");
+        assert!(s.contains("+2"), "{s}");
+    }
+
+    #[test]
+    fn one_sided_names_show_up_with_zeroes() {
+        let a = bundle("a", &[("gone", 5_000)], &[]);
+        let b = bundle("b", &[("new", 7_000)], &[]);
+        let rows = span_diff(&a, &b);
+        assert_eq!(rows.len(), 2);
+        let gone = rows.iter().find(|r| r.name == "gone").unwrap();
+        assert_eq!(gone.count, (1, 0));
+        assert_eq!(gone.total_ns, (5_000, 0));
+        let s = diff_text(&a, &b);
+        assert!(s.contains("gone"), "{s}");
+        assert!(s.contains('-'), "{s}");
+    }
+
+    #[test]
+    fn identical_bundles_diff_to_zero_deltas() {
+        let a = bundle("a", &[("x", 1_000)], &[("c", 3)]);
+        let rows = span_diff(&a, &a);
+        assert!(rows.iter().all(|r| r.delta_ns() == 0));
+    }
+}

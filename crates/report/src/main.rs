@@ -1,0 +1,129 @@
+//! `nrlt-report` — post-hoc explorer over run artifacts.
+//!
+//! Subcommands over a telemetry bundle directory (as written by any
+//! bench bin's `--telemetry <dir>` / `--report <dir>` flags):
+//!
+//! ```text
+//! nrlt-report inspect <bundle-dir>            span/counter/histogram stats
+//! nrlt-report flamegraph <bundle-dir>         collapsed stacks on stdout
+//! nrlt-report critical-path <bundle-dir>      dominant span chain per track
+//! nrlt-report diff <bundle-a> <bundle-b>      what changed between two runs
+//! ```
+//!
+//! And the perf regression gate over `BENCH_pipeline.json`-format files:
+//!
+//! ```text
+//! nrlt-report bench-check --baseline BENCH_pipeline.json \
+//!     --current new.json [--max-regress 1.5]
+//! ```
+//!
+//! Exit status: 0 ok / gate passed, 1 gate regressed, 2 usage or I/O
+//! error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use nrlt_report::bench;
+use nrlt_report::{bench_check, diff_text, folded, hot_paths_text, inspect_text, Bundle};
+
+const USAGE: &str = "\
+usage: nrlt-report <command> [args]
+
+commands:
+  inspect <bundle-dir>         span statistics, counters, histograms
+  flamegraph <bundle-dir>      collapsed-stack flamegraph to stdout
+  critical-path <bundle-dir>   dominant span chain per track
+  diff <bundle-a> <bundle-b>   compare two bundles
+  bench-check --baseline <file> --current <file> [--max-regress <factor>]
+                               gate current wall times against a baseline
+
+a bundle-dir is a directory containing metrics.jsonl, as written by the
+bench bins' --telemetry/--report flags.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("nrlt-report: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let cmd = args.first().map(String::as_str).ok_or("missing command")?;
+    match cmd {
+        "inspect" => {
+            let b = load_bundle(args.get(1))?;
+            print!("{}", inspect_text(&b));
+            Ok(ExitCode::SUCCESS)
+        }
+        "flamegraph" => {
+            let b = load_bundle(args.get(1))?;
+            print!("{}", folded(&b.spans));
+            Ok(ExitCode::SUCCESS)
+        }
+        "critical-path" => {
+            let b = load_bundle(args.get(1))?;
+            print!("{}", hot_paths_text(&b.spans));
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let a = load_bundle(args.get(1))?;
+            let b = load_bundle(args.get(2))?;
+            print!("{}", diff_text(&a, &b));
+            Ok(ExitCode::SUCCESS)
+        }
+        "bench-check" => run_bench_check(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_bundle(arg: Option<&String>) -> Result<Bundle, String> {
+    let dir = arg.ok_or("missing bundle directory argument")?;
+    Bundle::load(Path::new(dir))
+}
+
+fn run_bench_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut max_regress = 1.5f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |inline: Option<&str>| -> Result<String, String> {
+            match inline {
+                Some(v) => Ok(v.to_owned()),
+                None => it.next().cloned().ok_or_else(|| format!("{arg} requires a value")),
+            }
+        };
+        if arg == "--baseline" || arg.starts_with("--baseline=") {
+            baseline = Some(PathBuf::from(take(arg.strip_prefix("--baseline="))?));
+        } else if arg == "--current" || arg.starts_with("--current=") {
+            current = Some(PathBuf::from(take(arg.strip_prefix("--current="))?));
+        } else if arg == "--max-regress" || arg.starts_with("--max-regress=") {
+            let raw = take(arg.strip_prefix("--max-regress="))?;
+            max_regress = raw
+                .parse::<f64>()
+                .ok()
+                .filter(|v| *v >= 1.0)
+                .ok_or_else(|| format!("--max-regress must be a factor >= 1.0, got {raw:?}"))?;
+        } else {
+            return Err(format!("unknown bench-check argument {arg:?}"));
+        }
+    }
+    let baseline = baseline.ok_or("bench-check requires --baseline <file>")?;
+    let current = current.ok_or("bench-check requires --current <file>")?;
+    let base_entries = bench::read_entries(&baseline)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline.display()))?;
+    let cur_entries = bench::read_entries(&current)
+        .map_err(|e| format!("cannot read current {}: {e}", current.display()))?;
+    let report = bench_check(&base_entries, &cur_entries, max_regress);
+    print!("{}", report.render());
+    Ok(if report.failed() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}

@@ -248,4 +248,64 @@ mod tests {
         // process_name + thread_name + B + E + counters instant.
         assert_eq!(evs.len(), 5);
     }
+
+    #[test]
+    fn span_and_category_names_are_escaped() {
+        let nasty = "quote \" slash \\ newline \n tab \t ctrl \u{1} end";
+        let t = Telemetry::new();
+        {
+            let _s = t.span_cat(nasty, nasty);
+        }
+        t.add(nasty, 3);
+        let doc = pipeline_trace_json(&t);
+        let v = json::parse(&doc).expect("escaped names still parse");
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // The B event round-trips the name and category exactly.
+        let b = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+            .expect("has a B event");
+        assert_eq!(b.get("name").unwrap().as_str(), Some(nasty));
+        assert_eq!(b.get("cat").unwrap().as_str(), Some(nasty));
+        // The counter name survives as an args key of the instant event.
+        let i = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .expect("has an instant event");
+        assert!(i.get("args").unwrap().get(nasty).is_some());
+    }
+
+    #[test]
+    fn trace_region_names_are_escaped() {
+        use nrlt_trace::{
+            ClockKind, Definitions, Event, LocationDef, RegionDef, RegionRef, RegionRole,
+        };
+        let nasty = "kern\"el\\ {weird}\nname";
+        let defs = Definitions {
+            regions: std::sync::Arc::new(vec![RegionDef {
+                name: nasty.into(),
+                role: RegionRole::Function,
+            }]),
+            locations: std::sync::Arc::new(vec![LocationDef { rank: 0, thread: 0, core: 0 }]),
+            threads_per_rank: 1,
+            clock: ClockKind::Physical,
+        };
+        let stream = vec![
+            Event::new(0, EventKind::Enter { region: RegionRef(0) }),
+            Event::new(10, EventKind::CallBurst { region: RegionRef(0), count: 2, start: 5 }),
+            Event::new(20, EventKind::Leave { region: RegionRef(0) }),
+        ];
+        let trace = Trace { defs, streams: vec![stream] };
+        let doc = trace_to_chrome(&trace);
+        let v = json::parse(&doc).expect("escaped region names still parse");
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let named: Vec<&str> = evs
+            .iter()
+            .filter(|e| {
+                matches!(e.get("ph").and_then(|p| p.as_str()), Some("B") | Some("E") | Some("X"))
+            })
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(named, vec![nasty; 3]);
+    }
 }

@@ -56,10 +56,19 @@ pub fn metrics_jsonl(tel: &Telemetry) -> String {
 
 /// Human-readable summary: spans as an indented per-phase timing table,
 /// then counters, then histogram digests.
+///
+/// Ordering is fully deterministic: counters and histograms are stored
+/// sorted by name, and spans are sorted by (name, track, start) before
+/// rendering — a parallel run records spans in whatever order the
+/// scheduler interleaved the workers, so the raw open order would make
+/// two identical runs produce differently-ordered summaries.
 pub fn summary_table(tel: &Telemetry) -> String {
     let mut out = String::new();
 
-    let spans = tel.spans();
+    let mut spans = tel.spans();
+    spans.sort_by(|a, b| {
+        (&a.name, a.track, a.start_ns, a.depth).cmp(&(&b.name, b.track, b.start_ns, b.depth))
+    });
     if !spans.is_empty() {
         let _ = writeln!(out, "phase timings (host wall clock)");
         let _ = writeln!(out, "  {:<44} {:>12}  track", "span", "duration");
@@ -160,6 +169,42 @@ mod tests {
         let t = Telemetry::new();
         assert_eq!(metrics_jsonl(&t), "");
         assert_eq!(summary_table(&t), "");
+    }
+
+    #[test]
+    fn summary_is_byte_identical_across_recording_orders() {
+        use crate::SpanRecord;
+        // The same logical run, with worker spans arriving in two
+        // different scheduler interleavings.
+        let mk = |name: &str, track: u32, start_ns: u64| SpanRecord {
+            name: name.into(),
+            cat: "experiment".into(),
+            track,
+            depth: 0,
+            start_ns,
+            dur_ns: 1_000_000,
+            closed: true,
+        };
+        let spans =
+            [mk("mode:tsc", 1, 10), mk("mode:tsc", 2, 12), mk("mode:lt_1", 1, 20), mk("ref", 2, 5)];
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        for s in &spans {
+            a.record_span(s.clone());
+        }
+        for s in spans.iter().rev() {
+            b.record_span(s.clone());
+        }
+        for t in [&a, &b] {
+            t.add("experiment.repetitions", 4);
+            t.observe("engine.ready_queue_depth", 3);
+        }
+        assert_eq!(summary_table(&a), summary_table(&b));
+        // And the order is the documented one: name, then track, then start.
+        let s = summary_table(&a);
+        let pos = |needle: &str| s.find(needle).unwrap_or_else(|| panic!("{needle} in {s}"));
+        assert!(pos("mode:lt_1") < pos("mode:tsc"));
+        assert!(pos("mode:tsc") < pos("ref"));
     }
 
     #[test]

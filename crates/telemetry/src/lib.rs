@@ -180,6 +180,16 @@ impl Telemetry {
         Span { tel: self, idx, track }
     }
 
+    /// Import an already-completed span record verbatim (no clock reads,
+    /// no stack bookkeeping). The report layer uses this to rebuild a
+    /// handle from an exported bundle; tests use it to construct span
+    /// sets with exact timings.
+    pub fn record_span(&self, rec: SpanRecord) {
+        self.bump();
+        let mut inner = self.inner.lock().expect("telemetry poisoned");
+        inner.spans.push(rec);
+    }
+
     fn close_span(&self, idx: usize, track: u32) {
         let end = self.elapsed_ns();
         let mut inner = self.inner.lock().expect("telemetry poisoned");

@@ -13,7 +13,9 @@ JOBS="${JOBS:-0}"
 cargo build --release -p nrlt-bench
 for b in table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 narrative ablation counters; do
     echo "running $b ..."
-    ./target/release/$b --jobs "$JOBS" --telemetry results/telemetry/$b > results/$b.txt
+    ./target/release/$b --jobs "$JOBS" \
+        --telemetry results/telemetry/$b \
+        --report results/report/$b > results/$b.txt
 done
 
 # Refresh the perf baseline: the end-to-end fig3 experiment timed
@@ -21,4 +23,6 @@ done
 echo "timing fig3 for BENCH_pipeline.json ..."
 ./target/release/fig3 --jobs 1 --bench-json BENCH_pipeline.json > /dev/null
 ./target/release/fig3 --jobs 0 --bench-json BENCH_pipeline.json > /dev/null
-echo "done; outputs in results/, telemetry in results/telemetry/, perf baseline in BENCH_pipeline.json"
+echo "done; outputs in results/, telemetry in results/telemetry/,"
+echo "report artifacts (report.txt, report.json, flamegraph.folded) in results/report/,"
+echo "perf baseline in BENCH_pipeline.json"

@@ -15,5 +15,9 @@ pub use nrlt_core::{
     analysis, exec, measure_sys, miniapps, mpisim, ompsim, profile, prog, sim, trace,
 };
 
+/// The read-side observability layer: severity explorer, telemetry
+/// inspector, and the bench regression gate.
+pub use nrlt_report as report;
+
 /// Everything most programs need, in one import.
 pub use nrlt_core::prelude;

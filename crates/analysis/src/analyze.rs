@@ -17,11 +17,17 @@ use crate::patterns::{
     gather_barriers, gather_collectives, late_receiver_severity, late_sender_severity,
     match_messages, wait_nxn_severity, MatchedMessage,
 };
-use crate::replay::{replay, LocalReplay, SegClass};
-use nrlt_profile::{Metric, Profile};
+use crate::replay::{prev_mpi_sync, prev_sync, replay, LocalReplay, SegClass};
+use nrlt_observe::{ChainLink, RunObserve, WaitProvenance};
+use nrlt_profile::{CallPathId, Metric, Profile};
 use nrlt_telemetry::Telemetry;
-use nrlt_trace::Trace;
+use nrlt_trace::{ClockKind, Trace};
 use std::collections::BTreeMap;
+
+/// Longest causal chain kept per wait-state provenance record — the
+/// most recent events on the delayer before the wait (older links are
+/// summarised by the window itself).
+const CHAIN_CAP: usize = 8;
 
 /// Analysis options.
 #[derive(Debug, Clone)]
@@ -47,8 +53,10 @@ pub fn analyze(trace: &Trace) -> Profile {
 struct WaitInstance {
     metric: Metric,
     waiter_loc: usize,
+    waiter_path: CallPathId,
     waiter_enter: u64,
     delayer_loc: usize,
+    delayer_path: CallPathId,
     delayer_enter: u64,
     severity: u64,
 }
@@ -63,6 +71,20 @@ pub fn analyze_telemetry(
     trace: &Trace,
     config: &AnalysisConfig,
     tel: Option<&Telemetry>,
+) -> Profile {
+    analyze_observed(trace, config, tel, None)
+}
+
+/// [`analyze_telemetry`] with an optional resource observatory: for each
+/// wait state found, records its provenance (waiter/delayer call paths,
+/// the chain of events on the delayer that produced it, and — for
+/// physical-clock traces — how much injected noise falls into the causal
+/// window). `None` performs zero observability work.
+pub fn analyze_observed(
+    trace: &Trace,
+    config: &AnalysisConfig,
+    tel: Option<&Telemetry>,
+    obs: Option<&RunObserve>,
 ) -> Profile {
     let mut _phase = tel.map(|t| t.span_cat("analyze.replay", "analysis"));
     let (tree, locals) = replay(trace);
@@ -148,8 +170,11 @@ pub fn analyze_telemetry(
                     waits.push(WaitInstance {
                         metric: Metric::DelayP2p,
                         waiter_loc: loc,
+                        waiter_path: mi.path,
                         waiter_enter: mi.enter,
                         delayer_loc: culprit.send_loc,
+                        delayer_path: locals[culprit.send_loc].mpi_instances[culprit.send_instance]
+                            .path,
                         delayer_enter: culprit.send_enter,
                         severity: ls,
                     });
@@ -210,8 +235,10 @@ pub fn analyze_telemetry(
                     waits.push(WaitInstance {
                         metric: Metric::DelayN2n,
                         waiter_loc: loc,
+                        waiter_path: mi.path,
                         waiter_enter: mi.enter,
                         delayer_loc: delayer.0,
+                        delayer_path: locals[delayer.0].mpi_instances[delayer.1].path,
                         delayer_enter: locals[delayer.0].mpi_instances[delayer.1].enter,
                         severity: wait,
                     });
@@ -252,8 +279,10 @@ pub fn analyze_telemetry(
                     waits.push(WaitInstance {
                         metric: Metric::DelayBarrier,
                         waiter_loc: loc,
+                        waiter_path: b.path,
                         waiter_enter: b.enter,
                         delayer_loc: delayer.0,
+                        delayer_path: locals[delayer.0].barriers[delayer.1].path,
                         delayer_enter: locals[delayer.0].barriers[delayer.1].enter,
                         severity: wait,
                     });
@@ -295,7 +324,104 @@ pub fn analyze_telemetry(
         }
     }
 
+    if let Some(o) = obs {
+        record_wait_provenance(o, trace, &profile, &locals, &waits, tpr as usize);
+    }
+
     profile
+}
+
+/// Record the provenance of every wait state into the observatory: the
+/// waiter/delayer call paths, the causal window on the delayer (back to
+/// its previous synchronisation, mirroring the delay-cost horizon), the
+/// chain of events inside that window, and the injected noise the window
+/// contains. Noise joins only make sense on physical traces — logical
+/// timestamps are not commensurable with nanoseconds, so there
+/// `noise_ns` stays 0 (which the noise-share query reports as such).
+fn record_wait_provenance(
+    obs: &RunObserve,
+    trace: &Trace,
+    profile: &Profile,
+    locals: &[LocalReplay],
+    waits: &[WaitInstance],
+    tpr: usize,
+) {
+    let physical = trace.defs.clock == ClockKind::Physical;
+    for w in waits {
+        let inter_process = w.metric != Metric::DelayBarrier;
+        let delayer = &locals[w.delayer_loc];
+        let from = if inter_process {
+            prev_mpi_sync(delayer, w.delayer_enter)
+        } else {
+            prev_sync(delayer, w.delayer_enter)
+        };
+        let noise_ns = if physical {
+            obs.noise_in_window((w.delayer_loc / tpr.max(1)) as u32, from, w.delayer_enter)
+        } else {
+            0
+        };
+        let mut chain = delayer_chain(profile, delayer, w.delayer_loc, from, w.delayer_enter);
+        chain.push(ChainLink {
+            what: "wait".to_owned(),
+            path: profile.path_string(w.waiter_path),
+            loc: w.waiter_loc,
+            start: w.waiter_enter,
+            end: w.waiter_enter + w.severity,
+        });
+        obs.wait(WaitProvenance {
+            metric: w.metric.name().to_owned(),
+            waiter_loc: w.waiter_loc,
+            waiter_path: profile.path_string(w.waiter_path),
+            waiter_enter: w.waiter_enter,
+            severity: w.severity,
+            delayer_loc: w.delayer_loc,
+            delayer_path: profile.path_string(w.delayer_path),
+            delayer_enter: w.delayer_enter,
+            noise_ns,
+            chain,
+        });
+    }
+}
+
+/// The delayer's activity inside `[from, to)`, oldest first, capped at
+/// [`CHAIN_CAP`] most recent links.
+fn delayer_chain(
+    profile: &Profile,
+    delayer: &LocalReplay,
+    delayer_loc: usize,
+    from: u64,
+    to: u64,
+) -> Vec<ChainLink> {
+    let mut chain: Vec<ChainLink> = Vec::new();
+    let mut push = |what: &str, path: CallPathId, start: u64, end: u64| {
+        if end > from && start < to {
+            chain.push(ChainLink {
+                what: what.to_owned(),
+                path: profile.path_string(path),
+                loc: delayer_loc,
+                start,
+                end,
+            });
+        }
+    };
+    for s in &delayer.segments {
+        let what = match s.class {
+            SegClass::Comp => "comp",
+            SegClass::Management => "mgmt",
+        };
+        push(what, s.path, s.start, s.end);
+    }
+    for mi in &delayer.mpi_instances {
+        push("mpi", mi.path, mi.enter, mi.leave);
+    }
+    for b in &delayer.barriers {
+        push("barrier", b.path, b.enter, b.leave);
+    }
+    chain.sort_by_key(|l| (l.start, l.end));
+    if chain.len() > CHAIN_CAP {
+        chain.drain(..chain.len() - CHAIN_CAP);
+    }
+    chain
 }
 
 /// Compute delay contributions for all wait instances in parallel,

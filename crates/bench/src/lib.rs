@@ -10,6 +10,8 @@
 
 use nrlt_core::prelude::*;
 use nrlt_core::ExperimentResult;
+use nrlt_observe::export::ObserveBundle;
+use nrlt_observe::Observe;
 use nrlt_telemetry::{write_exports, Manifest, RunInfo, Telemetry};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -61,12 +63,23 @@ const REPORT_TOP_N: usize = 10;
 ///   telemetry handle even without `--telemetry`.
 /// * `--only <name>` restricts harness-driven experiments to the named
 ///   configuration; binaries consult [`Harness::wants`].
+/// * `--observe <dir>` (also `--observe=<dir>`) records the resource
+///   observatory of every harness-driven experiment — counter
+///   timelines, noise attribution, wait-state provenance — and writes
+///   `observe.jsonl` + `observe.trace.json` into the directory on
+///   [`Harness::finish`]. Without the flag the pipeline runs on its
+///   `None` paths and does zero observability work; printed output is
+///   byte-identical either way. Bench entries recorded while observing
+///   carry an `:observe` key suffix so they gate separately from the
+///   plain pipeline.
 pub struct Harness {
     bin: String,
     tel: Option<Telemetry>,
     manifest: Manifest,
     dir: Option<PathBuf>,
     report_dir: Option<PathBuf>,
+    observe_dir: Option<PathBuf>,
+    obs: Option<Observe>,
     only: Option<String>,
     jobs: Option<usize>,
     bench_json: Option<PathBuf>,
@@ -83,6 +96,7 @@ impl Harness {
     pub fn from_env(bin: &str) -> Harness {
         let mut dir = None;
         let mut report_dir = None;
+        let mut observe_dir = None;
         let mut only = None;
         let mut jobs = None;
         let mut bench_json = None;
@@ -96,6 +110,10 @@ impl Harness {
                 report_dir = args.next().map(PathBuf::from);
             } else if let Some(d) = a.strip_prefix("--report=") {
                 report_dir = Some(PathBuf::from(d));
+            } else if a == "--observe" {
+                observe_dir = args.next().map(PathBuf::from);
+            } else if let Some(d) = a.strip_prefix("--observe=") {
+                observe_dir = Some(PathBuf::from(d));
             } else if a == "--only" {
                 only = args.next();
             } else if let Some(v) = a.strip_prefix("--only=") {
@@ -116,6 +134,8 @@ impl Harness {
             manifest: Manifest::new(bin),
             dir,
             report_dir,
+            obs: observe_dir.is_some().then(Observe::new),
+            observe_dir,
             only,
             jobs,
             bench_json,
@@ -141,6 +161,9 @@ impl Harness {
 
     fn record_bench(&mut self, run: String, jobs: usize, wall_seconds: f64) {
         if self.bench_json.is_some() {
+            // Observing changes what a run costs, so it gates under its
+            // own key rather than polluting the plain-pipeline baseline.
+            let run = if self.obs.is_some() { format!("{run}:observe") } else { run };
             self.bench_entries.push(BenchEntry {
                 bin: self.bin.clone(),
                 run,
@@ -188,7 +211,12 @@ impl Harness {
         let options = self.apply_jobs(options);
         self.push_run(instance.name.clone(), instance, &options);
         let start = Instant::now();
-        let result = nrlt_core::run_experiment_telemetry(instance, &options, self.tel.as_ref());
+        let result = nrlt_core::run_experiment_observed(
+            instance,
+            &options,
+            self.tel.as_ref(),
+            self.obs.as_ref(),
+        );
         self.record_bench(instance.name.clone(), options.jobs, start.elapsed().as_secs_f64());
         if self.report_dir.is_some() {
             self.report_text.push_str(&nrlt_report::severity_text(&result, REPORT_TOP_N));
@@ -209,7 +237,13 @@ impl Harness {
         let name = format!("{}:{}", instance.name, mode.name());
         self.push_run(name.clone(), instance, &options);
         let start = Instant::now();
-        let result = nrlt_core::run_mode_telemetry(instance, mode, &options, self.tel.as_ref());
+        let result = nrlt_core::run_mode_with_observed(
+            instance,
+            nrlt_core::measure_config_for(instance, mode),
+            &options,
+            self.tel.as_ref(),
+            self.obs.as_ref(),
+        );
         self.record_bench(name, options.jobs, start.elapsed().as_secs_f64());
         self.record_mode_report(&result);
         result
@@ -226,8 +260,13 @@ impl Harness {
         let name = format!("{}:{}", instance.name, mcfg.mode.name());
         self.push_run(name.clone(), instance, &options);
         let start = Instant::now();
-        let result =
-            nrlt_core::run_mode_with_telemetry(instance, mcfg, &options, self.tel.as_ref());
+        let result = nrlt_core::run_mode_with_observed(
+            instance,
+            mcfg,
+            &options,
+            self.tel.as_ref(),
+            self.obs.as_ref(),
+        );
         self.record_bench(name, options.jobs, start.elapsed().as_secs_f64());
         self.record_mode_report(&result);
         result
@@ -251,11 +290,19 @@ impl Harness {
         });
     }
 
-    /// Write the perf baseline, the report artifacts, and the telemetry
-    /// bundle, as requested by `--bench-json`, `--report`, and
-    /// `--telemetry`. Returns the telemetry directory written to, if
-    /// any.
+    /// Write the perf baseline, the report artifacts, the observe
+    /// bundle, and the telemetry bundle, as requested by
+    /// `--bench-json`, `--report`, `--observe`, and `--telemetry`.
+    /// Returns the telemetry directory written to, if any.
     pub fn finish(mut self) -> Option<PathBuf> {
+        if let (Some(odir), Some(obs)) = (self.observe_dir.take(), self.obs.take()) {
+            match ObserveBundle::from_observe(&obs).write(&odir) {
+                Ok(()) => eprintln!("observe bundle written to {}", odir.display()),
+                Err(e) => {
+                    eprintln!("warning: could not write observe bundle to {}: {e}", odir.display())
+                }
+            }
+        }
         if let Some(path) = self.bench_json.take() {
             match bench_json::merge_and_write(&path, &self.bench_entries) {
                 Ok(()) => eprintln!("perf baseline written to {}", path.display()),

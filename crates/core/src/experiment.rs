@@ -12,13 +12,14 @@
 //!    `tsc`, minimum run-to-run Jaccard within each mode.
 
 use crate::parallel::{effective_jobs, parallel_map_ordered};
-use nrlt_analysis::{analyze_telemetry, AnalysisConfig};
+use nrlt_analysis::{analyze_observed, AnalysisConfig};
 use nrlt_exec::{overhead_percent, ExecConfig, ExecResult};
 use nrlt_measure::{
-    measure_prepared_telemetry, prepare_measure, reference_run, ClockMode, FilterRules,
+    measure_prepared_observed, prepare_measure, reference_run_observed, ClockMode, FilterRules,
     MeasureConfig, MeasurePrep,
 };
 use nrlt_miniapps::BenchmarkInstance;
+use nrlt_observe::{Observe, RunObserve};
 use nrlt_profile::{jaccard, min_pairwise_jaccard, Profile};
 use nrlt_prog::PhaseId;
 use nrlt_sim::{NoiseConfig, VirtualDuration};
@@ -216,7 +217,12 @@ fn cell_analysis_config(fan: usize) -> AnalysisConfig {
 
 /// Measure + analyze one repetition of one mode. Fully self-contained:
 /// the seed derives from `base_seed + rep`, the trace and analysis are
-/// cell-local, and the shared preparation is read-only.
+/// cell-local, and the shared preparation is read-only. When `obs` is
+/// set, the cell records its machine observations under the
+/// deterministic run name `{instance}:{mode}:rep{rep}` and attaches
+/// them on completion — the keyed merge makes the bundle independent of
+/// worker count and completion order.
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     instance: &BenchmarkInstance,
     prep: &MeasurePrep,
@@ -225,16 +231,23 @@ fn run_cell(
     acfg: &AnalysisConfig,
     rep: u32,
     tel: Option<&Telemetry>,
+    obs: Option<&Observe>,
 ) -> CellResult {
+    let run =
+        obs.map(|_| RunObserve::new(format!("{}:{}:rep{rep}", instance.name, mcfg.mode.name())));
     let cfg = exec_config_for(instance, &options.noise, options.base_seed + rep as u64);
-    let (trace, result) = measure_prepared_telemetry(&instance.program, prep, &cfg, mcfg, tel);
-    let profile = analyze_telemetry(&trace, acfg, tel);
+    let (trace, result) =
+        measure_prepared_observed(&instance.program, prep, &cfg, mcfg, tel, run.as_ref());
+    let profile = analyze_observed(&trace, acfg, tel, run.as_ref());
     let mut phases = BTreeMap::new();
     for (i, name) in instance.program.phases.iter().enumerate() {
         phases.insert(name.clone(), result.phase_max(PhaseId(i as u32)));
     }
     if let Some(t) = tel {
         t.incr("experiment.repetitions");
+    }
+    if let (Some(o), Some(run)) = (obs, run) {
+        o.attach(run);
     }
     CellResult { profile, run_time: result.total, phases }
 }
@@ -257,6 +270,20 @@ pub fn run_mode_with_telemetry(
     options: &ExperimentOptions,
     tel: Option<&Telemetry>,
 ) -> ModeResult {
+    run_mode_with_observed(instance, mcfg, options, tel, None)
+}
+
+/// [`run_mode_with_telemetry`] with an optional resource observatory
+/// ([`nrlt_observe`]): every cell records counter timelines, noise
+/// draws, and wait-state provenance for the simulated machine under a
+/// deterministic run name. `None` performs zero observability work.
+pub fn run_mode_with_observed(
+    instance: &BenchmarkInstance,
+    mcfg: MeasureConfig,
+    options: &ExperimentOptions,
+    tel: Option<&Telemetry>,
+    obs: Option<&Observe>,
+) -> ModeResult {
     let mode = mcfg.mode;
     let reps = mode_repetitions(mode, options);
     let prep = prepare_measure(
@@ -267,7 +294,7 @@ pub fn run_mode_with_telemetry(
     let acfg = cell_analysis_config(fan);
     let cells = parallel_map_ordered((0..reps).collect(), options.jobs, |_, rep| {
         let _span = tel.map(|t| t.span_cat(format!("mode:{}", mode.name()), "experiment"));
-        run_cell(instance, &prep, &mcfg, options, &acfg, rep, tel)
+        run_cell(instance, &prep, &mcfg, options, &acfg, rep, tel, obs)
     });
     merge_mode(mode, cells)
 }
@@ -323,6 +350,22 @@ pub fn run_experiment_telemetry(
     options: &ExperimentOptions,
     tel: Option<&Telemetry>,
 ) -> ExperimentResult {
+    run_experiment_observed(instance, options, tel, None)
+}
+
+/// [`run_experiment_telemetry`] with an optional resource observatory
+/// ([`nrlt_observe`]): every cell — reference and measured — records
+/// counter timelines, noise attribution, and wait-state provenance for
+/// the simulated machine. Runs are keyed `{instance}:{mode}:rep{rep}`
+/// (references as `{instance}:ref:rep{rep}`), so the merged bundle is
+/// byte-identical for any worker count. `None` performs zero
+/// observability work.
+pub fn run_experiment_observed(
+    instance: &BenchmarkInstance,
+    options: &ExperimentOptions,
+    tel: Option<&Telemetry>,
+    obs: Option<&Observe>,
+) -> ExperimentResult {
     // Read-only, run-invariant setup, hoisted so a 30-cell sweep interns
     // regions and builds the Arc-shared definition tables exactly once.
     let prep = prepare_measure(
@@ -347,14 +390,19 @@ pub fn run_experiment_telemetry(
     let outputs = parallel_map_ordered(cells, options.jobs, |_, cell| match cell {
         Cell::Reference { rep } => {
             let _span = tel.map(|t| t.span_cat("experiment.reference", "experiment"));
+            let run = obs.map(|_| RunObserve::new(format!("{}:ref:rep{rep}", instance.name)));
             let cfg =
                 exec_config_for(instance, &options.noise, options.base_seed + 100 + rep as u64);
-            CellOutput::Reference(reference_run(&instance.program, &cfg))
+            let result = reference_run_observed(&instance.program, &cfg, run.as_ref());
+            if let (Some(o), Some(run)) = (obs, run) {
+                o.attach(run);
+            }
+            CellOutput::Reference(result)
         }
         Cell::Mode { mode_idx, rep } => {
             let mcfg = &mode_cfgs[mode_idx];
             let _span = tel.map(|t| t.span_cat(format!("mode:{}", mcfg.mode.name()), "experiment"));
-            let result = run_cell(instance, &prep, mcfg, options, &acfg, rep, tel);
+            let result = run_cell(instance, &prep, mcfg, options, &acfg, rep, tel, obs);
             CellOutput::Mode { mode_idx, result }
         }
     });

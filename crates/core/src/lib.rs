@@ -39,9 +39,9 @@ pub mod experiment;
 pub mod parallel;
 
 pub use experiment::{
-    exec_config_for, measure_config_for, run_experiment, run_experiment_telemetry, run_mode,
-    run_mode_telemetry, run_mode_with, run_mode_with_telemetry, ExperimentOptions,
-    ExperimentResult, ModeResult,
+    exec_config_for, measure_config_for, run_experiment, run_experiment_observed,
+    run_experiment_telemetry, run_mode, run_mode_telemetry, run_mode_with, run_mode_with_observed,
+    run_mode_with_telemetry, ExperimentOptions, ExperimentResult, ModeResult,
 };
 pub use parallel::{effective_jobs, parallel_map_ordered};
 
@@ -51,6 +51,7 @@ pub use nrlt_exec as exec;
 pub use nrlt_measure as measure_sys;
 pub use nrlt_miniapps as miniapps;
 pub use nrlt_mpisim as mpisim;
+pub use nrlt_observe as observe;
 pub use nrlt_ompsim as ompsim;
 pub use nrlt_profile as profile;
 pub use nrlt_prog as prog;

@@ -37,6 +37,30 @@ pub enum ExecPhase {
     Serial,
 }
 
+/// What the duration model saw while pricing one kernel — filled only by
+/// [`DurationModel::kernel_duration_probed`], so the unprobed path does
+/// no extra work. Contention fields are zero for pure-CPU kernels, which
+/// never touch the memory system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelProbe {
+    /// NUMA domain of the executing location.
+    pub numa: u32,
+    /// Socket of the executing location.
+    pub socket: u32,
+    /// Threads contending for the domain's memory bandwidth.
+    pub active_in_domain: u32,
+    /// Threads sharing the socket L3.
+    pub active_on_socket: u32,
+    /// DRAM-resident fraction of the kernel's traffic, permille.
+    pub dram_permille: u32,
+    /// CPU-jitter time injected, signed nanoseconds.
+    pub cpu_noise_ns: i64,
+    /// Memory-jitter (bias × jitter) time injected, signed nanoseconds.
+    pub mem_noise_ns: i64,
+    /// OS-detour time injected, nanoseconds.
+    pub detour_ns: u64,
+}
+
 /// Computes kernel durations for one run configuration.
 #[derive(Debug)]
 pub struct DurationModel<'a> {
@@ -66,6 +90,34 @@ impl<'a> DurationModel<'a> {
         phase: ExecPhase,
         instance: u64,
     ) -> VirtualDuration {
+        self.duration_inner(loc, cost, working_set, phase, instance, None)
+    }
+
+    /// [`DurationModel::kernel_duration`] that additionally fills `probe`
+    /// with what the model saw (contention, cache fit, noise split). The
+    /// duration itself is computed by the exact same expression sequence,
+    /// so probing never changes the result.
+    pub fn kernel_duration_probed(
+        &self,
+        loc: Location,
+        cost: &Cost,
+        working_set: u64,
+        phase: ExecPhase,
+        instance: u64,
+        probe: &mut KernelProbe,
+    ) -> VirtualDuration {
+        self.duration_inner(loc, cost, working_set, phase, instance, Some(probe))
+    }
+
+    fn duration_inner(
+        &self,
+        loc: Location,
+        cost: &Cost,
+        working_set: u64,
+        phase: ExecPhase,
+        instance: u64,
+        mut probe: Option<&mut KernelProbe>,
+    ) -> VirtualDuration {
         let machine = self.placement.machine();
         let spec = &machine.spec;
         let core = self.placement.core_of(loc);
@@ -73,7 +125,8 @@ impl<'a> DurationModel<'a> {
         let socket = self.placement.socket_of(loc);
 
         // CPU term.
-        let cpu = spec.cpu_time(cost.instructions) * self.noise.cpu_factor(core.0 as u64, instance);
+        let cpu_base = spec.cpu_time(cost.instructions);
+        let cpu = cpu_base * self.noise.cpu_factor(core.0 as u64, instance);
 
         // Memory term.
         let mem = if cost.mem_bytes == 0 {
@@ -126,15 +179,28 @@ impl<'a> DurationModel<'a> {
             } else {
                 1.0
             };
-            memory_time(cost.mem_bytes, dram_frac, dram_bw, cache_bw)
-                * remote
+            let mem_clean = memory_time(cost.mem_bytes, dram_frac, dram_bw, cache_bw) * remote;
+            let mem = mem_clean
                 * self.noise.mem_bias(core.0 as u64)
-                * self.noise.mem_factor(core.0 as u64, instance)
+                * self.noise.mem_factor(core.0 as u64, instance);
+            if let Some(p) = probe.as_deref_mut() {
+                p.active_in_domain = active_in_domain;
+                p.active_on_socket = active_on_socket;
+                p.dram_permille = (dram_frac * 1000.0).round() as u32;
+                p.mem_noise_ns = ((mem - mem_clean) * 1e9).round() as i64;
+            }
+            mem
         };
 
         // Roofline: CPU and memory overlap; the slower resource dominates.
         let base = cpu.max(mem);
         let detour = self.noise.detour_time(core.0 as u64, instance, base);
+        if let Some(p) = probe {
+            p.numa = numa.0;
+            p.socket = socket.0;
+            p.cpu_noise_ns = ((cpu - cpu_base) * 1e9).round() as i64;
+            p.detour_ns = (detour.max(0.0) * 1e9).round() as u64;
+        }
         VirtualDuration::from_secs_f64(base + detour)
     }
 }

@@ -12,11 +12,12 @@
 //! overhead, exactly as instrumentation perturbs a real run.
 
 use crate::config::ExecConfig;
-use crate::duration::{DurationModel, ExecPhase};
+use crate::duration::{DurationModel, ExecPhase, KernelProbe};
 use crate::observer::{EventInfo, Observer, RuntimeKind, WorkItem};
 use crate::regions::{collective_kind, implicit_barrier_of, parallel_regions, prepare_regions};
 use crate::result::ExecResult;
 use nrlt_mpisim::{message_timing, Channel, CommScope, LinkKind, Matcher};
+use nrlt_observe::{NoiseKind, RunObserve};
 use nrlt_ompsim::{simulate_dynamic, static_partition};
 use nrlt_prog::{
     Action, Kernel, MpiOp, OmpAction, OmpFor, ParallelRegion, PhaseId, Program, RegionId,
@@ -82,13 +83,43 @@ pub fn execute_prepared_telemetry<O: Observer>(
     observer: &mut O,
     tel: Option<&Telemetry>,
 ) -> ExecResult {
+    execute_prepared_observed(program, regions, config, observer, tel, None)
+}
+
+/// Like [`execute_telemetry`], with an optional resource observatory
+/// (`nrlt-observe`) recording counter timelines and noise draws from the
+/// simulated machine. With `None` the engine performs zero observability
+/// work; with `Some`, every record is derived from already-determined
+/// virtual times and stateless keyed noise streams, so observing a run
+/// never changes its event stream.
+pub fn execute_observed<O: Observer>(
+    program: &Program,
+    config: &ExecConfig,
+    observer: &mut O,
+    tel: Option<&Telemetry>,
+    obs: Option<&RunObserve>,
+) -> ExecResult {
+    let regions = prepare_regions(program);
+    execute_prepared_observed(program, &regions, config, observer, tel, obs)
+}
+
+/// [`execute_prepared_telemetry`] plus the optional resource observatory
+/// of [`execute_observed`].
+pub fn execute_prepared_observed<O: Observer>(
+    program: &Program,
+    regions: &RegionTable,
+    config: &ExecConfig,
+    observer: &mut O,
+    tel: Option<&Telemetry>,
+    obs: Option<&RunObserve>,
+) -> ExecResult {
     assert_eq!(
         program.n_ranks(),
         config.layout.ranks,
         "program rank count must match the job layout"
     );
     let _span = tel.map(|t| t.span_cat("engine.execute", "exec"));
-    let mut engine = Engine::new(program, regions, config, observer, tel);
+    let mut engine = Engine::new(program, regions, config, observer, tel, obs);
     engine.run();
     engine.into_result()
 }
@@ -216,6 +247,11 @@ struct Engine<'a, O: Observer> {
     scratch: Scratch,
     /// Self-telemetry sink; `None` means zero instrumentation work.
     tel: Option<&'a Telemetry>,
+    /// Resource-observatory sink; `None` means zero observability work.
+    obs: Option<&'a RunObserve>,
+    /// Per-rank stack of open phases — maintained only when `obs` is
+    /// `Some`, to tag samples and noise draws with the program phase.
+    cur_phase: Vec<Vec<PhaseId>>,
     /// Events dispatched (accumulated locally, flushed once at the end,
     /// so the hot path stays lock-free even with telemetry on).
     n_events: u64,
@@ -234,6 +270,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         config: &'a ExecConfig,
         observer: &'a mut O,
         tel: Option<&'a Telemetry>,
+        obs: Option<&'a RunObserve>,
     ) -> Self {
         let placement = Placement::new(config.machine.clone(), config.layout.clone());
         let noise = NoiseModel::new(config.noise.clone(), RngFactory::new(config.seed));
@@ -292,6 +329,8 @@ impl<'a, O: Observer> Engine<'a, O> {
             phase_total: vec![BTreeMap::new(); n_ranks],
             scratch: Scratch::default(),
             tel,
+            obs,
+            cur_phase: vec![Vec::new(); n_ranks],
             n_events: 0,
             n_spin_conversions: 0,
             n_matches: 0,
@@ -387,6 +426,75 @@ impl<'a, O: Observer> Engine<'a, O> {
         model.kernel_duration(loc, cost, working_set, phase, instance)
     }
 
+    /// [`Engine::kernel_duration`] on the observed path: probes the model
+    /// and records contention samples and noise draws at the kernel's
+    /// start time. Only called when `obs` is `Some`.
+    fn kernel_duration_observed(
+        &self,
+        loc: Location,
+        cost: &nrlt_prog::Cost,
+        working_set: u64,
+        phase: ExecPhase,
+        instance: u64,
+        start: VirtualTime,
+    ) -> VirtualDuration {
+        let obs = self.obs.expect("observed kernel path without a sink");
+        let mut model = DurationModel::new(&self.placement, &self.noise);
+        model.footprint_per_location = self.footprint;
+        model.desync = self.desync;
+        let mut probe = KernelProbe::default();
+        let d = model.kernel_duration_probed(loc, cost, working_set, phase, instance, &mut probe);
+        record_kernel_obs(
+            obs,
+            &probe,
+            cost.mem_bytes,
+            loc.rank,
+            self.placement.core_of(loc).0 as u64,
+            instance,
+            self.phase_name(loc.rank),
+            start.nanos(),
+            self.n_events,
+        );
+        d
+    }
+
+    /// Innermost open phase of rank `r` (empty outside any phase). Only
+    /// meaningful when `obs` is `Some` — the stack is not maintained
+    /// otherwise.
+    fn phase_name(&self, r: u32) -> &str {
+        match self.cur_phase[r as usize].last() {
+            Some(p) => self.program.phase_name(*p),
+            None => "",
+        }
+    }
+
+    /// Sample rank `r`'s progress watermark (its virtual time at a phase
+    /// boundary).
+    fn observe_progress(&self, r: u32, t: VirtualTime) {
+        if let Some(obs) = self.obs {
+            obs.sample(
+                &format!("rank{r}.progress_ns"),
+                self.phase_name(r),
+                t.nanos(),
+                self.n_events,
+                t.nanos() as i64,
+            );
+        }
+    }
+
+    /// Sample the matcher and wildcard queue depths as seen by rank `r`.
+    fn observe_queues(&self, r: u32) {
+        if let Some(obs) = self.obs {
+            let ph = self.phase_name(r);
+            let t_ns = self.states[r as usize].time.nanos();
+            let seq = self.n_events;
+            obs.sample("mpi.match_queue_sends", ph, t_ns, seq, self.matcher.pending_sends() as i64);
+            obs.sample("mpi.match_queue_recvs", ph, t_ns, seq, self.matcher.pending_recvs() as i64);
+            let wc: usize = self.wildcard_waiting.values().map(VecDeque::len).sum();
+            obs.sample("mpi.wildcard_queue", ph, t_ns, seq, wc as i64);
+        }
+    }
+
     fn mpi_region(&self, op: &MpiOp) -> RegionId {
         *self
             .mpi_region_ids
@@ -442,6 +550,10 @@ impl<'a, O: Observer> Engine<'a, O> {
                 Action::PhaseStart(p) => {
                     let t = self.states[r as usize].time;
                     self.phase_open[r as usize].insert(*p, t);
+                    if self.obs.is_some() {
+                        self.cur_phase[r as usize].push(*p);
+                        self.observe_progress(r, t);
+                    }
                 }
                 Action::PhaseEnd(p) => {
                     let t = self.states[r as usize].time;
@@ -450,6 +562,12 @@ impl<'a, O: Observer> Engine<'a, O> {
                         .expect("phase end without start (validate the program)");
                     let d = t.saturating_since(start);
                     *self.phase_total[r as usize].entry(*p).or_insert(VirtualDuration::ZERO) += d;
+                    if self.obs.is_some() {
+                        self.observe_progress(r, t);
+                        if let Some(pos) = self.cur_phase[r as usize].iter().rposition(|q| q == p) {
+                            self.cur_phase[r as usize].remove(pos);
+                        }
+                    }
                 }
                 Action::Mpi(op) => {
                     if self.do_mpi(r, op) {
@@ -476,12 +594,23 @@ impl<'a, O: Observer> Engine<'a, O> {
         let extra = self.observer.counting_instructions(&kernel.cost, 0);
         let mut instrumented = kernel.cost;
         instrumented.instructions += extra;
-        let duration = self.kernel_duration(loc, &instrumented, kernel.working_set, phase, inst);
+        let start = self.clamp(loc, t);
+        let duration = if self.obs.is_some() {
+            self.kernel_duration_observed(
+                loc,
+                &instrumented,
+                kernel.working_set,
+                phase,
+                inst,
+                start,
+            )
+        } else {
+            self.kernel_duration(loc, &instrumented, kernel.working_set, phase, inst)
+        };
         let work_ovh = self.observer.on_work(
             loc,
             &WorkItem { cost: kernel.cost, loop_iters: 0, duration, extra_instructions: extra },
         );
-        let start = self.clamp(loc, t);
         let mut t = start + duration + work_ovh;
         if let Some(burst) = kernel.burst {
             t = self.emit(
@@ -623,6 +752,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                 self.resolve_match(channel, send.data, recv, bytes);
             }
         }
+        self.observe_queues(r);
         req
     }
 
@@ -649,6 +779,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             let bytes = mtch.send.bytes;
             self.resolve_match(channel, mtch.send.data, mtch.recv.data, bytes);
         }
+        self.observe_queues(r);
         req
     }
 
@@ -682,6 +813,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         } else {
             self.wildcard_waiting.entry((r, tag)).or_default().push_back(info);
         }
+        self.observe_queues(r);
         req
     }
 
@@ -724,6 +856,35 @@ impl<'a, O: Observer> Engine<'a, O> {
         );
         let send_complete = VirtualTime((timing.send_complete.max(0.0) * 1e9).round() as u64);
         let arrival = VirtualTime((timing.data_arrival.max(0.0) * 1e9).round() as u64);
+
+        if let Some(obs) = self.obs {
+            // Replaying the timing with a unit noise factor isolates the
+            // jitter this message absorbed; the keyed stream is stateless,
+            // so the extra call perturbs nothing.
+            let clean = message_timing(
+                &self.config.p2p,
+                &self.config.machine.spec,
+                link,
+                bytes,
+                Self::secs_of(send.post),
+                Self::secs_of(recv.post),
+                1.0,
+            );
+            let clean_arrival = VirtualTime((clean.data_arrival.max(0.0) * 1e9).round() as u64);
+            let ph = self.phase_name(recv.rank);
+            let t_ns = send.post.nanos();
+            let mag = arrival.nanos() as i64 - clean_arrival.nanos() as i64;
+            if mag != 0 {
+                let core = self.placement.core_of(Location::master(channel.src)).0 as u64;
+                obs.noise(NoiseKind::NetJitter, recv.rank, core, seq, ph, t_ns, mag);
+            }
+            let series = match link {
+                LinkKind::SharedMem => "net.sharedmem.wire_ns",
+                LinkKind::Network => "net.network.wire_ns",
+            };
+            let wire = arrival.nanos().saturating_sub(send.post.nanos());
+            obs.sample(series, ph, t_ns, self.n_events, wire as i64);
+        }
 
         let sreq = &mut self.states[send.rank as usize].pending[send.req];
         sreq.completion = Some(send_complete.max(sreq.completion.unwrap_or(VirtualTime::ZERO)));
@@ -834,6 +995,25 @@ impl<'a, O: Observer> Engine<'a, O> {
             completions_s.iter().map(|&s| VirtualTime((s.max(0.0) * 1e9).round() as u64)).collect();
         let last_arrival =
             inst.arrivals.iter().map(|a| a.unwrap().0).max().unwrap_or(VirtualTime::ZERO);
+        if let Some(obs) = self.obs {
+            // Unit-noise replay of the collective isolates its jitter.
+            let clean = self
+                .config
+                .collective
+                .completion_times(inst.op, spec, scope, inst.bytes, &arrivals, 1.0);
+            let seq = self.n_events;
+            let t_ns = last_arrival.nanos();
+            for rank in 0..completions.len() {
+                let ph = self.phase_name(rank as u32);
+                let mag = ((completions_s[rank] - clean[rank]) * 1e9).round() as i64;
+                if mag != 0 {
+                    let core = self.placement.core_of(Location::master(rank as u32)).0 as u64;
+                    obs.noise(NoiseKind::NetJitter, rank as u32, core, index as u64, ph, t_ns, mag);
+                }
+                let alg = completions[rank].nanos().saturating_sub(t_ns);
+                obs.sample("net.collective_alg_ns", ph, t_ns, seq, alg as i64);
+            }
+        }
         let nb: Vec<(usize, usize, VirtualTime)> = self.collectives[index]
             .nb_reqs
             .iter()
@@ -976,6 +1156,15 @@ impl<'a, O: Observer> Engine<'a, O> {
         self.observer.on_runtime(m, RuntimeKind::Omp, fork);
         t += fork;
         t = self.emit(m, t, EventInfo::Leave { region: derived.fork });
+        if let Some(obs) = self.obs {
+            obs.sample(
+                "omp.team_threads",
+                self.phase_name(r),
+                t.nanos(),
+                self.n_events,
+                team as i64,
+            );
+        }
 
         // Team starts: workers wake staggered; their logical clocks sync
         // with the master's (fork is master -> worker communication).
@@ -1038,13 +1227,18 @@ impl<'a, O: Observer> Engine<'a, O> {
                         let extra = self.observer.counting_instructions(cost, 0);
                         let mut instrumented = *cost;
                         instrumented.instructions += extra;
-                        let dur = self.kernel_duration(
-                            l,
-                            &instrumented,
-                            0,
-                            ExecPhase::TeamParallel,
-                            inst,
-                        );
+                        let dur = if self.obs.is_some() {
+                            self.kernel_duration_observed(
+                                l,
+                                &instrumented,
+                                0,
+                                ExecPhase::TeamParallel,
+                                inst,
+                                te,
+                            )
+                        } else {
+                            self.kernel_duration(l, &instrumented, 0, ExecPhase::TeamParallel, inst)
+                        };
                         let wo = self.observer.on_work(
                             l,
                             &WorkItem {
@@ -1138,6 +1332,14 @@ impl<'a, O: Observer> Engine<'a, O> {
             let mut counters = std::mem::take(&mut self.scratch.counters);
             counters.clear();
             counters.resize(team as usize, 0);
+            let obs = self.obs;
+            // Owned copies for the chunk closure, so recording does not
+            // extend any borrow of the engine (all `None`-cost when off).
+            let obs_phase: String =
+                if obs.is_some() { self.phase_name(r).to_owned() } else { String::new() };
+            let obs_seq = self.n_events;
+            let obs_t0: Vec<u64> =
+                if obs.is_some() { tt.iter().map(|t| t.nanos()).collect() } else { Vec::new() };
             let result = simulate_dynamic(
                 f.iters,
                 f.schedule,
@@ -1153,18 +1355,53 @@ impl<'a, O: Observer> Engine<'a, O> {
                     let inst =
                         inst_base[thread as usize].wrapping_add(counters[thread as usize] << 24);
                     counters[thread as usize] += 1;
-                    let d = model.kernel_duration(
-                        loc(thread),
-                        &instrumented,
-                        f.working_set,
-                        ExecPhase::TeamParallel,
-                        inst,
-                    );
+                    let d = if let Some(o) = obs {
+                        let mut probe = KernelProbe::default();
+                        let d = model.kernel_duration_probed(
+                            loc(thread),
+                            &instrumented,
+                            f.working_set,
+                            ExecPhase::TeamParallel,
+                            inst,
+                            &mut probe,
+                        );
+                        record_kernel_obs(
+                            o,
+                            &probe,
+                            cost.mem_bytes,
+                            r,
+                            placement.core_of(loc(thread)).0 as u64,
+                            inst,
+                            &obs_phase,
+                            obs_t0[thread as usize],
+                            obs_seq,
+                        );
+                        d
+                    } else {
+                        model.kernel_duration(
+                            loc(thread),
+                            &instrumented,
+                            f.working_set,
+                            ExecPhase::TeamParallel,
+                            inst,
+                        )
+                    };
                     chunk_log[thread as usize].push((cost, d, extra));
                     d.as_secs_f64()
                 },
                 dispatch,
             );
+            if let Some(o) = obs {
+                // Loop-level occupancy: how many chunks the schedule cut
+                // and how far apart the threads finished.
+                let chunks = result.partition.total_chunks();
+                let t_ns = obs_t0.iter().copied().min().unwrap_or(0);
+                o.sample("omp.loop_chunks", &obs_phase, t_ns, obs_seq, chunks as i64);
+                let lo = result.finish.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = result.finish.iter().cloned().fold(0.0f64, f64::max);
+                let spread = if hi > lo { ((hi - lo) * 1e9).round() as i64 } else { 0 };
+                o.sample("omp.ready_spread_ns", &obs_phase, t_ns, obs_seq, spread);
+            }
             for i in 0..team as usize {
                 let mut total_ovh = VirtualDuration::ZERO;
                 let mut iters = 0u64;
@@ -1208,18 +1445,39 @@ impl<'a, O: Observer> Engine<'a, O> {
                 let extra = self.observer.counting_instructions(&cost, iters);
                 let mut instrumented = cost;
                 instrumented.instructions += extra;
-                let dur = self.kernel_duration(
-                    loc(i),
-                    &instrumented,
-                    f.working_set,
-                    ExecPhase::TeamParallel,
-                    inst,
-                );
+                let dur = if self.obs.is_some() {
+                    self.kernel_duration_observed(
+                        loc(i),
+                        &instrumented,
+                        f.working_set,
+                        ExecPhase::TeamParallel,
+                        inst,
+                        tt[i as usize],
+                    )
+                } else {
+                    self.kernel_duration(
+                        loc(i),
+                        &instrumented,
+                        f.working_set,
+                        ExecPhase::TeamParallel,
+                        inst,
+                    )
+                };
                 let wo = self.observer.on_work(
                     loc(i),
                     &WorkItem { cost, loop_iters: iters, duration: dur, extra_instructions: extra },
                 );
                 tt[i as usize] = tt[i as usize] + dur + wo;
+            }
+            if let Some(obs) = self.obs {
+                let t_ns = tt.iter().map(|t| t.nanos()).min().unwrap_or(0);
+                obs.sample(
+                    "omp.loop_chunks",
+                    self.phase_name(r),
+                    t_ns,
+                    self.n_events,
+                    partition.total_chunks() as i64,
+                );
             }
         }
 
@@ -1253,5 +1511,48 @@ impl<'a, O: Observer> Engine<'a, O> {
             let exit = release + Self::sec(self.config.omp.wake_stagger) * i as u64;
             tt[i as usize] = self.emit(loc(i), exit, EventInfo::Leave { region });
         }
+    }
+}
+
+/// Record what one probed kernel-duration call saw: contention samples
+/// (only for kernels that touch memory) and the noise draws that
+/// perturbed it. Free function so the dynamic-loop closure can call it
+/// without borrowing the engine.
+#[allow(clippy::too_many_arguments)]
+fn record_kernel_obs(
+    obs: &RunObserve,
+    probe: &KernelProbe,
+    mem_bytes: u64,
+    rank: u32,
+    core: u64,
+    instance: u64,
+    phase: &str,
+    t_ns: u64,
+    seq: u64,
+) {
+    if mem_bytes > 0 {
+        obs.sample(
+            &format!("numa{}.bw_threads", probe.numa),
+            phase,
+            t_ns,
+            seq,
+            probe.active_in_domain as i64,
+        );
+        obs.sample(
+            &format!("socket{}.l3_dram_permille", probe.socket),
+            phase,
+            t_ns,
+            seq,
+            probe.dram_permille as i64,
+        );
+    }
+    if probe.cpu_noise_ns != 0 {
+        obs.noise(NoiseKind::CpuJitter, rank, core, instance, phase, t_ns, probe.cpu_noise_ns);
+    }
+    if probe.mem_noise_ns != 0 {
+        obs.noise(NoiseKind::MemJitter, rank, core, instance, phase, t_ns, probe.mem_noise_ns);
+    }
+    if probe.detour_ns > 0 {
+        obs.noise(NoiseKind::OsDetour, rank, core, instance, phase, t_ns, probe.detour_ns as i64);
     }
 }

@@ -26,7 +26,8 @@ pub use observer::{MeasureConfig, SharedDefs, TracingObserver};
 pub use params::{EffortParams, HwCounterSource, OverheadParams};
 pub use profiling::{profile_run, OnlineProfile, ProfilingObserver};
 
-use nrlt_exec::{execute_prepared_telemetry, ExecConfig, ExecResult, NullObserver};
+use nrlt_exec::{execute_prepared_observed, ExecConfig, ExecResult, NullObserver};
+use nrlt_observe::RunObserve;
 use nrlt_prog::Program;
 use nrlt_telemetry::Telemetry;
 use nrlt_trace::Trace;
@@ -88,6 +89,21 @@ pub fn measure_prepared_telemetry(
     measure_config: &MeasureConfig,
     tel: Option<&Telemetry>,
 ) -> (Trace, ExecResult) {
+    measure_prepared_observed(program, prep, exec_config, measure_config, tel, None)
+}
+
+/// [`measure_prepared_telemetry`] with an optional resource observatory
+/// (`nrlt-observe`) recording the simulated machine underneath the
+/// measurement. `None` performs zero observability work; `Some` records
+/// without perturbing the trace.
+pub fn measure_prepared_observed(
+    program: &Program,
+    prep: &MeasurePrep,
+    exec_config: &ExecConfig,
+    measure_config: &MeasureConfig,
+    tel: Option<&Telemetry>,
+    obs: Option<&RunObserve>,
+) -> (Trace, ExecResult) {
     let _span =
         tel.map(|t| t.span_cat(format!("measure.run:{}", measure_config.mode.name()), "measure"));
     let mut observer = TracingObserver::with_shared(
@@ -98,12 +114,22 @@ pub fn measure_prepared_telemetry(
         tel,
     );
     let result =
-        execute_prepared_telemetry(program, &prep.regions, exec_config, &mut observer, tel);
+        execute_prepared_observed(program, &prep.regions, exec_config, &mut observer, tel, obs);
     (observer.into_trace(), result)
 }
 
 /// Run `program` uninstrumented (the reference measurement the paper
 /// repeats five times to establish baselines).
 pub fn reference_run(program: &Program, exec_config: &ExecConfig) -> ExecResult {
-    nrlt_exec::execute(program, exec_config, &mut NullObserver)
+    reference_run_observed(program, exec_config, None)
+}
+
+/// [`reference_run`] with an optional resource observatory — the
+/// uninstrumented machine is exactly as observable as the measured one.
+pub fn reference_run_observed(
+    program: &Program,
+    exec_config: &ExecConfig,
+    obs: Option<&RunObserve>,
+) -> ExecResult {
+    nrlt_exec::execute_observed(program, exec_config, &mut NullObserver, None, obs)
 }

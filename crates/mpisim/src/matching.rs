@@ -142,6 +142,19 @@ impl<S, R> Matcher<S, R> {
         self.recvs.values().map(VecDeque::len).sum()
     }
 
+    /// Deepest single (source, destination, tag) queue on either side —
+    /// the matching-pressure statistic behind the observatory's
+    /// match-queue counters: total depth can look tame while one channel
+    /// backs up.
+    pub fn max_channel_depth(&self) -> usize {
+        self.sends
+            .values()
+            .map(VecDeque::len)
+            .chain(self.recvs.values().map(VecDeque::len))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// True when nothing is left unmatched — the post-run sanity check
     /// that every message found its partner.
     pub fn is_drained(&self) -> bool {
@@ -189,6 +202,23 @@ mod tests {
         assert!(m.post_recv(CH, 100, 22).is_none());
         assert!(m.post_send(CH, 100, 11).is_some());
         assert!(m.is_drained());
+    }
+
+    #[test]
+    fn max_channel_depth_tracks_the_deepest_queue() {
+        let mut m: Matcher<u32, u32> = Matcher::new();
+        assert_eq!(m.max_channel_depth(), 0);
+        m.post_send(CH, 1, 0);
+        m.post_send(CH, 1, 1);
+        m.post_send(Channel { src: 2, dst: 1, tag: 5 }, 1, 2);
+        m.post_recv(Channel { src: 3, dst: 0, tag: 9 }, 1, 0);
+        // Total pending is 3 sends + 1 recv, but the deepest single
+        // channel holds 2.
+        assert_eq!(m.pending_sends(), 3);
+        assert_eq!(m.max_channel_depth(), 2);
+        m.post_recv(CH, 1, 1);
+        m.post_recv(CH, 1, 2);
+        assert_eq!(m.max_channel_depth(), 1);
     }
 
     #[test]

@@ -1,0 +1,593 @@
+//! # nrlt-observe — the virtual-time resource observatory
+//!
+//! The simulation pipeline already observes *itself* (wall-clock spans
+//! and counters in `nrlt-telemetry`) and its *results* (the severity
+//! explorer in `nrlt-report`). This crate observes the **simulated
+//! machine**: which resource was contended when, where every injected
+//! noise draw landed, and which chain of events produced each wait
+//! state the analysis finds.
+//!
+//! Everything recorded here is derived from **virtual time** and the
+//! deterministic event order of the engine — never from host clocks —
+//! so a bundle is byte-identical across repeats and `--jobs` widths.
+//! Three record families:
+//!
+//! * **Counter timelines** — resource occupancy sampled at event
+//!   granularity: per-NUMA-domain bandwidth occupancy and per-socket L3
+//!   pressure (from the duration model), network link utilisation and
+//!   match-queue/wildcard-queue depths (from the MPI simulation), loop
+//!   team occupancy (from the OpenMP schedule simulation), and
+//!   per-location progress watermarks at phase boundaries.
+//! * **Noise attribution** — every [`NoiseModel`] draw that perturbed
+//!   the run (CPU jitter, OS detours, memory jitter, network jitter)
+//!   tagged with (core, instance, magnitude), so the total injected
+//!   perturbation decomposes per rank and per phase.
+//! * **Wait-state provenance** — for each wait state the analysis
+//!   finds, the delaying location, call paths, the chain of events
+//!   leading to it, and how much injected noise falls into the causal
+//!   window.
+//!
+//! The contract mirrors `Option<&Telemetry>`: every recording entry
+//! point takes `Option<&RunObserve>`, and a `None` run performs **zero
+//! observability work** (asserted by test — results are bit-identical
+//! with the layer compiled in but disabled).
+//!
+//! [`NoiseModel`]: https://docs.rs/nrlt-sim
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod query;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cap on raw timeline samples kept per run after compaction. Exceeding
+/// samples are thinned with a deterministic stride; the per-(series,
+/// phase) aggregates remain exact either way.
+pub const SAMPLE_CAP: usize = 128;
+/// Cap on raw noise draws kept per run after compaction (aggregates
+/// stay exact).
+pub const DRAW_CAP: usize = 128;
+/// Cap on wait-state provenance records kept per (run, metric), keeping
+/// the most severe.
+pub const WAIT_CAP: usize = 24;
+/// In-flight cap on raw samples/draws held during a run. When a stream
+/// exceeds it, every second retained element is dropped and the keep
+/// stride doubles — deterministic geometric decimation, so memory stays
+/// bounded on runs with tens of millions of events. Aggregates are
+/// never decimated; window joins against decimated draws are lower
+/// bounds (the `dropped` record says when that happened).
+pub const LIVE_CAP: usize = 65_536;
+
+/// Which noise channel a draw came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NoiseKind {
+    /// Multiplicative jitter on the CPU part of a kernel.
+    CpuJitter,
+    /// OS detours stealing the core during a kernel.
+    OsDetour,
+    /// Multiplicative jitter (and persistent bias) on the memory part.
+    MemJitter,
+    /// Multiplicative jitter on a message or collective transfer.
+    NetJitter,
+}
+
+impl NoiseKind {
+    /// Stable name used in exports and queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            NoiseKind::CpuJitter => "cpu_jitter",
+            NoiseKind::OsDetour => "os_detour",
+            NoiseKind::MemJitter => "mem_jitter",
+            NoiseKind::NetJitter => "net_jitter",
+        }
+    }
+
+    /// Parse a name produced by [`NoiseKind::name`].
+    pub fn from_name(s: &str) -> Option<NoiseKind> {
+        match s {
+            "cpu_jitter" => Some(NoiseKind::CpuJitter),
+            "os_detour" => Some(NoiseKind::OsDetour),
+            "mem_jitter" => Some(NoiseKind::MemJitter),
+            "net_jitter" => Some(NoiseKind::NetJitter),
+            _ => None,
+        }
+    }
+}
+
+/// One counter-timeline sample. The two time axes are recorded
+/// side by side: `t_ns` is virtual (simulated) time, `seq` is the
+/// engine's deterministic event sequence number — the "logical" axis,
+/// meaningful even for quantities (queue depths) that exist in engine
+/// order rather than at a simulated instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Counter series name, e.g. `numa0.bw_threads`.
+    pub series: String,
+    /// Program phase open at the owning rank when sampled (empty
+    /// outside any phase).
+    pub phase: String,
+    /// Virtual time of the sample, nanoseconds.
+    pub t_ns: u64,
+    /// Engine event sequence number at the sample.
+    pub seq: u64,
+    /// Counter value (integer; permille for fractional quantities).
+    pub value: i64,
+}
+
+/// Exact aggregate of one (series, phase) cell over a whole run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeriesAgg {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of sample values.
+    pub sum: i64,
+    /// Maximum sample value.
+    pub max: i64,
+}
+
+/// One noise draw that perturbed the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoiseDraw {
+    /// Channel the draw came from.
+    pub kind: NoiseKind,
+    /// Rank whose timing it perturbed.
+    pub rank: u32,
+    /// Core the perturbed location was pinned to (or the source rank's
+    /// master core for network draws).
+    pub core: u64,
+    /// Noise-stream instance key (kernel sequence number or message
+    /// sequence).
+    pub instance: u64,
+    /// Program phase open at the rank when drawn.
+    pub phase: String,
+    /// Virtual time the perturbed interval started, nanoseconds.
+    pub t_ns: u64,
+    /// Signed time injected, nanoseconds (negative draws sped the
+    /// interval up).
+    pub magnitude_ns: i64,
+}
+
+/// Exact aggregate of the noise injected into one (kind, rank, phase)
+/// cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NoiseAgg {
+    /// Number of draws.
+    pub count: u64,
+    /// Sum of signed magnitudes, nanoseconds.
+    pub total_ns: i64,
+    /// Sum of positive magnitudes only (injected delay), nanoseconds.
+    pub delay_ns: u64,
+}
+
+/// One link of a wait state's causal chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainLink {
+    /// What the link is (`comp`, `mpi`, `barrier`, `wait`).
+    pub what: String,
+    /// Call path of the link.
+    pub path: String,
+    /// Location index executing the link.
+    pub loc: usize,
+    /// Link start (trace clock units).
+    pub start: u64,
+    /// Link end (trace clock units).
+    pub end: u64,
+}
+
+/// Provenance of one wait state found by the analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitProvenance {
+    /// Wait metric name (e.g. `delay_mpi_latesender`).
+    pub metric: String,
+    /// Waiting location index.
+    pub waiter_loc: usize,
+    /// Call path of the waiting instance.
+    pub waiter_path: String,
+    /// Enter timestamp of the waiting instance (trace clock units).
+    pub waiter_enter: u64,
+    /// Wait severity (trace clock units).
+    pub severity: u64,
+    /// Location whose late arrival released the waiter.
+    pub delayer_loc: usize,
+    /// Call path of the delaying instance.
+    pub delayer_path: String,
+    /// Enter timestamp of the delaying instance.
+    pub delayer_enter: u64,
+    /// Injected noise (positive magnitudes) on the delayer's rank
+    /// inside the causal window, nanoseconds. Zero for logical-clock
+    /// traces, whose timestamps are not commensurable with noise times.
+    pub noise_ns: u64,
+    /// The chain of events that produced the wait, oldest first.
+    pub chain: Vec<ChainLink>,
+}
+
+/// Exact aggregate of the wait states in one (metric, call path) cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaitAgg {
+    /// Number of wait instances.
+    pub count: u64,
+    /// Sum of severities (trace clock units).
+    pub severity: u64,
+    /// Sum of injected noise in the causal windows, nanoseconds.
+    pub noise_ns: u64,
+}
+
+/// Everything observed during one run (one pipeline cell).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunData {
+    /// Raw counter samples in record order (thinned at compaction).
+    pub samples: Vec<Sample>,
+    /// Exact per-(series, phase) aggregates.
+    pub series_aggs: BTreeMap<(String, String), SeriesAgg>,
+    /// Raw noise draws in record order (thinned at compaction).
+    pub draws: Vec<NoiseDraw>,
+    /// Exact per-(kind, rank, phase) noise aggregates.
+    pub noise_aggs: BTreeMap<(NoiseKind, u32, String), NoiseAgg>,
+    /// Wait-state provenance records (capped per metric at compaction).
+    pub waits: Vec<WaitProvenance>,
+    /// Exact per-(metric, waiter call path) wait totals.
+    pub wait_aggs: BTreeMap<(String, String), WaitAgg>,
+    /// Raw samples dropped by decimation (aggregates still count them).
+    pub dropped_samples: u64,
+    /// Raw draws dropped by decimation (aggregates still count them).
+    pub dropped_draws: u64,
+    /// Provenance records dropped by the per-metric cap.
+    pub dropped_waits: u64,
+    // Live-decimation state (reset by `compact`, so it never survives
+    // into an exported or parsed bundle): total records seen and the
+    // current geometric keep stride per raw stream.
+    sample_pos: u64,
+    sample_stride: u64,
+    draw_pos: u64,
+    draw_stride: u64,
+}
+
+impl RunData {
+    fn record_sample(&mut self, sample: Sample) {
+        let agg =
+            self.series_aggs.entry((sample.series.clone(), sample.phase.clone())).or_default();
+        agg.count += 1;
+        agg.sum += sample.value;
+        agg.max = agg.max.max(sample.value);
+        let stride = self.sample_stride.max(1);
+        if self.sample_pos.is_multiple_of(stride) {
+            self.samples.push(sample);
+            if self.samples.len() >= LIVE_CAP {
+                self.dropped_samples += halve(&mut self.samples);
+                self.sample_stride = stride * 2;
+            }
+        } else {
+            self.dropped_samples += 1;
+        }
+        self.sample_pos += 1;
+    }
+
+    fn record_draw(&mut self, draw: NoiseDraw) {
+        let agg = self.noise_aggs.entry((draw.kind, draw.rank, draw.phase.clone())).or_default();
+        agg.count += 1;
+        agg.total_ns += draw.magnitude_ns;
+        agg.delay_ns += draw.magnitude_ns.max(0) as u64;
+        let stride = self.draw_stride.max(1);
+        if self.draw_pos.is_multiple_of(stride) {
+            self.draws.push(draw);
+            if self.draws.len() >= LIVE_CAP {
+                self.dropped_draws += halve(&mut self.draws);
+                self.draw_stride = stride * 2;
+            }
+        } else {
+            self.dropped_draws += 1;
+        }
+        self.draw_pos += 1;
+    }
+
+    /// Sum of positive noise magnitudes injected into `rank` with start
+    /// time inside `[from_ns, to_ns]`.
+    pub fn noise_in_window(&self, rank: u32, from_ns: u64, to_ns: u64) -> u64 {
+        self.draws
+            .iter()
+            .filter(|d| d.rank == rank && d.t_ns >= from_ns && d.t_ns <= to_ns)
+            .map(|d| d.magnitude_ns.max(0) as u64)
+            .sum()
+    }
+
+    /// Thin raw samples/draws to the caps with a deterministic stride
+    /// and keep only the most severe waits per metric. Aggregates are
+    /// untouched (they are exact over the full run). Also clears the
+    /// live-decimation state so a compacted run compares equal to its
+    /// serialised round-trip.
+    fn compact(&mut self) {
+        self.dropped_samples += thin(&mut self.samples, SAMPLE_CAP);
+        self.dropped_draws += thin(&mut self.draws, DRAW_CAP);
+        self.cap_waits();
+        self.sample_pos = 0;
+        self.sample_stride = 0;
+        self.draw_pos = 0;
+        self.draw_stride = 0;
+    }
+
+    /// Keep the top [`WAIT_CAP`] waits per metric by (severity desc,
+    /// record order). Selecting a top-K under a total order is stable
+    /// under incremental application, so calling this both live (at
+    /// [`LIVE_CAP`]) and at compaction yields the same final set as one
+    /// call at the end.
+    fn cap_waits(&mut self) {
+        let mut by_metric: BTreeMap<String, u64> = BTreeMap::new();
+        let mut order: Vec<usize> = (0..self.waits.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (wa, wb) = (&self.waits[a], &self.waits[b]);
+            (&wa.metric, std::cmp::Reverse(wa.severity), a).cmp(&(
+                &wb.metric,
+                std::cmp::Reverse(wb.severity),
+                b,
+            ))
+        });
+        let mut keep = vec![false; self.waits.len()];
+        for &i in &order {
+            let seen = by_metric.entry(self.waits[i].metric.clone()).or_insert(0);
+            if (*seen as usize) < WAIT_CAP {
+                keep[i] = true;
+                *seen += 1;
+            } else {
+                self.dropped_waits += 1;
+            }
+        }
+        let mut i = 0;
+        self.waits.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+    }
+}
+
+/// Drop every second element (keeping index 0, 2, 4, …); returns how
+/// many were dropped.
+fn halve<T>(v: &mut Vec<T>) -> u64 {
+    let before = v.len();
+    let mut i = 0;
+    v.retain(|_| {
+        let k = i % 2 == 0;
+        i += 1;
+        k
+    });
+    (before - v.len()) as u64
+}
+
+/// Keep at most `cap` elements with a deterministic stride; returns how
+/// many were dropped.
+fn thin<T>(v: &mut Vec<T>, cap: usize) -> u64 {
+    if v.len() <= cap {
+        return 0;
+    }
+    let stride = v.len().div_ceil(cap);
+    let before = v.len();
+    let mut i = 0;
+    v.retain(|_| {
+        let k = i % stride == 0;
+        i += 1;
+        k
+    });
+    (before - v.len()) as u64
+}
+
+/// Per-run recorder handed into one pipeline cell (engine run +
+/// analysis). Single-threaded by construction — each cell runs on one
+/// worker — hence the interior [`RefCell`].
+#[derive(Debug)]
+pub struct RunObserve {
+    name: String,
+    data: RefCell<RunData>,
+}
+
+impl RunObserve {
+    /// Start recording a run named `name`. Names key the bundle's
+    /// deterministic merge: derive them from stable identities
+    /// (instance, mode, repetition), never from timing.
+    pub fn new(name: impl Into<String>) -> RunObserve {
+        RunObserve { name: name.into(), data: RefCell::new(RunData::default()) }
+    }
+
+    /// The run name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record one counter sample.
+    pub fn sample(&self, series: &str, phase: &str, t_ns: u64, seq: u64, value: i64) {
+        self.data.borrow_mut().record_sample(Sample {
+            series: series.to_owned(),
+            phase: phase.to_owned(),
+            t_ns,
+            seq,
+            value,
+        });
+    }
+
+    /// Record one noise draw.
+    #[allow(clippy::too_many_arguments)]
+    pub fn noise(
+        &self,
+        kind: NoiseKind,
+        rank: u32,
+        core: u64,
+        instance: u64,
+        phase: &str,
+        t_ns: u64,
+        magnitude_ns: i64,
+    ) {
+        self.data.borrow_mut().record_draw(NoiseDraw {
+            kind,
+            rank,
+            core,
+            instance,
+            phase: phase.to_owned(),
+            t_ns,
+            magnitude_ns,
+        });
+    }
+
+    /// Record the provenance of one wait state.
+    pub fn wait(&self, prov: WaitProvenance) {
+        let mut data = self.data.borrow_mut();
+        let agg =
+            data.wait_aggs.entry((prov.metric.clone(), prov.waiter_path.clone())).or_default();
+        agg.count += 1;
+        agg.severity += prov.severity;
+        agg.noise_ns += prov.noise_ns;
+        data.waits.push(prov);
+        if data.waits.len() >= LIVE_CAP {
+            data.cap_waits();
+        }
+    }
+
+    /// Sum of positive noise magnitudes injected into `rank` within
+    /// `[from_ns, to_ns]` — the analysis joins wait windows against
+    /// this.
+    pub fn noise_in_window(&self, rank: u32, from_ns: u64, to_ns: u64) -> u64 {
+        self.data.borrow().noise_in_window(rank, from_ns, to_ns)
+    }
+
+    /// Finish recording: compact and return the run's data.
+    pub fn finish(self) -> (String, RunData) {
+        let mut data = self.data.into_inner();
+        data.compact();
+        (self.name, data)
+    }
+}
+
+/// The observatory: a shared, thread-safe sink collecting finished
+/// runs. Mirrors `Telemetry`: [`Observe::call_count`] proves that a
+/// pipeline run without a handle performs zero observability work.
+#[derive(Debug, Default)]
+pub struct Observe {
+    calls: AtomicU64,
+    runs: Mutex<BTreeMap<String, RunData>>,
+}
+
+impl Observe {
+    /// Fresh, empty observatory.
+    pub fn new() -> Observe {
+        Observe::default()
+    }
+
+    /// Attach a finished run. Runs are keyed by name, so the resulting
+    /// bundle is independent of attach order (worker scheduling).
+    pub fn attach(&self, run: RunObserve) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let (name, data) = run.finish();
+        let prev = self.runs.lock().expect("observe lock").insert(name, data);
+        debug_assert!(prev.is_none(), "duplicate observe run name");
+    }
+
+    /// How many runs have been attached. The zero-work proof: a
+    /// pipeline run with `None` handles leaves this at 0 **and** leaves
+    /// no [`RunObserve`] allocated anywhere.
+    pub fn call_count(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all attached runs, sorted by name.
+    pub fn runs(&self) -> BTreeMap<String, RunData> {
+        self.runs.lock().expect("observe lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_are_exact_after_thinning() {
+        let run = RunObserve::new("r");
+        for i in 0..1000u64 {
+            run.sample("numa0.bw_threads", "cg", i, i, (i % 7) as i64);
+        }
+        let (_, data) = run.finish();
+        assert!(data.samples.len() <= SAMPLE_CAP);
+        assert_eq!(data.dropped_samples, 1000 - data.samples.len() as u64);
+        let agg = &data.series_aggs[&("numa0.bw_threads".to_owned(), "cg".to_owned())];
+        assert_eq!(agg.count, 1000);
+        assert_eq!(agg.sum, (0..1000).map(|i| (i % 7) as i64).sum::<i64>());
+        assert_eq!(agg.max, 6);
+    }
+
+    #[test]
+    fn noise_window_join() {
+        let run = RunObserve::new("r");
+        run.noise(NoiseKind::OsDetour, 1, 3, 0, "", 100, 50);
+        run.noise(NoiseKind::MemJitter, 1, 3, 1, "", 200, -20);
+        run.noise(NoiseKind::OsDetour, 2, 4, 0, "", 150, 99);
+        assert_eq!(run.noise_in_window(1, 0, 300), 50); // negative draw ignored
+        assert_eq!(run.noise_in_window(1, 150, 300), 0);
+        assert_eq!(run.noise_in_window(2, 0, 300), 99);
+    }
+
+    #[test]
+    fn wait_cap_keeps_most_severe() {
+        let run = RunObserve::new("r");
+        for i in 0..(WAIT_CAP as u64 + 10) {
+            run.wait(WaitProvenance {
+                metric: "delay_mpi_latesender".into(),
+                waiter_loc: 0,
+                waiter_path: "p".into(),
+                waiter_enter: i,
+                severity: i,
+                delayer_loc: 1,
+                delayer_path: "q".into(),
+                delayer_enter: 0,
+                noise_ns: 0,
+                chain: Vec::new(),
+            });
+        }
+        let (_, data) = run.finish();
+        assert_eq!(data.waits.len(), WAIT_CAP);
+        assert_eq!(data.dropped_waits, 10);
+        // Most severe survived.
+        assert!(data.waits.iter().any(|w| w.severity == WAIT_CAP as u64 + 9));
+        assert!(!data.waits.iter().any(|w| w.severity < 10));
+    }
+
+    #[test]
+    fn live_decimation_bounds_memory_and_keeps_aggregates_exact() {
+        let run = RunObserve::new("r");
+        let total = LIVE_CAP as u64 * 3;
+        for i in 0..total {
+            run.sample("numa0.bw_threads", "cg", i, i, 1);
+            run.noise(NoiseKind::CpuJitter, 0, 0, i, "cg", i, 2);
+            // The live buffers never reach LIVE_CAP.
+            assert!(run.data.borrow().samples.len() < LIVE_CAP);
+            assert!(run.data.borrow().draws.len() < LIVE_CAP);
+        }
+        let (_, data) = run.finish();
+        assert!(data.samples.len() <= SAMPLE_CAP);
+        assert_eq!(data.dropped_samples + data.samples.len() as u64, total);
+        assert_eq!(data.dropped_draws + data.draws.len() as u64, total);
+        let agg = &data.series_aggs[&("numa0.bw_threads".to_owned(), "cg".to_owned())];
+        assert_eq!(agg.count, total);
+        assert_eq!(agg.sum, total as i64);
+        let nagg = &data.noise_aggs[&(NoiseKind::CpuJitter, 0, "cg".to_owned())];
+        assert_eq!(nagg.count, total);
+        assert_eq!(nagg.delay_ns, total * 2);
+    }
+
+    #[test]
+    fn attach_is_order_independent() {
+        let a = Observe::new();
+        let b = Observe::new();
+        let mk = |name: &str| {
+            let r = RunObserve::new(name);
+            r.sample("s", "", 1, 1, 1);
+            r
+        };
+        a.attach(mk("x"));
+        a.attach(mk("y"));
+        b.attach(mk("y"));
+        b.attach(mk("x"));
+        assert_eq!(a.runs(), b.runs());
+        assert_eq!(a.call_count(), 2);
+    }
+}

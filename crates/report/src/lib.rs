@@ -21,6 +21,9 @@
 //! * [`bench`] — the `BENCH_pipeline.json` perf-baseline format (moved
 //!   here from `nrlt-bench` so both the writer and the gate share one
 //!   parser) and the `bench-check` regression gate.
+//! * [`observe`] — the resource-observatory explorer over `--observe`
+//!   bundles (`nrlt-observe`): top contended resources per phase,
+//!   noise share per wait-metric cell, wait-state provenance chains.
 //!
 //! The `nrlt-report` binary exposes all of it on the command line; the
 //! bench harness's `--report <dir>` flag writes `report.txt`,
@@ -37,6 +40,7 @@ pub mod bundle;
 pub mod diff;
 pub mod flame;
 pub mod inspect;
+pub mod observe;
 pub mod severity;
 
 pub use bench::{bench_check, BenchEntry, GateReport, GateRow};
@@ -44,4 +48,5 @@ pub use bundle::Bundle;
 pub use diff::diff_text;
 pub use flame::{folded, folded_totals, hot_paths_text};
 pub use inspect::{inspect_text, span_stats, SpanStats};
+pub use observe::{observe_text, wait_names};
 pub use severity::{mode_text, severity_json, severity_text};

@@ -10,6 +10,12 @@
 //! nrlt-report diff <bundle-a> <bundle-b>      what changed between two runs
 //! ```
 //!
+//! The resource-observatory explorer over `--observe` bundles:
+//!
+//! ```text
+//! nrlt-report observe <bundle-dir> [--run NAME] [--top K] [--wait metric#i]
+//! ```
+//!
 //! And the perf regression gate over `BENCH_pipeline.json`-format files:
 //!
 //! ```text
@@ -34,11 +40,16 @@ commands:
   flamegraph <bundle-dir>      collapsed-stack flamegraph to stdout
   critical-path <bundle-dir>   dominant span chain per track
   diff <bundle-a> <bundle-b>   compare two bundles
+  observe <bundle-dir> [--run <name>] [--top <k>] [--wait <metric#i>]
+                               resource observatory: contended resources per
+                               phase, noise share per wait cell, provenance of
+                               a named (default: the dominant) wait state
   bench-check --baseline <file> --current <file> [--max-regress <factor>]
                                gate current wall times against a baseline
 
 a bundle-dir is a directory containing metrics.jsonl, as written by the
-bench bins' --telemetry/--report flags.";
+bench bins' --telemetry/--report flags; for `observe` it is a directory
+containing observe.jsonl, as written by the bins' --observe flag.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,6 +87,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print!("{}", diff_text(&a, &b));
             Ok(ExitCode::SUCCESS)
         }
+        "observe" => run_observe(&args[1..]),
         "bench-check" => run_bench_check(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -88,6 +100,45 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn load_bundle(arg: Option<&String>) -> Result<Bundle, String> {
     let dir = arg.ok_or("missing bundle directory argument")?;
     Bundle::load(Path::new(dir))
+}
+
+fn run_observe(args: &[String]) -> Result<ExitCode, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut run: Option<String> = None;
+    let mut top = 5usize;
+    let mut wait: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |inline: Option<&str>| -> Result<String, String> {
+            match inline {
+                Some(v) => Ok(v.to_owned()),
+                None => it.next().cloned().ok_or_else(|| format!("{arg} requires a value")),
+            }
+        };
+        if arg == "--run" || arg.starts_with("--run=") {
+            run = Some(take(arg.strip_prefix("--run="))?);
+        } else if arg == "--top" || arg.starts_with("--top=") {
+            let raw = take(arg.strip_prefix("--top="))?;
+            top = raw
+                .parse::<usize>()
+                .ok()
+                .filter(|v| *v >= 1)
+                .ok_or_else(|| format!("--top must be a positive integer, got {raw:?}"))?;
+        } else if arg == "--wait" || arg.starts_with("--wait=") {
+            wait = Some(take(arg.strip_prefix("--wait="))?);
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown observe argument {arg:?}"));
+        } else if dir.is_none() {
+            dir = Some(PathBuf::from(arg));
+        } else {
+            return Err(format!("unexpected observe argument {arg:?}"));
+        }
+    }
+    let dir = dir.ok_or("observe requires a bundle directory argument")?;
+    let bundle = nrlt_observe::export::ObserveBundle::load(&dir)?;
+    let text = nrlt_report::observe_text(&bundle, run.as_deref(), top, wait.as_deref())?;
+    print!("{text}");
+    Ok(ExitCode::SUCCESS)
 }
 
 fn run_bench_check(args: &[String]) -> Result<ExitCode, String> {

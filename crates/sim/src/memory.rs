@@ -120,6 +120,43 @@ mod tests {
     }
 
     #[test]
+    fn dram_fraction_at_and_below_capacity() {
+        let l3 = 1000u64;
+        // Working set + footprint exactly at capacity: no overflow, floor.
+        assert_eq!(dram_fraction(600, 400, l3), 0.05);
+        // Footprint alone at capacity, empty working set: still floor.
+        assert_eq!(dram_fraction(0, l3, l3), 0.05);
+        // One byte of overflow leaves the floor intact (overflow/total is
+        // below the floor until the overflow is substantial).
+        assert_eq!(dram_fraction(600, 401, l3), 0.05);
+        // Saturating arithmetic: absurd totals clamp to 1, not panic.
+        assert_eq!(dram_fraction(u64::MAX, u64::MAX, l3), 1.0);
+    }
+
+    #[test]
+    fn shared_bandwidth_zero_threads_matches_one() {
+        // Zero active threads falls into the `<= 1` branch: the caller
+        // is asking what a lone thread would get, never dividing by 0.
+        assert_eq!(shared_bandwidth(48e9, 0, 1.0), shared_bandwidth(48e9, 1, 1.0));
+        assert_eq!(shared_bandwidth(48e9, 0, 0.0), 0.4 * 48e9);
+    }
+
+    #[test]
+    fn cache_bandwidth_share_saturates() {
+        let spec = NodeSpec::jureca_dc();
+        // Zero active threads clamps to one share, never divides by 0.
+        assert_eq!(cache_bandwidth_share(&spec, 0), spec.l3_bandwidth);
+        assert_eq!(cache_bandwidth_share(&spec, 1), spec.l3_bandwidth);
+        // The per-thread share decays as 1/n and the aggregate stays
+        // pinned at the socket's L3 bandwidth — the cache does not scale.
+        let full = spec.sockets * spec.numa_per_socket * spec.cores_per_numa;
+        let share = cache_bandwidth_share(&spec, full);
+        assert_eq!(share, spec.l3_bandwidth / full as f64);
+        assert!((share * full as f64 - spec.l3_bandwidth).abs() < 1e-3);
+        assert!(share < cache_bandwidth_share(&spec, full / 2));
+    }
+
+    #[test]
     fn single_thread_gets_fixed_share() {
         let bw = shared_bandwidth(48e9, 1, 1.0);
         assert!((bw - 0.4 * 48e9).abs() < 1.0);

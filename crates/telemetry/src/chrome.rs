@@ -64,6 +64,12 @@ pub fn pipeline_trace_json(tel: &Telemetry) -> String {
             ns_to_us(tel.elapsed_ns()),
             args.join(",")
         ));
+        // Each counter additionally becomes its own counter track, so
+        // final values render as bars. Counter-track names pass through
+        // the same escaping path as span names (`json::string`).
+        for (k, v) in &counters {
+            events.push(counter_event(k, "pipeline", &ns_to_us(tel.elapsed_ns()), 0, 0, *v as i64));
+        }
     }
 
     wrap(events)
@@ -183,6 +189,31 @@ pub fn trace_to_chrome(trace: &Trace) -> String {
     wrap(events)
 }
 
+/// Assemble trace events into a complete Chrome trace document.
+pub fn document(events: Vec<String>) -> String {
+    wrap(events)
+}
+
+/// One `ph:"C"` counter event. The name goes through the same escaping
+/// path as span names, so counter series named after arbitrary strings
+/// (regions, phases) can never corrupt the document.
+pub fn counter_event(name: &str, cat: &str, ts: &str, pid: u32, tid: u32, value: i64) -> String {
+    format!(
+        "{{\"name\":{},\"cat\":{},\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"value\":{}}}}}",
+        json::string(name),
+        json::string(cat),
+        ts,
+        pid,
+        tid,
+        value
+    )
+}
+
+/// A `process_name` metadata event for process `pid`.
+pub fn process_meta(pid: u32, name: &str) -> String {
+    meta_event(pid, 0, "process_name", name)
+}
+
 fn wrap(events: Vec<String>) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     out.push_str(&events.join(",\n"));
@@ -212,7 +243,7 @@ fn instant(name: &str, cat: &str, ts: &str, tid: u32, args: &str) -> String {
 }
 
 /// Nanoseconds → microseconds with sub-µs precision preserved.
-fn ns_to_us(ns: u64) -> String {
+pub fn ns_to_us(ns: u64) -> String {
     let whole = ns / 1_000;
     let frac = ns % 1_000;
     if frac == 0 {
@@ -245,8 +276,10 @@ mod tests {
         let doc = pipeline_trace_json(&t);
         let v = json::parse(&doc).expect("valid JSON");
         let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
-        // process_name + thread_name + B + E + counters instant.
-        assert_eq!(evs.len(), 5);
+        // process_name + thread_name + B + E + counters instant + one
+        // counter track per counter.
+        assert_eq!(evs.len(), 6);
+        assert!(evs.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C")));
     }
 
     #[test]
@@ -273,6 +306,25 @@ mod tests {
             .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
             .expect("has an instant event");
         assert!(i.get("args").unwrap().get(nasty).is_some());
+        // Counter-track names take the same escaping path as span names:
+        // the C event round-trips the nasty name exactly.
+        let c = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .expect("has a counter event");
+        assert_eq!(c.get("name").unwrap().as_str(), Some(nasty));
+        assert_eq!(c.get("args").unwrap().get("value").and_then(|v| v.as_f64()), Some(3.0));
+    }
+
+    #[test]
+    fn counter_event_builder_escapes_names() {
+        let nasty = "numa\"0\\ bw\n";
+        let ev = counter_event(nasty, nasty, "12.5", 3, 1, -7);
+        let v = json::parse(&ev).expect("counter event parses");
+        assert_eq!(v.get("name").unwrap().as_str(), Some(nasty));
+        assert_eq!(v.get("cat").unwrap().as_str(), Some(nasty));
+        assert_eq!(v.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(v.get("args").unwrap().get("value").and_then(|x| x.as_f64()), Some(-7.0));
     }
 
     #[test]

@@ -18,11 +18,22 @@ for b in table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 narrative ablatio
         --report results/report/$b > results/$b.txt
 done
 
+# Regenerate the exemplar resource-observatory bundle: MiniFE-1 under
+# fig3's protocol with the machine observatory attached. The bundle is
+# byte-identical for every JOBS value (runs merge by name), so it is
+# safe to regenerate in parallel too.
+echo "regenerating results/observe/fig3 ..."
+./target/release/fig3 --only MiniFE-1 --jobs "$JOBS" \
+    --observe results/observe/fig3 > /dev/null
+
 # Refresh the perf baseline: the end-to-end fig3 experiment timed
-# serial and at the fan-out width this host supports.
+# serial and at the fan-out width this host supports, plus the
+# observe-on run under its own `:observe` key.
 echo "timing fig3 for BENCH_pipeline.json ..."
 ./target/release/fig3 --jobs 1 --bench-json BENCH_pipeline.json > /dev/null
 ./target/release/fig3 --jobs 0 --bench-json BENCH_pipeline.json > /dev/null
+./target/release/fig3 --only MiniFE-1 --jobs 1 --observe results/observe/fig3 \
+    --bench-json BENCH_pipeline.json > /dev/null
 echo "done; outputs in results/, telemetry in results/telemetry/,"
 echo "report artifacts (report.txt, report.json, flamegraph.folded) in results/report/,"
-echo "perf baseline in BENCH_pipeline.json"
+echo "observe exemplar in results/observe/fig3/, perf baseline in BENCH_pipeline.json"

@@ -12,7 +12,7 @@ pub use nrlt_core::*;
 
 // Direct access to the component crates under their short names.
 pub use nrlt_core::{
-    analysis, exec, measure_sys, miniapps, mpisim, ompsim, profile, prog, sim, trace,
+    analysis, exec, measure_sys, miniapps, mpisim, observe, ompsim, profile, prog, sim, trace,
 };
 
 /// The read-side observability layer: severity explorer, telemetry

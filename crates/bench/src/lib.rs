@@ -10,6 +10,7 @@
 
 use nrlt_core::prelude::*;
 use nrlt_core::ExperimentResult;
+use nrlt_engineprof::{EngineProf, ProfBundle};
 use nrlt_observe::export::ObserveBundle;
 use nrlt_observe::Observe;
 use nrlt_telemetry::{write_exports, Manifest, RunInfo, Telemetry};
@@ -72,6 +73,16 @@ const REPORT_TOP_N: usize = 10;
 ///   byte-identical either way. Bench entries recorded while observing
 ///   carry an `:observe` key suffix so they gate separately from the
 ///   plain pipeline.
+/// * `--engine-prof <dir>` (also `--engine-prof=<dir>`) turns on the
+///   engine self-profiler for every harness-driven experiment —
+///   per-event-kind cost accounting, queue-occupancy timelines,
+///   hot-loop allocation counts — and writes `engineprof.json`
+///   (deterministic) + `engineprof.wall.json` (wall-clock) into the
+///   directory on [`Harness::finish`]. Without the flag the engine runs
+///   on its `None` paths and performs zero profiling work; printed
+///   output is byte-identical either way. Bench entries recorded while
+///   profiling carry an `:engineprof` key suffix so they gate
+///   separately from the plain pipeline.
 pub struct Harness {
     bin: String,
     tel: Option<Telemetry>,
@@ -80,6 +91,8 @@ pub struct Harness {
     report_dir: Option<PathBuf>,
     observe_dir: Option<PathBuf>,
     obs: Option<Observe>,
+    engineprof_dir: Option<PathBuf>,
+    prof: Option<EngineProf>,
     only: Option<String>,
     jobs: Option<usize>,
     bench_json: Option<PathBuf>,
@@ -97,6 +110,7 @@ impl Harness {
         let mut dir = None;
         let mut report_dir = None;
         let mut observe_dir = None;
+        let mut engineprof_dir = None;
         let mut only = None;
         let mut jobs = None;
         let mut bench_json = None;
@@ -114,6 +128,10 @@ impl Harness {
                 observe_dir = args.next().map(PathBuf::from);
             } else if let Some(d) = a.strip_prefix("--observe=") {
                 observe_dir = Some(PathBuf::from(d));
+            } else if a == "--engine-prof" {
+                engineprof_dir = args.next().map(PathBuf::from);
+            } else if let Some(d) = a.strip_prefix("--engine-prof=") {
+                engineprof_dir = Some(PathBuf::from(d));
             } else if a == "--only" {
                 only = args.next();
             } else if let Some(v) = a.strip_prefix("--only=") {
@@ -136,6 +154,8 @@ impl Harness {
             report_dir,
             obs: observe_dir.is_some().then(Observe::new),
             observe_dir,
+            prof: engineprof_dir.is_some().then(EngineProf::new),
+            engineprof_dir,
             only,
             jobs,
             bench_json,
@@ -159,17 +179,28 @@ impl Harness {
         }
     }
 
-    fn record_bench(&mut self, run: String, jobs: usize, wall_seconds: f64) {
+    fn record_bench(&mut self, run: String, jobs: usize, wall_seconds: f64, events: u64) {
         if self.bench_json.is_some() {
-            // Observing changes what a run costs, so it gates under its
-            // own key rather than polluting the plain-pipeline baseline.
-            let run = if self.obs.is_some() { format!("{run}:observe") } else { run };
+            // Observing or profiling changes what a run costs, so each
+            // gates under its own key rather than polluting the
+            // plain-pipeline baseline.
+            let run = if self.obs.is_some() {
+                format!("{run}:observe")
+            } else if self.prof.is_some() {
+                format!("{run}:engineprof")
+            } else {
+                run
+            };
+            let events_per_sec =
+                if wall_seconds > 0.0 { events as f64 / wall_seconds } else { 0.0 };
             self.bench_entries.push(BenchEntry {
                 bin: self.bin.clone(),
                 run,
                 jobs: nrlt_core::effective_jobs(jobs),
                 host_parallelism: bench_json::host_parallelism(),
                 wall_seconds,
+                events,
+                events_per_sec,
             });
         }
     }
@@ -211,13 +242,19 @@ impl Harness {
         let options = self.apply_jobs(options);
         self.push_run(instance.name.clone(), instance, &options);
         let start = Instant::now();
-        let result = nrlt_core::run_experiment_observed(
+        let result = nrlt_core::run_experiment_instrumented(
             instance,
             &options,
             self.tel.as_ref(),
             self.obs.as_ref(),
+            self.prof.as_ref(),
         );
-        self.record_bench(instance.name.clone(), options.jobs, start.elapsed().as_secs_f64());
+        self.record_bench(
+            instance.name.clone(),
+            options.jobs,
+            start.elapsed().as_secs_f64(),
+            result.events,
+        );
         if self.report_dir.is_some() {
             self.report_text.push_str(&nrlt_report::severity_text(&result, REPORT_TOP_N));
             self.report_text.push('\n');
@@ -237,14 +274,15 @@ impl Harness {
         let name = format!("{}:{}", instance.name, mode.name());
         self.push_run(name.clone(), instance, &options);
         let start = Instant::now();
-        let result = nrlt_core::run_mode_with_observed(
+        let result = nrlt_core::run_mode_with_instrumented(
             instance,
             nrlt_core::measure_config_for(instance, mode),
             &options,
             self.tel.as_ref(),
             self.obs.as_ref(),
+            self.prof.as_ref(),
         );
-        self.record_bench(name, options.jobs, start.elapsed().as_secs_f64());
+        self.record_bench(name, options.jobs, start.elapsed().as_secs_f64(), result.events);
         self.record_mode_report(&result);
         result
     }
@@ -260,14 +298,15 @@ impl Harness {
         let name = format!("{}:{}", instance.name, mcfg.mode.name());
         self.push_run(name.clone(), instance, &options);
         let start = Instant::now();
-        let result = nrlt_core::run_mode_with_observed(
+        let result = nrlt_core::run_mode_with_instrumented(
             instance,
             mcfg,
             &options,
             self.tel.as_ref(),
             self.obs.as_ref(),
+            self.prof.as_ref(),
         );
-        self.record_bench(name, options.jobs, start.elapsed().as_secs_f64());
+        self.record_bench(name, options.jobs, start.elapsed().as_secs_f64(), result.events);
         self.record_mode_report(&result);
         result
     }
@@ -295,6 +334,14 @@ impl Harness {
     /// `--bench-json`, `--report`, `--observe`, and `--telemetry`.
     /// Returns the telemetry directory written to, if any.
     pub fn finish(mut self) -> Option<PathBuf> {
+        if let (Some(pdir), Some(prof)) = (self.engineprof_dir.take(), self.prof.take()) {
+            match ProfBundle::from_prof(&prof).write(&pdir) {
+                Ok(()) => eprintln!("engine profile written to {}", pdir.display()),
+                Err(e) => {
+                    eprintln!("warning: could not write engine profile to {}: {e}", pdir.display())
+                }
+            }
+        }
         if let (Some(odir), Some(obs)) = (self.observe_dir.take(), self.obs.take()) {
             match ObserveBundle::from_observe(&obs).write(&odir) {
                 Ok(()) => eprintln!("observe bundle written to {}", odir.display()),

@@ -13,10 +13,11 @@
 
 use crate::parallel::{effective_jobs, parallel_map_ordered};
 use nrlt_analysis::{analyze_observed, AnalysisConfig};
+use nrlt_engineprof::{EngineProf, RunProf};
 use nrlt_exec::{overhead_percent, ExecConfig, ExecResult};
 use nrlt_measure::{
-    measure_prepared_observed, prepare_measure, reference_run_observed, ClockMode, FilterRules,
-    MeasureConfig, MeasurePrep,
+    measure_prepared_instrumented, prepare_measure, reference_run_instrumented, ClockMode,
+    FilterRules, MeasureConfig, MeasurePrep,
 };
 use nrlt_miniapps::BenchmarkInstance;
 use nrlt_observe::{Observe, RunObserve};
@@ -69,6 +70,9 @@ pub struct ModeResult {
     pub run_times: Vec<VirtualDuration>,
     /// Instrumented per-phase timings (max over ranks) per repetition.
     pub phase_times: Vec<BTreeMap<String, VirtualDuration>>,
+    /// Engine events dispatched across all repetitions of this mode —
+    /// the throughput numerator for events/sec KPIs.
+    pub events: u64,
 }
 
 impl ModeResult {
@@ -104,6 +108,10 @@ pub struct ExperimentResult {
     pub phase_names: Vec<String>,
     /// Per-mode results, in [`ExperimentOptions::modes`] order.
     pub modes: Vec<ModeResult>,
+    /// Engine events dispatched across every cell of the experiment
+    /// (reference and measured) — the throughput numerator for
+    /// events/sec KPIs.
+    pub events: u64,
 }
 
 impl ExperimentResult {
@@ -203,6 +211,7 @@ struct CellResult {
     profile: Profile,
     run_time: VirtualDuration,
     phases: BTreeMap<String, VirtualDuration>,
+    events: u64,
 }
 
 /// The per-cell analysis configuration under a fan-out of `fan` workers.
@@ -232,12 +241,22 @@ fn run_cell(
     rep: u32,
     tel: Option<&Telemetry>,
     obs: Option<&Observe>,
+    prof: Option<&EngineProf>,
 ) -> CellResult {
     let run =
         obs.map(|_| RunObserve::new(format!("{}:{}:rep{rep}", instance.name, mcfg.mode.name())));
+    let prof_run =
+        prof.map(|_| RunProf::new(format!("{}:{}:rep{rep}", instance.name, mcfg.mode.name())));
     let cfg = exec_config_for(instance, &options.noise, options.base_seed + rep as u64);
-    let (trace, result) =
-        measure_prepared_observed(&instance.program, prep, &cfg, mcfg, tel, run.as_ref());
+    let (trace, result) = measure_prepared_instrumented(
+        &instance.program,
+        prep,
+        &cfg,
+        mcfg,
+        tel,
+        run.as_ref(),
+        prof_run.as_ref(),
+    );
     let profile = analyze_observed(&trace, acfg, tel, run.as_ref());
     let mut phases = BTreeMap::new();
     for (i, name) in instance.program.phases.iter().enumerate() {
@@ -249,7 +268,11 @@ fn run_cell(
     if let (Some(o), Some(run)) = (obs, run) {
         o.attach(run);
     }
-    CellResult { profile, run_time: result.total, phases }
+    if let (Some(p), Some(run)) = (prof, prof_run) {
+        let (name, data) = run.finish();
+        p.attach(name, data);
+    }
+    CellResult { profile, run_time: result.total, phases, events: result.events }
 }
 
 fn mode_repetitions(mode: ClockMode, options: &ExperimentOptions) -> u32 {
@@ -284,6 +307,23 @@ pub fn run_mode_with_observed(
     tel: Option<&Telemetry>,
     obs: Option<&Observe>,
 ) -> ModeResult {
+    run_mode_with_instrumented(instance, mcfg, options, tel, obs, None)
+}
+
+/// [`run_mode_with_observed`] with an optional engine self-profiler
+/// ([`nrlt_engineprof`]): every cell accounts the replay engine's own
+/// per-event-kind costs, queue occupancy, and hot-loop allocations under
+/// the deterministic run name `{instance}:{mode}:rep{rep}`. The keyed
+/// merge makes the profile independent of worker count. `None` performs
+/// zero profiling work.
+pub fn run_mode_with_instrumented(
+    instance: &BenchmarkInstance,
+    mcfg: MeasureConfig,
+    options: &ExperimentOptions,
+    tel: Option<&Telemetry>,
+    obs: Option<&Observe>,
+    prof: Option<&EngineProf>,
+) -> ModeResult {
     let mode = mcfg.mode;
     let reps = mode_repetitions(mode, options);
     let prep = prepare_measure(
@@ -294,7 +334,7 @@ pub fn run_mode_with_observed(
     let acfg = cell_analysis_config(fan);
     let cells = parallel_map_ordered((0..reps).collect(), options.jobs, |_, rep| {
         let _span = tel.map(|t| t.span_cat(format!("mode:{}", mode.name()), "experiment"));
-        run_cell(instance, &prep, &mcfg, options, &acfg, rep, tel, obs)
+        run_cell(instance, &prep, &mcfg, options, &acfg, rep, tel, obs, prof)
     });
     merge_mode(mode, cells)
 }
@@ -304,13 +344,15 @@ fn merge_mode(mode: ClockMode, cells: Vec<CellResult>) -> ModeResult {
     let mut profiles = Vec::with_capacity(cells.len());
     let mut run_times = Vec::with_capacity(cells.len());
     let mut phase_times = Vec::with_capacity(cells.len());
+    let mut events = 0u64;
     for cell in cells {
         profiles.push(cell.profile);
         run_times.push(cell.run_time);
         phase_times.push(cell.phases);
+        events += cell.events;
     }
     let mean = Profile::mean(&profiles);
-    ModeResult { mode, profiles, mean, run_times, phase_times }
+    ModeResult { mode, profiles, mean, run_times, phase_times, events }
 }
 
 /// Run the full protocol for one configuration.
@@ -366,6 +408,23 @@ pub fn run_experiment_observed(
     tel: Option<&Telemetry>,
     obs: Option<&Observe>,
 ) -> ExperimentResult {
+    run_experiment_instrumented(instance, options, tel, obs, None)
+}
+
+/// [`run_experiment_observed`] with an optional engine self-profiler
+/// ([`nrlt_engineprof`]): every cell — reference and measured — accounts
+/// the replay engine's per-event-kind costs, queue occupancy, and
+/// hot-loop allocations under deterministic run names
+/// (`{instance}:{mode}:rep{rep}`, references as
+/// `{instance}:ref:rep{rep}`), so the merged profile is byte-identical
+/// for any worker count. `None` performs zero profiling work.
+pub fn run_experiment_instrumented(
+    instance: &BenchmarkInstance,
+    options: &ExperimentOptions,
+    tel: Option<&Telemetry>,
+    obs: Option<&Observe>,
+    prof: Option<&EngineProf>,
+) -> ExperimentResult {
     // Read-only, run-invariant setup, hoisted so a 30-cell sweep interns
     // regions and builds the Arc-shared definition tables exactly once.
     let prep = prepare_measure(
@@ -391,18 +450,28 @@ pub fn run_experiment_observed(
         Cell::Reference { rep } => {
             let _span = tel.map(|t| t.span_cat("experiment.reference", "experiment"));
             let run = obs.map(|_| RunObserve::new(format!("{}:ref:rep{rep}", instance.name)));
+            let prof_run = prof.map(|_| RunProf::new(format!("{}:ref:rep{rep}", instance.name)));
             let cfg =
                 exec_config_for(instance, &options.noise, options.base_seed + 100 + rep as u64);
-            let result = reference_run_observed(&instance.program, &cfg, run.as_ref());
+            let result = reference_run_instrumented(
+                &instance.program,
+                &cfg,
+                run.as_ref(),
+                prof_run.as_ref(),
+            );
             if let (Some(o), Some(run)) = (obs, run) {
                 o.attach(run);
+            }
+            if let (Some(p), Some(prun)) = (prof, prof_run) {
+                let (name, data) = prun.finish();
+                p.attach(name, data);
             }
             CellOutput::Reference(result)
         }
         Cell::Mode { mode_idx, rep } => {
             let mcfg = &mode_cfgs[mode_idx];
             let _span = tel.map(|t| t.span_cat(format!("mode:{}", mcfg.mode.name()), "experiment"));
-            let result = run_cell(instance, &prep, mcfg, options, &acfg, rep, tel, obs);
+            let result = run_cell(instance, &prep, mcfg, options, &acfg, rep, tel, obs, prof);
             CellOutput::Mode { mode_idx, result }
         }
     });
@@ -417,12 +486,15 @@ pub fn run_experiment_observed(
             CellOutput::Mode { mode_idx, result } => per_mode[mode_idx].push(result),
         }
     }
-    let modes =
+    let modes: Vec<ModeResult> =
         options.modes.iter().zip(per_mode).map(|(&mode, cells)| merge_mode(mode, cells)).collect();
+    let events = reference.iter().map(|r| r.events).sum::<u64>()
+        + modes.iter().map(|m| m.events).sum::<u64>();
     ExperimentResult {
         name: instance.name.clone(),
         reference,
         phase_names: instance.program.phases.clone(),
         modes,
+        events,
     }
 }

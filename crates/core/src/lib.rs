@@ -39,14 +39,16 @@ pub mod experiment;
 pub mod parallel;
 
 pub use experiment::{
-    exec_config_for, measure_config_for, run_experiment, run_experiment_observed,
-    run_experiment_telemetry, run_mode, run_mode_telemetry, run_mode_with, run_mode_with_observed,
-    run_mode_with_telemetry, ExperimentOptions, ExperimentResult, ModeResult,
+    exec_config_for, measure_config_for, run_experiment, run_experiment_instrumented,
+    run_experiment_observed, run_experiment_telemetry, run_mode, run_mode_telemetry, run_mode_with,
+    run_mode_with_instrumented, run_mode_with_observed, run_mode_with_telemetry, ExperimentOptions,
+    ExperimentResult, ModeResult,
 };
 pub use parallel::{effective_jobs, parallel_map_ordered};
 
 // Re-export the component crates under stable names.
 pub use nrlt_analysis as analysis;
+pub use nrlt_engineprof as engineprof;
 pub use nrlt_exec as exec;
 pub use nrlt_measure as measure_sys;
 pub use nrlt_miniapps as miniapps;

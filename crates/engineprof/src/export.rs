@@ -1,0 +1,236 @@
+//! Bundle serialization for `--engine-prof <dir>`.
+//!
+//! Two files, split along the determinism boundary:
+//!
+//! * `engineprof.json` — the deterministic part: per-run event counts,
+//!   per-kind counts and virtual nanoseconds, gauge aggregates,
+//!   high-water marks, allocation counts. Byte-identical across
+//!   `--jobs` widths and repeats; CI diffs it.
+//! * `engineprof.wall.json` — the wall-clock part: per-run total wall
+//!   nanoseconds, events/sec, per-kind inclusive/exclusive wall
+//!   nanoseconds. Varies run to run; never byte-compared.
+//!
+//! Both are hand-rolled JSON (this crate is dependency-free, including
+//! within the workspace); `nrlt-report engine` parses them back with
+//! the shared `nrlt_telemetry::json` parser.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::{EngineProf, EventKind, ProfData};
+
+/// Schema version stamped into both files.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// A snapshot of every attached run, ready to serialize.
+#[derive(Debug, Clone, Default)]
+pub struct ProfBundle {
+    /// Per-run data, keyed (and serialized) by run name.
+    pub runs: BTreeMap<String, ProfData>,
+}
+
+impl ProfBundle {
+    /// Snapshot `prof`'s attached runs.
+    pub fn from_prof(prof: &EngineProf) -> Self {
+        ProfBundle { runs: prof.runs() }
+    }
+
+    /// The deterministic part (`engineprof.json`): everything except
+    /// wall-clock readings. Byte-identical for byte-identical runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"version\": {BUNDLE_VERSION},");
+        let _ = writeln!(out, "  \"runs\": [");
+        let n = self.runs.len();
+        for (i, (name, d)) in self.runs.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"run\": {},", string(name));
+            let _ = writeln!(out, "      \"events\": {},", d.events);
+            let _ = writeln!(out, "      \"kinds\": [");
+            for (j, kind) in EventKind::ALL.iter().enumerate() {
+                let s = &d.kinds[kind.index()];
+                let _ = writeln!(
+                    out,
+                    "        {{\"event\": \"{}\", \"count\": {}, \"virtual_ns\": {}}}{}",
+                    kind.name(),
+                    s.count,
+                    s.virtual_ns,
+                    comma(j, EventKind::ALL.len())
+                );
+            }
+            let _ = writeln!(out, "      ],");
+            let _ = writeln!(out, "      \"gauges\": [");
+            for (j, ((series, phase), g)) in d.gauges.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "        {{\"series\": {}, \"phase\": {}, \"count\": {}, \"sum\": {}, \"max\": {}}}{}",
+                    string(series),
+                    string(phase),
+                    g.count,
+                    g.sum,
+                    g.max,
+                    comma(j, d.gauges.len())
+                );
+            }
+            let _ = writeln!(out, "      ],");
+            let _ = writeln!(out, "      \"hwm\": [");
+            for (j, (name, v)) in d.hwms.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "        {{\"name\": {}, \"value\": {}}}{}",
+                    string(name),
+                    v,
+                    comma(j, d.hwms.len())
+                );
+            }
+            let _ = writeln!(out, "      ],");
+            let _ = writeln!(out, "      \"allocs\": [");
+            for (j, (site, v)) in d.allocs.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "        {{\"site\": {}, \"count\": {}}}{}",
+                    string(site),
+                    v,
+                    comma(j, d.allocs.len())
+                );
+            }
+            let _ = writeln!(out, "      ]");
+            let _ = writeln!(out, "    }}{}", comma(i, n));
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// The wall-clock part (`engineprof.wall.json`).
+    pub fn wall_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"version\": {BUNDLE_VERSION},");
+        let _ = writeln!(out, "  \"runs\": [");
+        let n = self.runs.len();
+        for (i, (name, d)) in self.runs.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"run\": {},", string(name));
+            let _ = writeln!(out, "      \"total_wall_ns\": {},", d.total_wall_ns);
+            let _ = writeln!(out, "      \"events_per_sec\": {:.1},", d.events_per_sec());
+            let _ = writeln!(out, "      \"kinds\": [");
+            for (j, kind) in EventKind::ALL.iter().enumerate() {
+                let w = &d.wall[kind.index()];
+                let _ = writeln!(
+                    out,
+                    "        {{\"event\": \"{}\", \"inclusive_ns\": {}, \"exclusive_ns\": {}}}{}",
+                    kind.name(),
+                    w.inclusive_ns,
+                    w.exclusive_ns,
+                    comma(j, EventKind::ALL.len())
+                );
+            }
+            let _ = writeln!(out, "      ]");
+            let _ = writeln!(out, "    }}{}", comma(i, n));
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Write `engineprof.json` + `engineprof.wall.json` under `dir`,
+    /// creating it if needed.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("engineprof.json"), self.to_json())?;
+        std::fs::write(dir.join("engineprof.wall.json"), self.wall_json())?;
+        Ok(())
+    }
+}
+
+fn comma(i: usize, n: usize) -> &'static str {
+    if i + 1 < n {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Quote `s` as a JSON string literal.
+fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunProf;
+
+    fn sample_sink() -> EngineProf {
+        let sink = EngineProf::new();
+        for name in ["b:rep0", "a:rep0"] {
+            let run = RunProf::new(name);
+            run.enter(EventKind::KernelAdvance);
+            run.leave(EventKind::KernelAdvance, 500);
+            run.gauge("matcher.queued_sends", "main", 2);
+            run.hwm("engine.worklist", 3);
+            run.alloc("rank.pending", 1);
+            run.set_events(4);
+            let (n, d) = run.finish();
+            sink.attach(n, d);
+        }
+        sink
+    }
+
+    #[test]
+    fn deterministic_json_is_stable_and_sorted() {
+        let a = ProfBundle::from_prof(&sample_sink()).to_json();
+        let b = ProfBundle::from_prof(&sample_sink()).to_json();
+        assert_eq!(a, b, "same data must serialize identically");
+        let ia = a.find("\"a:rep0\"").unwrap();
+        let ib = a.find("\"b:rep0\"").unwrap();
+        assert!(ia < ib, "runs must serialize in name order");
+        assert!(a.contains("\"event\": \"kernel_advance\", \"count\": 1, \"virtual_ns\": 500"));
+        assert!(!a.contains("wall"), "deterministic file must not leak wall readings");
+    }
+
+    #[test]
+    fn wall_json_carries_throughput() {
+        let bundle = ProfBundle::from_prof(&sample_sink());
+        let w = bundle.wall_json();
+        assert!(w.contains("total_wall_ns"));
+        assert!(w.contains("events_per_sec"));
+        assert!(w.contains("inclusive_ns"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn write_creates_both_files() {
+        let dir = std::env::temp_dir().join(format!("engineprof-test-{}", std::process::id()));
+        let bundle = ProfBundle::from_prof(&sample_sink());
+        bundle.write(&dir).unwrap();
+        assert!(dir.join("engineprof.json").is_file());
+        assert!(dir.join("engineprof.wall.json").is_file());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

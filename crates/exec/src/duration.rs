@@ -8,6 +8,7 @@
 //! threads of a domain execute the same phase concurrently, so occupancy
 //! is an accurate stand-in for instantaneous activity.
 
+use nrlt_engineprof::RunProf;
 use nrlt_prog::Cost;
 use nrlt_sim::{
     cache_bandwidth_share, dram_fraction, memory_time, shared_bandwidth, Location, NoiseModel,
@@ -90,7 +91,7 @@ impl<'a> DurationModel<'a> {
         phase: ExecPhase,
         instance: u64,
     ) -> VirtualDuration {
-        self.duration_inner(loc, cost, working_set, phase, instance, None)
+        self.duration_inner(loc, cost, working_set, phase, instance, None, None)
     }
 
     /// [`DurationModel::kernel_duration`] that additionally fills `probe`
@@ -106,9 +107,29 @@ impl<'a> DurationModel<'a> {
         instance: u64,
         probe: &mut KernelProbe,
     ) -> VirtualDuration {
-        self.duration_inner(loc, cost, working_set, phase, instance, Some(probe))
+        self.duration_inner(loc, cost, working_set, phase, instance, Some(probe), None)
     }
 
+    /// The fully instrumented duration call: optional probe (resource
+    /// observatory) plus optional engine profiler (`prof` counts every
+    /// noise draw the model makes as a `NoiseDraw` event). Both `None`
+    /// paths do zero extra work; the duration itself is identical in
+    /// every combination.
+    #[allow(clippy::too_many_arguments)]
+    pub fn kernel_duration_instrumented(
+        &self,
+        loc: Location,
+        cost: &Cost,
+        working_set: u64,
+        phase: ExecPhase,
+        instance: u64,
+        probe: Option<&mut KernelProbe>,
+        prof: Option<&RunProf>,
+    ) -> VirtualDuration {
+        self.duration_inner(loc, cost, working_set, phase, instance, probe, prof)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn duration_inner(
         &self,
         loc: Location,
@@ -117,6 +138,7 @@ impl<'a> DurationModel<'a> {
         phase: ExecPhase,
         instance: u64,
         mut probe: Option<&mut KernelProbe>,
+        prof: Option<&RunProf>,
     ) -> VirtualDuration {
         let machine = self.placement.machine();
         let spec = &machine.spec;
@@ -126,7 +148,7 @@ impl<'a> DurationModel<'a> {
 
         // CPU term.
         let cpu_base = spec.cpu_time(cost.instructions);
-        let cpu = cpu_base * self.noise.cpu_factor(core.0 as u64, instance);
+        let cpu = cpu_base * self.noise.cpu_factor_prof(core.0 as u64, instance, prof);
 
         // Memory term.
         let mem = if cost.mem_bytes == 0 {
@@ -181,8 +203,8 @@ impl<'a> DurationModel<'a> {
             };
             let mem_clean = memory_time(cost.mem_bytes, dram_frac, dram_bw, cache_bw) * remote;
             let mem = mem_clean
-                * self.noise.mem_bias(core.0 as u64)
-                * self.noise.mem_factor(core.0 as u64, instance);
+                * self.noise.mem_bias_prof(core.0 as u64, prof)
+                * self.noise.mem_factor_prof(core.0 as u64, instance, prof);
             if let Some(p) = probe.as_deref_mut() {
                 p.active_in_domain = active_in_domain;
                 p.active_on_socket = active_on_socket;
@@ -194,7 +216,7 @@ impl<'a> DurationModel<'a> {
 
         // Roofline: CPU and memory overlap; the slower resource dominates.
         let base = cpu.max(mem);
-        let detour = self.noise.detour_time(core.0 as u64, instance, base);
+        let detour = self.noise.detour_time_prof(core.0 as u64, instance, base, prof);
         if let Some(p) = probe {
             p.numa = numa.0;
             p.socket = socket.0;
@@ -305,6 +327,30 @@ mod tests {
             }
         }
         assert!(saw_different, "noise must vary across kernel instances");
+    }
+
+    #[test]
+    fn instrumented_path_counts_draws_without_changing_durations() {
+        use nrlt_engineprof::EventKind;
+        let (p, n) = setup(1, 1, NoiseConfig::realistic());
+        let m = DurationModel::new(&p, &n);
+        let loc = Location::master(0);
+        let cost = Cost::scalar(10_000_000).with_mem_bytes(1 << 20);
+        let plain = m.kernel_duration(loc, &cost, 1 << 20, ExecPhase::Serial, 3);
+        let run = RunProf::new("r");
+        let profiled = m.kernel_duration_instrumented(
+            loc,
+            &cost,
+            1 << 20,
+            ExecPhase::Serial,
+            3,
+            None,
+            Some(&run),
+        );
+        assert_eq!(plain, profiled, "profiling must not change the priced duration");
+        let (_, d) = run.finish();
+        // cpu jitter + mem bias + mem jitter + detour = 4 draws.
+        assert_eq!(d.kinds[EventKind::NoiseDraw.index()].count, 4);
     }
 
     #[test]

@@ -16,9 +16,10 @@ use crate::duration::{DurationModel, ExecPhase, KernelProbe};
 use crate::observer::{EventInfo, Observer, RuntimeKind, WorkItem};
 use crate::regions::{collective_kind, implicit_barrier_of, parallel_regions, prepare_regions};
 use crate::result::ExecResult;
+use nrlt_engineprof::{EventKind, RunProf};
 use nrlt_mpisim::{message_timing, Channel, CommScope, LinkKind, Matcher};
 use nrlt_observe::{NoiseKind, RunObserve};
-use nrlt_ompsim::{simulate_dynamic, static_partition};
+use nrlt_ompsim::{simulate_dynamic_prof, static_partition};
 use nrlt_prog::{
     Action, Kernel, MpiOp, OmpAction, OmpFor, ParallelRegion, PhaseId, Program, RegionId,
     RegionTable, Schedule,
@@ -113,13 +114,45 @@ pub fn execute_prepared_observed<O: Observer>(
     tel: Option<&Telemetry>,
     obs: Option<&RunObserve>,
 ) -> ExecResult {
+    execute_prepared_instrumented(program, regions, config, observer, tel, obs, None)
+}
+
+/// Like [`execute_observed`], with an optional engine self-profiler
+/// (`nrlt-engineprof`) accounting per-event-kind costs, queue
+/// occupancy, and hot-loop allocations. With `None` the engine performs
+/// zero profiling work — no counter struct is ever constructed.
+/// Profiling reads only already-determined state, so it never changes
+/// the event stream or the result.
+pub fn execute_instrumented<O: Observer>(
+    program: &Program,
+    config: &ExecConfig,
+    observer: &mut O,
+    tel: Option<&Telemetry>,
+    obs: Option<&RunObserve>,
+    prof: Option<&RunProf>,
+) -> ExecResult {
+    let regions = prepare_regions(program);
+    execute_prepared_instrumented(program, &regions, config, observer, tel, obs, prof)
+}
+
+/// [`execute_prepared_observed`] plus the optional engine self-profiler
+/// of [`execute_instrumented`].
+pub fn execute_prepared_instrumented<O: Observer>(
+    program: &Program,
+    regions: &RegionTable,
+    config: &ExecConfig,
+    observer: &mut O,
+    tel: Option<&Telemetry>,
+    obs: Option<&RunObserve>,
+    prof: Option<&RunProf>,
+) -> ExecResult {
     assert_eq!(
         program.n_ranks(),
         config.layout.ranks,
         "program rank count must match the job layout"
     );
     let _span = tel.map(|t| t.span_cat("engine.execute", "exec"));
-    let mut engine = Engine::new(program, regions, config, observer, tel, obs);
+    let mut engine = Engine::new(program, regions, config, observer, tel, obs, prof);
     engine.run();
     engine.into_result()
 }
@@ -249,8 +282,11 @@ struct Engine<'a, O: Observer> {
     tel: Option<&'a Telemetry>,
     /// Resource-observatory sink; `None` means zero observability work.
     obs: Option<&'a RunObserve>,
-    /// Per-rank stack of open phases — maintained only when `obs` is
-    /// `Some`, to tag samples and noise draws with the program phase.
+    /// Engine self-profiler sink; `None` means zero profiling work.
+    prof: Option<&'a RunProf>,
+    /// Per-rank stack of open phases — maintained only when `obs` or
+    /// `prof` is `Some`, to tag samples, noise draws, and gauge
+    /// timelines with the program phase.
     cur_phase: Vec<Vec<PhaseId>>,
     /// Events dispatched (accumulated locally, flushed once at the end,
     /// so the hot path stays lock-free even with telemetry on).
@@ -271,6 +307,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         observer: &'a mut O,
         tel: Option<&'a Telemetry>,
         obs: Option<&'a RunObserve>,
+        prof: Option<&'a RunProf>,
     ) -> Self {
         let placement = Placement::new(config.machine.clone(), config.layout.clone());
         let noise = NoiseModel::new(config.noise.clone(), RngFactory::new(config.seed));
@@ -330,6 +367,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             scratch: Scratch::default(),
             tel,
             obs,
+            prof,
             cur_phase: vec![Vec::new(); n_ranks],
             n_events: 0,
             n_spin_conversions: 0,
@@ -340,11 +378,18 @@ impl<'a, O: Observer> Engine<'a, O> {
 
     fn run(&mut self) {
         for r in 0..self.states.len() as u32 {
-            self.worklist.push_back(r);
+            self.push_work(r);
         }
         while let Some(r) = self.worklist.pop_front() {
             if let Some(t) = self.tel {
                 t.observe("engine.ready_queue_depth", self.worklist.len() as u64 + 1);
+            }
+            if let Some(p) = self.prof {
+                p.gauge(
+                    "engine.worklist_depth",
+                    self.phase_name(r),
+                    self.worklist.len() as i64 + 1,
+                );
             }
             self.run_rank(r);
         }
@@ -374,10 +419,30 @@ impl<'a, O: Observer> Engine<'a, O> {
             t.add("engine.collectives_resolved", self.n_collectives);
             t.set_max("engine.virtual_time_ns", total_end.nanos());
         }
+        if let Some(p) = self.prof {
+            p.set_events(self.n_events);
+            let s = self.matcher.stats();
+            p.hwm("matcher.queued_sends", s.hwm_queued_sends);
+            p.hwm("matcher.queued_recvs", s.hwm_queued_recvs);
+            p.hwm("matcher.channel_depth", s.hwm_channel_depth);
+            p.alloc("matcher.channel_queues", s.queues_created);
+            p.hwm("engine.collective_instances", self.collectives.len() as u64);
+            p.hwm("engine.channels", self.channel_seq.len() as u64);
+            p.hwm(
+                "rank.pending_requests",
+                self.states.iter().map(|s| s.pending.len()).max().unwrap_or(0) as u64,
+            );
+            p.hwm("scratch.team_times", self.scratch.tt.capacity() as u64);
+            p.hwm(
+                "scratch.chunk_log",
+                self.scratch.chunk_log.iter().map(Vec::capacity).sum::<usize>() as u64,
+            );
+        }
         ExecResult {
             phase_times: self.phase_total,
             rank_end: self.states.iter().map(|s| s.time).collect(),
             total: total_end.saturating_since(VirtualTime::ZERO),
+            events: self.n_events,
         }
     }
 
@@ -412,6 +477,38 @@ impl<'a, O: Observer> Engine<'a, O> {
         t.max(self.loc_last[self.loc_index(loc)])
     }
 
+    /// Enqueue rank `r` for (re)processing, counting worklist growth
+    /// against the profiler's allocation budget.
+    fn push_work(&mut self, r: u32) {
+        if let Some(p) = self.prof {
+            if self.worklist.len() == self.worklist.capacity() {
+                p.alloc("engine.worklist", 1);
+            }
+        }
+        self.worklist.push_back(r);
+    }
+
+    /// Record the matcher and wildcard queue depths as profiler gauges
+    /// under rank `r`'s current phase.
+    fn prof_queues(&self, r: u32) {
+        if let Some(p) = self.prof {
+            let ph = self.phase_name(r);
+            self.matcher.profile_queues(p, ph);
+            let wc: usize = self.wildcard_waiting.values().map(VecDeque::len).sum();
+            p.gauge("mpi.wildcard_queue", ph, wc as i64);
+        }
+    }
+
+    /// Count an imminent growth of rank `r`'s pending-request vector.
+    fn prof_pending_alloc(&self, r: u32) {
+        if let Some(p) = self.prof {
+            let pending = &self.states[r as usize].pending;
+            if pending.len() == pending.capacity() {
+                p.alloc("rank.pending", 1);
+            }
+        }
+    }
+
     fn kernel_duration(
         &self,
         loc: Location,
@@ -423,7 +520,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         let mut model = DurationModel::new(&self.placement, &self.noise);
         model.footprint_per_location = self.footprint;
         model.desync = self.desync;
-        model.kernel_duration(loc, cost, working_set, phase, instance)
+        model.kernel_duration_instrumented(loc, cost, working_set, phase, instance, None, self.prof)
     }
 
     /// [`Engine::kernel_duration`] on the observed path: probes the model
@@ -443,7 +540,15 @@ impl<'a, O: Observer> Engine<'a, O> {
         model.footprint_per_location = self.footprint;
         model.desync = self.desync;
         let mut probe = KernelProbe::default();
-        let d = model.kernel_duration_probed(loc, cost, working_set, phase, instance, &mut probe);
+        let d = model.kernel_duration_instrumented(
+            loc,
+            cost,
+            working_set,
+            phase,
+            instance,
+            Some(&mut probe),
+            self.prof,
+        );
         record_kernel_obs(
             obs,
             &probe,
@@ -459,8 +564,8 @@ impl<'a, O: Observer> Engine<'a, O> {
     }
 
     /// Innermost open phase of rank `r` (empty outside any phase). Only
-    /// meaningful when `obs` is `Some` — the stack is not maintained
-    /// otherwise.
+    /// meaningful when `obs` or `prof` is `Some` — the stack is not
+    /// maintained otherwise.
     fn phase_name(&self, r: u32) -> &str {
         match self.cur_phase[r as usize].last() {
             Some(p) => self.program.phase_name(*p),
@@ -550,8 +655,10 @@ impl<'a, O: Observer> Engine<'a, O> {
                 Action::PhaseStart(p) => {
                     let t = self.states[r as usize].time;
                     self.phase_open[r as usize].insert(*p, t);
-                    if self.obs.is_some() {
+                    if self.obs.is_some() || self.prof.is_some() {
                         self.cur_phase[r as usize].push(*p);
+                    }
+                    if self.obs.is_some() {
                         self.observe_progress(r, t);
                     }
                 }
@@ -564,6 +671,8 @@ impl<'a, O: Observer> Engine<'a, O> {
                     *self.phase_total[r as usize].entry(*p).or_insert(VirtualDuration::ZERO) += d;
                     if self.obs.is_some() {
                         self.observe_progress(r, t);
+                    }
+                    if self.obs.is_some() || self.prof.is_some() {
                         if let Some(pos) = self.cur_phase[r as usize].iter().rposition(|q| q == p) {
                             self.cur_phase[r as usize].remove(pos);
                         }
@@ -595,6 +704,9 @@ impl<'a, O: Observer> Engine<'a, O> {
         let mut instrumented = kernel.cost;
         instrumented.instructions += extra;
         let start = self.clamp(loc, t);
+        if let Some(p) = self.prof {
+            p.enter(EventKind::KernelAdvance);
+        }
         let duration = if self.obs.is_some() {
             self.kernel_duration_observed(
                 loc,
@@ -607,6 +719,9 @@ impl<'a, O: Observer> Engine<'a, O> {
         } else {
             self.kernel_duration(loc, &instrumented, kernel.working_set, phase, inst)
         };
+        if let Some(p) = self.prof {
+            p.leave(EventKind::KernelAdvance, duration.nanos());
+        }
         let work_ovh = self.observer.on_work(
             loc,
             &WorkItem { cost: kernel.cost, loop_iters: 0, duration, extra_instructions: extra },
@@ -725,6 +840,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         self.states[r as usize].time = t;
         let req = self.states[r as usize].pending.len();
         let eager = self.config.p2p.is_eager(bytes);
+        self.prof_pending_alloc(r);
         self.states[r as usize].pending.push(Request {
             kind: ReqKind::Send,
             peer: dest,
@@ -753,6 +869,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             }
         }
         self.observe_queues(r);
+        self.prof_queues(r);
         req
     }
 
@@ -763,6 +880,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         let t = self.emit(m, t, EventInfo::RecvPost { peer: src, tag, bytes });
         self.states[r as usize].time = t;
         let req = self.states[r as usize].pending.len();
+        self.prof_pending_alloc(r);
         self.states[r as usize].pending.push(Request {
             kind: ReqKind::Recv,
             peer: src,
@@ -780,6 +898,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             self.resolve_match(channel, mtch.send.data, mtch.recv.data, bytes);
         }
         self.observe_queues(r);
+        self.prof_queues(r);
         req
     }
 
@@ -794,6 +913,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         let t = self.emit(m, t, EventInfo::RecvPost { peer: ANY_SOURCE, tag, bytes });
         self.states[r as usize].time = t;
         let req = self.states[r as usize].pending.len();
+        self.prof_pending_alloc(r);
         self.states[r as usize].pending.push(Request {
             kind: ReqKind::Recv,
             peer: ANY_SOURCE,
@@ -811,9 +931,15 @@ impl<'a, O: Observer> Engine<'a, O> {
             let bytes = send.bytes;
             self.resolve_match(channel, send.data, info, bytes);
         } else {
+            if let Some(p) = self.prof {
+                if !self.wildcard_waiting.contains_key(&(r, tag)) {
+                    p.alloc("mpi.wildcard_entry", 1);
+                }
+            }
             self.wildcard_waiting.entry((r, tag)).or_default().push_back(info);
         }
         self.observe_queues(r);
+        self.prof_queues(r);
         req
     }
 
@@ -821,6 +947,9 @@ impl<'a, O: Observer> Engine<'a, O> {
     /// requests, waking blocked owners.
     fn resolve_match(&mut self, channel: Channel, send: SendInfo, recv: RecvInfo, bytes: u64) {
         self.n_matches += 1;
+        if let Some(p) = self.prof {
+            p.enter(EventKind::Pt2ptMatch);
+        }
         let seq = {
             let c = self.channel_seq.entry(channel).or_insert(0);
             let v = *c;
@@ -835,7 +964,14 @@ impl<'a, O: Observer> Engine<'a, O> {
             use nrlt_sim::{jitter_factor, StreamKind};
             let mut rng =
                 RngFactory::new(self.config.seed).stream(StreamKind::Network, entity, seq);
-            jitter_factor(&mut rng, self.noise.config().net_sigma)
+            if let Some(p) = self.prof {
+                p.enter(EventKind::NoiseDraw);
+            }
+            let f = jitter_factor(&mut rng, self.noise.config().net_sigma);
+            if let Some(p) = self.prof {
+                p.leave(EventKind::NoiseDraw, 0);
+            }
+            f
         };
         let link = if self
             .placement
@@ -895,8 +1031,12 @@ impl<'a, O: Observer> Engine<'a, O> {
         rreq.peer = channel.src;
 
         // Wake whoever might be waiting on these.
-        self.worklist.push_back(send.rank);
-        self.worklist.push_back(recv.rank);
+        self.push_work(send.rank);
+        self.push_work(recv.rank);
+        if let Some(p) = self.prof {
+            // Virtual cost of the match: post-to-arrival latency.
+            p.leave(EventKind::Pt2ptMatch, arrival.nanos().saturating_sub(send.post.nanos()));
+        }
     }
 
     /// Join a collective without blocking: the request completes in a
@@ -910,6 +1050,7 @@ impl<'a, O: Observer> Engine<'a, O> {
     ) {
         let m = Location::master(r);
         let req = self.states[r as usize].pending.len();
+        self.prof_pending_alloc(r);
         self.states[r as usize].pending.push(Request {
             kind: ReqKind::Collective(usize::MAX), // fixed below
             peer: ANY_SOURCE,
@@ -941,6 +1082,11 @@ impl<'a, O: Observer> Engine<'a, O> {
         let index = self.states[r as usize].coll_seq;
         self.states[r as usize].coll_seq += 1;
         if self.collectives.len() <= index {
+            if let Some(p) = self.prof {
+                if self.collectives.len() == self.collectives.capacity() {
+                    p.alloc("engine.collectives", 1);
+                }
+            }
             self.collectives.push(CollInstance {
                 op,
                 bytes,
@@ -971,6 +1117,9 @@ impl<'a, O: Observer> Engine<'a, O> {
 
     fn resolve_collective(&mut self, index: usize) {
         self.n_collectives += 1;
+        if let Some(p) = self.prof {
+            p.enter(EventKind::Collective);
+        }
         let spec = &self.config.machine.spec;
         let scope =
             if self.config.machine.nodes > 1 { CommScope::InterNode } else { CommScope::IntraNode };
@@ -985,7 +1134,14 @@ impl<'a, O: Observer> Engine<'a, O> {
                 u64::MAX,
                 index as u64,
             );
-            jitter_factor(&mut rng, self.noise.config().net_sigma)
+            if let Some(p) = self.prof {
+                p.enter(EventKind::NoiseDraw);
+            }
+            let f = jitter_factor(&mut rng, self.noise.config().net_sigma);
+            if let Some(p) = self.prof {
+                p.leave(EventKind::NoiseDraw, 0);
+            }
+            f
         };
         let completions_s = self
             .config
@@ -1020,6 +1176,11 @@ impl<'a, O: Observer> Engine<'a, O> {
             .enumerate()
             .filter_map(|(rank, req)| req.map(|q| (rank, q, completions[rank])))
             .collect();
+        if let Some(p) = self.prof {
+            // Virtual cost: last arrival to the latest completion.
+            let end = completions.iter().copied().max().unwrap_or(VirtualTime::ZERO);
+            p.leave(EventKind::Collective, end.saturating_since(last_arrival).nanos());
+        }
         self.collectives[index].resolution = Some((last_arrival, completions, max_piggy));
         for (rank, req, completion) in nb {
             let q = &mut self.states[rank].pending[req];
@@ -1027,7 +1188,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             q.piggyback = max_piggy;
         }
         for r in 0..self.states.len() as u32 {
-            self.worklist.push_back(r);
+            self.push_work(r);
         }
     }
 
@@ -1227,6 +1388,9 @@ impl<'a, O: Observer> Engine<'a, O> {
                         let extra = self.observer.counting_instructions(cost, 0);
                         let mut instrumented = *cost;
                         instrumented.instructions += extra;
+                        if let Some(p) = self.prof {
+                            p.enter(EventKind::KernelAdvance);
+                        }
                         let dur = if self.obs.is_some() {
                             self.kernel_duration_observed(
                                 l,
@@ -1239,6 +1403,9 @@ impl<'a, O: Observer> Engine<'a, O> {
                         } else {
                             self.kernel_duration(l, &instrumented, 0, ExecPhase::TeamParallel, inst)
                         };
+                        if let Some(p) = self.prof {
+                            p.leave(EventKind::KernelAdvance, dur.nanos());
+                        }
                         let wo = self.observer.on_work(
                             l,
                             &WorkItem {
@@ -1333,14 +1500,18 @@ impl<'a, O: Observer> Engine<'a, O> {
             counters.clear();
             counters.resize(team as usize, 0);
             let obs = self.obs;
+            let prof = self.prof;
             // Owned copies for the chunk closure, so recording does not
             // extend any borrow of the engine (all `None`-cost when off).
-            let obs_phase: String =
-                if obs.is_some() { self.phase_name(r).to_owned() } else { String::new() };
+            let obs_phase: String = if obs.is_some() || prof.is_some() {
+                self.phase_name(r).to_owned()
+            } else {
+                String::new()
+            };
             let obs_seq = self.n_events;
             let obs_t0: Vec<u64> =
                 if obs.is_some() { tt.iter().map(|t| t.nanos()).collect() } else { Vec::new() };
-            let result = simulate_dynamic(
+            let result = simulate_dynamic_prof(
                 f.iters,
                 f.schedule,
                 &ready,
@@ -1357,13 +1528,14 @@ impl<'a, O: Observer> Engine<'a, O> {
                     counters[thread as usize] += 1;
                     let d = if let Some(o) = obs {
                         let mut probe = KernelProbe::default();
-                        let d = model.kernel_duration_probed(
+                        let d = model.kernel_duration_instrumented(
                             loc(thread),
                             &instrumented,
                             f.working_set,
                             ExecPhase::TeamParallel,
                             inst,
-                            &mut probe,
+                            Some(&mut probe),
+                            prof,
                         );
                         record_kernel_obs(
                             o,
@@ -1378,18 +1550,22 @@ impl<'a, O: Observer> Engine<'a, O> {
                         );
                         d
                     } else {
-                        model.kernel_duration(
+                        model.kernel_duration_instrumented(
                             loc(thread),
                             &instrumented,
                             f.working_set,
                             ExecPhase::TeamParallel,
                             inst,
+                            None,
+                            prof,
                         )
                     };
                     chunk_log[thread as usize].push((cost, d, extra));
                     d.as_secs_f64()
                 },
                 dispatch,
+                prof,
+                &obs_phase,
             );
             if let Some(o) = obs {
                 // Loop-level occupancy: how many chunks the schedule cut
@@ -1445,6 +1621,9 @@ impl<'a, O: Observer> Engine<'a, O> {
                 let extra = self.observer.counting_instructions(&cost, iters);
                 let mut instrumented = cost;
                 instrumented.instructions += extra;
+                if let Some(p) = self.prof {
+                    p.enter(EventKind::LoopChunk);
+                }
                 let dur = if self.obs.is_some() {
                     self.kernel_duration_observed(
                         loc(i),
@@ -1463,6 +1642,9 @@ impl<'a, O: Observer> Engine<'a, O> {
                         inst,
                     )
                 };
+                if let Some(p) = self.prof {
+                    p.leave(EventKind::LoopChunk, dur.nanos());
+                }
                 let wo = self.observer.on_work(
                     loc(i),
                     &WorkItem { cost, loop_iters: iters, duration: dur, extra_instructions: extra },
@@ -1497,6 +1679,12 @@ impl<'a, O: Observer> Engine<'a, O> {
         for i in 0..team {
             tt[i as usize] = self.emit(loc(i), tt[i as usize], EventInfo::Enter { region });
         }
+        let prof_arr: Vec<u64> = if let Some(p) = self.prof {
+            p.enter(EventKind::Barrier);
+            tt.iter().map(|t| t.nanos()).collect()
+        } else {
+            Vec::new()
+        };
         let max_arr = tt.iter().copied().max().unwrap_or(VirtualTime::ZERO);
         let release = max_arr + Self::sec(self.config.omp.barrier_cost(team));
         let max_piggy = (0..team).map(|i| self.observer.piggyback(loc(i))).max().unwrap_or(0);
@@ -1510,6 +1698,12 @@ impl<'a, O: Observer> Engine<'a, O> {
             self.observer.sync_logical(loc(i), max_piggy);
             let exit = release + Self::sec(self.config.omp.wake_stagger) * i as u64;
             tt[i as usize] = self.emit(loc(i), exit, EventInfo::Leave { region });
+        }
+        if let Some(p) = self.prof {
+            // Virtual cost: total thread-time spent inside the barrier.
+            let held: u64 =
+                tt.iter().zip(&prof_arr).map(|(t, &a)| t.nanos().saturating_sub(a)).sum();
+            p.leave(EventKind::Barrier, held);
         }
     }
 }

@@ -21,8 +21,9 @@ pub mod result;
 pub use config::ExecConfig;
 pub use duration::{DurationModel, ExecPhase, KernelProbe};
 pub use engine::{
-    execute, execute_observed, execute_prepared, execute_prepared_observed,
-    execute_prepared_telemetry, execute_telemetry, ANY_SOURCE,
+    execute, execute_instrumented, execute_observed, execute_prepared,
+    execute_prepared_instrumented, execute_prepared_observed, execute_prepared_telemetry,
+    execute_telemetry, ANY_SOURCE,
 };
 pub use observer::{EventInfo, NullObserver, Observer, RuntimeKind, WorkItem};
 pub use regions::{

@@ -18,6 +18,10 @@ pub struct ExecResult {
     pub rank_end: Vec<VirtualTime>,
     /// Job run time: the latest completion over all locations.
     pub total: VirtualDuration,
+    /// Engine events dispatched to produce this result — the
+    /// denominator-free side of the events/sec throughput KPI (the
+    /// numerator of `events_per_sec`; wall time comes from the caller).
+    pub events: u64,
 }
 
 impl ExecResult {
@@ -80,6 +84,7 @@ mod tests {
             phase_times: vec![a, b, BTreeMap::new()],
             rank_end: vec![],
             total: VirtualDuration::ZERO,
+            events: 0,
         };
         assert_eq!(r.phase_max(p), VirtualDuration::from_millis(30));
         assert_eq!(r.phase_mean(p), VirtualDuration::from_millis(20));

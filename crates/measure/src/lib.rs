@@ -26,7 +26,10 @@ pub use observer::{MeasureConfig, SharedDefs, TracingObserver};
 pub use params::{EffortParams, HwCounterSource, OverheadParams};
 pub use profiling::{profile_run, OnlineProfile, ProfilingObserver};
 
-use nrlt_exec::{execute_prepared_observed, ExecConfig, ExecResult, NullObserver};
+use nrlt_engineprof::RunProf;
+use nrlt_exec::{
+    execute_instrumented, execute_prepared_instrumented, ExecConfig, ExecResult, NullObserver,
+};
 use nrlt_observe::RunObserve;
 use nrlt_prog::Program;
 use nrlt_telemetry::Telemetry;
@@ -104,6 +107,21 @@ pub fn measure_prepared_observed(
     tel: Option<&Telemetry>,
     obs: Option<&RunObserve>,
 ) -> (Trace, ExecResult) {
+    measure_prepared_instrumented(program, prep, exec_config, measure_config, tel, obs, None)
+}
+
+/// [`measure_prepared_observed`] with an optional engine self-profiler
+/// (`nrlt-engineprof`) accounting what the replay engine itself spends
+/// producing this run. `None` performs zero profiling work.
+pub fn measure_prepared_instrumented(
+    program: &Program,
+    prep: &MeasurePrep,
+    exec_config: &ExecConfig,
+    measure_config: &MeasureConfig,
+    tel: Option<&Telemetry>,
+    obs: Option<&RunObserve>,
+    prof: Option<&RunProf>,
+) -> (Trace, ExecResult) {
     let _span =
         tel.map(|t| t.span_cat(format!("measure.run:{}", measure_config.mode.name()), "measure"));
     let mut observer = TracingObserver::with_shared(
@@ -113,8 +131,15 @@ pub fn measure_prepared_observed(
         exec_config,
         tel,
     );
-    let result =
-        execute_prepared_observed(program, &prep.regions, exec_config, &mut observer, tel, obs);
+    let result = execute_prepared_instrumented(
+        program,
+        &prep.regions,
+        exec_config,
+        &mut observer,
+        tel,
+        obs,
+        prof,
+    );
     (observer.into_trace(), result)
 }
 
@@ -131,5 +156,15 @@ pub fn reference_run_observed(
     exec_config: &ExecConfig,
     obs: Option<&RunObserve>,
 ) -> ExecResult {
-    nrlt_exec::execute_observed(program, exec_config, &mut NullObserver, None, obs)
+    reference_run_instrumented(program, exec_config, obs, None)
+}
+
+/// [`reference_run_observed`] with an optional engine self-profiler.
+pub fn reference_run_instrumented(
+    program: &Program,
+    exec_config: &ExecConfig,
+    obs: Option<&RunObserve>,
+    prof: Option<&RunProf>,
+) -> ExecResult {
+    execute_instrumented(program, exec_config, &mut NullObserver, None, obs, prof)
 }

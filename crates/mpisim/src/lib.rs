@@ -15,5 +15,5 @@ pub mod matching;
 pub mod protocol;
 
 pub use collective::{CollectiveModel, CommScope};
-pub use matching::{Channel, Match, Matcher, PostedRecv, PostedSend};
+pub use matching::{Channel, Match, MatchStats, Matcher, PostedRecv, PostedSend};
 pub use protocol::{message_timing, LinkKind, P2pModel, P2pTiming};

@@ -8,6 +8,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use nrlt_engineprof::RunProf;
+
 /// Key of a matching queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Channel {
@@ -48,6 +50,30 @@ pub struct Match<S, R> {
     pub recv: PostedRecv<R>,
 }
 
+/// Running queue statistics, maintained incrementally on every post and
+/// match so current depths are O(1) and high-water marks are exact.
+/// These power both the engine introspection layer (`nrlt-engineprof`
+/// gauges and high-water marks) and the drain checks, and replace the
+/// old O(channels) pending scans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Sends currently waiting for a receive.
+    pub queued_sends: u64,
+    /// Receives currently waiting for a send.
+    pub queued_recvs: u64,
+    /// Peak of `queued_sends` over the matcher's lifetime.
+    pub hwm_queued_sends: u64,
+    /// Peak of `queued_recvs` over the matcher's lifetime.
+    pub hwm_queued_recvs: u64,
+    /// Peak depth of any single (source, destination, tag) queue.
+    pub hwm_channel_depth: u64,
+    /// Per-channel queue structures allocated (an allocation-pressure
+    /// signal for the hot loop).
+    pub queues_created: u64,
+    /// Matches made so far.
+    pub matched: u64,
+}
+
 /// FIFO matcher between posted sends and posted receives.
 ///
 /// Generic over the payloads each side attaches, so the engine can carry
@@ -57,12 +83,12 @@ pub struct Match<S, R> {
 pub struct Matcher<S, R> {
     sends: BTreeMap<Channel, VecDeque<PostedSend<S>>>,
     recvs: BTreeMap<Channel, VecDeque<PostedRecv<R>>>,
-    matched: u64,
+    stats: MatchStats,
 }
 
 impl<S, R> Default for Matcher<S, R> {
     fn default() -> Self {
-        Matcher { sends: BTreeMap::new(), recvs: BTreeMap::new(), matched: 0 }
+        Matcher { sends: BTreeMap::new(), recvs: BTreeMap::new(), stats: MatchStats::default() }
     }
 }
 
@@ -76,11 +102,22 @@ impl<S, R> Matcher<S, R> {
     pub fn post_send(&mut self, channel: Channel, bytes: u64, data: S) -> Option<Match<S, R>> {
         if let Some(queue) = self.recvs.get_mut(&channel) {
             if let Some(recv) = queue.pop_front() {
-                self.matched += 1;
+                self.stats.matched += 1;
+                self.stats.queued_recvs -= 1;
                 return Some(Match { channel, send: PostedSend { data, bytes }, recv });
             }
         }
-        self.sends.entry(channel).or_default().push_back(PostedSend { data, bytes });
+        let mut created = false;
+        let queue = self.sends.entry(channel).or_insert_with(|| {
+            created = true;
+            VecDeque::new()
+        });
+        queue.push_back(PostedSend { data, bytes });
+        let depth = queue.len() as u64;
+        self.stats.queues_created += created as u64;
+        self.stats.queued_sends += 1;
+        self.stats.hwm_queued_sends = self.stats.hwm_queued_sends.max(self.stats.queued_sends);
+        self.stats.hwm_channel_depth = self.stats.hwm_channel_depth.max(depth);
         None
     }
 
@@ -88,11 +125,22 @@ impl<S, R> Matcher<S, R> {
     pub fn post_recv(&mut self, channel: Channel, bytes: u64, data: R) -> Option<Match<S, R>> {
         if let Some(queue) = self.sends.get_mut(&channel) {
             if let Some(send) = queue.pop_front() {
-                self.matched += 1;
+                self.stats.matched += 1;
+                self.stats.queued_sends -= 1;
                 return Some(Match { channel, send, recv: PostedRecv { data, bytes } });
             }
         }
-        self.recvs.entry(channel).or_default().push_back(PostedRecv { data, bytes });
+        let mut created = false;
+        let queue = self.recvs.entry(channel).or_insert_with(|| {
+            created = true;
+            VecDeque::new()
+        });
+        queue.push_back(PostedRecv { data, bytes });
+        let depth = queue.len() as u64;
+        self.stats.queues_created += created as u64;
+        self.stats.queued_recvs += 1;
+        self.stats.hwm_queued_recvs = self.stats.hwm_queued_recvs.max(self.stats.queued_recvs);
+        self.stats.hwm_channel_depth = self.stats.hwm_channel_depth.max(depth);
         None
     }
 
@@ -117,29 +165,45 @@ impl<S, R> Matcher<S, R> {
             .min()?;
         let channel = Channel { src: best.1, dst, tag };
         let send = self.sends.get_mut(&channel)?.pop_front()?;
-        self.matched += 1;
+        self.stats.matched += 1;
+        self.stats.queued_sends -= 1;
         Some((channel, send))
     }
 
     /// Remove the most recently posted pending send on `channel` (used by
     /// the engine to hand a fresh send to a waiting wildcard receive).
     pub fn take_last_send(&mut self, channel: Channel) -> Option<PostedSend<S>> {
-        self.sends.get_mut(&channel)?.pop_back()
+        let send = self.sends.get_mut(&channel)?.pop_back()?;
+        self.stats.queued_sends -= 1;
+        Some(send)
     }
 
     /// Number of matches made so far.
     pub fn matched_count(&self) -> u64 {
-        self.matched
+        self.stats.matched
+    }
+
+    /// Running queue statistics (current depths, high-water marks,
+    /// queue allocations).
+    pub fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    /// Record the current queue depths as engine-profiler gauges under
+    /// `phase`.
+    pub fn profile_queues(&self, prof: &RunProf, phase: &str) {
+        prof.gauge("matcher.queued_sends", phase, self.stats.queued_sends as i64);
+        prof.gauge("matcher.queued_recvs", phase, self.stats.queued_recvs as i64);
     }
 
     /// Number of sends still waiting.
     pub fn pending_sends(&self) -> usize {
-        self.sends.values().map(VecDeque::len).sum()
+        self.stats.queued_sends as usize
     }
 
     /// Number of receives still waiting.
     pub fn pending_recvs(&self) -> usize {
-        self.recvs.values().map(VecDeque::len).sum()
+        self.stats.queued_recvs as usize
     }
 
     /// Deepest single (source, destination, tag) queue on either side —
@@ -247,6 +311,43 @@ mod tests {
         let mut m: Matcher<u32, u32> = Matcher::new();
         m.post_send(Channel { src: 0, dst: 1, tag: 0 }, 8, 0);
         assert!(m.post_recv(Channel { src: 2, dst: 1, tag: 0 }, 8, 0).is_none());
+    }
+
+    #[test]
+    fn stats_track_depths_and_hwms_incrementally() {
+        let mut m: Matcher<u32, u32> = Matcher::new();
+        m.post_send(CH, 1, 0);
+        m.post_send(CH, 1, 1);
+        m.post_recv(Channel { src: 3, dst: 0, tag: 9 }, 1, 0);
+        let s = m.stats();
+        assert_eq!((s.queued_sends, s.queued_recvs), (2, 1));
+        assert_eq!((s.hwm_queued_sends, s.hwm_queued_recvs), (2, 1));
+        assert_eq!(s.hwm_channel_depth, 2);
+        assert_eq!(s.queues_created, 2);
+        m.post_recv(CH, 1, 1);
+        m.post_recv(CH, 1, 2);
+        let s = m.stats();
+        assert_eq!((s.queued_sends, s.queued_recvs), (0, 1));
+        assert_eq!(s.matched, 2);
+        // High-water marks never move down.
+        assert_eq!((s.hwm_queued_sends, s.hwm_channel_depth), (2, 2));
+        // take_last_send keeps the send count honest.
+        let mut m: Matcher<u32, u32> = Matcher::new();
+        m.post_send(CH, 1, 7);
+        assert!(m.take_last_send(CH).is_some());
+        assert_eq!(m.stats().queued_sends, 0);
+        assert!(m.is_drained());
+    }
+
+    #[test]
+    fn profile_queues_records_gauges() {
+        let mut m: Matcher<u32, u32> = Matcher::new();
+        m.post_send(CH, 1, 0);
+        let prof = RunProf::new("r");
+        m.profile_queues(&prof, "main");
+        let (_, d) = prof.finish();
+        let g = &d.gauges[&("matcher.queued_sends".to_owned(), "main".to_owned())];
+        assert_eq!((g.count, g.max), (1, 1));
     }
 
     #[test]

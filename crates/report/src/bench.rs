@@ -36,6 +36,11 @@ pub struct BenchEntry {
     pub host_parallelism: usize,
     /// Wall-clock seconds of the experiment call.
     pub wall_seconds: f64,
+    /// Engine events the experiment dispatched (0 = unknown, for
+    /// entries written before the field existed).
+    pub events: u64,
+    /// Engine throughput: `events / wall_seconds` (0 = unknown).
+    pub events_per_sec: f64,
 }
 
 impl BenchEntry {
@@ -48,6 +53,16 @@ impl BenchEntry {
     /// had cores — its wall time includes oversubscription, not speedup.
     pub fn oversubscribed(&self) -> bool {
         self.host_parallelism > 0 && self.jobs > self.host_parallelism
+    }
+
+    /// Throughput recomputed from the entry's own fields, or the stored
+    /// value when the event count is unknown.
+    pub fn throughput(&self) -> f64 {
+        if self.events > 0 && self.wall_seconds > 0.0 {
+            self.events as f64 / self.wall_seconds
+        } else {
+            self.events_per_sec
+        }
     }
 }
 
@@ -92,12 +107,14 @@ pub fn merge_and_write(path: &Path, new_entries: &[BenchEntry]) -> std::io::Resu
         let comma = if i + 1 < entries.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {:.3}}}{comma}",
+            "    {{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}}}{comma}",
             json_string(&e.bin),
             json_string(&e.run),
             e.jobs,
             e.host_parallelism,
             e.wall_seconds,
+            e.events,
+            e.events_per_sec,
         );
     }
     let _ = writeln!(out, "  ]");
@@ -133,6 +150,10 @@ fn parse_entry_line(line: &str) -> Option<BenchEntry> {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
         wall_seconds: field_raw(line, "wall_seconds")?.parse().ok()?,
+        events: field_raw(line, "events").and_then(|v| v.parse().ok()).unwrap_or(0),
+        events_per_sec: field_raw(line, "events_per_sec")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0),
     })
 }
 
@@ -201,6 +222,15 @@ pub struct GateRow {
     pub ratio: f64,
     /// True when the ratio exceeds the allowed factor.
     pub regressed: bool,
+    /// Baseline events/sec (0 = not recorded; throughput not gated).
+    pub baseline_eps: f64,
+    /// Current events/sec (0 = not recorded).
+    pub current_eps: f64,
+    /// Throughput slowdown `baseline_eps / current_eps` (0 when either
+    /// side is unknown).
+    pub eps_ratio: f64,
+    /// True when throughput dropped beyond the allowed factor.
+    pub eps_regressed: bool,
 }
 
 /// The result of a [`bench_check`] run.
@@ -210,14 +240,19 @@ pub struct GateReport {
     pub rows: Vec<GateRow>,
     /// Current keys with no usable baseline (missing, or baseline ≤ 0).
     pub unmatched: Vec<String>,
+    /// Current keys measured with more workers than the host has cores:
+    /// warned about, never gated — oversubscribed wall time measures
+    /// scheduler contention, not the engine.
+    pub skipped_oversubscribed: Vec<String>,
     /// The allowed slowdown factor.
     pub max_regress: f64,
 }
 
 impl GateReport {
-    /// True when any key regressed beyond the allowed factor.
+    /// True when any key regressed beyond the allowed factor — in wall
+    /// time or in engine throughput.
     pub fn failed(&self) -> bool {
-        self.rows.iter().any(|r| r.regressed)
+        self.rows.iter().any(|r| r.regressed || r.eps_regressed)
     }
 
     /// Render the gate outcome as a table plus a verdict line.
@@ -227,19 +262,30 @@ impl GateReport {
             writeln!(out, "=== bench-check (max allowed slowdown {:.2}x) ===", self.max_regress);
         let _ = writeln!(
             out,
-            "  {:<40} {:>10} {:>10} {:>7}  verdict",
-            "key", "baseline", "current", "ratio"
+            "  {:<40} {:>10} {:>10} {:>7} {:>12} {:>7}  verdict",
+            "key", "baseline", "current", "ratio", "events/s", "eps-x"
         );
         for r in &self.rows {
+            let eps = if r.current_eps > 0.0 {
+                format!("{:>12.0} {:>6.2}x", r.current_eps, r.eps_ratio)
+            } else {
+                format!("{:>12} {:>7}", "-", "-")
+            };
+            let verdict = if r.regressed {
+                "REGRESSED"
+            } else if r.eps_regressed {
+                "REGRESSED (throughput)"
+            } else {
+                "ok"
+            };
             let _ = writeln!(
                 out,
-                "  {:<40} {:>9.3}s {:>9.3}s {:>6.2}x  {}",
-                r.key,
-                r.baseline,
-                r.current,
-                r.ratio,
-                if r.regressed { "REGRESSED" } else { "ok" }
+                "  {:<40} {:>9.3}s {:>9.3}s {:>6.2}x {eps}  {verdict}",
+                r.key, r.baseline, r.current, r.ratio,
             );
+        }
+        for key in &self.skipped_oversubscribed {
+            let _ = writeln!(out, "  {key:<40} (oversubscribed on this host — not gated)");
         }
         for key in &self.unmatched {
             let _ = writeln!(out, "  {key:<40} (no baseline entry — not gated)");
@@ -247,7 +293,7 @@ impl GateReport {
         let _ = writeln!(
             out,
             "verdict: {}",
-            if self.failed() { "FAIL — wall-time regression" } else { "pass" }
+            if self.failed() { "FAIL — wall-time or throughput regression" } else { "pass" }
         );
         out
     }
@@ -255,9 +301,14 @@ impl GateReport {
 
 /// Compare `current` against `baseline`: every current entry whose
 /// `(bin, run, jobs)` key has a positive baseline wall time is gated at
-/// `current / baseline ≤ max_regress`. Current entries without a usable
-/// baseline are listed but never fail the gate (a new experiment must be
-/// able to land before its baseline exists).
+/// `current / baseline ≤ max_regress` — and, when both sides recorded a
+/// positive engine throughput, at
+/// `baseline_eps / current_eps ≤ max_regress` too. Current entries
+/// without a usable baseline are listed but never fail the gate (a new
+/// experiment must be able to land before its baseline exists), and
+/// entries measured with more workers than the measuring host has cores
+/// are skipped with a warning — their wall time measures scheduler
+/// contention, not the engine.
 pub fn bench_check(
     baseline: &[BenchEntry],
     current: &[BenchEntry],
@@ -265,9 +316,14 @@ pub fn bench_check(
 ) -> GateReport {
     let mut rows = Vec::new();
     let mut unmatched = Vec::new();
+    let mut skipped_oversubscribed = Vec::new();
     let mut current: Vec<&BenchEntry> = current.iter().collect();
     current.sort_by(|a, b| (&a.bin, &a.run, a.jobs).cmp(&(&b.bin, &b.run, b.jobs)));
     for cur in current {
+        if cur.oversubscribed() {
+            skipped_oversubscribed.push(cur.key());
+            continue;
+        }
         let base = baseline
             .iter()
             .find(|e| e.bin == cur.bin && e.run == cur.run && e.jobs == cur.jobs)
@@ -275,18 +331,28 @@ pub fn bench_check(
         match base {
             Some(base) => {
                 let ratio = cur.wall_seconds / base.wall_seconds;
+                let (baseline_eps, current_eps) = (base.throughput(), cur.throughput());
+                let eps_ratio = if baseline_eps > 0.0 && current_eps > 0.0 {
+                    baseline_eps / current_eps
+                } else {
+                    0.0
+                };
                 rows.push(GateRow {
                     key: cur.key(),
                     baseline: base.wall_seconds,
                     current: cur.wall_seconds,
                     ratio,
                     regressed: ratio > max_regress,
+                    baseline_eps,
+                    current_eps,
+                    eps_ratio,
+                    eps_regressed: eps_ratio > max_regress,
                 });
             }
             None => unmatched.push(cur.key()),
         }
     }
-    GateReport { rows, unmatched, max_regress }
+    GateReport { rows, unmatched, skipped_oversubscribed, max_regress }
 }
 
 #[cfg(test)]
@@ -300,6 +366,8 @@ mod tests {
             jobs,
             host_parallelism: 4,
             wall_seconds: wall,
+            events: 0,
+            events_per_sec: 0.0,
         }
     }
 
@@ -392,6 +460,63 @@ mod tests {
         assert!(!report.failed());
         assert_eq!(report.unmatched, vec!["fig9 new-run jobs=2"]);
         assert!(report.render().contains("not gated"), "{}", report.render());
+    }
+
+    #[test]
+    fn events_per_sec_roundtrips_and_legacy_defaults_to_zero() {
+        let mut e = entry("fig3", "MiniFE-1", 1, 2.0);
+        e.events = 1_000_000;
+        e.events_per_sec = 500_000.0;
+        let dir = std::env::temp_dir().join("nrlt-report-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("eps.json");
+        let _ = std::fs::remove_file(&path);
+        merge_and_write(&path, std::slice::from_ref(&e)).unwrap();
+        let entries = read_entries(&path).unwrap();
+        assert_eq!(entries, vec![e]);
+        std::fs::remove_file(&path).unwrap();
+
+        let legacy = r#"    {"bin": "fig3", "run": "X", "jobs": 1, "wall_seconds": 1.0}"#;
+        let parsed = parse_entries(legacy);
+        assert_eq!(parsed[0].events, 0);
+        assert_eq!(parsed[0].events_per_sec, 0.0);
+        assert_eq!(parsed[0].throughput(), 0.0);
+    }
+
+    #[test]
+    fn throughput_regression_trips_the_gate() {
+        let mut base = entry("fig3", "MiniFE-1", 1, 1.0);
+        base.events = 1_000_000;
+        let mut cur = base.clone();
+        // Same wall time, but the engine dispatched far fewer events per
+        // second (e.g. a new per-event cost): throughput gate catches it.
+        cur.events = 100_000;
+        let report = bench_check(&[base.clone()], &[cur], 3.0);
+        assert!(report.failed(), "10x throughput drop must fail");
+        assert!(report.rows[0].eps_regressed);
+        assert!(!report.rows[0].regressed, "wall time itself is unchanged");
+        assert!(report.render().contains("REGRESSED (throughput)"));
+
+        // Legacy baselines without event counts never eps-gate.
+        let mut legacy = entry("fig3", "MiniFE-1", 1, 1.0);
+        legacy.events = 0;
+        let mut cur2 = entry("fig3", "MiniFE-1", 1, 1.0);
+        cur2.events = 100_000;
+        let report = bench_check(&[legacy], &[cur2], 3.0);
+        assert!(!report.failed());
+        assert_eq!(report.rows[0].eps_ratio, 0.0);
+    }
+
+    #[test]
+    fn oversubscribed_entries_are_skipped_not_gated() {
+        let base = entry("fig3", "MiniFE-1", 4, 1.0);
+        let mut cur = entry("fig3", "MiniFE-1", 4, 50.0);
+        cur.host_parallelism = 1; // 4 workers on a 1-core host
+        let report = bench_check(&[base], &[cur], 1.5);
+        assert!(!report.failed(), "oversubscribed wall time must never gate");
+        assert!(report.rows.is_empty());
+        assert_eq!(report.skipped_oversubscribed, vec!["fig3 MiniFE-1 jobs=4"]);
+        assert!(report.render().contains("oversubscribed"), "{}", report.render());
     }
 
     #[test]

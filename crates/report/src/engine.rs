@@ -1,0 +1,548 @@
+//! The `nrlt-report engine` view: KPI rollup over an `--engine-prof`
+//! bundle, plus a diff between two bundles.
+//!
+//! The bundle splits along the determinism boundary (see
+//! `nrlt_engineprof::export`): `engineprof.json` carries the
+//! deterministic accounting (per-kind counts and virtual nanoseconds,
+//! gauge aggregates, high-water marks, allocation counts) and
+//! `engineprof.wall.json` the wall-clock readings (inclusive/exclusive
+//! cost per kind, events/sec). This module parses both back with the
+//! shared `nrlt_telemetry::json` parser — the profiler crate itself
+//! stays dependency-free — and renders:
+//!
+//! * a bundle-level KPI table: total events, wall time, events/sec,
+//!   per-event-kind cost ranked by exclusive wall cost (virtual cost as
+//!   the tiebreak, so the ranking still works on the deterministic file
+//!   alone),
+//! * the top queue-pressure `(series, phase)` cells by mean depth,
+//! * hot-loop allocation sites and high-water marks,
+//! * a per-run throughput table,
+//! * `diff`: per-kind count/virtual deltas between two bundles.
+
+use nrlt_telemetry::json::{parse, Value};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One event-kind row of a run (or of the bundle rollup).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KindRow {
+    /// Event kind name (e.g. `kernel_advance`).
+    pub event: String,
+    /// Times the engine dispatched this kind.
+    pub count: u64,
+    /// Virtual nanoseconds the kind accounted for.
+    pub virtual_ns: u64,
+    /// Wall nanoseconds inside the kind, children included (0 when the
+    /// wall file is absent).
+    pub inclusive_ns: u64,
+    /// Wall nanoseconds inside the kind, children excluded.
+    pub exclusive_ns: u64,
+}
+
+/// One `(series, phase)` gauge aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeRow {
+    /// Gauge series (e.g. `matcher.queued_sends`).
+    pub series: String,
+    /// Program phase the samples were taken under.
+    pub phase: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (mean = sum / count).
+    pub sum: i64,
+    /// Largest sample.
+    pub max: i64,
+}
+
+impl GaugeRow {
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One run of an engine-profile bundle, deterministic and wall parts
+/// merged.
+#[derive(Debug, Clone, Default)]
+pub struct EngineRun {
+    /// Run name (`{instance}:{mode}:rep{rep}`).
+    pub name: String,
+    /// Engine events the run dispatched.
+    pub events: u64,
+    /// Per-kind accounting, in bundle order.
+    pub kinds: Vec<KindRow>,
+    /// Gauge aggregates, in bundle order.
+    pub gauges: Vec<GaugeRow>,
+    /// High-water marks (name, value).
+    pub hwm: Vec<(String, u64)>,
+    /// Hot-loop allocation counts (site, count).
+    pub allocs: Vec<(String, u64)>,
+    /// Wall nanoseconds of the whole run (0 when the wall file is
+    /// absent).
+    pub total_wall_ns: u64,
+    /// Events per wall second (0 when the wall file is absent).
+    pub events_per_sec: f64,
+}
+
+/// A parsed `--engine-prof` bundle.
+#[derive(Debug, Clone, Default)]
+pub struct EngineBundle {
+    /// Runs in bundle (name-sorted) order.
+    pub runs: Vec<EngineRun>,
+}
+
+/// Load `engineprof.json` (required) and `engineprof.wall.json`
+/// (optional) from `dir`.
+pub fn load_engine_bundle(dir: &Path) -> Result<EngineBundle, String> {
+    let det_path = dir.join("engineprof.json");
+    let text = std::fs::read_to_string(&det_path)
+        .map_err(|e| format!("cannot read {}: {e}", det_path.display()))?;
+    let det = parse(&text).map_err(|e| format!("{}: {e}", det_path.display()))?;
+    let mut runs = Vec::new();
+    for run in arr(&det, "runs")? {
+        runs.push(parse_run(run)?);
+    }
+    // The wall file is a sidecar: merge by run name when present.
+    if let Ok(text) = std::fs::read_to_string(dir.join("engineprof.wall.json")) {
+        if let Ok(wall) = parse(&text) {
+            for wrun in arr(&wall, "runs").unwrap_or(&[]) {
+                let name = str_field(wrun, "run").unwrap_or_default();
+                if let Some(run) = runs.iter_mut().find(|r| r.name == name) {
+                    run.total_wall_ns = u64_field(wrun, "total_wall_ns");
+                    run.events_per_sec =
+                        wrun.get("events_per_sec").and_then(Value::as_f64).unwrap_or(0.0);
+                    for wkind in arr(wrun, "kinds").unwrap_or(&[]) {
+                        let event = str_field(wkind, "event").unwrap_or_default();
+                        if let Some(k) = run.kinds.iter_mut().find(|k| k.event == event) {
+                            k.inclusive_ns = u64_field(wkind, "inclusive_ns");
+                            k.exclusive_ns = u64_field(wkind, "exclusive_ns");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(EngineBundle { runs })
+}
+
+fn parse_run(run: &Value) -> Result<EngineRun, String> {
+    let mut out = EngineRun {
+        name: str_field(run, "run").ok_or("run entry without a name")?,
+        events: u64_field(run, "events"),
+        ..EngineRun::default()
+    };
+    for kind in arr(run, "kinds")? {
+        out.kinds.push(KindRow {
+            event: str_field(kind, "event").ok_or("kind without an event name")?,
+            count: u64_field(kind, "count"),
+            virtual_ns: u64_field(kind, "virtual_ns"),
+            inclusive_ns: 0,
+            exclusive_ns: 0,
+        });
+    }
+    for gauge in arr(run, "gauges").unwrap_or(&[]) {
+        out.gauges.push(GaugeRow {
+            series: str_field(gauge, "series").unwrap_or_default(),
+            phase: str_field(gauge, "phase").unwrap_or_default(),
+            count: u64_field(gauge, "count"),
+            sum: i64_field(gauge, "sum"),
+            max: i64_field(gauge, "max"),
+        });
+    }
+    for h in arr(run, "hwm").unwrap_or(&[]) {
+        out.hwm.push((str_field(h, "name").unwrap_or_default(), u64_field(h, "value")));
+    }
+    for a in arr(run, "allocs").unwrap_or(&[]) {
+        out.allocs.push((str_field(a, "site").unwrap_or_default(), u64_field(a, "count")));
+    }
+    Ok(out)
+}
+
+fn arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    v.get(key).and_then(Value::as_arr).ok_or_else(|| format!("missing array {key:?}"))
+}
+
+fn str_field(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_owned)
+}
+
+fn u64_field(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_f64).map(|f| f.max(0.0) as u64).unwrap_or(0)
+}
+
+fn i64_field(v: &Value, key: &str) -> i64 {
+    v.get(key).and_then(Value::as_f64).map(|f| f as i64).unwrap_or(0)
+}
+
+/// Sum per-kind rows across runs (kinds matched by event name, order of
+/// first appearance preserved — the export writes a fixed kind order,
+/// so this is the canonical order).
+fn rollup_kinds(runs: &[&EngineRun]) -> Vec<KindRow> {
+    let mut out: Vec<KindRow> = Vec::new();
+    for run in runs {
+        for k in &run.kinds {
+            match out.iter_mut().find(|o| o.event == k.event) {
+                Some(o) => {
+                    o.count += k.count;
+                    o.virtual_ns += k.virtual_ns;
+                    o.inclusive_ns += k.inclusive_ns;
+                    o.exclusive_ns += k.exclusive_ns;
+                }
+                None => out.push(k.clone()),
+            }
+        }
+    }
+    out
+}
+
+/// Rank kinds most-expensive first: by exclusive wall cost, virtual
+/// cost as the deterministic tiebreak, then count. Kinds that never
+/// fired sort last.
+fn rank_kinds(kinds: &mut [KindRow]) {
+    kinds.sort_by(|a, b| {
+        (b.exclusive_ns, b.virtual_ns, b.count, &a.event).cmp(&(
+            a.exclusive_ns,
+            a.virtual_ns,
+            a.count,
+            &b.event,
+        ))
+    });
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+fn fmt_eps(eps: f64) -> String {
+    if eps >= 1e6 {
+        format!("{:.2}M", eps / 1e6)
+    } else if eps >= 1e3 {
+        format!("{:.1}k", eps / 1e3)
+    } else {
+        format!("{eps:.0}")
+    }
+}
+
+/// Render the KPI report for `bundle`.
+///
+/// * `run_filter` restricts to one named run (`None` = roll up all
+///   runs, plus a per-run throughput table).
+/// * `top` bounds the queue-pressure and allocation tables.
+///
+/// Errors when the filter matches nothing or the bundle is empty.
+pub fn engine_text(
+    bundle: &EngineBundle,
+    run_filter: Option<&str>,
+    top: usize,
+) -> Result<String, String> {
+    let runs: Vec<&EngineRun> =
+        bundle.runs.iter().filter(|r| run_filter.is_none_or(|f| f == r.name)).collect();
+    if runs.is_empty() {
+        return Err(match run_filter {
+            Some(f) => format!("no run named {f:?} in the bundle"),
+            None => "the bundle contains no runs".to_owned(),
+        });
+    }
+    let mut out = String::new();
+    let scope = match run_filter {
+        Some(f) => format!("run {f}"),
+        None => format!("{} runs", runs.len()),
+    };
+    let _ = writeln!(out, "=== engine profile ({scope}) ===");
+
+    let events: u64 = runs.iter().map(|r| r.events).sum();
+    let wall_ns: u64 = runs.iter().map(|r| r.total_wall_ns).sum();
+    let eps = if wall_ns > 0 { events as f64 / (wall_ns as f64 / 1e9) } else { 0.0 };
+    let _ = write!(out, "events: {events}");
+    if wall_ns > 0 {
+        let _ = write!(out, "   wall: {:.3}s   events/sec: {}", wall_ns as f64 / 1e9, fmt_eps(eps));
+    } else {
+        let _ = write!(out, "   (no wall file — deterministic view only)");
+    }
+    let _ = writeln!(out);
+
+    let mut kinds = rollup_kinds(&runs);
+    rank_kinds(&mut kinds);
+    let excl_total: u64 = kinds.iter().map(|k| k.exclusive_ns).sum();
+    let _ = writeln!(out, "\nper-event-kind cost (ranked by exclusive wall cost):");
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>12} {:>12} {:>10} {:>10} {:>6}",
+        "kind", "count", "virtual(ms)", "incl(ms)", "excl(ms)", "excl%"
+    );
+    for k in &kinds {
+        let pct = if excl_total > 0 {
+            format!("{:.1}", 100.0 * k.exclusive_ns as f64 / excl_total as f64)
+        } else {
+            "-".to_owned()
+        };
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>12} {:>12} {:>10} {:>10} {:>6}",
+            k.event,
+            k.count,
+            fmt_ms(k.virtual_ns),
+            fmt_ms(k.inclusive_ns),
+            fmt_ms(k.exclusive_ns),
+            pct
+        );
+    }
+
+    // Queue pressure: merge (series, phase) cells across runs, rank by
+    // mean depth (max depth as the tiebreak).
+    let mut cells: Vec<GaugeRow> = Vec::new();
+    for run in &runs {
+        for g in &run.gauges {
+            match cells.iter_mut().find(|c| c.series == g.series && c.phase == g.phase) {
+                Some(c) => {
+                    c.count += g.count;
+                    c.sum += g.sum;
+                    c.max = c.max.max(g.max);
+                }
+                None => cells.push(g.clone()),
+            }
+        }
+    }
+    cells.sort_by(|a, b| {
+        (b.mean(), b.max, &a.series, &a.phase)
+            .partial_cmp(&(a.mean(), a.max, &b.series, &b.phase))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if !cells.is_empty() {
+        let _ = writeln!(out, "\ntop queue pressure (by mean depth):");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:<14} {:>10} {:>8} {:>8}",
+            "series", "phase", "samples", "mean", "max"
+        );
+        for c in cells.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:<14} {:>10} {:>8.2} {:>8}",
+                c.series,
+                c.phase,
+                c.count,
+                c.mean(),
+                c.max
+            );
+        }
+    }
+
+    // Hot-loop allocations and high-water marks, summed across runs.
+    let mut allocs: Vec<(String, u64)> = Vec::new();
+    let mut hwm: Vec<(String, u64)> = Vec::new();
+    for run in &runs {
+        for (site, n) in &run.allocs {
+            match allocs.iter_mut().find(|(s, _)| s == site) {
+                Some((_, total)) => *total += n,
+                None => allocs.push((site.clone(), *n)),
+            }
+        }
+        for (name, v) in &run.hwm {
+            match hwm.iter_mut().find(|(s, _)| s == name) {
+                Some((_, m)) => *m = (*m).max(*v),
+                None => hwm.push((name.clone(), *v)),
+            }
+        }
+    }
+    allocs.sort_by(|a, b| (b.1, &a.0).cmp(&(a.1, &b.0)));
+    if !allocs.is_empty() {
+        let _ = writeln!(out, "\nhot-loop allocations:");
+        for (site, n) in allocs.iter().take(top) {
+            let _ = writeln!(out, "  {site:<28} {n:>10}");
+        }
+    }
+    if !hwm.is_empty() {
+        let _ = writeln!(out, "\nhigh-water marks:");
+        for (name, v) in &hwm {
+            let _ = writeln!(out, "  {name:<28} {v:>10}");
+        }
+    }
+
+    // Per-run throughput table only in the rollup view.
+    if run_filter.is_none() && runs.len() > 1 {
+        let _ = writeln!(out, "\nper-run throughput:");
+        let _ = writeln!(out, "  {:<40} {:>12} {:>12}", "run", "events", "events/sec");
+        for r in &runs {
+            let eps = if r.events_per_sec > 0.0 { fmt_eps(r.events_per_sec) } else { "-".into() };
+            let _ = writeln!(out, "  {:<40} {:>12} {:>12}", r.name, r.events, eps);
+        }
+    }
+    Ok(out)
+}
+
+/// Render the deterministic diff between two bundles: per-kind count
+/// and virtual-cost deltas of the rollups, plus events and run-set
+/// changes. Wall readings are deliberately excluded — they differ
+/// between any two real runs.
+pub fn engine_diff(a: &EngineBundle, b: &EngineBundle) -> String {
+    let ra: Vec<&EngineRun> = a.runs.iter().collect();
+    let rb: Vec<&EngineRun> = b.runs.iter().collect();
+    let ka = rollup_kinds(&ra);
+    let kb = rollup_kinds(&rb);
+    let ea: u64 = ra.iter().map(|r| r.events).sum();
+    let eb: u64 = rb.iter().map(|r| r.events).sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "=== engine profile diff (A → B) ===");
+    let _ = writeln!(out, "events: {ea} → {eb} ({:+})", eb as i64 - ea as i64);
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>12} {:>12} {:>12} {:>14}",
+        "kind", "count A", "count B", "Δcount", "Δvirtual(ms)"
+    );
+    let mut events: Vec<&str> = ka.iter().map(|k| k.event.as_str()).collect();
+    for k in &kb {
+        if !events.contains(&k.event.as_str()) {
+            events.push(&k.event);
+        }
+    }
+    for event in events {
+        let za = KindRow::default();
+        let a = ka.iter().find(|k| k.event == event).unwrap_or(&za);
+        let b = kb.iter().find(|k| k.event == event).unwrap_or(&za);
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>12} {:>12} {:>12} {:>14}",
+            event,
+            a.count,
+            b.count,
+            format!("{:+}", b.count as i64 - a.count as i64),
+            format!("{:+.2}", (b.virtual_ns as f64 - a.virtual_ns as f64) / 1e6),
+        );
+    }
+    let names_a: Vec<&str> = a.runs.iter().map(|r| r.name.as_str()).collect();
+    let names_b: Vec<&str> = b.runs.iter().map(|r| r.name.as_str()).collect();
+    for name in &names_a {
+        if !names_b.contains(name) {
+            let _ = writeln!(out, "run only in A: {name}");
+        }
+    }
+    for name in &names_b {
+        if !names_a.contains(name) {
+            let _ = writeln!(out, "run only in B: {name}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(name: &str, events: u64, kernel: (u64, u64, u64, u64)) -> EngineRun {
+        EngineRun {
+            name: name.into(),
+            events,
+            kinds: vec![
+                KindRow {
+                    event: "kernel_advance".into(),
+                    count: kernel.0,
+                    virtual_ns: kernel.1,
+                    inclusive_ns: kernel.2,
+                    exclusive_ns: kernel.3,
+                },
+                KindRow {
+                    event: "noise_draw".into(),
+                    count: 2,
+                    virtual_ns: 0,
+                    inclusive_ns: 10,
+                    exclusive_ns: 10,
+                },
+            ],
+            gauges: vec![GaugeRow {
+                series: "matcher.queued_sends".into(),
+                phase: "solve".into(),
+                count: 4,
+                sum: 8,
+                max: 5,
+            }],
+            hwm: vec![("matcher.channel_depth".into(), 3)],
+            allocs: vec![("rank.pending".into(), 7)],
+            total_wall_ns: 2_000_000,
+            events_per_sec: events as f64 / 2e-3,
+        }
+    }
+
+    #[test]
+    fn text_ranks_kinds_by_exclusive_cost_and_reports_throughput() {
+        let bundle = EngineBundle {
+            runs: vec![
+                run("x:tsc:rep0", 100, (5, 1000, 900, 800)),
+                run("x:ref:rep0", 50, (3, 500, 450, 400)),
+            ],
+        };
+        let text = engine_text(&bundle, None, 5).unwrap();
+        assert!(text.contains("events: 150"), "{text}");
+        assert!(text.contains("events/sec"), "{text}");
+        // kernel_advance dominates exclusive cost and must rank first.
+        let kernel = text.find("kernel_advance").unwrap();
+        let noise = text.find("noise_draw").unwrap();
+        assert!(kernel < noise, "{text}");
+        assert!(text.contains("matcher.queued_sends"), "{text}");
+        assert!(text.contains("rank.pending"), "{text}");
+        assert!(text.contains("per-run throughput"), "{text}");
+    }
+
+    #[test]
+    fn run_filter_selects_and_unknown_run_errors() {
+        let bundle = EngineBundle { runs: vec![run("x:tsc:rep0", 100, (5, 1000, 900, 800))] };
+        let text = engine_text(&bundle, Some("x:tsc:rep0"), 5).unwrap();
+        assert!(text.contains("run x:tsc:rep0"), "{text}");
+        assert!(engine_text(&bundle, Some("nope"), 5).is_err());
+    }
+
+    #[test]
+    fn ranking_falls_back_to_virtual_cost_without_wall_data() {
+        let mut kinds = vec![
+            KindRow { event: "a".into(), count: 1, virtual_ns: 10, ..KindRow::default() },
+            KindRow { event: "b".into(), count: 9, virtual_ns: 500, ..KindRow::default() },
+        ];
+        rank_kinds(&mut kinds);
+        assert_eq!(kinds[0].event, "b");
+    }
+
+    #[test]
+    fn diff_reports_count_deltas() {
+        let a = EngineBundle { runs: vec![run("x:tsc:rep0", 100, (5, 1000, 0, 0))] };
+        let b = EngineBundle {
+            runs: vec![run("x:tsc:rep0", 120, (8, 1500, 0, 0)), run("y:tsc:rep0", 1, (1, 1, 0, 0))],
+        };
+        let text = engine_diff(&a, &b);
+        assert!(text.contains("events: 100 → 121"), "{text}");
+        assert!(text.contains("+4"), "{text}"); // kernel count 5 → 9 across rollup
+        assert!(text.contains("run only in B: y:tsc:rep0"), "{text}");
+    }
+
+    #[test]
+    fn bundle_roundtrips_through_the_exporter() {
+        use nrlt_engineprof::{EngineProf, EventKind, ProfBundle, RunProf};
+        let sink = EngineProf::new();
+        let r = RunProf::new("it:tsc:rep0");
+        r.enter(EventKind::KernelAdvance);
+        r.leave(EventKind::KernelAdvance, 1234);
+        r.gauge("matcher.queued_sends", "main", 3);
+        r.hwm("matcher.channel_depth", 2);
+        r.alloc("rank.pending", 1);
+        r.set_events(9);
+        let (n, d) = r.finish();
+        sink.attach(n, d);
+        let dir = std::env::temp_dir().join(format!("nrlt-engine-view-{}", std::process::id()));
+        ProfBundle::from_prof(&sink).write(&dir).unwrap();
+        let bundle = load_engine_bundle(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(bundle.runs.len(), 1);
+        let run = &bundle.runs[0];
+        assert_eq!(run.name, "it:tsc:rep0");
+        assert_eq!(run.events, 9);
+        let kernel = run.kinds.iter().find(|k| k.event == "kernel_advance").unwrap();
+        assert_eq!((kernel.count, kernel.virtual_ns), (1, 1234));
+        assert!(kernel.inclusive_ns > 0, "wall sidecar must merge in");
+        assert!(run.total_wall_ns > 0);
+        let text = engine_text(&bundle, None, 5).unwrap();
+        assert!(text.contains("kernel_advance"));
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`observe`] — the resource-observatory explorer over `--observe`
 //!   bundles (`nrlt-observe`): top contended resources per phase,
 //!   noise share per wait-metric cell, wait-state provenance chains.
+//! * [`engine`] — the engine-introspection view over `--engine-prof`
+//!   bundles (`nrlt-engineprof`): per-event-kind cost KPIs, queue
+//!   pressure, hot-loop allocations, and a bundle diff.
 //!
 //! The `nrlt-report` binary exposes all of it on the command line; the
 //! bench harness's `--report <dir>` flag writes `report.txt`,
@@ -38,6 +41,7 @@
 pub mod bench;
 pub mod bundle;
 pub mod diff;
+pub mod engine;
 pub mod flame;
 pub mod inspect;
 pub mod observe;
@@ -46,6 +50,7 @@ pub mod severity;
 pub use bench::{bench_check, BenchEntry, GateReport, GateRow};
 pub use bundle::Bundle;
 pub use diff::diff_text;
+pub use engine::{engine_diff, engine_text, load_engine_bundle, EngineBundle, EngineRun};
 pub use flame::{folded, folded_totals, hot_paths_text};
 pub use inspect::{inspect_text, span_stats, SpanStats};
 pub use observe::{observe_text, wait_names};

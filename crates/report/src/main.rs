@@ -16,6 +16,12 @@
 //! nrlt-report observe <bundle-dir> [--run NAME] [--top K] [--wait metric#i]
 //! ```
 //!
+//! The engine-introspection view over `--engine-prof` bundles:
+//!
+//! ```text
+//! nrlt-report engine <bundle-dir> [--run NAME] [--top K] [--diff <bundle-dir>]
+//! ```
+//!
 //! And the perf regression gate over `BENCH_pipeline.json`-format files:
 //!
 //! ```text
@@ -44,12 +50,20 @@ commands:
                                resource observatory: contended resources per
                                phase, noise share per wait cell, provenance of
                                a named (default: the dominant) wait state
+  engine <bundle-dir> [--run <name>] [--top <k>] [--diff <bundle-dir>]
+                               engine introspection: per-event-kind cost KPIs,
+                               events/sec, queue pressure, hot-loop allocations;
+                               --diff compares the deterministic accounting of
+                               two bundles
   bench-check --baseline <file> --current <file> [--max-regress <factor>]
-                               gate current wall times against a baseline
+                               gate current wall times and engine throughput
+                               against a baseline
 
 a bundle-dir is a directory containing metrics.jsonl, as written by the
 bench bins' --telemetry/--report flags; for `observe` it is a directory
-containing observe.jsonl, as written by the bins' --observe flag.";
+containing observe.jsonl, as written by the bins' --observe flag; for
+`engine` it is a directory containing engineprof.json, as written by the
+bins' --engine-prof flag.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -88,6 +102,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "observe" => run_observe(&args[1..]),
+        "engine" => run_engine(&args[1..]),
         "bench-check" => run_bench_check(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -138,6 +153,52 @@ fn run_observe(args: &[String]) -> Result<ExitCode, String> {
     let bundle = nrlt_observe::export::ObserveBundle::load(&dir)?;
     let text = nrlt_report::observe_text(&bundle, run.as_deref(), top, wait.as_deref())?;
     print!("{text}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_engine(args: &[String]) -> Result<ExitCode, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut run: Option<String> = None;
+    let mut top = 5usize;
+    let mut diff: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |inline: Option<&str>| -> Result<String, String> {
+            match inline {
+                Some(v) => Ok(v.to_owned()),
+                None => it.next().cloned().ok_or_else(|| format!("{arg} requires a value")),
+            }
+        };
+        if arg == "--run" || arg.starts_with("--run=") {
+            run = Some(take(arg.strip_prefix("--run="))?);
+        } else if arg == "--top" || arg.starts_with("--top=") {
+            let raw = take(arg.strip_prefix("--top="))?;
+            top = raw
+                .parse::<usize>()
+                .ok()
+                .filter(|v| *v >= 1)
+                .ok_or_else(|| format!("--top must be a positive integer, got {raw:?}"))?;
+        } else if arg == "--diff" || arg.starts_with("--diff=") {
+            diff = Some(PathBuf::from(take(arg.strip_prefix("--diff="))?));
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown engine argument {arg:?}"));
+        } else if dir.is_none() {
+            dir = Some(PathBuf::from(arg));
+        } else {
+            return Err(format!("unexpected engine argument {arg:?}"));
+        }
+    }
+    let dir = dir.ok_or("engine requires a bundle directory argument")?;
+    let bundle = nrlt_report::load_engine_bundle(&dir)?;
+    match diff {
+        Some(other) => {
+            let b = nrlt_report::load_engine_bundle(&other)?;
+            print!("{}", nrlt_report::engine_diff(&bundle, &b));
+        }
+        None => {
+            print!("{}", nrlt_report::engine_text(&bundle, run.as_deref(), top)?);
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -401,6 +401,7 @@ mod tests {
             mean: p,
             run_times: vec![nrlt_core::sim::VirtualDuration::from_millis(5)],
             phase_times: vec![Default::default()],
+            events: 0,
         };
         let s = mode_text(&mr, 5);
         assert!(s.contains("severity (single mode): lt_1"), "{s}");
@@ -420,6 +421,7 @@ mod tests {
             reference: vec![],
             phase_names: vec![],
             modes: vec![],
+            events: 0,
         };
         let doc = severity_json(&r, 5);
         let v = parse(&doc).expect("valid JSON");

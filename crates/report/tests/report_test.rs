@@ -74,6 +74,8 @@ fn entry(run: &str, jobs: usize, wall: f64) -> bench::BenchEntry {
         jobs,
         host_parallelism: bench::host_parallelism(),
         wall_seconds: wall,
+        events: 0,
+        events_per_sec: 0.0,
     }
 }
 
@@ -87,9 +89,9 @@ fn bench_check_binary_gates_a_2x_slowdown() {
     for p in [&baseline, &slow, &fine] {
         let _ = std::fs::remove_file(p);
     }
-    bench::merge_and_write(&baseline, &[entry("MiniFE-1", 2, 1.0)]).unwrap();
-    bench::merge_and_write(&slow, &[entry("MiniFE-1", 2, 2.0)]).unwrap();
-    bench::merge_and_write(&fine, &[entry("MiniFE-1", 2, 1.1)]).unwrap();
+    bench::merge_and_write(&baseline, &[entry("MiniFE-1", 1, 1.0)]).unwrap();
+    bench::merge_and_write(&slow, &[entry("MiniFE-1", 1, 2.0)]).unwrap();
+    bench::merge_and_write(&fine, &[entry("MiniFE-1", 1, 1.1)]).unwrap();
 
     let gate = |current: &std::path::Path| {
         std::process::Command::new(env!("CARGO_BIN_EXE_nrlt-report"))

@@ -21,6 +21,7 @@
 //! that logical and physical measurements coincide structurally.
 
 use crate::rng::{jitter_factor, RngFactory, StreamKind};
+use nrlt_engineprof::{EventKind, RunProf};
 
 /// Tunable noise intensities. All default values are calibrated so that
 /// uninstrumented run-to-run variation stays in the low single-digit
@@ -178,6 +179,90 @@ impl NoiseModel {
         let mut rng = self.rng.stream(StreamKind::Network, msg_id, 0);
         jitter_factor(&mut rng, self.config.net_sigma)
     }
+
+    /// [`cpu_factor`](Self::cpu_factor), counting the draw against
+    /// `prof` when profiling is on and the CPU channel actually draws.
+    pub fn cpu_factor_prof(&self, core: u64, instance: u64, prof: Option<&RunProf>) -> f64 {
+        match prof {
+            Some(p) if self.config.cpu_sigma != 0.0 => {
+                p.enter(EventKind::NoiseDraw);
+                let f = self.cpu_factor(core, instance);
+                p.leave(EventKind::NoiseDraw, 0);
+                f
+            }
+            _ => self.cpu_factor(core, instance),
+        }
+    }
+
+    /// [`mem_factor`](Self::mem_factor), counting the draw against
+    /// `prof` when profiling is on and the memory channel actually
+    /// draws.
+    pub fn mem_factor_prof(&self, core: u64, instance: u64, prof: Option<&RunProf>) -> f64 {
+        match prof {
+            Some(p) if self.config.mem_sigma != 0.0 => {
+                p.enter(EventKind::NoiseDraw);
+                let f = self.mem_factor(core, instance);
+                p.leave(EventKind::NoiseDraw, 0);
+                f
+            }
+            _ => self.mem_factor(core, instance),
+        }
+    }
+
+    /// [`detour_time`](Self::detour_time), counting the draw against
+    /// `prof` when profiling is on and the detour channel actually
+    /// draws. The stolen time is attributed as virtual nanoseconds of
+    /// the noise draw.
+    pub fn detour_time_prof(
+        &self,
+        core: u64,
+        instance: u64,
+        span_secs: f64,
+        prof: Option<&RunProf>,
+    ) -> f64 {
+        match prof {
+            Some(p)
+                if self.config.detour_rate != 0.0
+                    && self.config.detour_mean != 0.0
+                    && span_secs > 0.0 =>
+            {
+                p.enter(EventKind::NoiseDraw);
+                let t = self.detour_time(core, instance, span_secs);
+                p.leave(EventKind::NoiseDraw, (t * 1e9) as u64);
+                t
+            }
+            _ => self.detour_time(core, instance, span_secs),
+        }
+    }
+
+    /// [`mem_bias`](Self::mem_bias), counting the draw against `prof`
+    /// when profiling is on and the bias channel actually draws.
+    pub fn mem_bias_prof(&self, core: u64, prof: Option<&RunProf>) -> f64 {
+        match prof {
+            Some(p) if self.config.mem_bias_sigma != 0.0 => {
+                p.enter(EventKind::NoiseDraw);
+                let f = self.mem_bias(core);
+                p.leave(EventKind::NoiseDraw, 0);
+                f
+            }
+            _ => self.mem_bias(core),
+        }
+    }
+
+    /// [`net_factor`](Self::net_factor), counting the draw against
+    /// `prof` when profiling is on and the network channel actually
+    /// draws.
+    pub fn net_factor_prof(&self, msg_id: u64, prof: Option<&RunProf>) -> f64 {
+        match prof {
+            Some(p) if self.config.net_sigma != 0.0 => {
+                p.enter(EventKind::NoiseDraw);
+                let f = self.net_factor(msg_id);
+                p.leave(EventKind::NoiseDraw, 0);
+                f
+            }
+            _ => self.net_factor(msg_id),
+        }
+    }
 }
 
 /// Poisson sampler (Knuth's method for small means, normal approximation
@@ -253,6 +338,23 @@ mod tests {
     #[test]
     fn scaled_zero_is_silent() {
         assert!(NoiseConfig::realistic().scaled(0.0).is_silent());
+    }
+
+    #[test]
+    fn prof_variants_count_only_real_draws() {
+        let m = model(NoiseConfig::realistic());
+        let run = RunProf::new("n");
+        assert_eq!(m.cpu_factor_prof(3, 9, Some(&run)), m.cpu_factor(3, 9));
+        assert_eq!(m.mem_factor_prof(3, 9, Some(&run)), m.mem_factor(3, 9));
+        assert_eq!(m.mem_bias_prof(1, Some(&run)), m.mem_bias(1));
+        assert_eq!(m.net_factor_prof(5, Some(&run)), m.net_factor(5));
+        assert_eq!(m.detour_time_prof(0, 0, 0.001, Some(&run)), m.detour_time(0, 0, 0.001));
+        let silent = model(NoiseConfig::silent());
+        // Short-circuited channels draw nothing and are not counted.
+        assert_eq!(silent.cpu_factor_prof(0, 0, Some(&run)), 1.0);
+        assert_eq!(m.detour_time_prof(0, 0, 0.0, Some(&run)), 0.0);
+        let (_, d) = run.finish();
+        assert_eq!(d.kinds[EventKind::NoiseDraw.index()].count, 5);
     }
 
     #[test]

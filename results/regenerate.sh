@@ -26,14 +26,30 @@ echo "regenerating results/observe/fig3 ..."
 ./target/release/fig3 --only MiniFE-1 --jobs "$JOBS" \
     --observe results/observe/fig3 > /dev/null
 
-# Refresh the perf baseline: the end-to-end fig3 experiment timed
-# serial and at the fan-out width this host supports, plus the
-# observe-on run under its own `:observe` key.
+# Regenerate the exemplar engine-profile bundle: LULESH-1 under fig3's
+# protocol with the engine self-profiler attached. Like the observe
+# bundle, the deterministic half (engineprof.json) is byte-identical
+# for every JOBS value; only the wall sidecar (engineprof.wall.json)
+# reflects this host's clock.
+echo "regenerating results/engineprof/fig3 ..."
+./target/release/fig3 --only LULESH-1 --jobs "$JOBS" \
+    --engine-prof results/engineprof/fig3 > /dev/null
+
+# Refresh the perf baseline from scratch. The harness stamps each
+# entry with this host's `std::thread::available_parallelism` and the
+# measured event throughput at write time; starting from an empty file
+# (instead of merging into the old one) guarantees no stale row keeps
+# the parallelism or zero throughput of a previous host.
 echo "timing fig3 for BENCH_pipeline.json ..."
-./target/release/fig3 --jobs 1 --bench-json BENCH_pipeline.json > /dev/null
-./target/release/fig3 --jobs 0 --bench-json BENCH_pipeline.json > /dev/null
-./target/release/fig3 --only MiniFE-1 --jobs 1 --observe results/observe/fig3 \
+rm -f BENCH_pipeline.json
+for j in 1 2 4; do
+    ./target/release/fig3 --jobs "$j" --bench-json BENCH_pipeline.json > /dev/null
+    ./target/release/fig3 --only MiniFE-1 --jobs "$j" --observe results/observe/fig3 \
+        --bench-json BENCH_pipeline.json > /dev/null
+done
+./target/release/fig3 --only LULESH-1 --jobs 1 --engine-prof results/engineprof/fig3 \
     --bench-json BENCH_pipeline.json > /dev/null
 echo "done; outputs in results/, telemetry in results/telemetry/,"
 echo "report artifacts (report.txt, report.json, flamegraph.folded) in results/report/,"
-echo "observe exemplar in results/observe/fig3/, perf baseline in BENCH_pipeline.json"
+echo "observe exemplar in results/observe/fig3/, engine profile in results/engineprof/fig3/,"
+echo "perf baseline in BENCH_pipeline.json"

@@ -11,7 +11,7 @@
 //! phase, per-pattern hit counters, replay throughput, and per-worker
 //! timing of the delay phase. With `None`, no telemetry work happens.
 
-use crate::delay::{delay_for_wait, DelayContribution, SpanIndex};
+use crate::delay::{delay_for_wait_into, DelayContribution, DelayScratch, SpanIndex};
 use crate::idle::master_serial_chunks;
 use crate::patterns::{
     gather_barriers, gather_collectives, late_receiver_severity, late_sender_severity,
@@ -118,17 +118,29 @@ pub fn analyze_observed(
     let mut waits: Vec<WaitInstance> = Vec::new();
 
     // --- computation, management, visits --------------------------------
-    for (loc, r) in locals.iter().enumerate() {
-        for s in &r.segments {
-            let metric = match s.class {
-                SegClass::Comp => Metric::Comp,
-                SegClass::Management => Metric::OmpManagement,
-            };
-            profile.add(metric, s.path, loc, s.dur() as f64);
+    // Millions of segments funnel into a handful of (metric, path, loc)
+    // cells; accumulate densely and flush each cell with one add.
+    let n_paths = profile.call_tree.len();
+    let n_locs = locals.len();
+    {
+        let mut acc = DenseAdds::new(
+            vec![Metric::Comp, Metric::OmpManagement, Metric::Visits],
+            n_paths,
+            n_locs,
+        );
+        for (loc, r) in locals.iter().enumerate() {
+            for s in &r.segments {
+                let lane = match s.class {
+                    SegClass::Comp => 0,
+                    SegClass::Management => 1,
+                };
+                acc.add(lane, s.path, loc, s.dur() as f64);
+            }
+            for &(path, count) in &r.visits {
+                acc.add(2, path, loc, count as f64);
+            }
         }
-        for &(path, count) in &r.visits {
-            profile.add(Metric::Visits, path, loc, count as f64);
-        }
+        acc.flush(&mut profile);
     }
 
     // --- point-to-point patterns -----------------------------------------
@@ -253,59 +265,69 @@ pub fn analyze_observed(
     // --- OpenMP barriers ----------------------------------------------------
     _phase = None;
     _phase = tel.map(|t| t.span_cat("analyze.omp_barriers", "analysis"));
-    for rank in 0..n_ranks {
-        for inst in gather_barriers(&locals, rank, tpr) {
-            let latest = inst
-                .members
-                .iter()
-                .map(|&(loc, i)| locals[loc].barriers[i].enter)
-                .max()
-                .unwrap_or(0);
-            let delayer = inst
-                .members
-                .iter()
-                .max_by_key(|&&(loc, i)| (locals[loc].barriers[i].enter, loc))
-                .copied()
-                .expect("barrier has members");
-            for &(loc, i) in &inst.members {
-                let b = &locals[loc].barriers[i];
-                let dur = b.leave - b.enter;
-                let wait = latest.saturating_sub(b.enter).min(dur);
-                if wait > 0 {
-                    if let Some(t) = tel {
-                        t.incr("analysis.patterns.omp_barrier_wait");
+    {
+        let mut acc = DenseAdds::new(
+            vec![Metric::OmpBarrierWait, Metric::OmpBarrierOverhead],
+            n_paths,
+            n_locs,
+        );
+        for rank in 0..n_ranks {
+            for inst in gather_barriers(&locals, rank, tpr) {
+                let latest = inst
+                    .members
+                    .iter()
+                    .map(|&(loc, i)| locals[loc].barriers[i].enter)
+                    .max()
+                    .unwrap_or(0);
+                let delayer = inst
+                    .members
+                    .iter()
+                    .max_by_key(|&&(loc, i)| (locals[loc].barriers[i].enter, loc))
+                    .copied()
+                    .expect("barrier has members");
+                for &(loc, i) in &inst.members {
+                    let b = &locals[loc].barriers[i];
+                    let dur = b.leave - b.enter;
+                    let wait = latest.saturating_sub(b.enter).min(dur);
+                    if wait > 0 {
+                        if let Some(t) = tel {
+                            t.incr("analysis.patterns.omp_barrier_wait");
+                        }
+                        acc.add(0, b.path, loc, wait as f64);
+                        waits.push(WaitInstance {
+                            metric: Metric::DelayBarrier,
+                            waiter_loc: loc,
+                            waiter_path: b.path,
+                            waiter_enter: b.enter,
+                            delayer_loc: delayer.0,
+                            delayer_path: locals[delayer.0].barriers[delayer.1].path,
+                            delayer_enter: locals[delayer.0].barriers[delayer.1].enter,
+                            severity: wait,
+                        });
                     }
-                    profile.add(Metric::OmpBarrierWait, b.path, loc, wait as f64);
-                    waits.push(WaitInstance {
-                        metric: Metric::DelayBarrier,
-                        waiter_loc: loc,
-                        waiter_path: b.path,
-                        waiter_enter: b.enter,
-                        delayer_loc: delayer.0,
-                        delayer_path: locals[delayer.0].barriers[delayer.1].path,
-                        delayer_enter: locals[delayer.0].barriers[delayer.1].enter,
-                        severity: wait,
-                    });
+                    acc.add(1, b.path, loc, (dur - wait) as f64);
                 }
-                profile.add(Metric::OmpBarrierOverhead, b.path, loc, (dur - wait) as f64);
             }
         }
+        acc.flush(&mut profile);
     }
 
     // --- idle threads ---------------------------------------------------------
     _phase = None;
     _phase = tel.map(|t| t.span_cat("analyze.idle_threads", "analysis"));
     if tpr > 1 {
+        let mut acc = DenseAdds::new(vec![Metric::IdleThreads], n_paths, n_locs);
         for rank in 0..n_ranks {
             let master = (rank * tpr) as usize;
             let chunks = master_serial_chunks(&locals[master]);
             for worker in 1..tpr {
                 let loc = master + worker as usize;
                 for c in &chunks {
-                    profile.add(Metric::IdleThreads, c.path, loc, c.ticks as f64);
+                    acc.add(0, c.path, loc, c.ticks as f64);
                 }
             }
         }
+        acc.flush(&mut profile);
     }
 
     // --- delay costs -----------------------------------------------------------
@@ -317,11 +339,22 @@ pub fn analyze_observed(
     if config.delay_costs && !waits.is_empty() {
         let index = SpanIndex::build(&locals);
         let contributions = compute_delays(&waits, &index, &locals, config.workers, tel);
-        for (metric, batch) in contributions {
-            for (path, loc, v) in batch {
-                profile.add(metric, path, loc, v);
-            }
+        // Sole writer of the three delay metrics, so the flat ordered
+        // contribution list can be pre-summed densely (see DenseAdds).
+        let mut acc = DenseAdds::new(
+            vec![Metric::DelayP2p, Metric::DelayN2n, Metric::DelayBarrier],
+            n_paths,
+            n_locs,
+        );
+        for (metric, (path, loc, v)) in contributions {
+            let lane = match metric {
+                Metric::DelayP2p => 0,
+                Metric::DelayN2n => 1,
+                _ => 2,
+            };
+            acc.add(lane, path, loc, v);
         }
+        acc.flush(&mut profile);
     }
 
     if let Some(o) = obs {
@@ -424,6 +457,61 @@ fn delayer_chain(
     chain
 }
 
+/// Dense `(metric lane, call path, location)` accumulator for the
+/// million-iteration analysis loops, flushed into the profile with a
+/// single `Profile::add` per touched cell instead of one ordered-map
+/// lookup per iteration.
+///
+/// Bit-identity argument: a cell accumulates its values in the same
+/// order the direct adds would have applied them, starting from 0.0 —
+/// exactly like a fresh profile cell — and `0.0 + x == x` for the
+/// non-negative values these loops produce. Only loops that are the sole
+/// writer of their metrics may batch this way.
+struct DenseAdds {
+    metrics: Vec<Metric>,
+    n_paths: usize,
+    n_locs: usize,
+    vals: Vec<f64>,
+    seen: Vec<bool>,
+    /// Flat cell indices in first-touch order.
+    touched: Vec<usize>,
+}
+
+impl DenseAdds {
+    fn new(metrics: Vec<Metric>, n_paths: usize, n_locs: usize) -> DenseAdds {
+        let cells = metrics.len() * n_paths * n_locs;
+        DenseAdds {
+            metrics,
+            n_paths,
+            n_locs,
+            vals: vec![0.0; cells],
+            seen: vec![false; cells],
+            touched: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, lane: usize, path: CallPathId, loc: usize, value: f64) {
+        let i = (lane * self.n_paths + path.0 as usize) * self.n_locs + loc;
+        if !self.seen[i] {
+            self.seen[i] = true;
+            self.touched.push(i);
+        }
+        self.vals[i] += value;
+    }
+
+    fn flush(&mut self, profile: &mut Profile) {
+        let per_lane = self.n_paths * self.n_locs;
+        for &i in &self.touched {
+            let (lane, rest) = (i / per_lane, i % per_lane);
+            let (path, loc) = (rest / self.n_locs, rest % self.n_locs);
+            profile.add(self.metrics[lane], CallPathId(path as u32), loc, self.vals[i]);
+            self.vals[i] = 0.0;
+            self.seen[i] = false;
+        }
+        self.touched.clear();
+    }
+}
+
 /// Compute delay contributions for all wait instances in parallel,
 /// merging deterministically (chunked by instance index).
 fn compute_delays(
@@ -432,7 +520,7 @@ fn compute_delays(
     locals: &[LocalReplay],
     workers: usize,
     tel: Option<&Telemetry>,
-) -> Vec<(Metric, Vec<DelayContribution>)> {
+) -> Vec<(Metric, DelayContribution)> {
     let n_workers = if workers == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
     } else {
@@ -443,7 +531,7 @@ fn compute_delays(
     if let Some(t) = tel {
         t.set("analysis.delay.workers", chunks.len() as u64);
     }
-    let mut results: Vec<Vec<(Metric, Vec<DelayContribution>)>> = Vec::with_capacity(chunks.len());
+    let mut results: Vec<Vec<(Metric, DelayContribution)>> = Vec::with_capacity(chunks.len());
     // When the whole analysis already runs on a fan-out worker track,
     // derive disjoint sub-tracks so concurrent cells don't interleave.
     let base_track = nrlt_telemetry::current_track() * 16;
@@ -462,24 +550,26 @@ fn compute_delays(
                             base_track + worker as u32 + 1,
                         )
                     });
-                    let out = chunk
-                        .iter()
-                        .map(|w| {
-                            (
-                                w.metric,
-                                delay_for_wait(
-                                    index,
-                                    locals,
-                                    w.waiter_loc,
-                                    w.waiter_enter,
-                                    w.delayer_loc,
-                                    w.delayer_enter,
-                                    w.severity,
-                                    w.metric != Metric::DelayBarrier,
-                                ),
-                            )
-                        })
-                        .collect::<Vec<_>>();
+                    // Dense scratch reused across the chunk: no per-wait
+                    // map or vector allocations.
+                    let mut scratch = DelayScratch::new(index.n_paths());
+                    let mut tmp: Vec<DelayContribution> = Vec::new();
+                    let mut out: Vec<(Metric, DelayContribution)> = Vec::new();
+                    for w in chunk.iter() {
+                        delay_for_wait_into(
+                            index,
+                            locals,
+                            w.waiter_loc,
+                            w.waiter_enter,
+                            w.delayer_loc,
+                            w.delayer_enter,
+                            w.severity,
+                            w.metric != Metric::DelayBarrier,
+                            &mut scratch,
+                            &mut tmp,
+                        );
+                        out.extend(tmp.drain(..).map(|c| (w.metric, c)));
+                    }
                     if let Some(t) = tel {
                         t.add("analysis.delay.instances", chunk.len() as u64);
                     }

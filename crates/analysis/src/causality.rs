@@ -124,18 +124,18 @@ pub fn happens_before_edges(trace: &Trace) -> Vec<Edge> {
 pub fn verify_clock_condition(trace: &Trace) -> Vec<String> {
     let mut violations = Vec::new();
     for (loc, stream) in trace.streams.iter().enumerate() {
-        for w in stream.windows(2) {
-            if w[1].time < w[0].time {
+        for w in stream.times().windows(2) {
+            if w[1] < w[0] {
                 violations.push(format!(
                     "location {loc}: program order violated ({} after {})",
-                    w[1].time, w[0].time
+                    w[1], w[0]
                 ));
             }
         }
     }
     for edge in happens_before_edges(trace) {
-        let c_from = trace.streams[edge.from.0][edge.from.1].time;
-        let c_to = trace.streams[edge.to.0][edge.to.1].time;
+        let c_from = trace.streams[edge.from.0].time(edge.from.1);
+        let c_to = trace.streams[edge.to.0].time(edge.to.1);
         if c_from >= c_to {
             violations.push(format!(
                 "edge {:?} -> {:?}: C(cause)={} >= C(effect)={}",
@@ -167,7 +167,7 @@ pub fn assign_vector_clocks(trace: &Trace) -> Vec<Vec<Vec<u64>>> {
         .enumerate()
         .flat_map(|(l, s)| (0..s.len()).map(move |i| (l, i)))
         .collect();
-    order.sort_by_key(|&(l, i)| (trace.streams[l][i].time, l, i));
+    order.sort_by_key(|&(l, i)| (trace.streams[l].time(i), l, i));
     for (l, i) in order {
         let mut v = if i > 0 { clocks[l][i - 1].clone() } else { vec![0; n] };
         if let Some(sources) = incoming.get(&(l, i)) {
@@ -205,7 +205,7 @@ pub fn assign_lamport_postprocess(trace: &Trace) -> Vec<Vec<u64>> {
     let mut out: Vec<Vec<u64>> = trace.streams.iter().map(|s| vec![0; s.len()]).collect();
     let mut order: Vec<EventId> =
         (0..n).flat_map(|l| (0..trace.streams[l].len()).map(move |i| (l, i))).collect();
-    order.sort_by_key(|&(l, i)| (trace.streams[l][i].time, l, i));
+    order.sort_by_key(|&(l, i)| (trace.streams[l].time(i), l, i));
     for (l, i) in order {
         let mut c = if i > 0 { out[l][i - 1] } else { 0 };
         if let Some(sources) = incoming.get(&(l, i)) {
@@ -263,7 +263,7 @@ mod tests {
             Event::new(recv_complete_ts + 1, EventKind::Leave { region: r(2) }),
             Event::new(recv_complete_ts + 2, EventKind::Leave { region: r(0) }),
         ];
-        Trace { defs, streams: vec![s0, s1] }
+        Trace { defs, streams: vec![s0.into(), s1.into()] }
     }
 
     #[test]

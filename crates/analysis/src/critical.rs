@@ -75,12 +75,12 @@ pub fn critical_path(trace: &Trace) -> CriticalPath {
         .filter(|(_, s)| !s.is_empty())
         .max_by_key(|(l, s)| (s.last().unwrap().time, *l))
         .map(|(l, s)| (l, s.len() - 1));
-    let end_time = current.map_or(0, |(l, i)| trace.streams[l][i].time);
+    let end_time = current.map_or(0u64, |(l, i)| trace.streams[l].time(i));
     let start_time = trace.start_time();
 
     let mut contributions: Vec<(CallPathId, usize, u64)> = Vec::new();
     let mut events = Vec::new();
-    let ts = |e: EventId| trace.streams[e.0][e.1].time;
+    let ts = |e: EventId| trace.streams[e.0].time(e.1);
 
     while let Some(cur) = current {
         events.push(cur);
@@ -183,7 +183,7 @@ mod tests {
             Event::new(86, EventKind::Leave { region: r(3) }),
             Event::new(88, EventKind::Leave { region: r(0) }),
         ];
-        Trace { defs, streams: vec![s0, s1] }
+        Trace { defs, streams: vec![s0.into(), s1.into()] }
     }
 
     #[test]

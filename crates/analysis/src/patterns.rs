@@ -194,22 +194,46 @@ pub fn gather_barriers(
     threads_per_rank: u32,
 ) -> Vec<BarrierInstance> {
     let base = (rank * threads_per_rank) as usize;
-    let team: Vec<usize> = (base..base + threads_per_rank as usize).collect();
-    // region -> occurrence count so far, per thread handled by walking in
-    // stream order: group by (region, k).
-    let mut instances: HashMap<(u32, usize), Vec<(usize, usize)>> = HashMap::new();
-    for &loc in &team {
-        let mut occurrence: HashMap<u32, usize> = HashMap::new();
-        for (i, b) in locals[loc].barriers.iter().enumerate() {
-            let k = occurrence.entry(b.region.0).or_insert(0);
-            instances.entry((b.region.0, *k)).or_default().push((loc, i));
-            *k += 1;
+    let team = base..base + threads_per_rank as usize;
+    // Group by (region, k-th passage of that region) with dense per-region
+    // occurrence counters instead of hash maps. Output order is (region,
+    // k) ascending and members are in team-thread order — the same order
+    // the sorted map-based grouping produced.
+    let n_regions = team
+        .clone()
+        .flat_map(|loc| locals[loc].barriers.iter().map(|b| b.region.0 as usize + 1))
+        .max()
+        .unwrap_or(0);
+    // Occurrences of each region per thread; the region's instance count
+    // is the maximum over threads.
+    let mut occ = vec![0u32; n_regions];
+    let mut max_occ = vec![0u32; n_regions];
+    for loc in team.clone() {
+        occ.iter_mut().for_each(|o| *o = 0);
+        for b in &locals[loc].barriers {
+            occ[b.region.0 as usize] += 1;
+        }
+        for (m, &o) in max_occ.iter_mut().zip(&occ) {
+            *m = (*m).max(o);
         }
     }
-    type Occurrence = ((u32, usize), Vec<(usize, usize)>);
-    let mut out: Vec<Occurrence> = instances.into_iter().collect();
-    out.sort_by_key(|&((region, k), _)| (region, k));
-    out.into_iter().map(|(_, members)| BarrierInstance { members }).collect()
+    // Instance index = region offset + k, (region, k) ascending.
+    let mut offsets = vec![0usize; n_regions + 1];
+    for r in 0..n_regions {
+        offsets[r + 1] = offsets[r] + max_occ[r] as usize;
+    }
+    let mut out: Vec<BarrierInstance> =
+        (0..offsets[n_regions]).map(|_| BarrierInstance { members: Vec::new() }).collect();
+    for loc in team {
+        occ.iter_mut().for_each(|o| *o = 0);
+        for (i, b) in locals[loc].barriers.iter().enumerate() {
+            let r = b.region.0 as usize;
+            let k = occ[r] as usize;
+            occ[r] += 1;
+            out[offsets[r] + k].members.push((loc, i));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

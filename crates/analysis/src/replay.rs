@@ -171,7 +171,7 @@ pub fn replay(trace: &Trace) -> (CallTree, Vec<LocalReplay>) {
 
 fn replay_location(
     trace: &Trace,
-    stream: &[nrlt_trace::Event],
+    stream: &nrlt_trace::EventStream,
     tree: &mut CallTree,
 ) -> LocalReplay {
     let mut r = LocalReplay { first_ts: u64::MAX, ..Default::default() };
@@ -182,10 +182,12 @@ fn replay_location(
     let mut parallel_enter = 0u64;
     // Index of the currently open MPI instance (MPI calls do not nest).
     let mut open_mpi: Option<usize> = None;
+    // Running collective sequence number on this location.
+    let mut n_collectives = 0u64;
 
     let role_of = |region: RegionRef| trace.defs.region(region).role;
 
-    for ev in stream {
+    for ev in stream.iter() {
         let ts = ev.time;
         r.first_ts = r.first_ts.min(ts);
         r.last_ts = r.last_ts.max(ts);
@@ -280,7 +282,8 @@ fn replay_location(
             }
             EventKind::CollectiveEnd { op, .. } => {
                 let instance = open_mpi.expect("collective end outside an MPI region");
-                let seq = r.mpi_instances.iter().filter(|i| i.collective.is_some()).count() as u64;
+                let seq = n_collectives;
+                n_collectives += 1;
                 r.mpi_instances[instance].collective = Some((op, seq));
                 r.mpi_instances[instance].collective_end_ts = Some(ts);
                 r.syncs.push(ts);
@@ -347,14 +350,60 @@ pub fn prev_mpi_sync(r: &LocalReplay, t: u64) -> u64 {
 }
 
 fn prev_in(syncs: &[u64], t: u64) -> u64 {
-    match syncs.binary_search(&t) {
-        Ok(i) | Err(i) => {
-            if i == 0 {
-                0
-            } else {
-                syncs[i - 1]
-            }
+    let i = syncs.partition_point(|&x| x < t);
+    if i == 0 {
+        0
+    } else {
+        syncs[i - 1]
+    }
+}
+
+/// [`prev_sync`]/[`prev_mpi_sync`] with a rolling cursor: `hint` is the
+/// lower-bound index of the previous query, and the search gallops out
+/// from it — O(log distance) instead of O(log n) when consecutive
+/// queries land near each other, as the delay analysis's per-location
+/// wait streams do. Returns exactly what [`prev_sync`]/[`prev_mpi_sync`]
+/// return and updates `hint` for the next call.
+pub fn prev_sync_hinted(r: &LocalReplay, t: u64, inter_process: bool, hint: &mut usize) -> u64 {
+    let syncs: &[u64] = if inter_process { &r.mpi_syncs } else { &r.syncs };
+    let i = lower_bound_from(syncs, t, *hint);
+    *hint = i;
+    if i == 0 {
+        0
+    } else {
+        syncs[i - 1]
+    }
+}
+
+/// First index `j` with `xs[j] >= t` (the `partition_point` of `< t`),
+/// located by galloping out from `hint` instead of bisecting the whole
+/// slice. Exact: returns the same index for any `hint`.
+pub(crate) fn lower_bound_from(xs: &[u64], t: u64, hint: usize) -> usize {
+    let n = xs.len();
+    let h = hint.min(n);
+    if h < n && xs[h] < t {
+        // Boundary is to the right of the hint: widen the bracket
+        // exponentially, then bisect the final window.
+        let mut lo = h; // xs[lo] < t
+        let mut hi = h + 1;
+        let mut step = 1usize;
+        while hi < n && xs[hi] < t {
+            lo = hi;
+            hi = (hi + step).min(n);
+            step <<= 1;
         }
+        lo + 1 + xs[lo + 1..hi.min(n)].partition_point(|&x| x < t)
+    } else {
+        // Boundary is at or left of the hint.
+        let mut hi = h; // all of xs[h..] are >= t (or h == n)
+        let mut step = 1usize;
+        let mut lo = h;
+        while lo > 0 && xs[lo - 1] >= t {
+            hi = lo - 1;
+            lo = lo.saturating_sub(step);
+            step <<= 1;
+        }
+        lo + xs[lo..hi].partition_point(|&x| x < t)
     }
 }
 
@@ -393,7 +442,8 @@ mod tests {
                 ev(40, EventKind::RecvComplete { peer: 1, tag: 0, bytes: 8 }),
                 ev(42, EventKind::Leave { region: r1 }),
                 ev(50, EventKind::Leave { region: r0 }),
-            ]],
+            ]
+            .into()],
         };
         let (tree, locals) = replay(&trace);
         let r = &locals[0];
@@ -423,7 +473,8 @@ mod tests {
                 ev(0, EventKind::Enter { region: r0 }),
                 ev(30, EventKind::CallBurst { region: r2, count: 5, start: 10 }),
                 ev(50, EventKind::Leave { region: r0 }),
-            ]],
+            ]
+            .into()],
         };
         let (tree, locals) = replay(&trace);
         let r = &locals[0];
@@ -459,10 +510,40 @@ mod tests {
         stream.extend(mk_coll(10));
         stream.extend(mk_coll(30));
         stream.push(ev(50, EventKind::Leave { region: r0 }));
-        let trace = Trace { defs: defs(), streams: vec![stream] };
+        let trace = Trace { defs: defs(), streams: vec![stream.into()] };
         let (_, locals) = replay(&trace);
         let colls: Vec<u64> =
             locals[0].mpi_instances.iter().filter_map(|i| i.collective.map(|(_, s)| s)).collect();
         assert_eq!(colls, vec![0, 1]);
+    }
+
+    #[test]
+    fn lower_bound_from_is_exact_for_any_hint() {
+        let xs = [5u64, 5, 10, 10, 10, 20, 35];
+        for t in 0..40u64 {
+            let want = xs.partition_point(|&x| x < t);
+            for hint in 0..=xs.len() + 2 {
+                assert_eq!(lower_bound_from(&xs, t, hint), want, "t={t} hint={hint}");
+            }
+        }
+        assert_eq!(lower_bound_from(&[], 7, 0), 0);
+        assert_eq!(lower_bound_from(&[], 7, 3), 0);
+    }
+
+    #[test]
+    fn hinted_prev_sync_matches_unhinted() {
+        let r = LocalReplay {
+            syncs: vec![3, 9, 9, 14, 30],
+            mpi_syncs: vec![9, 30],
+            ..Default::default()
+        };
+        for t in 0..35u64 {
+            for hint0 in 0..7usize {
+                let mut hint = hint0;
+                assert_eq!(prev_sync_hinted(&r, t, false, &mut hint), prev_sync(&r, t));
+                let mut hint = hint0;
+                assert_eq!(prev_sync_hinted(&r, t, true, &mut hint), prev_mpi_sync(&r, t));
+            }
+        }
     }
 }

@@ -146,9 +146,12 @@ impl<'a> DurationModel<'a> {
         let numa = self.placement.numa_of(loc);
         let socket = self.placement.socket_of(loc);
 
-        // CPU term.
+        // CPU term. All noise channels of this kernel are pre-drawn in
+        // one interleaved ChaCha batch; stream keys and positions match
+        // the per-channel draws, so the factors are bit-identical.
+        let mut kn = self.noise.kernel_noise(core.0 as u64, instance, cost.mem_bytes != 0, prof);
         let cpu_base = spec.cpu_time(cost.instructions);
-        let cpu = cpu_base * self.noise.cpu_factor_prof(core.0 as u64, instance, prof);
+        let cpu = cpu_base * kn.cpu_factor;
 
         // Memory term.
         let mem = if cost.mem_bytes == 0 {
@@ -202,9 +205,7 @@ impl<'a> DurationModel<'a> {
                 1.0
             };
             let mem_clean = memory_time(cost.mem_bytes, dram_frac, dram_bw, cache_bw) * remote;
-            let mem = mem_clean
-                * self.noise.mem_bias_prof(core.0 as u64, prof)
-                * self.noise.mem_factor_prof(core.0 as u64, instance, prof);
+            let mem = mem_clean * kn.mem_bias * kn.mem_factor;
             if let Some(p) = probe.as_deref_mut() {
                 p.active_in_domain = active_in_domain;
                 p.active_on_socket = active_on_socket;
@@ -216,7 +217,7 @@ impl<'a> DurationModel<'a> {
 
         // Roofline: CPU and memory overlap; the slower resource dominates.
         let base = cpu.max(mem);
-        let detour = self.noise.detour_time_prof(core.0 as u64, instance, base, prof);
+        let detour = self.noise.detour_time_warmed(&mut kn, base, prof);
         if let Some(p) = probe {
             p.numa = numa.0;
             p.socket = socket.0;
@@ -349,7 +350,26 @@ mod tests {
         );
         assert_eq!(plain, profiled, "profiling must not change the priced duration");
         let (_, d) = run.finish();
-        // cpu jitter + mem bias + mem jitter + detour = 4 draws.
+        // cpu jitter + mem jitter + detour = 3 draws; the per-core mem
+        // bias was memoised by the unprofiled call above.
+        assert_eq!(d.kinds[EventKind::NoiseDraw.index()].count, 3);
+
+        // On a model whose bias cache is still cold, the filling bias
+        // draw is counted too.
+        let n2 = NoiseModel::new(NoiseConfig::realistic(), RngFactory::new(1));
+        let m2 = DurationModel::new(&p, &n2);
+        let run = RunProf::new("r2");
+        let again = m2.kernel_duration_instrumented(
+            loc,
+            &cost,
+            1 << 20,
+            ExecPhase::Serial,
+            3,
+            None,
+            Some(&run),
+        );
+        assert_eq!(again, plain);
+        let (_, d) = run.finish();
         assert_eq!(d.kinds[EventKind::NoiseDraw.index()].count, 4);
     }
 

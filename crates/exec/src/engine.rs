@@ -13,6 +13,7 @@
 
 use crate::config::ExecConfig;
 use crate::duration::{DurationModel, ExecPhase, KernelProbe};
+use crate::ladder::LadderQueue;
 use crate::observer::{EventInfo, Observer, RuntimeKind, WorkItem};
 use crate::regions::{collective_kind, implicit_barrier_of, parallel_regions, prepare_regions};
 use crate::result::ExecResult;
@@ -221,6 +222,132 @@ struct RankState {
     done: bool,
 }
 
+/// Virtual-time width of one ladder bucket (1 ms). Ranks of one job stay
+/// within a few milliseconds of each other between synchronisations, so
+/// the ready list rarely spills past the ring's 64-bucket horizon.
+const LADDER_BUCKET_NS: u64 = 1_000_000;
+
+/// Dense slots for the MPI API regions the engine resolves per op.
+/// Index = [`mpi_slot`]; replaces the old name-keyed ordered map with a
+/// flat arena — the op → region step is one array load in the hot loop.
+const MPI_REGION_NAMES: [&str; 13] = [
+    "MPI_Send",
+    "MPI_Recv",
+    "MPI_Isend",
+    "MPI_Irecv",
+    "MPI_Waitall",
+    "MPI_Barrier",
+    "MPI_Allreduce",
+    "MPI_Alltoall",
+    "MPI_Allgather",
+    "MPI_Bcast",
+    "MPI_Reduce",
+    "MPI_Iallreduce",
+    "MPI_Ibarrier",
+];
+
+/// The [`MPI_REGION_NAMES`] slot of an op (`RecvAny` shares `MPI_Recv`).
+fn mpi_slot(op: &MpiOp) -> usize {
+    match op {
+        MpiOp::Send { .. } => 0,
+        MpiOp::Recv { .. } | MpiOp::RecvAny { .. } => 1,
+        MpiOp::Isend { .. } => 2,
+        MpiOp::Irecv { .. } => 3,
+        MpiOp::Waitall => 4,
+        MpiOp::Barrier => 5,
+        MpiOp::Allreduce { .. } => 6,
+        MpiOp::Alltoall { .. } => 7,
+        MpiOp::Allgather { .. } => 8,
+        MpiOp::Bcast { .. } => 9,
+        MpiOp::Reduce { .. } => 10,
+        MpiOp::Iallreduce { .. } => 11,
+        MpiOp::Ibarrier => 12,
+    }
+}
+
+/// Per-channel FIFO sequence numbers behind the stable noise keys.
+///
+/// Channels are interned into dense ids on first use (the cold path);
+/// every later match bumps a slot in a flat `Vec` instead of walking an
+/// ordered map. The sequence assigned to a given message is a pure
+/// function of the per-channel match order, so the interning order —
+/// which does depend on engine processing order — never leaks into a
+/// result.
+#[derive(Debug, Default)]
+struct ChannelArena {
+    ids: BTreeMap<Channel, u32>,
+    seq: Vec<u64>,
+}
+
+impl ChannelArena {
+    /// Next FIFO sequence number of `channel` (0 on first use).
+    fn next_seq(&mut self, channel: Channel) -> u64 {
+        let n = self.seq.len();
+        let id = *self.ids.entry(channel).or_insert(n as u32);
+        if id as usize == n {
+            self.seq.push(0);
+        }
+        let s = self.seq[id as usize];
+        self.seq[id as usize] += 1;
+        s
+    }
+
+    /// Number of distinct channels seen.
+    fn len(&self) -> usize {
+        self.seq.len()
+    }
+}
+
+/// Blocked wildcard receives, FIFO per (dst rank, tag).
+///
+/// Wildcards are rare (none in the benchmark programs), so the book is a
+/// flat probe-by-scan arena rather than a map, and the total occupancy
+/// is maintained incrementally — the hot loop's gauges read a counter
+/// instead of summing queue lengths. Generic over the queued payload so
+/// the microbenchmarks can exercise the matching structure directly.
+#[derive(Debug)]
+pub struct WildcardBook<T> {
+    entries: Vec<((u32, u32), VecDeque<T>)>,
+    depth: usize,
+}
+
+impl<T> Default for WildcardBook<T> {
+    fn default() -> WildcardBook<T> {
+        WildcardBook { entries: Vec::new(), depth: 0 }
+    }
+}
+
+impl<T> WildcardBook<T> {
+    /// Queue a blocked wildcard receive on (dst, tag).
+    /// Returns true when a new (dst, tag) entry had to be created.
+    pub fn push(&mut self, key: (u32, u32), info: T) -> bool {
+        self.depth += 1;
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, q)) => {
+                q.push_back(info);
+                false
+            }
+            None => {
+                self.entries.push((key, VecDeque::from([info])));
+                true
+            }
+        }
+    }
+
+    /// Dequeue the oldest waiter on (dst, tag), if any.
+    pub fn pop(&mut self, key: (u32, u32)) -> Option<T> {
+        let info =
+            self.entries.iter_mut().find(|(k, _)| *k == key).and_then(|(_, q)| q.pop_front());
+        self.depth -= info.is_some() as usize;
+        info
+    }
+
+    /// Total waiters across all (dst, tag) keys, maintained incrementally.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
 /// Reusable per-engine scratch buffers (see `Engine::scratch`).
 #[derive(Debug, Default)]
 struct Scratch {
@@ -262,18 +389,25 @@ struct Engine<'a, O: Observer> {
     desync: f64,
     states: Vec<RankState>,
     matcher: Matcher<SendInfo, RecvInfo>,
-    /// Blocked wildcard receives per (dst rank, tag), FIFO. Ordered
-    /// maps throughout: no engine state on a result path may depend on
-    /// hash iteration order.
-    wildcard_waiting: BTreeMap<(u32, u32), VecDeque<RecvInfo>>,
+    /// Blocked wildcard receives per (dst rank, tag), FIFO, with an
+    /// incrementally-maintained total occupancy. No engine state on a
+    /// result path may depend on hash iteration order.
+    wildcard: WildcardBook<RecvInfo>,
     collectives: Vec<CollInstance>,
-    channel_seq: BTreeMap<Channel, u64>,
-    mpi_region_ids: BTreeMap<&'static str, RegionId>,
+    /// Per-channel FIFO sequence numbers (stable noise keys).
+    channels: ChannelArena,
+    /// MPI API regions by [`mpi_slot`].
+    mpi_regions: [Option<RegionId>; 13],
     loc_last: Vec<VirtualTime>,
     kernel_seq: Vec<u64>,
-    worklist: VecDeque<u32>,
-    phase_open: Vec<BTreeMap<PhaseId, VirtualTime>>,
-    phase_total: Vec<BTreeMap<PhaseId, VirtualDuration>>,
+    /// Ready ranks, bucketed by virtual time with FIFO tie-break.
+    worklist: LadderQueue<u32>,
+    /// Open-phase start times, `[rank][phase id]` (dense arenas; the
+    /// result's ordered maps are built once at emission time).
+    phase_open: Vec<Vec<Option<VirtualTime>>>,
+    /// Accumulated phase totals, `[rank][phase id]`; `None` = the phase
+    /// never closed on that rank.
+    phase_total: Vec<Vec<Option<VirtualDuration>>>,
     /// Reusable scratch buffers for the OpenMP paths (team times, ready
     /// times, dynamic-chunk logs); cleared and refilled per construct so
     /// a run allocates them once instead of once per parallel region.
@@ -315,26 +449,8 @@ impl<'a, O: Observer> Engine<'a, O> {
         let n_locs = config.layout.locations() as usize;
         let footprint = observer.cache_footprint_per_location();
         let desync = observer.desync();
-        let mut mpi_region_ids = BTreeMap::new();
-        for name in [
-            "MPI_Send",
-            "MPI_Recv",
-            "MPI_Isend",
-            "MPI_Irecv",
-            "MPI_Waitall",
-            "MPI_Barrier",
-            "MPI_Allreduce",
-            "MPI_Alltoall",
-            "MPI_Allgather",
-            "MPI_Bcast",
-            "MPI_Reduce",
-            "MPI_Iallreduce",
-            "MPI_Ibarrier",
-        ] {
-            if let Some(id) = regions.find(name) {
-                mpi_region_ids.insert(name, id);
-            }
-        }
+        let mpi_regions = std::array::from_fn(|i| regions.find(MPI_REGION_NAMES[i]));
+        let n_phases = program.phases.len();
         Engine {
             program,
             regions,
@@ -355,15 +471,15 @@ impl<'a, O: Observer> Engine<'a, O> {
                 })
                 .collect(),
             matcher: Matcher::new(),
-            wildcard_waiting: BTreeMap::new(),
+            wildcard: WildcardBook::default(),
             collectives: Vec::new(),
-            channel_seq: BTreeMap::new(),
-            mpi_region_ids,
+            channels: ChannelArena::default(),
+            mpi_regions,
             loc_last: vec![VirtualTime::ZERO; n_locs],
             kernel_seq: vec![0; n_locs],
-            worklist: VecDeque::new(),
-            phase_open: vec![BTreeMap::new(); n_ranks],
-            phase_total: vec![BTreeMap::new(); n_ranks],
+            worklist: LadderQueue::new(LADDER_BUCKET_NS),
+            phase_open: vec![vec![None; n_phases]; n_ranks],
+            phase_total: vec![vec![None; n_phases]; n_ranks],
             scratch: Scratch::default(),
             tel,
             obs,
@@ -380,7 +496,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         for r in 0..self.states.len() as u32 {
             self.push_work(r);
         }
-        while let Some(r) = self.worklist.pop_front() {
+        while let Some(r) = self.worklist.pop() {
             if let Some(t) = self.tel {
                 t.observe("engine.ready_queue_depth", self.worklist.len() as u64 + 1);
             }
@@ -389,6 +505,11 @@ impl<'a, O: Observer> Engine<'a, O> {
                     "engine.worklist_depth",
                     self.phase_name(r),
                     self.worklist.len() as i64 + 1,
+                );
+                p.gauge(
+                    "engine.ladder_bucket",
+                    self.phase_name(r),
+                    self.worklist.current_bucket_len() as i64,
                 );
             }
             self.run_rank(r);
@@ -427,7 +548,8 @@ impl<'a, O: Observer> Engine<'a, O> {
             p.hwm("matcher.channel_depth", s.hwm_channel_depth);
             p.alloc("matcher.channel_queues", s.queues_created);
             p.hwm("engine.collective_instances", self.collectives.len() as u64);
-            p.hwm("engine.channels", self.channel_seq.len() as u64);
+            p.hwm("engine.channels", self.channels.len() as u64);
+            p.alloc("engine.ladder_respreads", self.worklist.respreads());
             p.hwm(
                 "rank.pending_requests",
                 self.states.iter().map(|s| s.pending.len()).max().unwrap_or(0) as u64,
@@ -438,8 +560,22 @@ impl<'a, O: Observer> Engine<'a, O> {
                 self.scratch.chunk_log.iter().map(Vec::capacity).sum::<usize>() as u64,
             );
         }
+        // The dense phase arenas are rebuilt as ordered maps once, at
+        // emission time: ascending phase-id iteration reproduces the
+        // ordering the per-rank BTreeMaps used to maintain on every write.
+        let phase_times = self
+            .phase_total
+            .iter()
+            .map(|totals| {
+                totals
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, d)| d.map(|d| (PhaseId(i as u32), d)))
+                    .collect::<BTreeMap<_, _>>()
+            })
+            .collect();
         ExecResult {
-            phase_times: self.phase_total,
+            phase_times,
             rank_end: self.states.iter().map(|s| s.time).collect(),
             total: total_end.saturating_since(VirtualTime::ZERO),
             events: self.n_events,
@@ -477,15 +613,10 @@ impl<'a, O: Observer> Engine<'a, O> {
         t.max(self.loc_last[self.loc_index(loc)])
     }
 
-    /// Enqueue rank `r` for (re)processing, counting worklist growth
-    /// against the profiler's allocation budget.
+    /// Enqueue rank `r` for (re)processing, keyed by the rank's current
+    /// virtual time so the ladder pops ranks in near-time order.
     fn push_work(&mut self, r: u32) {
-        if let Some(p) = self.prof {
-            if self.worklist.len() == self.worklist.capacity() {
-                p.alloc("engine.worklist", 1);
-            }
-        }
-        self.worklist.push_back(r);
+        self.worklist.push(self.states[r as usize].time.nanos(), r);
     }
 
     /// Record the matcher and wildcard queue depths as profiler gauges
@@ -494,8 +625,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         if let Some(p) = self.prof {
             let ph = self.phase_name(r);
             self.matcher.profile_queues(p, ph);
-            let wc: usize = self.wildcard_waiting.values().map(VecDeque::len).sum();
-            p.gauge("mpi.wildcard_queue", ph, wc as i64);
+            p.gauge("mpi.wildcard_queue", ph, self.wildcard.depth() as i64);
         }
     }
 
@@ -595,15 +725,12 @@ impl<'a, O: Observer> Engine<'a, O> {
             let seq = self.n_events;
             obs.sample("mpi.match_queue_sends", ph, t_ns, seq, self.matcher.pending_sends() as i64);
             obs.sample("mpi.match_queue_recvs", ph, t_ns, seq, self.matcher.pending_recvs() as i64);
-            let wc: usize = self.wildcard_waiting.values().map(VecDeque::len).sum();
-            obs.sample("mpi.wildcard_queue", ph, t_ns, seq, wc as i64);
+            obs.sample("mpi.wildcard_queue", ph, t_ns, seq, self.wildcard.depth() as i64);
         }
     }
 
     fn mpi_region(&self, op: &MpiOp) -> RegionId {
-        *self
-            .mpi_region_ids
-            .get(op.api_name())
+        self.mpi_regions[mpi_slot(op)]
             .unwrap_or_else(|| panic!("region for {} not prepared", op.api_name()))
     }
 
@@ -654,7 +781,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                 Action::Parallel(pr) => self.do_parallel(r, pr),
                 Action::PhaseStart(p) => {
                     let t = self.states[r as usize].time;
-                    self.phase_open[r as usize].insert(*p, t);
+                    self.phase_open[r as usize][p.0 as usize] = Some(t);
                     if self.obs.is_some() || self.prof.is_some() {
                         self.cur_phase[r as usize].push(*p);
                     }
@@ -664,11 +791,12 @@ impl<'a, O: Observer> Engine<'a, O> {
                 }
                 Action::PhaseEnd(p) => {
                     let t = self.states[r as usize].time;
-                    let start = self.phase_open[r as usize]
-                        .remove(p)
+                    let start = self.phase_open[r as usize][p.0 as usize]
+                        .take()
                         .expect("phase end without start (validate the program)");
                     let d = t.saturating_since(start);
-                    *self.phase_total[r as usize].entry(*p).or_insert(VirtualDuration::ZERO) += d;
+                    *self.phase_total[r as usize][p.0 as usize]
+                        .get_or_insert(VirtualDuration::ZERO) += d;
                     if self.obs.is_some() {
                         self.observe_progress(r, t);
                     }
@@ -857,16 +985,14 @@ impl<'a, O: Observer> Engine<'a, O> {
             self.matcher.post_send(channel, bytes, SendInfo { rank: r, req, post: t, piggyback })
         {
             self.resolve_match(channel, mtch.send.data, mtch.recv.data, bytes);
-        } else if let Some(waiters) = self.wildcard_waiting.get_mut(&(dest, tag)) {
+        } else if let Some(recv) = self.wildcard.pop((dest, tag)) {
             // A wildcard receive is already blocked on this (dst, tag):
             // hand it the send we just enqueued.
-            if let Some(recv) = waiters.pop_front() {
-                let send = self
-                    .matcher
-                    .take_last_send(channel)
-                    .expect("the send posted above is still pending");
-                self.resolve_match(channel, send.data, recv, bytes);
-            }
+            let send = self
+                .matcher
+                .take_last_send(channel)
+                .expect("the send posted above is still pending");
+            self.resolve_match(channel, send.data, recv, bytes);
         }
         self.observe_queues(r);
         self.prof_queues(r);
@@ -931,12 +1057,12 @@ impl<'a, O: Observer> Engine<'a, O> {
             let bytes = send.bytes;
             self.resolve_match(channel, send.data, info, bytes);
         } else {
-            if let Some(p) = self.prof {
-                if !self.wildcard_waiting.contains_key(&(r, tag)) {
+            let created = self.wildcard.push((r, tag), info);
+            if created {
+                if let Some(p) = self.prof {
                     p.alloc("mpi.wildcard_entry", 1);
                 }
             }
-            self.wildcard_waiting.entry((r, tag)).or_default().push_back(info);
         }
         self.observe_queues(r);
         self.prof_queues(r);
@@ -950,12 +1076,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         if let Some(p) = self.prof {
             p.enter(EventKind::Pt2ptMatch);
         }
-        let seq = {
-            let c = self.channel_seq.entry(channel).or_insert(0);
-            let v = *c;
-            *c += 1;
-            v
-        };
+        let seq = self.channels.next_seq(channel);
         // Stable noise key: independent of engine processing order.
         let entity = ((channel.src as u64) << 40)
             | ((channel.dst as u64) << 20)

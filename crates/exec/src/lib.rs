@@ -14,6 +14,7 @@
 pub mod config;
 pub mod duration;
 pub mod engine;
+pub mod ladder;
 pub mod observer;
 pub mod regions;
 pub mod result;
@@ -23,8 +24,9 @@ pub use duration::{DurationModel, ExecPhase, KernelProbe};
 pub use engine::{
     execute, execute_instrumented, execute_observed, execute_prepared,
     execute_prepared_instrumented, execute_prepared_observed, execute_prepared_telemetry,
-    execute_telemetry, ANY_SOURCE,
+    execute_telemetry, WildcardBook, ANY_SOURCE,
 };
+pub use ladder::LadderQueue;
 pub use observer::{EventInfo, NullObserver, Observer, RuntimeKind, WorkItem};
 pub use regions::{
     collective_kind, implicit_barrier_of, parallel_regions, prepare_regions, ParallelRegions,

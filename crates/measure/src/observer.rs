@@ -72,6 +72,67 @@ struct LocState {
     pending_omp_calls: u64,
     /// Hardware-counter read sequence (jitter stream key).
     read_seq: u64,
+    /// Cached spin-loop rate factor (lt_hwctr). The jitter stream is
+    /// keyed `(HwCounter, idx, u64::MAX)` — constant per location — so
+    /// the first draw's value is reused for every later spin.
+    spin_factor: Option<f64>,
+    /// Pre-drawn hwctr jitter factors for the next read sequences.
+    hw_batch: HwJitterBatch,
+}
+
+/// Four hardware-counter jitter factors drawn ahead of time.
+///
+/// Each factor still comes from its own keyed stream
+/// `(HwCounter, location, read_seq)` — the batch only *warms* four
+/// streams in one interleaved ChaCha pass, so the values are
+/// bit-identical to four scalar draws and the stream positions never
+/// depend on batching.
+#[derive(Debug, Clone)]
+struct HwJitterBatch {
+    factors: [f64; 4],
+    /// Next factor to hand out; 4 means "empty, refill".
+    next: usize,
+}
+
+impl Default for HwJitterBatch {
+    fn default() -> HwJitterBatch {
+        HwJitterBatch { factors: [1.0; 4], next: 4 }
+    }
+}
+
+/// Pre-converted overhead charges for the per-event combinations the
+/// observer emits. Every [`TracingObserver::charge`] call site passes a
+/// fixed combination of the (constant) [`OverheadParams`] fields, so the
+/// `f64 → VirtualDuration` conversions and nanosecond attributions are
+/// computed once per run instead of once per event. Burst charges scale
+/// with the call count and stay on the dynamic path.
+#[derive(Debug, Clone, Copy)]
+struct ChargeTable {
+    /// `sec(record_event)` and its attribution.
+    record: VirtualDuration,
+    record_ns: u64,
+    /// `sec(filter_check)` and its attribution.
+    filter: VirtualDuration,
+    filter_ns: u64,
+    /// `sec(record_event + piggyback_message)` (summed *before* the
+    /// conversion, exactly like the dynamic path) and the piggyback
+    /// attribution.
+    record_piggy: VirtualDuration,
+    piggy_ns: u64,
+}
+
+impl ChargeTable {
+    fn new(o: &OverheadParams) -> ChargeTable {
+        let sec = VirtualDuration::from_secs_f64;
+        ChargeTable {
+            record: sec(o.record_event),
+            record_ns: sec(o.record_event).nanos(),
+            filter: sec(o.filter_check),
+            filter_ns: sec(o.filter_check).nanos(),
+            record_piggy: sec(o.record_event + o.piggyback_message),
+            piggy_ns: sec(o.piggyback_message).nanos(),
+        }
+    }
 }
 
 /// Trace definition tables and sizing shared across the runs of one
@@ -136,8 +197,10 @@ pub struct TracingObserver<'a> {
     regions: &'a RegionTable,
     /// region id -> filtered?
     filtered: Vec<bool>,
+    /// Pre-converted per-event overhead charges.
+    charges: ChargeTable,
     states: Vec<LocState>,
-    streams: Vec<Vec<Event>>,
+    streams: Vec<nrlt_trace::EventStream>,
     defs: Definitions,
     rng: RngFactory,
     /// Instructions per second of one core (for hwctr conversions).
@@ -149,6 +212,7 @@ pub struct TracingObserver<'a> {
     n_recorded: u64,
     n_filtered: u64,
     n_flushes: u64,
+    n_hw_refills: u64,
     ovh_record_ns: u64,
     ovh_filter_ns: u64,
     ovh_piggyback_ns: u64,
@@ -193,6 +257,7 @@ impl<'a> TracingObserver<'a> {
         let spec = &exec_config.machine.spec;
         TracingObserver {
             instr_rate: spec.core_freq_hz * spec.ipc,
+            charges: ChargeTable::new(&config.overhead),
             config,
             regions,
             filtered,
@@ -209,6 +274,7 @@ impl<'a> TracingObserver<'a> {
             n_recorded: 0,
             n_filtered: 0,
             n_flushes: 0,
+            n_hw_refills: 0,
             ovh_record_ns: 0,
             ovh_filter_ns: 0,
             ovh_piggyback_ns: 0,
@@ -221,6 +287,7 @@ impl<'a> TracingObserver<'a> {
             t.add("measure.events_recorded", self.n_recorded);
             t.add("measure.events_filtered", self.n_filtered);
             t.add("measure.buffer_flushes", self.n_flushes);
+            t.add("measure.hwctr_batch_refills", self.n_hw_refills);
             t.add("measure.overhead.record_ns", self.ovh_record_ns);
             t.add("measure.overhead.filter_ns", self.ovh_filter_ns);
             t.add("measure.overhead.piggyback_ns", self.ovh_piggyback_ns);
@@ -272,8 +339,24 @@ impl<'a> TracingObserver<'a> {
                 if base > 0 && self.config.effort.hwctr_sigma > 0.0 {
                     let seq = st.read_seq;
                     st.read_seq += 1;
-                    let mut rng = self.rng.stream(StreamKind::HwCounter, idx as u64, seq);
-                    let f = jitter_factor(&mut rng, self.config.effort.hwctr_sigma);
+                    if st.hw_batch.next == 4 {
+                        let kind = StreamKind::HwCounter;
+                        let e = idx as u64;
+                        let mut streams = self.rng.stream4([
+                            (kind, e, seq),
+                            (kind, e, seq + 1),
+                            (kind, e, seq + 2),
+                            (kind, e, seq + 3),
+                        ]);
+                        for (k, s) in streams.iter_mut().enumerate() {
+                            st.hw_batch.factors[k] =
+                                jitter_factor(s, self.config.effort.hwctr_sigma);
+                        }
+                        st.hw_batch.next = 0;
+                        self.n_hw_refills += 1;
+                    }
+                    let f = st.hw_batch.factors[st.hw_batch.next];
+                    st.hw_batch.next += 1;
                     (base as f64 * f).round().max(0.0) as u64
                 } else {
                     base
@@ -316,12 +399,33 @@ impl<'a> TracingObserver<'a> {
     }
 
     /// Charge overhead back into the run, attributing it per category
-    /// (plain field adds — no telemetry work happens here).
+    /// (plain field adds — no telemetry work happens here). Only burst
+    /// events, whose charge scales with the call count, still take this
+    /// dynamic path; everything else uses the pre-converted table.
     fn charge(&mut self, record: f64, filter: f64, piggyback: f64) -> VirtualDuration {
         self.ovh_record_ns += Self::sec(record).nanos();
         self.ovh_filter_ns += Self::sec(filter).nanos();
         self.ovh_piggyback_ns += Self::sec(piggyback).nanos();
         Self::sec(record + filter + piggyback)
+    }
+
+    /// Charge one filtered-event check.
+    fn charge_filter(&mut self) -> VirtualDuration {
+        self.ovh_filter_ns += self.charges.filter_ns;
+        self.charges.filter
+    }
+
+    /// Charge one recorded event.
+    fn charge_record(&mut self) -> VirtualDuration {
+        self.ovh_record_ns += self.charges.record_ns;
+        self.charges.record
+    }
+
+    /// Charge one recorded event plus a piggyback message.
+    fn charge_record_piggy(&mut self) -> VirtualDuration {
+        self.ovh_record_ns += self.charges.record_ns;
+        self.ovh_piggyback_ns += self.charges.piggy_ns;
+        self.charges.record_piggy
     }
 }
 
@@ -389,10 +493,18 @@ impl<'a> Observer for TracingObserver<'a> {
         if self.config.mode == ClockMode::LtHwctr {
             let idx = self.loc_index(loc);
             // The spin-loop instruction rate is itself noisy: it varies
-            // per location and per repetition.
+            // per location and per repetition. The stream key is constant
+            // per location, so the factor is drawn once and cached.
             let rate_factor = if self.config.effort.spin_rate_sigma > 0.0 {
-                let mut rng = self.rng.stream(StreamKind::HwCounter, idx as u64, u64::MAX);
-                jitter_factor(&mut rng, self.config.effort.spin_rate_sigma)
+                match self.states[idx].spin_factor {
+                    Some(f) => f,
+                    None => {
+                        let mut rng = self.rng.stream(StreamKind::HwCounter, idx as u64, u64::MAX);
+                        let f = jitter_factor(&mut rng, self.config.effort.spin_rate_sigma);
+                        self.states[idx].spin_factor = Some(f);
+                        f
+                    }
+                }
             } else {
                 1.0
             };
@@ -406,33 +518,34 @@ impl<'a> Observer for TracingObserver<'a> {
 
     fn on_event(&mut self, loc: Location, now: VirtualTime, info: &EventInfo) -> VirtualDuration {
         let idx = self.loc_index(loc);
-        let o = self.config.overhead.clone();
         match *info {
             EventInfo::Enter { region } => {
                 if self.filtered[region.0 as usize] {
                     self.n_filtered += 1;
-                    return self.charge(0.0, o.filter_check, 0.0);
+                    return self.charge_filter();
                 }
                 let ts = self.timestamp(idx, now);
                 self.push(idx, ts, EventKind::Enter { region: RegionRef(region.0) });
                 self.n_recorded += 1;
-                self.charge(o.record_event, 0.0, 0.0)
+                self.charge_record()
             }
             EventInfo::Leave { region } => {
                 if self.filtered[region.0 as usize] {
                     self.n_filtered += 1;
-                    return self.charge(0.0, o.filter_check, 0.0);
+                    return self.charge_filter();
                 }
                 let ts = self.timestamp(idx, now);
                 self.push(idx, ts, EventKind::Leave { region: RegionRef(region.0) });
                 self.n_recorded += 1;
-                self.charge(o.record_event, 0.0, 0.0)
+                self.charge_record()
             }
             EventInfo::Burst { callee, calls, phys_start } => {
+                let (record_event, filter_check) =
+                    (self.config.overhead.record_event, self.config.overhead.filter_check);
                 if self.filtered[callee.0 as usize] {
                     // Runtime filtering still checks every call.
                     self.n_filtered += 2 * calls;
-                    return self.charge(0.0, o.filter_check * (2 * calls) as f64, 0.0);
+                    return self.charge(0.0, filter_check * (2 * calls) as f64, 0.0);
                 }
                 let (start, end) = match self.config.mode {
                     ClockMode::Tsc => {
@@ -457,25 +570,25 @@ impl<'a> Observer for TracingObserver<'a> {
                     EventKind::CallBurst { region: RegionRef(callee.0), count: calls, start },
                 );
                 self.n_recorded += 1;
-                self.charge(o.record_event * (2 * calls) as f64, 0.0, 0.0)
+                self.charge(record_event * (2 * calls) as f64, 0.0, 0.0)
             }
             EventInfo::SendPost { peer, tag, bytes } => {
                 let ts = self.timestamp(idx, now);
                 self.push(idx, ts, EventKind::SendPost { peer, tag, bytes });
                 self.n_recorded += 1;
-                self.charge(o.record_event, 0.0, o.piggyback_message)
+                self.charge_record_piggy()
             }
             EventInfo::RecvPost { peer, tag, bytes } => {
                 let ts = self.timestamp(idx, now);
                 self.push(idx, ts, EventKind::RecvPost { peer, tag, bytes });
                 self.n_recorded += 1;
-                self.charge(o.record_event, 0.0, 0.0)
+                self.charge_record()
             }
             EventInfo::RecvComplete { peer, tag, bytes } => {
                 let ts = self.timestamp(idx, now);
                 self.push(idx, ts, EventKind::RecvComplete { peer, tag, bytes });
                 self.n_recorded += 1;
-                self.charge(o.record_event, 0.0, o.piggyback_message)
+                self.charge_record_piggy()
             }
             EventInfo::CollectiveEnd { op, bytes, root } => {
                 let ts = self.timestamp(idx, now);
@@ -489,7 +602,7 @@ impl<'a> Observer for TracingObserver<'a> {
                     },
                 );
                 self.n_recorded += 1;
-                self.charge(o.record_event, 0.0, o.piggyback_message)
+                self.charge_record_piggy()
             }
         }
     }
@@ -559,8 +672,8 @@ mod tests {
         obs.on_event(loc, VirtualTime(100), &EventInfo::Enter { region: r });
         obs.on_event(loc, VirtualTime(200), &EventInfo::Leave { region: r });
         let trace = obs.into_trace();
-        assert_eq!(trace.streams[0][0].time, 1);
-        assert_eq!(trace.streams[0][1].time, 2);
+        assert_eq!(trace.streams[0].time(0), 1);
+        assert_eq!(trace.streams[0].time(1), 2);
     }
 
     #[test]
@@ -570,7 +683,7 @@ mod tests {
         let loc = Location::master(0);
         obs.on_event(loc, VirtualTime(12345), &EventInfo::Enter { region: RegionId(0) });
         let trace = obs.into_trace();
-        assert_eq!(trace.streams[0][0].time, 12345);
+        assert_eq!(trace.streams[0].time(0), 12345);
         assert_eq!(trace.defs.clock, ClockKind::Physical);
     }
 
@@ -590,7 +703,7 @@ mod tests {
         );
         obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(0) });
         let trace = obs.into_trace();
-        assert_eq!(trace.streams[0][0].time, 51); // 50 iters + 1
+        assert_eq!(trace.streams[0].time(0), 51); // 50 iters + 1
     }
 
     #[test]
@@ -606,7 +719,7 @@ mod tests {
         obs.on_runtime(loc, RuntimeKind::Omp, VirtualDuration(100));
         obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(0) });
         let trace = obs.into_trace();
-        assert_eq!(trace.streams[0][0].time, 40 + 100 + 1); // bb + X + event
+        assert_eq!(trace.streams[0].time(0), 40 + 100 + 1); // bb + X + event
     }
 
     #[test]
@@ -617,7 +730,7 @@ mod tests {
         obs.on_runtime(loc, RuntimeKind::Omp, VirtualDuration(100));
         obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(0) });
         let trace = obs.into_trace();
-        assert_eq!(trace.streams[0][0].time, 4300 + 1);
+        assert_eq!(trace.streams[0].time(0), 4300 + 1);
     }
 
     #[test]
@@ -632,7 +745,7 @@ mod tests {
         obs.on_event(loc, VirtualTime(1), &EventInfo::Enter { region: RegionId(0) });
         let trace = obs.into_trace();
         // 10us at 2.25GHz × 2 IPC × 0.6 = 27000 instructions.
-        assert_eq!(trace.streams[0][0].time, 27_000 + 1);
+        assert_eq!(trace.streams[0].time(0), 27_000 + 1);
     }
 
     #[test]
@@ -660,11 +773,11 @@ mod tests {
             &EventInfo::Burst { callee: RegionId(1), calls: 10, phys_start: VirtualTime(1) },
         );
         let trace = obs.into_trace();
-        match trace.streams[0][1].kind {
+        match trace.streams[0].kind(1) {
             EventKind::CallBurst { count, start, .. } => {
                 assert_eq!(count, 10);
                 assert_eq!(start, 2); // after the Enter at 1
-                assert_eq!(trace.streams[0][1].time, 1 + 20); // 10 calls × 2 events
+                assert_eq!(trace.streams[0].time(1), 1 + 20); // 10 calls × 2 events
             }
             ref other => panic!("expected burst, got {other:?}"),
         }

@@ -29,9 +29,9 @@ pub mod rng;
 pub mod time;
 pub mod topology;
 
-pub use chacha::ChaCha8;
+pub use chacha::{warm4, ChaCha8};
 pub use memory::{cache_bandwidth_share, dram_fraction, memory_time, shared_bandwidth};
-pub use noise::{NoiseConfig, NoiseModel};
+pub use noise::{KernelNoise, NoiseConfig, NoiseModel, NOISE_BATCH_SITE};
 pub use placement::{JobLayout, Location, PinPolicy, Placement};
 pub use rng::{jitter_factor, RngFactory, StreamKind};
 pub use time::{VirtualDuration, VirtualTime};

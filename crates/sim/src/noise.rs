@@ -20,8 +20,19 @@
 //! reproduces an idealised noise-free machine — useful in tests to verify
 //! that logical and physical measurements coincide structurally.
 
+use crate::chacha::ChaCha8;
 use crate::rng::{jitter_factor, RngFactory, StreamKind};
 use nrlt_engineprof::{EventKind, RunProf};
+use std::cell::RefCell;
+
+/// Largest core id the per-core bias cache will grow to cover; draws for
+/// cores beyond it stay uncached (they are equally deterministic, just
+/// re-derived).
+const BIAS_CACHE_MAX_CORES: u64 = 1 << 16;
+
+/// Engine-profiler allocation site counting interleaved ChaCha warm-ups
+/// (one count = one four-lane first-block batch).
+pub const NOISE_BATCH_SITE: &str = "noise.warm_batch";
 
 /// Tunable noise intensities. All default values are calibrated so that
 /// uninstrumented run-to-run variation stays in the low single-digit
@@ -101,16 +112,24 @@ impl Default for NoiseConfig {
 }
 
 /// Stateless sampler bound to one experiment repetition.
+///
+/// ("Stateless" refers to the draws: every factor is a pure function of
+/// the stream key. The per-core memory-bias cache below only memoises
+/// those pure values — it never changes what a draw returns.)
 #[derive(Debug, Clone)]
 pub struct NoiseModel {
     config: NoiseConfig,
     rng: RngFactory,
+    /// Memoised [`mem_bias`](Self::mem_bias) per core (`NaN` = not yet
+    /// drawn). The bias stream key is `(MemBias, core, 0)` — constant for
+    /// the whole repetition — so the first draw fixes the value.
+    bias_cache: RefCell<Vec<f64>>,
 }
 
 impl NoiseModel {
     /// Bind `config` to the RNG streams of one repetition.
     pub fn new(config: NoiseConfig, rng: RngFactory) -> Self {
-        NoiseModel { config, rng }
+        NoiseModel { config, rng, bias_cache: RefCell::new(Vec::new()) }
     }
 
     /// The configuration in effect.
@@ -162,12 +181,34 @@ impl NoiseModel {
     }
 
     /// Persistent memory-speed factor of `core` for this repetition.
+    ///
+    /// The stream key `(MemBias, core, 0)` carries no instance, so the
+    /// value is constant per core — it is drawn once and memoised.
     pub fn mem_bias(&self, core: u64) -> f64 {
         if self.config.mem_bias_sigma == 0.0 {
             return 1.0;
         }
+        if let Some(&f) = self.bias_cache.borrow().get(core as usize) {
+            if !f.is_nan() {
+                return f;
+            }
+        }
         let mut rng = self.rng.stream(StreamKind::MemBias, core, 0);
-        jitter_factor(&mut rng, self.config.mem_bias_sigma)
+        let f = jitter_factor(&mut rng, self.config.mem_bias_sigma);
+        if core < BIAS_CACHE_MAX_CORES {
+            let mut cache = self.bias_cache.borrow_mut();
+            if cache.len() <= core as usize {
+                cache.resize(core as usize + 1, f64::NAN);
+            }
+            cache[core as usize] = f;
+        }
+        f
+    }
+
+    /// True if [`mem_bias`](Self::mem_bias) for `core` is already
+    /// memoised (no ChaCha work left to do).
+    fn bias_cached(&self, core: u64) -> bool {
+        self.bias_cache.borrow().get(core as usize).is_some_and(|f| !f.is_nan())
     }
 
     /// Multiplicative factor on the transfer time of message or collective
@@ -236,10 +277,12 @@ impl NoiseModel {
     }
 
     /// [`mem_bias`](Self::mem_bias), counting the draw against `prof`
-    /// when profiling is on and the bias channel actually draws.
+    /// when profiling is on and the bias channel actually draws — i.e.
+    /// on the first, cache-filling call per core; memoised hits do no
+    /// ChaCha work and are not counted.
     pub fn mem_bias_prof(&self, core: u64, prof: Option<&RunProf>) -> f64 {
         match prof {
-            Some(p) if self.config.mem_bias_sigma != 0.0 => {
+            Some(p) if self.config.mem_bias_sigma != 0.0 && !self.bias_cached(core) => {
                 p.enter(EventKind::NoiseDraw);
                 let f = self.mem_bias(core);
                 p.leave(EventKind::NoiseDraw, 0);
@@ -262,6 +305,146 @@ impl NoiseModel {
             }
             _ => self.net_factor(msg_id),
         }
+    }
+
+    /// Pre-draw every noise channel of one kernel in a single interleaved
+    /// ChaCha batch.
+    ///
+    /// The batch derives the cpu-jitter, mem-jitter, and OS-detour stream
+    /// keys exactly as the per-channel calls would and computes their
+    /// first keystream blocks together ([`RngFactory::stream4`]), so each
+    /// channel sees an identical stream position and the returned factors
+    /// are bit-for-bit the values of [`cpu_factor`](Self::cpu_factor) /
+    /// [`mem_factor`](Self::mem_factor); the detour stream is handed back
+    /// warmed for [`detour_time_warmed`](Self::detour_time_warmed). When
+    /// fewer than two channels are live the batch would waste block
+    /// computations, so the call falls through to the scalar paths.
+    ///
+    /// Draw accounting against `prof` is unchanged: one `NoiseDraw` per
+    /// channel that actually derives a value, plus one
+    /// [`NOISE_BATCH_SITE`] allocation count per interleaved warm-up.
+    pub fn kernel_noise(
+        &self,
+        core: u64,
+        instance: u64,
+        want_mem: bool,
+        prof: Option<&RunProf>,
+    ) -> KernelNoise {
+        let cpu_on = self.config.cpu_sigma != 0.0;
+        let mem_on = want_mem && self.config.mem_sigma != 0.0;
+        let det_on = self.config.detour_rate != 0.0 && self.config.detour_mean != 0.0;
+        if (cpu_on as u32) + (mem_on as u32) + (det_on as u32) < 2 {
+            return KernelNoise {
+                cpu_factor: self.cpu_factor_prof(core, instance, prof),
+                mem_bias: if want_mem { self.mem_bias_prof(core, prof) } else { 1.0 },
+                mem_factor: if want_mem { self.mem_factor_prof(core, instance, prof) } else { 1.0 },
+                core,
+                instance,
+                detour: None,
+            };
+        }
+        // Lane 3 pads the SIMD batch (its block is discarded); streams
+        // are keyed independently, so computing an unused block changes
+        // nothing downstream.
+        let [mut cpu_rng, mut mem_rng, det_rng, _] = self.rng.stream4([
+            (StreamKind::KernelJitter, core, instance),
+            (StreamKind::KernelJitter, core, instance.wrapping_add(1 << 32)),
+            (StreamKind::OsDetour, core, instance),
+            (StreamKind::OsDetour, core, instance),
+        ]);
+        if let Some(p) = prof {
+            p.alloc(NOISE_BATCH_SITE, 1);
+        }
+        let cpu_factor = if cpu_on {
+            count_draw(prof, || jitter_factor(&mut cpu_rng, self.config.cpu_sigma))
+        } else {
+            1.0
+        };
+        let mem_bias = if want_mem { self.mem_bias_prof(core, prof) } else { 1.0 };
+        let mem_factor = if mem_on {
+            count_draw(prof, || jitter_factor(&mut mem_rng, self.config.mem_sigma))
+        } else {
+            1.0
+        };
+        KernelNoise {
+            cpu_factor,
+            mem_bias,
+            mem_factor,
+            core,
+            instance,
+            detour: det_on.then_some(det_rng),
+        }
+    }
+
+    /// [`detour_time`](Self::detour_time) drawn from the stream warmed by
+    /// [`kernel_noise`](Self::kernel_noise); identical values, the block
+    /// is just already computed. Falls back to the scalar path when the
+    /// batch skipped the detour lane. Counts one `NoiseDraw` against
+    /// `prof` when the channel actually draws, attributing the stolen
+    /// time as virtual nanoseconds, exactly like
+    /// [`detour_time_prof`](Self::detour_time_prof).
+    pub fn detour_time_warmed(
+        &self,
+        kn: &mut KernelNoise,
+        span_secs: f64,
+        prof: Option<&RunProf>,
+    ) -> f64 {
+        let Some(mut rng) = kn.detour.take() else {
+            return self.detour_time_prof(kn.core, kn.instance, span_secs, prof);
+        };
+        if span_secs <= 0.0 {
+            return 0.0;
+        }
+        let draw = |rng: &mut ChaCha8| {
+            let mean_events = self.config.detour_rate * span_secs;
+            let n = poisson(rng, mean_events);
+            let mut total = 0.0;
+            for _ in 0..n {
+                let u: f64 = rng.range_f64(f64::EPSILON, 1.0);
+                total += -self.config.detour_mean * u.ln();
+            }
+            total
+        };
+        match prof {
+            Some(p) => {
+                p.enter(EventKind::NoiseDraw);
+                let t = draw(&mut rng);
+                p.leave(EventKind::NoiseDraw, (t * 1e9) as u64);
+                t
+            }
+            None => draw(&mut rng),
+        }
+    }
+}
+
+/// One kernel's pre-drawn noise, produced by
+/// [`NoiseModel::kernel_noise`]: the multiplicative factors plus a warmed
+/// OS-detour stream consumed later by
+/// [`NoiseModel::detour_time_warmed`] (the detour's span is only known
+/// once the cpu/mem roofline is priced).
+#[derive(Debug)]
+pub struct KernelNoise {
+    /// Multiplicative factor on the kernel's CPU term.
+    pub cpu_factor: f64,
+    /// Persistent per-core memory-speed bias.
+    pub mem_bias: f64,
+    /// Multiplicative factor on the kernel's memory term.
+    pub mem_factor: f64,
+    core: u64,
+    instance: u64,
+    detour: Option<ChaCha8>,
+}
+
+/// Run `f` inside a `NoiseDraw` enter/leave pair when profiling is on.
+fn count_draw(prof: Option<&RunProf>, f: impl FnOnce() -> f64) -> f64 {
+    match prof {
+        Some(p) => {
+            p.enter(EventKind::NoiseDraw);
+            let v = f();
+            p.leave(EventKind::NoiseDraw, 0);
+            v
+        }
+        None => f(),
     }
 }
 
@@ -355,6 +538,86 @@ mod tests {
         assert_eq!(m.detour_time_prof(0, 0, 0.0, Some(&run)), 0.0);
         let (_, d) = run.finish();
         assert_eq!(d.kinds[EventKind::NoiseDraw.index()].count, 5);
+    }
+
+    #[test]
+    fn mem_bias_memoisation_is_transparent() {
+        let m = model(NoiseConfig::realistic());
+        let fresh = model(NoiseConfig::realistic());
+        let first = m.mem_bias(3);
+        assert_eq!(first, m.mem_bias(3), "memoised hit must return the drawn value");
+        assert_eq!(first, fresh.mem_bias(3), "cache must not change the drawn value");
+        // Beyond the cache bound the draw is simply re-derived.
+        let far = BIAS_CACHE_MAX_CORES + 7;
+        assert_eq!(m.mem_bias(far), fresh.mem_bias(far));
+    }
+
+    #[test]
+    fn mem_bias_prof_counts_only_the_filling_draw() {
+        let m = model(NoiseConfig::realistic());
+        let run = RunProf::new("b");
+        assert_eq!(m.mem_bias_prof(2, Some(&run)), m.mem_bias(2));
+        // Second call hits the cache: no ChaCha work, no count.
+        assert_eq!(m.mem_bias_prof(2, Some(&run)), m.mem_bias(2));
+        let (_, d) = run.finish();
+        assert_eq!(d.kinds[EventKind::NoiseDraw.index()].count, 1);
+    }
+
+    #[test]
+    fn kernel_noise_batch_matches_scalar_draws() {
+        let m = model(NoiseConfig::realistic());
+        let scalar = model(NoiseConfig::realistic());
+        for instance in 0..50u64 {
+            let mut kn = m.kernel_noise(1, instance, true, None);
+            assert_eq!(kn.cpu_factor, scalar.cpu_factor(1, instance));
+            assert_eq!(kn.mem_bias, scalar.mem_bias(1));
+            assert_eq!(kn.mem_factor, scalar.mem_factor(1, instance));
+            let span = 0.001 * (instance + 1) as f64;
+            assert_eq!(
+                m.detour_time_warmed(&mut kn, span, None),
+                scalar.detour_time(1, instance, span),
+                "warmed detour stream must continue the scalar keystream (instance {instance})"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_noise_without_mem_skips_mem_channels() {
+        let m = model(NoiseConfig::realistic());
+        let kn = m.kernel_noise(0, 4, false, None);
+        assert_eq!(kn.mem_bias, 1.0);
+        assert_eq!(kn.mem_factor, 1.0);
+        assert_eq!(kn.cpu_factor, m.cpu_factor(0, 4));
+    }
+
+    #[test]
+    fn kernel_noise_scalar_fallback_matches() {
+        // Only the detour channel live: below the batch threshold.
+        let cfg = NoiseConfig { detour_rate: 100.0, detour_mean: 1e-5, ..NoiseConfig::silent() };
+        let m = model(cfg.clone());
+        let scalar = model(cfg);
+        let mut kn = m.kernel_noise(0, 9, true, None);
+        assert_eq!(kn.cpu_factor, 1.0);
+        assert_eq!(kn.mem_factor, 1.0);
+        assert_eq!(m.detour_time_warmed(&mut kn, 0.002, None), scalar.detour_time(0, 9, 0.002));
+    }
+
+    #[test]
+    fn kernel_noise_counts_draws_and_batches() {
+        let m = model(NoiseConfig::realistic());
+        let run = RunProf::new("k");
+        let mut kn = m.kernel_noise(0, 0, true, Some(&run));
+        let _ = m.detour_time_warmed(&mut kn, 0.001, Some(&run));
+        // Same core again: the bias is memoised, so one draw fewer.
+        let mut kn = m.kernel_noise(0, 1, true, Some(&run));
+        let _ = m.detour_time_warmed(&mut kn, 0.001, Some(&run));
+        // Zero span: the detour channel does not draw.
+        let mut kn = m.kernel_noise(0, 2, true, Some(&run));
+        let _ = m.detour_time_warmed(&mut kn, 0.0, Some(&run));
+        let (_, d) = run.finish();
+        // (cpu+bias+mem+detour) + (cpu+mem+detour) + (cpu+mem) = 9.
+        assert_eq!(d.kinds[EventKind::NoiseDraw.index()].count, 9);
+        assert_eq!(d.allocs.get(NOISE_BATCH_SITE).copied(), Some(3));
     }
 
     #[test]

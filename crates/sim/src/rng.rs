@@ -61,6 +61,12 @@ impl RngFactory {
     /// `instance` distinguishes successive uses by the same entity when a
     /// fresh stream per use is wanted (e.g. one stream per message).
     pub fn stream(&self, kind: StreamKind, entity: u64, instance: u64) -> ChaCha8 {
+        ChaCha8::from_seed(self.stream_key(kind, entity, instance))
+    }
+
+    /// The 256-bit ChaCha key that [`stream`](Self::stream) would seed
+    /// for `(kind, entity, instance)`.
+    pub fn stream_key(&self, kind: StreamKind, entity: u64, instance: u64) -> [u8; 32] {
         let mut key = [0u8; 32];
         key[..8].copy_from_slice(&self.seed.to_le_bytes());
         key[8..16].copy_from_slice(&(kind as u64).to_le_bytes());
@@ -76,7 +82,16 @@ impl RngFactory {
             x ^= x >> 31;
             chunk.copy_from_slice(&x.to_le_bytes());
         }
-        ChaCha8::from_seed(key)
+        key
+    }
+
+    /// Derive four streams at once, computing their first keystream
+    /// blocks in a single interleaved ChaCha pass. Each returned stream
+    /// is positioned identically to `self.stream(kind, entity, instance)`
+    /// — same key, same keystream from the first word on — so batching
+    /// never changes what a consumer draws.
+    pub fn stream4(&self, specs: [(StreamKind, u64, u64); 4]) -> [ChaCha8; 4] {
+        crate::chacha::warm4(specs.map(|(k, e, i)| self.stream_key(k, e, i)))
     }
 }
 

@@ -347,7 +347,7 @@ mod tests {
             Event::new(10, EventKind::CallBurst { region: RegionRef(0), count: 2, start: 5 }),
             Event::new(20, EventKind::Leave { region: RegionRef(0) }),
         ];
-        let trace = Trace { defs, streams: vec![stream] };
+        let trace = Trace { defs, streams: vec![stream.into()] };
         let doc = trace_to_chrome(&trace);
         let v = json::parse(&doc).expect("escaped region names still parse");
         let evs = v.get("traceEvents").unwrap().as_arr().unwrap();

@@ -35,7 +35,8 @@ fn two_rank_trace(clock: ClockKind) -> Trace {
                 Event::new(20, EventKind::Leave { region: send }),
                 Event::new(35, EventKind::CallBurst { region: main, count: 4, start: 25 }),
                 Event::new(40, EventKind::Leave { region: main }),
-            ],
+            ]
+            .into(),
             vec![
                 Event::new(0, EventKind::Enter { region: main }),
                 Event::new(5, EventKind::Enter { region: recv }),
@@ -43,7 +44,8 @@ fn two_rank_trace(clock: ClockKind) -> Trace {
                 Event::new(22, EventKind::RecvComplete { peer: 0, tag: 7, bytes: 64 }),
                 Event::new(23, EventKind::Leave { region: recv }),
                 Event::new(41, EventKind::Leave { region: main }),
-            ],
+            ]
+            .into(),
         ],
     }
 }
@@ -138,9 +140,9 @@ fn logical_trace_renders_lamport_time_as_is() {
 fn physical_timestamps_are_microseconds() {
     let mut trace = two_rank_trace(ClockKind::Physical);
     // 2_500 ns must appear as 2.5 µs.
-    trace.streams[0][1].time = 2_500;
-    trace.streams[0][2].time = 2_500;
-    trace.streams[0][3].time = 2_500;
+    trace.streams[0].set_time(1, 2_500);
+    trace.streams[0].set_time(2, 2_500);
+    trace.streams[0].set_time(3, 2_500);
     let doc = chrome::trace_to_chrome(&trace);
     let v = json::parse(&doc).unwrap();
     let per_tid = timestamps_per_tid(&v);

@@ -267,7 +267,7 @@ pub fn decode(data: &[u8]) -> Result<Trace, DecodeError> {
     let mut streams = Vec::with_capacity(n_streams.min(CAP));
     for _ in 0..n_streams {
         let n_events = get_varint(&mut buf)? as usize;
-        let mut stream = Vec::with_capacity(n_events.min(CAP));
+        let mut stream = crate::EventStream::with_capacity(n_events.min(CAP));
         let mut last = 0u64;
         for _ in 0..n_events {
             let delta = get_varint(&mut buf)?;
@@ -370,7 +370,7 @@ mod tests {
             Event::new(15, EventKind::RecvComplete { peer: 0, tag: 7, bytes: 4096 }),
             Event::new(33, EventKind::Leave { region: r0 }),
         ];
-        Trace { defs, streams: vec![s0, s1] }
+        Trace { defs, streams: vec![s0.into(), s1.into()] }
     }
 
     #[test]

@@ -16,12 +16,14 @@
 pub mod defs;
 pub mod event;
 pub mod io;
+pub mod stream;
 
 pub use defs::{
     ClockKind, Definitions, LocationDef, LocationRef, RegionDef, RegionRef, RegionRole,
 };
 pub use event::{CollectiveOp, Event, EventKind, NO_ROOT};
 pub use io::{decode, encode, DecodeError};
+pub use stream::EventStream;
 
 /// A complete trace: definitions plus one event stream per location.
 ///
@@ -32,7 +34,7 @@ pub struct Trace {
     /// Definition tables.
     pub defs: Definitions,
     /// Event streams, one per location, in [`LocationRef`] order.
-    pub streams: Vec<Vec<Event>>,
+    pub streams: Vec<EventStream>,
 }
 
 impl Trace {
@@ -42,20 +44,20 @@ impl Trace {
     /// costs a reallocation cascade per stream, so writers that can
     /// estimate the event count (the measurement system walks the
     /// program once) should start from this.
-    pub fn presized_streams(n_locations: usize, events_per_stream: usize) -> Vec<Vec<Event>> {
+    pub fn presized_streams(n_locations: usize, events_per_stream: usize) -> Vec<EventStream> {
         // Cap the up-front reservation so a wild estimate cannot ask the
-        // allocator for more than ~16M events (256 MiB) per stream.
+        // allocator for more than ~16M events (~528 MiB) per stream.
         let cap = events_per_stream.min(1 << 24);
-        (0..n_locations).map(|_| Vec::with_capacity(cap)).collect()
+        (0..n_locations).map(|_| EventStream::with_capacity(cap)).collect()
     }
 
     /// Total number of events across all streams.
     pub fn total_events(&self) -> usize {
-        self.streams.iter().map(Vec::len).sum()
+        self.streams.iter().map(EventStream::len).sum()
     }
 
     /// The event stream of one location.
-    pub fn stream(&self, loc: LocationRef) -> &[Event] {
+    pub fn stream(&self, loc: LocationRef) -> &EventStream {
         &self.streams[loc.0 as usize]
     }
 
@@ -83,7 +85,7 @@ impl Trace {
         for (i, stream) in self.streams.iter().enumerate() {
             let mut last = 0u64;
             let mut stack: Vec<RegionRef> = Vec::new();
-            for ev in stream {
+            for ev in stream.iter() {
                 if ev.time < last {
                     return Err(format!("location {i}: time went backwards at {}", ev.time));
                 }
@@ -138,7 +140,8 @@ mod tests {
             streams: vec![vec![
                 Event::new(3, EventKind::Enter { region: RegionRef(0) }),
                 Event::new(9, EventKind::Leave { region: RegionRef(0) }),
-            ]],
+            ]
+            .into()],
         }
     }
 
@@ -159,7 +162,7 @@ mod tests {
     #[test]
     fn consistency_catches_backwards_time() {
         let mut t = tiny();
-        t.streams[0][1].time = 1;
+        t.streams[0].set_time(1, 1);
         assert!(t.check_consistency().unwrap_err().contains("backwards"));
     }
 
@@ -173,7 +176,7 @@ mod tests {
     #[test]
     fn consistency_catches_stream_count_mismatch() {
         let mut t = tiny();
-        t.streams.push(vec![]);
+        t.streams.push(EventStream::new());
         assert!(t.check_consistency().is_err());
     }
 }

@@ -49,6 +49,12 @@ for j in 1 2 4; do
 done
 ./target/release/fig3 --only LULESH-1 --jobs 1 --engine-prof results/engineprof/fig3 \
     --bench-json BENCH_pipeline.json > /dev/null
+
+# Engine microbenchmarks: the hot-loop data structures in isolation
+# (ladder calendar, wildcard book, batched noise draws), gated under
+# the `engine-micro` bin key.
+echo "timing engine microbenchmarks ..."
+./target/release/engine --bench-json BENCH_pipeline.json
 echo "done; outputs in results/, telemetry in results/telemetry/,"
 echo "report artifacts (report.txt, report.json, flamegraph.folded) in results/report/,"
 echo "observe exemplar in results/observe/fig3/, engine profile in results/engineprof/fig3/,"

@@ -20,6 +20,7 @@ use crate::patterns::{
 use crate::replay::{prev_mpi_sync, prev_sync, replay, LocalReplay, SegClass};
 use nrlt_observe::{ChainLink, RunObserve, WaitProvenance};
 use nrlt_profile::{CallPathId, Metric, Profile};
+use nrlt_telemetry::sample::{self, frames};
 use nrlt_telemetry::Telemetry;
 use nrlt_trace::{ClockKind, Trace};
 use std::collections::BTreeMap;
@@ -87,6 +88,10 @@ pub fn analyze_observed(
     obs: Option<&RunObserve>,
 ) -> Profile {
     let mut _phase = tel.map(|t| t.span_cat("analyze.replay", "analysis"));
+    // Sampling-profiler frames mirror the phase spans. Frame pops are
+    // positional, so each transition drops the old guard (`= None`)
+    // *before* publishing the next frame.
+    let mut _sframe = Some(sample::frame(frames::ANALYZE_REPLAY));
     let (tree, locals) = replay(trace);
     if let Some(t) = tel {
         // Replay throughput: events per wall millisecond of the replay span.
@@ -146,6 +151,8 @@ pub fn analyze_observed(
     // --- point-to-point patterns -----------------------------------------
     _phase = None;
     _phase = tel.map(|t| t.span_cat("analyze.p2p", "analysis"));
+    _sframe = None;
+    _sframe = Some(sample::frame(frames::ANALYZE_P2P));
     let messages = match_messages(&locals, tpr);
     if let Some(t) = tel {
         t.add("analysis.messages_matched", messages.len() as u64);
@@ -216,6 +223,8 @@ pub fn analyze_observed(
     // --- collectives -------------------------------------------------------
     _phase = None;
     _phase = tel.map(|t| t.span_cat("analyze.collectives", "analysis"));
+    _sframe = None;
+    _sframe = Some(sample::frame(frames::ANALYZE_COLLECTIVES));
     let collectives = gather_collectives(&locals, tpr);
     if let Some(t) = tel {
         t.add("analysis.collectives", collectives.len() as u64);
@@ -265,6 +274,8 @@ pub fn analyze_observed(
     // --- OpenMP barriers ----------------------------------------------------
     _phase = None;
     _phase = tel.map(|t| t.span_cat("analyze.omp_barriers", "analysis"));
+    _sframe = None;
+    _sframe = Some(sample::frame(frames::ANALYZE_OMP));
     {
         let mut acc = DenseAdds::new(
             vec![Metric::OmpBarrierWait, Metric::OmpBarrierOverhead],
@@ -315,6 +326,8 @@ pub fn analyze_observed(
     // --- idle threads ---------------------------------------------------------
     _phase = None;
     _phase = tel.map(|t| t.span_cat("analyze.idle_threads", "analysis"));
+    _sframe = None;
+    _sframe = Some(sample::frame(frames::ANALYZE_IDLE));
     if tpr > 1 {
         let mut acc = DenseAdds::new(vec![Metric::IdleThreads], n_paths, n_locs);
         for rank in 0..n_ranks {
@@ -333,6 +346,8 @@ pub fn analyze_observed(
     // --- delay costs -----------------------------------------------------------
     _phase = None;
     _phase = tel.map(|t| t.span_cat("analyze.delay_costs", "analysis"));
+    _sframe = None;
+    _sframe = Some(sample::frame(frames::ANALYZE_DELAY));
     if let Some(t) = tel {
         t.add("analysis.wait_instances", waits.len() as u64);
     }

@@ -89,12 +89,17 @@ fn bench_noise_batch(n_batches: usize) -> (u64, u64) {
 
 fn main() {
     let mut bench_json_path: Option<PathBuf> = None;
+    let mut history_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--bench-json" {
             bench_json_path = args.next().map(PathBuf::from);
         } else if let Some(v) = a.strip_prefix("--bench-json=") {
             bench_json_path = Some(PathBuf::from(v));
+        } else if a == "--history" {
+            history_path = args.next().map(PathBuf::from);
+        } else if let Some(v) = a.strip_prefix("--history=") {
+            history_path = Some(PathBuf::from(v));
         }
     }
 
@@ -123,12 +128,32 @@ fn main() {
             wall_seconds: wall,
             events: ops,
             events_per_sec: ops as f64 / wall,
+            overhead_vs_plain_pct: 0.0,
         });
     }
     if let Some(path) = bench_json_path {
         match bench_json::merge_and_write(&path, &entries) {
             Ok(()) => eprintln!("perf baseline written to {}", path.display()),
             Err(e) => eprintln!("warning: could not write perf baseline: {e}"),
+        }
+    }
+    if let Some(path) = history_path {
+        let record = nrlt_report::HistoryRecord {
+            schema: nrlt_report::HISTORY_SCHEMA_VERSION,
+            unix_time: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            git_rev: nrlt_telemetry::git_rev(),
+            host_parallelism: bench_json::host_parallelism(),
+            bin: "engine-micro".to_owned(),
+            entries,
+            top_stacks: Vec::new(),
+            engineprof_eps: Vec::new(),
+        };
+        match nrlt_report::append_record(&path, &record) {
+            Ok(()) => eprintln!("history record appended to {}", path.display()),
+            Err(e) => eprintln!("warning: could not append history: {e}"),
         }
     }
 }

@@ -13,6 +13,7 @@ use nrlt_core::ExperimentResult;
 use nrlt_engineprof::{EngineProf, ProfBundle};
 use nrlt_observe::export::ObserveBundle;
 use nrlt_observe::Observe;
+use nrlt_telemetry::sample::{self, frames, SampleProf};
 use nrlt_telemetry::{write_exports, Manifest, RunInfo, Telemetry};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -83,6 +84,24 @@ const REPORT_TOP_N: usize = 10;
 ///   output is byte-identical either way. Bench entries recorded while
 ///   profiling carry an `:engineprof` key suffix so they gate
 ///   separately from the plain pipeline.
+/// * `--sample-prof <dir>` (also `--sample-prof=<dir>`) installs the
+///   cooperative wall-clock sampling profiler for the whole invocation:
+///   pipeline threads publish their current logical frame into
+///   per-thread slots and a background thread samples them at
+///   `--sample-rate <hz>` (default 97). On [`Harness::finish`] the
+///   folded stacks land in `<dir>/samples.folded` plus a
+///   `sampleprof.wall.json` sidecar (rate, ticks, samples, publishes,
+///   torn reads, top stacks — wall-clock data, inherently run-to-run).
+///   Without the flag no profiler exists and no thread ever publishes a
+///   slot. Bench entries recorded while sampling carry a `:sampleprof`
+///   key suffix so they gate separately from the plain pipeline.
+/// * `--history <path>` (also `--history=<path>`) appends one
+///   schema-versioned JSON line to the cross-run perf ledger at `path`
+///   on [`Harness::finish`]: git revision, host parallelism, every
+///   bench entry of the invocation, the sampler's top stacks, and the
+///   engine profiler's per-run events/sec digest (see
+///   [`nrlt_report::history`]). `nrlt-report trend` renders the ledger;
+///   `bench-check --history` gates against its EWMA baseline.
 pub struct Harness {
     bin: String,
     tel: Option<Telemetry>,
@@ -93,6 +112,11 @@ pub struct Harness {
     obs: Option<Observe>,
     engineprof_dir: Option<PathBuf>,
     prof: Option<EngineProf>,
+    sample_dir: Option<PathBuf>,
+    sprof: Option<SampleProf>,
+    sprof_guard: Option<sample::InstallGuard>,
+    harness_frame: Option<sample::FrameGuard>,
+    history: Option<PathBuf>,
     only: Option<String>,
     jobs: Option<usize>,
     bench_json: Option<PathBuf>,
@@ -111,6 +135,9 @@ impl Harness {
         let mut report_dir = None;
         let mut observe_dir = None;
         let mut engineprof_dir = None;
+        let mut sample_dir = None;
+        let mut sample_rate = None;
+        let mut history = None;
         let mut only = None;
         let mut jobs = None;
         let mut bench_json = None;
@@ -132,6 +159,18 @@ impl Harness {
                 engineprof_dir = args.next().map(PathBuf::from);
             } else if let Some(d) = a.strip_prefix("--engine-prof=") {
                 engineprof_dir = Some(PathBuf::from(d));
+            } else if a == "--sample-prof" {
+                sample_dir = args.next().map(PathBuf::from);
+            } else if let Some(d) = a.strip_prefix("--sample-prof=") {
+                sample_dir = Some(PathBuf::from(d));
+            } else if a == "--sample-rate" {
+                sample_rate = args.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--sample-rate=") {
+                sample_rate = v.parse().ok();
+            } else if a == "--history" {
+                history = args.next().map(PathBuf::from);
+            } else if let Some(d) = a.strip_prefix("--history=") {
+                history = Some(PathBuf::from(d));
             } else if a == "--only" {
                 only = args.next();
             } else if let Some(v) = a.strip_prefix("--only=") {
@@ -146,6 +185,14 @@ impl Harness {
                 bench_json = Some(PathBuf::from(v));
             }
         }
+        // The sampler is strictly opt-in: without `--sample-prof` no
+        // profiler exists, nothing is installed, and `sample::frame`
+        // calls throughout the pipeline stay no-op branches.
+        let sprof = sample_dir
+            .is_some()
+            .then(|| SampleProf::with_rate(sample_rate.unwrap_or(sample::DEFAULT_RATE_HZ)));
+        let sprof_guard = sprof.as_ref().map(SampleProf::install);
+        let harness_frame = sprof_guard.is_some().then(|| sample::frame(frames::HARNESS));
         Harness {
             bin: bin.to_owned(),
             tel: (dir.is_some() || report_dir.is_some()).then(Telemetry::new),
@@ -156,6 +203,11 @@ impl Harness {
             observe_dir,
             prof: engineprof_dir.is_some().then(EngineProf::new),
             engineprof_dir,
+            sample_dir,
+            sprof,
+            sprof_guard,
+            harness_frame,
+            history,
             only,
             jobs,
             bench_json,
@@ -180,7 +232,9 @@ impl Harness {
     }
 
     fn record_bench(&mut self, run: String, jobs: usize, wall_seconds: f64, events: u64) {
-        if self.bench_json.is_some() {
+        // Entries feed both the perf baseline (`--bench-json`) and the
+        // history ledger (`--history`).
+        if self.bench_json.is_some() || self.history.is_some() {
             // Observing or profiling changes what a run costs, so each
             // gates under its own key rather than polluting the
             // plain-pipeline baseline.
@@ -188,6 +242,8 @@ impl Harness {
                 format!("{run}:observe")
             } else if self.prof.is_some() {
                 format!("{run}:engineprof")
+            } else if self.sprof.is_some() {
+                format!("{run}:sampleprof")
             } else {
                 run
             };
@@ -201,6 +257,8 @@ impl Harness {
                 wall_seconds,
                 events,
                 events_per_sec,
+                // Derived against the plain-run sibling at merge time.
+                overhead_vs_plain_pct: 0.0,
             });
         }
     }
@@ -330,10 +388,18 @@ impl Harness {
     }
 
     /// Write the perf baseline, the report artifacts, the observe
-    /// bundle, and the telemetry bundle, as requested by
-    /// `--bench-json`, `--report`, `--observe`, and `--telemetry`.
+    /// bundle, the sampling profile, the history-ledger record, and the
+    /// telemetry bundle, as requested by `--bench-json`, `--report`,
+    /// `--observe`, `--sample-prof`, `--history`, and `--telemetry`.
     /// Returns the telemetry directory written to, if any.
     pub fn finish(mut self) -> Option<PathBuf> {
+        // Capture the engineprof KPI digest for the history record
+        // before the profiler is consumed by the bundle write below.
+        let engineprof_eps: Vec<(String, f64)> = self
+            .prof
+            .as_ref()
+            .map(|p| p.runs().into_iter().map(|(run, d)| (run, d.events_per_sec())).collect())
+            .unwrap_or_default();
         if let (Some(pdir), Some(prof)) = (self.engineprof_dir.take(), self.prof.take()) {
             match ProfBundle::from_prof(&prof).write(&pdir) {
                 Ok(()) => eprintln!("engine profile written to {}", pdir.display()),
@@ -350,11 +416,50 @@ impl Harness {
                 }
             }
         }
+        // Stop sampling before the (unprofiled) artifact writes so the
+        // histogram covers exactly the harness-driven work, then write
+        // the folded stacks + wall-clock sidecar.
+        let mut top_stacks: Vec<(String, u64)> = Vec::new();
+        if let (Some(sdir), Some(sprof)) = (self.sample_dir.take(), self.sprof.take()) {
+            drop(self.harness_frame.take());
+            drop(self.sprof_guard.take());
+            top_stacks = sprof.top_stacks(10);
+            match write_sample_bundle(&sdir, &sprof) {
+                Ok(()) => eprintln!("sampling profile written to {}", sdir.display()),
+                Err(e) => {
+                    eprintln!(
+                        "warning: could not write sampling profile to {}: {e}",
+                        sdir.display()
+                    )
+                }
+            }
+        }
         if let Some(path) = self.bench_json.take() {
             match bench_json::merge_and_write(&path, &self.bench_entries) {
                 Ok(()) => eprintln!("perf baseline written to {}", path.display()),
                 Err(e) => {
                     eprintln!("warning: could not write perf baseline to {}: {e}", path.display())
+                }
+            }
+        }
+        if let Some(hpath) = self.history.take() {
+            let record = nrlt_report::HistoryRecord {
+                schema: nrlt_report::HISTORY_SCHEMA_VERSION,
+                unix_time: std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0),
+                git_rev: nrlt_telemetry::git_rev(),
+                host_parallelism: bench_json::host_parallelism(),
+                bin: self.bin.clone(),
+                entries: self.bench_entries.clone(),
+                top_stacks,
+                engineprof_eps,
+            };
+            match nrlt_report::append_record(&hpath, &record) {
+                Ok(()) => eprintln!("history record appended to {}", hpath.display()),
+                Err(e) => {
+                    eprintln!("warning: could not append history to {}: {e}", hpath.display())
                 }
             }
         }
@@ -397,6 +502,35 @@ impl Harness {
         };
         std::fs::write(dir.join("flamegraph.folded"), folded)
     }
+}
+
+/// Write the sampling profiler's artifacts: `samples.folded` (the
+/// collapsed-stack histogram, one `a;b;c count` line per distinct
+/// sampled stack, flamegraph-tool ready) and `sampleprof.wall.json`
+/// (sampler bookkeeping + top stacks). Both are wall-clock data — they
+/// live beside, never inside, the deterministic artifacts.
+fn write_sample_bundle(dir: &PathBuf, prof: &SampleProf) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let folded = nrlt_report::folded_from_counts(&prof.stack_counts());
+    std::fs::write(dir.join("samples.folded"), folded)?;
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n\"rate_hz\": {},\n\"ticks\": {},\n\"samples\": {},\n\"publishes\": {},\n\"torn\": {},\n\"top_stacks\": [",
+        prof.rate_hz(),
+        prof.ticks(),
+        prof.samples(),
+        prof.publishes(),
+        prof.torn(),
+    );
+    let top = prof.top_stacks(10);
+    for (i, (stack, n)) in top.iter().enumerate() {
+        let comma = if i + 1 < top.len() { "," } else { "" };
+        let _ = write!(json, "\n[{}, {n}]{comma}", nrlt_telemetry::json::string(stack));
+    }
+    json.push_str("\n]\n}\n");
+    std::fs::write(dir.join("sampleprof.wall.json"), json)
 }
 
 /// Scaled-down experiment options for smoke tests and criterion

@@ -24,6 +24,7 @@ use nrlt_observe::{Observe, RunObserve};
 use nrlt_profile::{jaccard, min_pairwise_jaccard, Profile};
 use nrlt_prog::PhaseId;
 use nrlt_sim::{NoiseConfig, VirtualDuration};
+use nrlt_telemetry::sample::{self, frames};
 use nrlt_telemetry::Telemetry;
 use std::collections::BTreeMap;
 
@@ -243,6 +244,7 @@ fn run_cell(
     obs: Option<&Observe>,
     prof: Option<&EngineProf>,
 ) -> CellResult {
+    let _frame = sample::frame(frames::MODE_CELL);
     let run =
         obs.map(|_| RunObserve::new(format!("{}:{}:rep{rep}", instance.name, mcfg.mode.name())));
     let prof_run =
@@ -341,6 +343,7 @@ pub fn run_mode_with_instrumented(
 
 /// Fold cell results — already in repetition order — into a [`ModeResult`].
 fn merge_mode(mode: ClockMode, cells: Vec<CellResult>) -> ModeResult {
+    let _frame = sample::frame(frames::EXPERIMENT_MERGE);
     let mut profiles = Vec::with_capacity(cells.len());
     let mut run_times = Vec::with_capacity(cells.len());
     let mut phase_times = Vec::with_capacity(cells.len());
@@ -449,6 +452,7 @@ pub fn run_experiment_instrumented(
     let outputs = parallel_map_ordered(cells, options.jobs, |_, cell| match cell {
         Cell::Reference { rep } => {
             let _span = tel.map(|t| t.span_cat("experiment.reference", "experiment"));
+            let _frame = sample::frame(frames::EXPERIMENT_REFERENCE);
             let run = obs.map(|_| RunObserve::new(format!("{}:ref:rep{rep}", instance.name)));
             let prof_run = prof.map(|_| RunProf::new(format!("{}:ref:rep{rep}", instance.name)));
             let cfg =

@@ -153,6 +153,7 @@ pub fn execute_prepared_instrumented<O: Observer>(
         "program rank count must match the job layout"
     );
     let _span = tel.map(|t| t.span_cat("engine.execute", "exec"));
+    let _frame = nrlt_telemetry::sample::frame(nrlt_telemetry::sample::frames::ENGINE_RUN);
     let mut engine = Engine::new(program, regions, config, observer, tel, obs, prof);
     engine.run();
     engine.into_result()
@@ -493,6 +494,11 @@ impl<'a, O: Observer> Engine<'a, O> {
     }
 
     fn run(&mut self) {
+        // Resolved once per run: `None` (no sampling profiler installed)
+        // costs one branch per scheduling quantum; `Some` publishes an
+        // `engine.rank` frame per quantum (~4 atomics on an owned cache
+        // line — ~35k quanta per LULESH rep, far below the noise floor).
+        let leaf = nrlt_telemetry::sample::leaf_handle();
         for r in 0..self.states.len() as u32 {
             self.push_work(r);
         }
@@ -512,7 +518,13 @@ impl<'a, O: Observer> Engine<'a, O> {
                     self.worklist.current_bucket_len() as i64,
                 );
             }
-            self.run_rank(r);
+            if let Some(leaf) = &leaf {
+                leaf.push(nrlt_telemetry::sample::frames::ENGINE_RANK);
+                self.run_rank(r);
+                leaf.pop();
+            } else {
+                self.run_rank(r);
+            }
         }
         let stuck: Vec<u32> = self
             .states

@@ -124,6 +124,7 @@ pub fn measure_prepared_instrumented(
 ) -> (Trace, ExecResult) {
     let _span =
         tel.map(|t| t.span_cat(format!("measure.run:{}", measure_config.mode.name()), "measure"));
+    let _frame = nrlt_telemetry::sample::frame(nrlt_telemetry::sample::frames::MEASURE_RUN);
     let mut observer = TracingObserver::with_shared(
         measure_config.clone(),
         &prep.regions,

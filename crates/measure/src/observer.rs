@@ -283,6 +283,7 @@ impl<'a> TracingObserver<'a> {
 
     /// Consume the observer, yielding the recorded trace.
     pub fn into_trace(self) -> Trace {
+        let _frame = nrlt_telemetry::sample::frame(nrlt_telemetry::sample::frames::TRACE_BUILD);
         if let Some(t) = self.tel {
             t.add("measure.events_recorded", self.n_recorded);
             t.add("measure.events_filtered", self.n_filtered);

@@ -41,7 +41,21 @@ pub struct BenchEntry {
     pub events: u64,
     /// Engine throughput: `events / wall_seconds` (0 = unknown).
     pub events_per_sec: f64,
+    /// For instrumented runs (run names carrying a `:observe`,
+    /// `:engineprof`, or `:sampleprof` suffix): wall-time overhead in
+    /// percent against the plain entry with the same bin, base run, and
+    /// jobs — the explicit cost-of-observability KPI. 0 = not
+    /// applicable or the plain twin is not in the baseline. Recomputed
+    /// on every [`merge_and_write`], never gated; overheads above
+    /// [`OVERHEAD_WARN_PCT`] warn on stderr.
+    pub overhead_vs_plain_pct: f64,
 }
+
+/// Instrumented-run overhead (percent vs the plain twin) above which
+/// [`merge_and_write`] warns. Warn-only by design: instrumentation cost
+/// is tracked, not gated — full tracing legitimately costs tens of
+/// percent.
+pub const OVERHEAD_WARN_PCT: f64 = 40.0;
 
 impl BenchEntry {
     /// The `(bin, run, jobs)` merge/gate key, rendered.
@@ -98,6 +112,7 @@ pub fn merge_and_write(path: &Path, new_entries: &[BenchEntry]) -> std::io::Resu
         }
     }
     entries.sort_by(|a, b| (&a.bin, &a.run, a.jobs).cmp(&(&b.bin, &b.run, b.jobs)));
+    annotate_overheads(&mut entries);
 
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -107,7 +122,7 @@ pub fn merge_and_write(path: &Path, new_entries: &[BenchEntry]) -> std::io::Resu
         let comma = if i + 1 < entries.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}}}{comma}",
+            "    {{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \"overhead_vs_plain_pct\": {:.1}}}{comma}",
             json_string(&e.bin),
             json_string(&e.run),
             e.jobs,
@@ -115,6 +130,7 @@ pub fn merge_and_write(path: &Path, new_entries: &[BenchEntry]) -> std::io::Resu
             e.wall_seconds,
             e.events,
             e.events_per_sec,
+            e.overhead_vs_plain_pct,
         );
     }
     let _ = writeln!(out, "  ]");
@@ -125,6 +141,46 @@ pub fn merge_and_write(path: &Path, new_entries: &[BenchEntry]) -> std::io::Resu
         }
     }
     std::fs::write(path, out)
+}
+
+/// Fill `overhead_vs_plain_pct` for every instrumented entry (run name
+/// `base:suffix`) that has a plain twin `(bin, base, jobs)` with a
+/// positive wall time, and reset it to 0 where no twin exists — the
+/// field is derived, so a stale value never survives a re-merge. Warns
+/// on stderr above [`OVERHEAD_WARN_PCT`].
+fn annotate_overheads(entries: &mut [BenchEntry]) {
+    let plain: Vec<(String, String, usize, f64)> = entries
+        .iter()
+        .filter(|e| !e.run.contains(':'))
+        .map(|e| (e.bin.clone(), e.run.clone(), e.jobs, e.wall_seconds))
+        .collect();
+    for e in entries.iter_mut() {
+        let Some((base_run, _suffix)) = e.run.split_once(':') else {
+            e.overhead_vs_plain_pct = 0.0;
+            continue;
+        };
+        let twin = plain
+            .iter()
+            .find(|(bin, run, jobs, wall)| {
+                bin == &e.bin && run == base_run && *jobs == e.jobs && *wall > 0.0
+            })
+            .map(|(_, _, _, wall)| *wall);
+        e.overhead_vs_plain_pct = match twin {
+            Some(plain_wall) => {
+                let pct = (e.wall_seconds / plain_wall - 1.0) * 100.0;
+                if pct > OVERHEAD_WARN_PCT {
+                    eprintln!(
+                        "warning: {} costs {pct:.1}% over its uninstrumented twin \
+                         (warn threshold {OVERHEAD_WARN_PCT:.0}%) — instrumentation \
+                         overhead is tracked, not gated",
+                        e.key(),
+                    );
+                }
+                pct
+            }
+            None => 0.0,
+        };
+    }
 }
 
 /// Read and parse a baseline file.
@@ -152,6 +208,9 @@ fn parse_entry_line(line: &str) -> Option<BenchEntry> {
         wall_seconds: field_raw(line, "wall_seconds")?.parse().ok()?,
         events: field_raw(line, "events").and_then(|v| v.parse().ok()).unwrap_or(0),
         events_per_sec: field_raw(line, "events_per_sec")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0),
+        overhead_vs_plain_pct: field_raw(line, "overhead_vs_plain_pct")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0.0),
     })
@@ -368,6 +427,7 @@ mod tests {
             wall_seconds: wall,
             events: 0,
             events_per_sec: 0.0,
+            overhead_vs_plain_pct: 0.0,
         }
     }
 
@@ -517,6 +577,39 @@ mod tests {
         assert!(report.rows.is_empty());
         assert_eq!(report.skipped_oversubscribed, vec!["fig3 MiniFE-1 jobs=4"]);
         assert!(report.render().contains("oversubscribed"), "{}", report.render());
+    }
+
+    #[test]
+    fn instrumented_entries_record_overhead_vs_plain() {
+        let dir = std::env::temp_dir().join("nrlt-report-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("overhead.json");
+        let _ = std::fs::remove_file(&path);
+
+        // Plain twin and its 50%-slower engineprof run, plus an
+        // instrumented run with no twin (stays 0, never warns).
+        merge_and_write(
+            &path,
+            &[
+                entry("fig3", "LULESH-1", 1, 10.0),
+                entry("fig3", "LULESH-1:engineprof", 1, 15.0),
+                entry("fig3", "Orphan-1:observe", 1, 5.0),
+            ],
+        )
+        .unwrap();
+        let entries = read_entries(&path).unwrap();
+        let by_run = |run: &str| entries.iter().find(|e| e.run == run).unwrap();
+        assert_eq!(by_run("LULESH-1").overhead_vs_plain_pct, 0.0);
+        assert!((by_run("LULESH-1:engineprof").overhead_vs_plain_pct - 50.0).abs() < 1e-6);
+        assert_eq!(by_run("Orphan-1:observe").overhead_vs_plain_pct, 0.0);
+
+        // The field is derived: a faster re-run of the instrumented
+        // entry re-computes rather than keeping the stale 50%.
+        merge_and_write(&path, &[entry("fig3", "LULESH-1:engineprof", 1, 11.0)]).unwrap();
+        let entries = read_entries(&path).unwrap();
+        let e = entries.iter().find(|e| e.run == "LULESH-1:engineprof").unwrap();
+        assert!((e.overhead_vs_plain_pct - 10.0).abs() < 1e-6, "{}", e.overhead_vs_plain_pct);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

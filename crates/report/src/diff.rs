@@ -55,6 +55,27 @@ pub fn span_diff(a: &Bundle, b: &Bundle) -> Vec<DiffRow> {
     rows
 }
 
+/// Names present on exactly one side: `(only_in_a, only_in_b)`. For
+/// non-overlapping bundles (different bins, renamed spans) the zero
+/// rows in the main table are easy to misread as "measured, took 0ns";
+/// these lists state the absence explicitly.
+pub fn missing_names(rows: &[DiffRow]) -> (Vec<String>, Vec<String>) {
+    let only_a =
+        rows.iter().filter(|r| r.count.1 == 0 && r.count.0 > 0).map(|r| r.name.clone()).collect();
+    let only_b =
+        rows.iter().filter(|r| r.count.0 == 0 && r.count.1 > 0).map(|r| r.name.clone()).collect();
+    (only_a, only_b)
+}
+
+fn write_missing(out: &mut String, what: &str, only_a: &[String], only_b: &[String]) {
+    if !only_a.is_empty() {
+        let _ = writeln!(out, "  {what} only in A (missing in B): {}", only_a.join(", "));
+    }
+    if !only_b.is_empty() {
+        let _ = writeln!(out, "  {what} only in B (missing in A): {}", only_b.join(", "));
+    }
+}
+
 /// Render the diff of two bundles.
 pub fn diff_text(a: &Bundle, b: &Bundle) -> String {
     let mut out = String::new();
@@ -85,6 +106,8 @@ pub fn diff_text(a: &Bundle, b: &Bundle) -> String {
                 ratio
             );
         }
+        let (only_a, only_b) = missing_names(&rows);
+        write_missing(&mut out, "spans", &only_a, &only_b);
         let _ = writeln!(out);
     }
 
@@ -97,6 +120,11 @@ pub fn diff_text(a: &Bundle, b: &Bundle) -> String {
             let _ =
                 writeln!(out, "  {:<44} {:>14} {:>14} {:>+14}", k, va, vb, vb as i128 - va as i128);
         }
+        let only_a: Vec<String> =
+            a.counters.keys().filter(|k| !b.counters.contains_key(*k)).cloned().collect();
+        let only_b: Vec<String> =
+            b.counters.keys().filter(|k| !a.counters.contains_key(*k)).cloned().collect();
+        write_missing(&mut out, "counters", &only_a, &only_b);
     }
     out
 }
@@ -151,6 +179,29 @@ mod tests {
         let s = diff_text(&a, &b);
         assert!(s.contains("gone"), "{s}");
         assert!(s.contains('-'), "{s}");
+    }
+
+    #[test]
+    fn non_overlapping_bundles_list_missing_keys_per_side() {
+        let a = bundle("a", &[("gone", 5_000), ("shared", 1_000)], &[("only_a", 1)]);
+        let b = bundle("b", &[("new", 7_000), ("shared", 1_100)], &[("only_b", 2)]);
+        let (only_a, only_b) = missing_names(&span_diff(&a, &b));
+        assert_eq!(only_a, vec!["gone"]);
+        assert_eq!(only_b, vec!["new"]);
+        let s = diff_text(&a, &b);
+        assert!(s.contains("spans only in A (missing in B): gone"), "{s}");
+        assert!(s.contains("spans only in B (missing in A): new"), "{s}");
+        assert!(s.contains("counters only in A (missing in B): only_a"), "{s}");
+        assert!(s.contains("counters only in B (missing in A): only_b"), "{s}");
+        // Fully disjoint bundles still render a complete, labelled diff.
+        let c = bundle("c", &[("x", 1)], &[]);
+        let d = bundle("d", &[("y", 2)], &[]);
+        let s = diff_text(&c, &d);
+        assert!(s.contains("only in A"), "{s}");
+        assert!(s.contains("only in B"), "{s}");
+        // Identical bundles list nothing as missing.
+        let s = diff_text(&a, &a);
+        assert!(!s.contains("missing in"), "{s}");
     }
 
     #[test]

@@ -416,15 +416,33 @@ pub fn engine_diff(a: &EngineBundle, b: &EngineBundle) -> String {
     }
     let names_a: Vec<&str> = a.runs.iter().map(|r| r.name.as_str()).collect();
     let names_b: Vec<&str> = b.runs.iter().map(|r| r.name.as_str()).collect();
-    for name in &names_a {
-        if !names_b.contains(name) {
-            let _ = writeln!(out, "run only in A: {name}");
+    let only_a: Vec<&str> = names_a.iter().copied().filter(|n| !names_b.contains(n)).collect();
+    let only_b: Vec<&str> = names_b.iter().copied().filter(|n| !names_a.contains(n)).collect();
+    let shared = names_a.len() - only_a.len();
+    let _ = writeln!(
+        out,
+        "run coverage: {shared} shared, {} only in A, {} only in B",
+        only_a.len(),
+        only_b.len()
+    );
+    if !only_a.is_empty() {
+        let _ = writeln!(out, "runs only in A (missing in B):");
+        for name in &only_a {
+            let _ = writeln!(out, "  {name}");
         }
     }
-    for name in &names_b {
-        if !names_a.contains(name) {
-            let _ = writeln!(out, "run only in B: {name}");
+    if !only_b.is_empty() {
+        let _ = writeln!(out, "runs only in B (missing in A):");
+        for name in &only_b {
+            let _ = writeln!(out, "  {name}");
         }
+    }
+    if shared == 0 && (!only_a.is_empty() || !only_b.is_empty()) {
+        let _ = writeln!(
+            out,
+            "note: no run name appears in both bundles — the per-kind deltas above \
+             compare disjoint run sets, not the same workload"
+        );
     }
     out
 }
@@ -514,7 +532,23 @@ mod tests {
         let text = engine_diff(&a, &b);
         assert!(text.contains("events: 100 → 121"), "{text}");
         assert!(text.contains("+4"), "{text}"); // kernel count 5 → 9 across rollup
-        assert!(text.contains("run only in B: y:tsc:rep0"), "{text}");
+        assert!(text.contains("run coverage: 1 shared, 0 only in A, 1 only in B"), "{text}");
+        assert!(text.contains("runs only in B (missing in A):\n  y:tsc:rep0"), "{text}");
+    }
+
+    #[test]
+    fn diff_of_non_overlapping_bundles_lists_missing_runs_per_side() {
+        let a = EngineBundle { runs: vec![run("left:tsc:rep0", 10, (1, 1, 0, 0))] };
+        let b = EngineBundle { runs: vec![run("right:tsc:rep0", 20, (2, 2, 0, 0))] };
+        let text = engine_diff(&a, &b);
+        assert!(text.contains("run coverage: 0 shared, 1 only in A, 1 only in B"), "{text}");
+        assert!(text.contains("runs only in A (missing in B):\n  left:tsc:rep0"), "{text}");
+        assert!(text.contains("runs only in B (missing in A):\n  right:tsc:rep0"), "{text}");
+        assert!(text.contains("no run name appears in both bundles"), "{text}");
+        // Identical run sets: coverage line only, no missing sections.
+        let text = engine_diff(&a, &a);
+        assert!(text.contains("run coverage: 1 shared, 0 only in A, 0 only in B"), "{text}");
+        assert!(!text.contains("missing in"), "{text}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod bundle;
 pub mod diff;
 pub mod engine;
 pub mod flame;
+pub mod history;
 pub mod inspect;
 pub mod observe;
 pub mod severity;
@@ -51,7 +52,14 @@ pub use bench::{bench_check, BenchEntry, GateReport, GateRow};
 pub use bundle::Bundle;
 pub use diff::diff_text;
 pub use engine::{engine_diff, engine_text, load_engine_bundle, EngineBundle, EngineRun};
-pub use flame::{folded, folded_totals, hot_paths_text};
+pub use flame::{
+    escape_frame, folded, folded_from_counts, folded_totals, hot_paths_text, parse_folded,
+    unescape_frame,
+};
+pub use history::{
+    append_record, ewma_baseline, history_gate, read_history, trend_text, HistoryRecord,
+    HISTORY_SCHEMA_VERSION,
+};
 pub use inspect::{inspect_text, span_stats, SpanStats};
 pub use observe::{observe_text, wait_names};
 pub use severity::{mode_text, severity_json, severity_text};

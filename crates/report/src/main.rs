@@ -22,11 +22,16 @@
 //! nrlt-report engine <bundle-dir> [--run NAME] [--top K] [--diff <bundle-dir>]
 //! ```
 //!
-//! And the perf regression gate over `BENCH_pipeline.json`-format files:
+//! And the perf regression gate over `BENCH_pipeline.json`-format files
+//! (or, with `--history`, against the EWMA of the run ledger) plus the
+//! trend view over `results/history.jsonl`:
 //!
 //! ```text
 //! nrlt-report bench-check --baseline BENCH_pipeline.json \
 //!     --current new.json [--max-regress 1.5]
+//! nrlt-report bench-check --history results/history.jsonl \
+//!     --current new.json [--max-regress 1.5]
+//! nrlt-report trend [results/history.jsonl] [--key <substring>]
 //! ```
 //!
 //! Exit status: 0 ok / gate passed, 1 gate regressed, 2 usage or I/O
@@ -55,9 +60,16 @@ commands:
                                events/sec, queue pressure, hot-loop allocations;
                                --diff compares the deterministic accounting of
                                two bundles
-  bench-check --baseline <file> --current <file> [--max-regress <factor>]
+  bench-check (--baseline <file> | --history <ledger>) --current <file>
+              [--max-regress <factor>]
                                gate current wall times and engine throughput
-                               against a baseline
+                               against a frozen baseline file or against the
+                               EWMA of the run ledger
+  trend [<ledger>] [--key <substring>]
+                               per-key perf trajectories over the run ledger
+                               (default ledger: results/history.jsonl):
+                               sparkline, first/last/best, EWMA baseline,
+                               latest sampled hot stacks
 
 a bundle-dir is a directory containing metrics.jsonl, as written by the
 bench bins' --telemetry/--report flags; for `observe` it is a directory
@@ -104,6 +116,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "observe" => run_observe(&args[1..]),
         "engine" => run_engine(&args[1..]),
         "bench-check" => run_bench_check(&args[1..]),
+        "trend" => run_trend(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -204,6 +217,7 @@ fn run_engine(args: &[String]) -> Result<ExitCode, String> {
 
 fn run_bench_check(args: &[String]) -> Result<ExitCode, String> {
     let mut baseline: Option<PathBuf> = None;
+    let mut history: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
     let mut max_regress = 1.5f64;
     let mut it = args.iter();
@@ -216,6 +230,8 @@ fn run_bench_check(args: &[String]) -> Result<ExitCode, String> {
         };
         if arg == "--baseline" || arg.starts_with("--baseline=") {
             baseline = Some(PathBuf::from(take(arg.strip_prefix("--baseline="))?));
+        } else if arg == "--history" || arg.starts_with("--history=") {
+            history = Some(PathBuf::from(take(arg.strip_prefix("--history="))?));
         } else if arg == "--current" || arg.starts_with("--current=") {
             current = Some(PathBuf::from(take(arg.strip_prefix("--current="))?));
         } else if arg == "--max-regress" || arg.starts_with("--max-regress=") {
@@ -229,13 +245,55 @@ fn run_bench_check(args: &[String]) -> Result<ExitCode, String> {
             return Err(format!("unknown bench-check argument {arg:?}"));
         }
     }
-    let baseline = baseline.ok_or("bench-check requires --baseline <file>")?;
     let current = current.ok_or("bench-check requires --current <file>")?;
-    let base_entries = bench::read_entries(&baseline)
-        .map_err(|e| format!("cannot read baseline {}: {e}", baseline.display()))?;
     let cur_entries = bench::read_entries(&current)
         .map_err(|e| format!("cannot read current {}: {e}", current.display()))?;
-    let report = bench_check(&base_entries, &cur_entries, max_regress);
+    let report = match (baseline, history) {
+        (Some(_), Some(_)) => {
+            return Err("--baseline and --history are mutually exclusive".into());
+        }
+        (Some(baseline), None) => {
+            let base_entries = bench::read_entries(&baseline)
+                .map_err(|e| format!("cannot read baseline {}: {e}", baseline.display()))?;
+            bench_check(&base_entries, &cur_entries, max_regress)
+        }
+        (None, Some(history)) => {
+            let records = nrlt_report::read_history(&history)
+                .map_err(|e| format!("cannot read ledger {}: {e}", history.display()))?;
+            nrlt_report::history_gate(&records, &cur_entries, max_regress)
+        }
+        (None, None) => {
+            return Err("bench-check requires --baseline <file> or --history <ledger>".into());
+        }
+    };
     print!("{}", report.render());
     Ok(if report.failed() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn run_trend(args: &[String]) -> Result<ExitCode, String> {
+    let mut ledger: Option<PathBuf> = None;
+    let mut key: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |inline: Option<&str>| -> Result<String, String> {
+            match inline {
+                Some(v) => Ok(v.to_owned()),
+                None => it.next().cloned().ok_or_else(|| format!("{arg} requires a value")),
+            }
+        };
+        if arg == "--key" || arg.starts_with("--key=") {
+            key = Some(take(arg.strip_prefix("--key="))?);
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown trend argument {arg:?}"));
+        } else if ledger.is_none() {
+            ledger = Some(PathBuf::from(arg));
+        } else {
+            return Err(format!("unexpected trend argument {arg:?}"));
+        }
+    }
+    let ledger = ledger.unwrap_or_else(|| PathBuf::from("results/history.jsonl"));
+    let records = nrlt_report::read_history(&ledger)
+        .map_err(|e| format!("cannot read ledger {}: {e}", ledger.display()))?;
+    print!("{}", nrlt_report::trend_text(&records, key.as_deref()));
+    Ok(ExitCode::SUCCESS)
 }

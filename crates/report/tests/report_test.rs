@@ -76,6 +76,7 @@ fn entry(run: &str, jobs: usize, wall: f64) -> bench::BenchEntry {
         wall_seconds: wall,
         events: 0,
         events_per_sec: 0.0,
+        overhead_vs_plain_pct: 0.0,
     }
 }
 
@@ -117,4 +118,80 @@ fn bench_check_binary_gates_a_2x_slowdown() {
         .output()
         .expect("nrlt-report runs");
     assert_eq!(usage.status.code(), Some(2), "missing flags are a usage error");
+}
+
+#[test]
+fn bench_check_binary_gates_against_the_history_ledger() {
+    use nrlt_report::{append_record, HistoryRecord, HISTORY_SCHEMA_VERSION};
+    let dir = std::env::temp_dir().join("nrlt-report-history-gate-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ledger = dir.join("history.jsonl");
+    let slow = dir.join("slow.json");
+    let fine = dir.join("fine.json");
+    for p in [&ledger, &slow, &fine] {
+        let _ = std::fs::remove_file(p);
+    }
+    // Two healthy runs establish the EWMA baseline at 1.0s.
+    for (t, rev) in [(1_000, "aaaaaaa"), (2_000, "bbbbbbb")] {
+        append_record(
+            &ledger,
+            &HistoryRecord {
+                schema: HISTORY_SCHEMA_VERSION,
+                unix_time: t,
+                git_rev: rev.into(),
+                host_parallelism: bench::host_parallelism(),
+                bin: "fig3".into(),
+                entries: vec![entry("MiniFE-1", 1, 1.0)],
+                top_stacks: vec![("harness;experiment.mode_cell".into(), 7)],
+                engineprof_eps: vec![("MiniFE-1".into(), 1e6)],
+            },
+        )
+        .unwrap();
+    }
+    bench::merge_and_write(&slow, &[entry("MiniFE-1", 1, 2.0)]).unwrap();
+    bench::merge_and_write(&fine, &[entry("MiniFE-1", 1, 1.1)]).unwrap();
+
+    let gate = |current: &std::path::Path| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_nrlt-report"))
+            .args(["bench-check", "--history"])
+            .arg(&ledger)
+            .arg("--current")
+            .arg(current)
+            .args(["--max-regress", "1.5"])
+            .output()
+            .expect("nrlt-report runs")
+    };
+
+    let regressed = gate(&slow);
+    assert_eq!(regressed.status.code(), Some(1), "2x slowdown vs EWMA must exit 1");
+    assert!(String::from_utf8_lossy(&regressed.stdout).contains("REGRESSED"));
+    let ok = gate(&fine);
+    assert_eq!(ok.status.code(), Some(0), "within-threshold run must exit 0: {ok:?}");
+
+    // `trend` renders the same ledger byte-identically, run after run.
+    let trend = |ledger: &std::path::Path| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_nrlt-report"))
+            .arg("trend")
+            .arg(ledger)
+            .output()
+            .expect("nrlt-report runs");
+        assert_eq!(out.status.code(), Some(0), "trend must succeed: {out:?}");
+        out.stdout
+    };
+    let first = trend(&ledger);
+    assert_eq!(first, trend(&ledger), "trend output is not deterministic");
+    let text = String::from_utf8_lossy(&first);
+    assert!(text.contains("MiniFE-1"), "{text}");
+
+    // --history and --baseline are mutually exclusive usage errors.
+    let both = std::process::Command::new(env!("CARGO_BIN_EXE_nrlt-report"))
+        .args(["bench-check", "--history"])
+        .arg(&ledger)
+        .args(["--baseline"])
+        .arg(&fine)
+        .args(["--current"])
+        .arg(&fine)
+        .output()
+        .expect("nrlt-report runs");
+    assert_eq!(both.status.code(), Some(2), "--history with --baseline is a usage error");
 }

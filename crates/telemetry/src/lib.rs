@@ -32,9 +32,11 @@ pub mod export;
 pub mod hist;
 pub mod json;
 pub mod manifest;
+pub mod sample;
 
 pub use hist::Histogram;
 pub use manifest::{git_rev, write_exports, Manifest, RunInfo};
+pub use sample::SampleProf;
 
 use std::cell::Cell;
 use std::collections::BTreeMap;

@@ -17,12 +17,12 @@ use crate::patterns::{
     gather_barriers, gather_collectives, late_receiver_severity, late_sender_severity,
     match_messages, wait_nxn_severity, MatchedMessage,
 };
-use crate::replay::{prev_mpi_sync, prev_sync, replay, LocalReplay, SegClass};
+use crate::replay::{prev_mpi_sync, prev_sync, replay_view, LocalReplay, SegClass};
 use nrlt_observe::{ChainLink, RunObserve, WaitProvenance};
 use nrlt_profile::{CallPathId, Metric, Profile};
 use nrlt_telemetry::sample::{self, frames};
 use nrlt_telemetry::Telemetry;
-use nrlt_trace::{ClockKind, Trace};
+use nrlt_trace::{ClockKind, Trace, TraceView};
 use std::collections::BTreeMap;
 
 /// Longest causal chain kept per wait-state provenance record — the
@@ -87,12 +87,28 @@ pub fn analyze_observed(
     tel: Option<&Telemetry>,
     obs: Option<&RunObserve>,
 ) -> Profile {
+    analyze_view(&TraceView::Resident(trace), config, tel, obs)
+}
+
+/// [`analyze_observed`] over a [`TraceView`] — the streaming entry
+/// point. A spilled view is replayed through bounded per-location
+/// segment cursors, so the analysis holds O(locations × chunk) of raw
+/// events at a time; the [`LocalReplay`] products (segments, instances,
+/// sync lists) stay resident, exactly as on the in-memory path, which
+/// keeps the result byte-identical between the two.
+pub fn analyze_view(
+    view: &TraceView<'_>,
+    config: &AnalysisConfig,
+    tel: Option<&Telemetry>,
+    obs: Option<&RunObserve>,
+) -> Profile {
+    let defs = view.defs();
     let mut _phase = tel.map(|t| t.span_cat("analyze.replay", "analysis"));
     // Sampling-profiler frames mirror the phase spans. Frame pops are
     // positional, so each transition drops the old guard (`= None`)
     // *before* publishing the next frame.
     let mut _sframe = Some(sample::frame(frames::ANALYZE_REPLAY));
-    let (tree, locals) = replay(trace);
+    let (tree, locals) = replay_view(view);
     if let Some(t) = tel {
         // Replay throughput: events per wall millisecond of the replay span.
         _phase = None;
@@ -105,20 +121,20 @@ pub fn analyze_observed(
             .rev()
             .find(|s| s.name == "analyze.replay" && s.track == track)
             .map_or(0, |s| s.dur_ns);
-        t.add("analysis.replay.events", trace.total_events() as u64);
+        t.add("analysis.replay.events", view.total_events() as u64);
         if let Some(rate) =
-            (trace.total_events() as u64).saturating_mul(1_000_000).checked_div(replay_ns)
+            (view.total_events() as u64).saturating_mul(1_000_000).checked_div(replay_ns)
         {
             t.set("analysis.replay.events_per_ms", rate);
         }
     }
-    let tpr = trace.defs.threads_per_rank;
-    let n_ranks = trace.defs.n_ranks();
+    let tpr = defs.threads_per_rank;
+    let n_ranks = defs.n_ranks();
     let mut profile = Profile::new(
-        trace.defs.clock.name().to_owned(),
-        trace.defs.regions.clone(),
+        defs.clock.name().to_owned(),
+        defs.regions.clone(),
         tree,
-        trace.defs.locations.clone(),
+        defs.locations.clone(),
     );
     let mut waits: Vec<WaitInstance> = Vec::new();
 
@@ -373,7 +389,8 @@ pub fn analyze_observed(
     }
 
     if let Some(o) = obs {
-        record_wait_provenance(o, trace, &profile, &locals, &waits, tpr as usize);
+        let physical = defs.clock == ClockKind::Physical;
+        record_wait_provenance(o, physical, &profile, &locals, &waits, tpr as usize);
     }
 
     profile
@@ -388,13 +405,12 @@ pub fn analyze_observed(
 /// `noise_ns` stays 0 (which the noise-share query reports as such).
 fn record_wait_provenance(
     obs: &RunObserve,
-    trace: &Trace,
+    physical: bool,
     profile: &Profile,
     locals: &[LocalReplay],
     waits: &[WaitInstance],
     tpr: usize,
 ) {
-    let physical = trace.defs.clock == ClockKind::Physical;
     for w in waits {
         let inter_process = w.metric != Metric::DelayBarrier;
         let delayer = &locals[w.delayer_loc];

@@ -18,7 +18,9 @@ pub mod idle;
 pub mod patterns;
 pub mod replay;
 
-pub use analyze::{analyze, analyze_observed, analyze_telemetry, analyze_with, AnalysisConfig};
+pub use analyze::{
+    analyze, analyze_observed, analyze_telemetry, analyze_view, analyze_with, AnalysisConfig,
+};
 pub use causality::{
     assign_lamport_postprocess, assign_vector_clocks, concurrent, happens_before_edges,
     verify_clock_condition, Edge, EventId,
@@ -31,4 +33,4 @@ pub use patterns::{
     gather_barriers, gather_collectives, late_receiver_severity, late_sender_severity,
     match_messages, wait_nxn_severity, BarrierInstance, CollectiveInstance, MatchedMessage,
 };
-pub use replay::{prev_sync, replay, LocalReplay, MpiInstance, SegClass, Segment};
+pub use replay::{prev_sync, replay, replay_view, LocalReplay, MpiInstance, SegClass, Segment};

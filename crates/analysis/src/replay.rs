@@ -9,7 +9,9 @@
 //! events again.
 
 use nrlt_profile::{CallPathId, CallTree};
-use nrlt_trace::{CollectiveOp, EventKind, RegionRef, RegionRole, Trace};
+use nrlt_trace::{
+    CollectiveOp, Definitions, Event, EventKind, RegionRef, RegionRole, Trace, TraceView,
+};
 
 /// Classification of an exclusive segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,17 +163,27 @@ pub struct LocalReplay {
 /// Replay every location of `trace`, interning call paths into a shared
 /// tree. Returns the tree and one [`LocalReplay`] per location.
 pub fn replay(trace: &Trace) -> (CallTree, Vec<LocalReplay>) {
+    replay_view(&TraceView::Resident(trace))
+}
+
+/// [`replay`] over a [`TraceView`] — the streaming entry point. A
+/// resident view iterates in-memory columns; a spilled view decodes
+/// segment chunks through a bounded cursor, so peak memory stays
+/// O(locations × chunk) however many events the trace holds. Either way
+/// the produced structures are identical.
+pub fn replay_view(view: &TraceView<'_>) -> (CallTree, Vec<LocalReplay>) {
     let mut tree = CallTree::new();
-    let mut out = Vec::with_capacity(trace.streams.len());
-    for stream in &trace.streams {
-        out.push(replay_location(trace, stream, &mut tree));
+    let defs = view.defs();
+    let mut out = Vec::with_capacity(view.n_locations());
+    for loc in 0..view.n_locations() {
+        out.push(replay_events(defs, view.events(loc), &mut tree));
     }
     (tree, out)
 }
 
-fn replay_location(
-    trace: &Trace,
-    stream: &nrlt_trace::EventStream,
+fn replay_events(
+    defs: &Definitions,
+    events: impl Iterator<Item = Event>,
     tree: &mut CallTree,
 ) -> LocalReplay {
     let mut r = LocalReplay { first_ts: u64::MAX, ..Default::default() };
@@ -185,9 +197,9 @@ fn replay_location(
     // Running collective sequence number on this location.
     let mut n_collectives = 0u64;
 
-    let role_of = |region: RegionRef| trace.defs.region(region).role;
+    let role_of = |region: RegionRef| defs.region(region).role;
 
-    for ev in stream.iter() {
+    for ev in events {
         let ts = ev.time;
         r.first_ts = r.first_ts.min(ts);
         r.last_ts = r.last_ts.max(ts);

@@ -128,7 +128,8 @@ fn main() {
             wall_seconds: wall,
             events: ops,
             events_per_sec: ops as f64 / wall,
-            overhead_vs_plain_pct: 0.0,
+            overhead_vs_plain_pct: None,
+            peak_rss_bytes: bench_json::peak_rss_bytes(),
         });
     }
     if let Some(path) = bench_json_path {

@@ -95,6 +95,18 @@ const REPORT_TOP_N: usize = 10;
 ///   Without the flag no profiler exists and no thread ever publishes a
 ///   slot. Bench entries recorded while sampling carry a `:sampleprof`
 ///   key suffix so they gate separately from the plain pipeline.
+/// * `--trace-budget <bytes>` (also `--trace-budget=<bytes>`, with
+///   optional `k`/`m`/`g` suffixes, e.g. `--trace-budget 64m`) caps
+///   resident event storage for every harness-driven experiment:
+///   per-location streams spill columnar chunks to temp segment files
+///   beyond the budget and analysis streams them back. Output is
+///   byte-identical with and without the flag — spilling changes peak
+///   RSS and wall time, never results. Without the flag traces stay
+///   fully resident (the historical path).
+/// * `--rss-limit <bytes>` (same suffixes) is an assertion, not a
+///   tuning knob: [`Harness::finish`] fails the process when the
+///   invocation's peak RSS (`VmHWM`) exceeded the limit. CI uses it to
+///   prove the out-of-core path keeps memory bounded.
 /// * `--history <path>` (also `--history=<path>`) appends one
 ///   schema-versioned JSON line to the cross-run perf ledger at `path`
 ///   on [`Harness::finish`]: git revision, host parallelism, every
@@ -119,6 +131,13 @@ pub struct Harness {
     history: Option<PathBuf>,
     only: Option<String>,
     jobs: Option<usize>,
+    trace_budget: Option<u64>,
+    rss_limit: Option<u64>,
+    // Running max of every `VmHWM` sample taken while recording bench
+    // entries. The kernel counter is resettable (`reset_peak_rss`), so
+    // the `--rss-limit` assertion checks this harness-side max — a
+    // sweep that resets between runs cannot hide an earlier overshoot.
+    rss_hwm: u64,
     bench_json: Option<PathBuf>,
     bench_entries: Vec<BenchEntry>,
     report_text: String,
@@ -140,6 +159,8 @@ impl Harness {
         let mut history = None;
         let mut only = None;
         let mut jobs = None;
+        let mut trace_budget = None;
+        let mut rss_limit = None;
         let mut bench_json = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -179,6 +200,14 @@ impl Harness {
                 jobs = args.next().and_then(|v| v.parse().ok());
             } else if let Some(v) = a.strip_prefix("--jobs=") {
                 jobs = v.parse().ok();
+            } else if a == "--trace-budget" {
+                trace_budget = args.next().as_deref().and_then(parse_bytes);
+            } else if let Some(v) = a.strip_prefix("--trace-budget=") {
+                trace_budget = parse_bytes(v);
+            } else if a == "--rss-limit" {
+                rss_limit = args.next().as_deref().and_then(parse_bytes);
+            } else if let Some(v) = a.strip_prefix("--rss-limit=") {
+                rss_limit = parse_bytes(v);
             } else if a == "--bench-json" {
                 bench_json = args.next().map(PathBuf::from);
             } else if let Some(v) = a.strip_prefix("--bench-json=") {
@@ -210,6 +239,9 @@ impl Harness {
             history,
             only,
             jobs,
+            trace_budget,
+            rss_limit,
+            rss_hwm: 0,
             bench_json,
             bench_entries: Vec::new(),
             report_text: String::new(),
@@ -223,12 +255,23 @@ impl Harness {
         self.only.as_deref().is_none_or(|o| o == name)
     }
 
-    /// The experiment options with the `--jobs` override applied.
+    /// The experiment options with the `--jobs` and `--trace-budget`
+    /// overrides applied.
     pub fn apply_jobs(&self, options: &ExperimentOptions) -> ExperimentOptions {
-        match self.jobs {
-            Some(jobs) => ExperimentOptions { jobs, ..options.clone() },
-            None => options.clone(),
+        let mut options = options.clone();
+        if let Some(jobs) = self.jobs {
+            options.jobs = jobs;
         }
+        if self.trace_budget.is_some() {
+            options.trace_budget = self.trace_budget;
+        }
+        options
+    }
+
+    /// The `--trace-budget` value, for binaries that drive measurement
+    /// directly instead of through [`Harness::run_experiment`].
+    pub fn trace_budget(&self) -> Option<u64> {
+        self.trace_budget
     }
 
     fn record_bench(&mut self, run: String, jobs: usize, wall_seconds: f64, events: u64) {
@@ -249,6 +292,8 @@ impl Harness {
             };
             let events_per_sec =
                 if wall_seconds > 0.0 { events as f64 / wall_seconds } else { 0.0 };
+            let peak_rss_bytes = bench_json::peak_rss_bytes();
+            self.rss_hwm = self.rss_hwm.max(peak_rss_bytes);
             self.bench_entries.push(BenchEntry {
                 bin: self.bin.clone(),
                 run,
@@ -257,16 +302,33 @@ impl Harness {
                 wall_seconds,
                 events,
                 events_per_sec,
-                // Derived against the plain-run sibling at merge time.
-                overhead_vs_plain_pct: 0.0,
+                // Derived against the comparison twin at merge time.
+                overhead_vs_plain_pct: None,
+                peak_rss_bytes,
             });
         }
+    }
+
+    /// Record a bench entry for an experiment the binary drove itself
+    /// (e.g. the `scale` weak-scaling sweep, which calls measurement
+    /// and analysis directly rather than through
+    /// [`Harness::run_experiment`]). Applies the same key-suffix and
+    /// peak-RSS conventions as harness-driven entries.
+    pub fn record_external(&mut self, run: &str, jobs: usize, wall_seconds: f64, events: u64) {
+        self.record_bench(run.to_owned(), jobs, wall_seconds, events);
     }
 
     /// The telemetry sink to thread into the pipeline (`None` without
     /// `--telemetry`).
     pub fn telemetry(&self) -> Option<&Telemetry> {
         self.tel.as_ref()
+    }
+
+    /// The engine self-profiler (`None` without `--engine-prof`), for
+    /// binaries that drive measurement directly and attach their own
+    /// [`nrlt_engineprof::RunProf`] runs.
+    pub fn engineprof(&self) -> Option<&EngineProf> {
+        self.prof.as_ref()
     }
 
     fn push_run(
@@ -393,6 +455,26 @@ impl Harness {
     /// `--observe`, `--sample-prof`, `--history`, and `--telemetry`.
     /// Returns the telemetry directory written to, if any.
     pub fn finish(mut self) -> Option<PathBuf> {
+        // `--rss-limit` is a CI assertion: the out-of-core path must
+        // keep peak memory bounded, and a silent overshoot would defeat
+        // the point of spilling. Checked first against the larger of
+        // the live HWM and the harness-side running max, so a bin that
+        // calls `reset_peak_rss` between runs (the scale sweep does,
+        // for per-entry attribution) cannot hide an earlier overshoot.
+        if let Some(limit) = self.rss_limit {
+            let peak = self.rss_hwm.max(bench_json::peak_rss_bytes());
+            if peak > limit {
+                eprintln!(
+                    "error: peak RSS {} bytes ({}M) exceeded --rss-limit {} bytes ({}M)",
+                    peak,
+                    peak >> 20,
+                    limit,
+                    limit >> 20
+                );
+                std::process::exit(1);
+            }
+            eprintln!("peak RSS {}M within --rss-limit {}M", peak >> 20, limit >> 20);
+        }
         // Capture the engineprof KPI digest for the history record
         // before the profiler is consumed by the bundle write below.
         let engineprof_eps: Vec<(String, f64)> = self
@@ -531,6 +613,20 @@ fn write_sample_bundle(dir: &PathBuf, prof: &SampleProf) -> std::io::Result<()> 
     }
     json.push_str("\n]\n}\n");
     std::fs::write(dir.join("sampleprof.wall.json"), json)
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` suffix (case
+/// insensitive): `"65536"`, `"64k"`, `"64m"`, `"2g"`. `None` for
+/// anything else.
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    digits.parse::<u64>().ok()?.checked_shl(shift)
 }
 
 /// Scaled-down experiment options for smoke tests and criterion

@@ -12,12 +12,12 @@
 //!    `tsc`, minimum run-to-run Jaccard within each mode.
 
 use crate::parallel::{effective_jobs, parallel_map_ordered};
-use nrlt_analysis::{analyze_observed, AnalysisConfig};
+use nrlt_analysis::{analyze_view, AnalysisConfig};
 use nrlt_engineprof::{EngineProf, RunProf};
 use nrlt_exec::{overhead_percent, ExecConfig, ExecResult};
 use nrlt_measure::{
-    measure_prepared_instrumented, prepare_measure, reference_run_instrumented, ClockMode,
-    FilterRules, MeasureConfig, MeasurePrep,
+    measure_prepared_spilled, prepare_measure, reference_run_instrumented, ClockMode, FilterRules,
+    MeasureConfig, MeasurePrep,
 };
 use nrlt_miniapps::BenchmarkInstance;
 use nrlt_observe::{Observe, RunObserve};
@@ -44,6 +44,13 @@ pub struct ExperimentOptions {
     /// results merge in (mode, repetition) order, so the output is
     /// byte-identical for every value.
     pub jobs: usize,
+    /// Resident trace budget in bytes: `None` keeps every recorded event
+    /// in memory (the historical path); `Some(bytes)` spills columnar
+    /// chunks to a per-cell temp segment once the per-location streams
+    /// exceed the budget, and analysis streams the segments back. The
+    /// recorded event sequence is identical either way, so all results
+    /// are byte-identical for every value.
+    pub trace_budget: Option<u64>,
 }
 
 impl Default for ExperimentOptions {
@@ -54,6 +61,7 @@ impl Default for ExperimentOptions {
             base_seed: 1000,
             modes: ClockMode::ALL.to_vec(),
             jobs: 0,
+            trace_budget: None,
         }
     }
 }
@@ -250,16 +258,17 @@ fn run_cell(
     let prof_run =
         prof.map(|_| RunProf::new(format!("{}:{}:rep{rep}", instance.name, mcfg.mode.name())));
     let cfg = exec_config_for(instance, &options.noise, options.base_seed + rep as u64);
-    let (trace, result) = measure_prepared_instrumented(
+    let (trace, result) = measure_prepared_spilled(
         &instance.program,
         prep,
         &cfg,
         mcfg,
+        options.trace_budget,
         tel,
         run.as_ref(),
         prof_run.as_ref(),
     );
-    let profile = analyze_observed(&trace, acfg, tel, run.as_ref());
+    let profile = analyze_view(&trace.view(), acfg, tel, run.as_ref());
     let mut phases = BTreeMap::new();
     for (i, name) in instance.program.phases.iter().enumerate() {
         phases.insert(name.clone(), result.phase_max(PhaseId(i as u32)));

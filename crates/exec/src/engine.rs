@@ -19,7 +19,7 @@ use crate::regions::{collective_kind, implicit_barrier_of, parallel_regions, pre
 use crate::result::ExecResult;
 use nrlt_engineprof::{EventKind, RunProf};
 use nrlt_mpisim::{message_timing, Channel, CommScope, LinkKind, Matcher};
-use nrlt_observe::{NoiseKind, RunObserve};
+use nrlt_observe::{NoiseKind, PhaseId as ObsPhase, RunObserve, SeriesId};
 use nrlt_ompsim::{simulate_dynamic_prof, static_partition};
 use nrlt_prog::{
     Action, Kernel, MpiOp, OmpAction, OmpFor, ParallelRegion, PhaseId, Program, RegionId,
@@ -379,6 +379,60 @@ struct CollInstance {
     resolution: Option<(VirtualTime, Vec<VirtualTime>, u64)>,
 }
 
+/// Pre-interned observatory names. Built once per observed run so the
+/// per-event recording paths pass `Copy` ids instead of formatting and
+/// hashing series names per sample (the dominant cost of the observed
+/// hot path before interning).
+struct ObsIds {
+    /// `rank{r}.progress_ns`, indexed by rank.
+    progress: Vec<SeriesId>,
+    /// `numa{d}.bw_threads`, indexed by global NUMA domain.
+    numa_bw: Vec<SeriesId>,
+    /// `socket{s}.l3_dram_permille`, indexed by global socket.
+    socket_l3: Vec<SeriesId>,
+    match_sends: SeriesId,
+    match_recvs: SeriesId,
+    wildcard_queue: SeriesId,
+    wire_sharedmem: SeriesId,
+    wire_network: SeriesId,
+    coll_alg: SeriesId,
+    team_threads: SeriesId,
+    loop_chunks: SeriesId,
+    ready_spread: SeriesId,
+    /// Program phase names, indexed by `PhaseId`.
+    phases: Vec<ObsPhase>,
+    /// The empty "outside any phase" name.
+    no_phase: ObsPhase,
+}
+
+impl ObsIds {
+    fn new(obs: &RunObserve, program: &Program, placement: &Placement) -> ObsIds {
+        let machine = placement.machine();
+        let ranks = placement.layout().ranks;
+        let sockets = machine.nodes * machine.spec.sockets;
+        ObsIds {
+            progress: (0..ranks).map(|r| obs.series(&format!("rank{r}.progress_ns"))).collect(),
+            numa_bw: (0..machine.total_numa())
+                .map(|d| obs.series(&format!("numa{d}.bw_threads")))
+                .collect(),
+            socket_l3: (0..sockets)
+                .map(|s| obs.series(&format!("socket{s}.l3_dram_permille")))
+                .collect(),
+            match_sends: obs.series("mpi.match_queue_sends"),
+            match_recvs: obs.series("mpi.match_queue_recvs"),
+            wildcard_queue: obs.series("mpi.wildcard_queue"),
+            wire_sharedmem: obs.series("net.sharedmem.wire_ns"),
+            wire_network: obs.series("net.network.wire_ns"),
+            coll_alg: obs.series("net.collective_alg_ns"),
+            team_threads: obs.series("omp.team_threads"),
+            loop_chunks: obs.series("omp.loop_chunks"),
+            ready_spread: obs.series("omp.ready_spread_ns"),
+            phases: program.phases.iter().map(|p| obs.phase(p)).collect(),
+            no_phase: obs.phase(""),
+        }
+    }
+}
+
 struct Engine<'a, O: Observer> {
     program: &'a Program,
     regions: &'a RegionTable,
@@ -417,6 +471,8 @@ struct Engine<'a, O: Observer> {
     tel: Option<&'a Telemetry>,
     /// Resource-observatory sink; `None` means zero observability work.
     obs: Option<&'a RunObserve>,
+    /// Pre-interned observatory names; `Some` exactly when `obs` is.
+    obs_ids: Option<ObsIds>,
     /// Engine self-profiler sink; `None` means zero profiling work.
     prof: Option<&'a RunProf>,
     /// Per-rank stack of open phases — maintained only when `obs` or
@@ -452,6 +508,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         let desync = observer.desync();
         let mpi_regions = std::array::from_fn(|i| regions.find(MPI_REGION_NAMES[i]));
         let n_phases = program.phases.len();
+        let obs_ids = obs.map(|o| ObsIds::new(o, program, &placement));
         Engine {
             program,
             regions,
@@ -484,6 +541,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             scratch: Scratch::default(),
             tel,
             obs,
+            obs_ids,
             prof,
             cur_phase: vec![Vec::new(); n_ranks],
             n_events: 0,
@@ -693,12 +751,13 @@ impl<'a, O: Observer> Engine<'a, O> {
         );
         record_kernel_obs(
             obs,
+            self.obs_ids.as_ref().expect("observed path without interned names"),
             &probe,
             cost.mem_bytes,
             loc.rank,
             self.placement.core_of(loc).0 as u64,
             instance,
-            self.phase_name(loc.rank),
+            self.obs_phase(loc.rank),
             start.nanos(),
             self.n_events,
         );
@@ -715,13 +774,24 @@ impl<'a, O: Observer> Engine<'a, O> {
         }
     }
 
+    /// Interned id of rank `r`'s innermost open phase. Only meaningful
+    /// when `obs` is `Some` (panics otherwise — the observed paths are
+    /// the only callers).
+    fn obs_phase(&self, r: u32) -> ObsPhase {
+        let ids = self.obs_ids.as_ref().expect("observed path without interned names");
+        match self.cur_phase[r as usize].last() {
+            Some(p) => ids.phases[p.0 as usize],
+            None => ids.no_phase,
+        }
+    }
+
     /// Sample rank `r`'s progress watermark (its virtual time at a phase
     /// boundary).
     fn observe_progress(&self, r: u32, t: VirtualTime) {
-        if let Some(obs) = self.obs {
-            obs.sample(
-                &format!("rank{r}.progress_ns"),
-                self.phase_name(r),
+        if let (Some(obs), Some(ids)) = (self.obs, self.obs_ids.as_ref()) {
+            obs.sample_id(
+                ids.progress[r as usize],
+                self.obs_phase(r),
                 t.nanos(),
                 self.n_events,
                 t.nanos() as i64,
@@ -731,13 +801,19 @@ impl<'a, O: Observer> Engine<'a, O> {
 
     /// Sample the matcher and wildcard queue depths as seen by rank `r`.
     fn observe_queues(&self, r: u32) {
-        if let Some(obs) = self.obs {
-            let ph = self.phase_name(r);
+        if let (Some(obs), Some(ids)) = (self.obs, self.obs_ids.as_ref()) {
+            let ph = self.obs_phase(r);
             let t_ns = self.states[r as usize].time.nanos();
-            let seq = self.n_events;
-            obs.sample("mpi.match_queue_sends", ph, t_ns, seq, self.matcher.pending_sends() as i64);
-            obs.sample("mpi.match_queue_recvs", ph, t_ns, seq, self.matcher.pending_recvs() as i64);
-            obs.sample("mpi.wildcard_queue", ph, t_ns, seq, self.wildcard.depth() as i64);
+            obs.sample_batch_id(
+                ph,
+                t_ns,
+                self.n_events,
+                &[
+                    (ids.match_sends, self.matcher.pending_sends() as i64),
+                    (ids.match_recvs, self.matcher.pending_recvs() as i64),
+                    (ids.wildcard_queue, self.wildcard.depth() as i64),
+                ],
+            );
         }
     }
 
@@ -1140,19 +1216,20 @@ impl<'a, O: Observer> Engine<'a, O> {
                 1.0,
             );
             let clean_arrival = VirtualTime((clean.data_arrival.max(0.0) * 1e9).round() as u64);
-            let ph = self.phase_name(recv.rank);
+            let ids = self.obs_ids.as_ref().expect("observed path without interned names");
+            let ph = self.obs_phase(recv.rank);
             let t_ns = send.post.nanos();
             let mag = arrival.nanos() as i64 - clean_arrival.nanos() as i64;
             if mag != 0 {
                 let core = self.placement.core_of(Location::master(channel.src)).0 as u64;
-                obs.noise(NoiseKind::NetJitter, recv.rank, core, seq, ph, t_ns, mag);
+                obs.noise_id(NoiseKind::NetJitter, recv.rank, core, seq, ph, t_ns, mag);
             }
             let series = match link {
-                LinkKind::SharedMem => "net.sharedmem.wire_ns",
-                LinkKind::Network => "net.network.wire_ns",
+                LinkKind::SharedMem => ids.wire_sharedmem,
+                LinkKind::Network => ids.wire_network,
             };
             let wire = arrival.nanos().saturating_sub(send.post.nanos());
-            obs.sample(series, ph, t_ns, self.n_events, wire as i64);
+            obs.sample_id(series, ph, t_ns, self.n_events, wire as i64);
         }
 
         let sreq = &mut self.states[send.rank as usize].pending[send.req];
@@ -1290,17 +1367,26 @@ impl<'a, O: Observer> Engine<'a, O> {
                 .config
                 .collective
                 .completion_times(inst.op, spec, scope, inst.bytes, &arrivals, 1.0);
+            let ids = self.obs_ids.as_ref().expect("observed path without interned names");
             let seq = self.n_events;
             let t_ns = last_arrival.nanos();
             for rank in 0..completions.len() {
-                let ph = self.phase_name(rank as u32);
+                let ph = self.obs_phase(rank as u32);
                 let mag = ((completions_s[rank] - clean[rank]) * 1e9).round() as i64;
                 if mag != 0 {
                     let core = self.placement.core_of(Location::master(rank as u32)).0 as u64;
-                    obs.noise(NoiseKind::NetJitter, rank as u32, core, index as u64, ph, t_ns, mag);
+                    obs.noise_id(
+                        NoiseKind::NetJitter,
+                        rank as u32,
+                        core,
+                        index as u64,
+                        ph,
+                        t_ns,
+                        mag,
+                    );
                 }
                 let alg = completions[rank].nanos().saturating_sub(t_ns);
-                obs.sample("net.collective_alg_ns", ph, t_ns, seq, alg as i64);
+                obs.sample_id(ids.coll_alg, ph, t_ns, seq, alg as i64);
             }
         }
         let nb: Vec<(usize, usize, VirtualTime)> = self.collectives[index]
@@ -1450,10 +1536,10 @@ impl<'a, O: Observer> Engine<'a, O> {
         self.observer.on_runtime(m, RuntimeKind::Omp, fork);
         t += fork;
         t = self.emit(m, t, EventInfo::Leave { region: derived.fork });
-        if let Some(obs) = self.obs {
-            obs.sample(
-                "omp.team_threads",
-                self.phase_name(r),
+        if let (Some(obs), Some(ids)) = (self.obs, self.obs_ids.as_ref()) {
+            obs.sample_id(
+                ids.team_threads,
+                self.obs_phase(r),
                 t.nanos(),
                 self.n_events,
                 team as i64,
@@ -1641,6 +1727,8 @@ impl<'a, O: Observer> Engine<'a, O> {
             } else {
                 String::new()
             };
+            let obs_ctx: Option<(&ObsIds, ObsPhase)> =
+                self.obs_ids.as_ref().map(|ids| (ids, self.obs_phase(r)));
             let obs_seq = self.n_events;
             let obs_t0: Vec<u64> =
                 if obs.is_some() { tt.iter().map(|t| t.nanos()).collect() } else { Vec::new() };
@@ -1659,7 +1747,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                     let inst =
                         inst_base[thread as usize].wrapping_add(counters[thread as usize] << 24);
                     counters[thread as usize] += 1;
-                    let d = if let Some(o) = obs {
+                    let d = if let (Some(o), Some((ids, ph))) = (obs, obs_ctx) {
                         let mut probe = KernelProbe::default();
                         let d = model.kernel_duration_instrumented(
                             loc(thread),
@@ -1672,12 +1760,13 @@ impl<'a, O: Observer> Engine<'a, O> {
                         );
                         record_kernel_obs(
                             o,
+                            ids,
                             &probe,
                             cost.mem_bytes,
                             r,
                             placement.core_of(loc(thread)).0 as u64,
                             inst,
-                            &obs_phase,
+                            ph,
                             obs_t0[thread as usize],
                             obs_seq,
                         );
@@ -1700,16 +1789,16 @@ impl<'a, O: Observer> Engine<'a, O> {
                 prof,
                 &obs_phase,
             );
-            if let Some(o) = obs {
+            if let (Some(o), Some((ids, ph))) = (obs, obs_ctx) {
                 // Loop-level occupancy: how many chunks the schedule cut
                 // and how far apart the threads finished.
                 let chunks = result.partition.total_chunks();
                 let t_ns = obs_t0.iter().copied().min().unwrap_or(0);
-                o.sample("omp.loop_chunks", &obs_phase, t_ns, obs_seq, chunks as i64);
+                o.sample_id(ids.loop_chunks, ph, t_ns, obs_seq, chunks as i64);
                 let lo = result.finish.iter().cloned().fold(f64::INFINITY, f64::min);
                 let hi = result.finish.iter().cloned().fold(0.0f64, f64::max);
                 let spread = if hi > lo { ((hi - lo) * 1e9).round() as i64 } else { 0 };
-                o.sample("omp.ready_spread_ns", &obs_phase, t_ns, obs_seq, spread);
+                o.sample_id(ids.ready_spread, ph, t_ns, obs_seq, spread);
             }
             for i in 0..team as usize {
                 let mut total_ovh = VirtualDuration::ZERO;
@@ -1784,11 +1873,11 @@ impl<'a, O: Observer> Engine<'a, O> {
                 );
                 tt[i as usize] = tt[i as usize] + dur + wo;
             }
-            if let Some(obs) = self.obs {
+            if let (Some(obs), Some(ids)) = (self.obs, self.obs_ids.as_ref()) {
                 let t_ns = tt.iter().map(|t| t.nanos()).min().unwrap_or(0);
-                obs.sample(
-                    "omp.loop_chunks",
-                    self.phase_name(r),
+                obs.sample_id(
+                    ids.loop_chunks,
+                    self.obs_phase(r),
                     t_ns,
                     self.n_events,
                     partition.total_chunks() as i64,
@@ -1848,25 +1937,26 @@ impl<'a, O: Observer> Engine<'a, O> {
 #[allow(clippy::too_many_arguments)]
 fn record_kernel_obs(
     obs: &RunObserve,
+    ids: &ObsIds,
     probe: &KernelProbe,
     mem_bytes: u64,
     rank: u32,
     core: u64,
     instance: u64,
-    phase: &str,
+    phase: ObsPhase,
     t_ns: u64,
     seq: u64,
 ) {
     if mem_bytes > 0 {
-        obs.sample(
-            &format!("numa{}.bw_threads", probe.numa),
+        obs.sample_id(
+            ids.numa_bw[probe.numa as usize],
             phase,
             t_ns,
             seq,
             probe.active_in_domain as i64,
         );
-        obs.sample(
-            &format!("socket{}.l3_dram_permille", probe.socket),
+        obs.sample_id(
+            ids.socket_l3[probe.socket as usize],
             phase,
             t_ns,
             seq,
@@ -1874,12 +1964,20 @@ fn record_kernel_obs(
         );
     }
     if probe.cpu_noise_ns != 0 {
-        obs.noise(NoiseKind::CpuJitter, rank, core, instance, phase, t_ns, probe.cpu_noise_ns);
+        obs.noise_id(NoiseKind::CpuJitter, rank, core, instance, phase, t_ns, probe.cpu_noise_ns);
     }
     if probe.mem_noise_ns != 0 {
-        obs.noise(NoiseKind::MemJitter, rank, core, instance, phase, t_ns, probe.mem_noise_ns);
+        obs.noise_id(NoiseKind::MemJitter, rank, core, instance, phase, t_ns, probe.mem_noise_ns);
     }
     if probe.detour_ns > 0 {
-        obs.noise(NoiseKind::OsDetour, rank, core, instance, phase, t_ns, probe.detour_ns as i64);
+        obs.noise_id(
+            NoiseKind::OsDetour,
+            rank,
+            core,
+            instance,
+            phase,
+            t_ns,
+            probe.detour_ns as i64,
+        );
     }
 }

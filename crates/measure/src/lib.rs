@@ -22,7 +22,10 @@ pub mod profiling;
 
 pub use filter::FilterRules;
 pub use modes::ClockMode;
-pub use observer::{MeasureConfig, SharedDefs, TracingObserver};
+pub use observer::{
+    chunk_events_for_budget, MeasureConfig, SharedDefs, SpillSummary, TracingObserver,
+    BYTES_PER_EVENT,
+};
 pub use params::{EffortParams, HwCounterSource, OverheadParams};
 pub use profiling::{profile_run, OnlineProfile, ProfilingObserver};
 
@@ -33,7 +36,7 @@ use nrlt_exec::{
 use nrlt_observe::RunObserve;
 use nrlt_prog::Program;
 use nrlt_telemetry::Telemetry;
-use nrlt_trace::Trace;
+use nrlt_trace::{Trace, TraceData};
 
 /// Run `program` instrumented under `measure_config`, returning the
 /// recorded trace and the application-level timings of the *instrumented*
@@ -142,6 +145,65 @@ pub fn measure_prepared_instrumented(
         prof,
     );
     (observer.into_trace(), result)
+}
+
+/// [`measure_prepared_instrumented`], but with resident event storage
+/// capped at `trace_budget` bytes when `Some`: per-location streams
+/// spill columnar chunks to a temp segment file and the returned
+/// [`TraceData`] is `Spilled`. `None` is exactly the resident path.
+/// Either way the recorded event sequence — and hence every analysis
+/// result — is byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_prepared_spilled(
+    program: &Program,
+    prep: &MeasurePrep,
+    exec_config: &ExecConfig,
+    measure_config: &MeasureConfig,
+    trace_budget: Option<u64>,
+    tel: Option<&Telemetry>,
+    obs: Option<&RunObserve>,
+    prof: Option<&RunProf>,
+) -> (TraceData, ExecResult) {
+    let Some(budget) = trace_budget else {
+        let (trace, result) = measure_prepared_instrumented(
+            program,
+            prep,
+            exec_config,
+            measure_config,
+            tel,
+            obs,
+            prof,
+        );
+        return (TraceData::Resident(trace), result);
+    };
+    let _span =
+        tel.map(|t| t.span_cat(format!("measure.run:{}", measure_config.mode.name()), "measure"));
+    let _frame = nrlt_telemetry::sample::frame(nrlt_telemetry::sample::frames::MEASURE_RUN);
+    let mut observer = TracingObserver::with_shared(
+        measure_config.clone(),
+        &prep.regions,
+        &prep.shared,
+        exec_config,
+        tel,
+    );
+    observer.enable_spill(budget);
+    let result = execute_prepared_instrumented(
+        program,
+        &prep.regions,
+        exec_config,
+        &mut observer,
+        tel,
+        obs,
+        prof,
+    );
+    let (trace, summary) = observer.into_trace_data();
+    if let Some(p) = prof {
+        p.gauge("spill.segments_written", "trace_spill", summary.chunks as i64);
+        p.gauge("spill.stalls", "trace_spill", summary.stalls as i64);
+        p.hwm("spill.bytes_written", summary.bytes);
+        p.hwm("spill.chunk_events", summary.chunk_events as u64);
+    }
+    (trace, result)
 }
 
 /// Run `program` uninstrumented (the reference measurement the paper

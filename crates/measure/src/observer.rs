@@ -15,14 +15,59 @@ use nrlt_sim::{
 };
 use nrlt_telemetry::Telemetry;
 use nrlt_trace::{
-    ClockKind, Definitions, Event, EventKind, LocationDef, RegionDef, RegionRef, RegionRole, Trace,
-    NO_ROOT,
+    ClockKind, Definitions, Event, EventKind, LocationDef, RegionDef, RegionRef, RegionRole,
+    SegmentWriter, SpilledTrace, Trace, TraceData, NO_ROOT,
 };
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Events per stream between simulated buffer flushes (Score-P flushes
 /// its per-thread trace buffer when it fills; we count, not charge).
 const FLUSH_EVERY: usize = 4096;
+
+/// Resident bytes per event across the six SoA columns — what the
+/// `--trace-budget` accounting charges per buffered event.
+pub const BYTES_PER_EVENT: u64 = 33;
+
+/// Smallest per-location chunk the spill path will use. Below this the
+/// per-chunk bookkeeping dominates and nothing is saved.
+const MIN_CHUNK_EVENTS: usize = 64;
+/// Largest per-location chunk (1M events ≈ 33 MiB resident).
+const MAX_CHUNK_EVENTS: usize = 1 << 20;
+
+/// Out-of-core trace spilling, attached to a [`TracingObserver`] when a
+/// `--trace-budget` caps resident event storage.
+struct SpillState {
+    writer: SegmentWriter,
+    path: PathBuf,
+    /// Events per location at which a stream spills one chunk.
+    chunk_events: usize,
+    /// Synchronous mid-run spills (recording stalled on the write).
+    stalls: u64,
+}
+
+/// What the spill path did during one run, for the engineprof gauges
+/// and telemetry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillSummary {
+    /// Chunks (segments) written.
+    pub chunks: u64,
+    /// Encoded bytes written.
+    pub bytes: u64,
+    /// Events spilled.
+    pub events: u64,
+    /// Synchronous mid-run spills (final flush excluded).
+    pub stalls: u64,
+    /// The per-location chunk capacity derived from the budget.
+    pub chunk_events: usize,
+}
+
+/// Per-location chunk capacity for a resident-byte `budget` across
+/// `n_locations` streams, clamped to sane bounds.
+pub fn chunk_events_for_budget(budget: u64, n_locations: usize) -> usize {
+    let per_loc = budget / BYTES_PER_EVENT / (n_locations.max(1) as u64);
+    (per_loc as usize).clamp(MIN_CHUNK_EVENTS, MAX_CHUNK_EVENTS)
+}
 
 /// Full measurement configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,6 +254,7 @@ pub struct TracingObserver<'a> {
     /// flushed once in [`TracingObserver::into_trace`] so the per-event
     /// path stays free of locks — and free of any work when `None`.
     tel: Option<&'a Telemetry>,
+    spill: Option<SpillState>,
     n_recorded: u64,
     n_filtered: u64,
     n_flushes: u64,
@@ -271,6 +317,7 @@ impl<'a> TracingObserver<'a> {
             },
             rng: RngFactory::new(exec_config.seed),
             tel,
+            spill: None,
             n_recorded: 0,
             n_filtered: 0,
             n_flushes: 0,
@@ -281,17 +328,79 @@ impl<'a> TracingObserver<'a> {
         }
     }
 
-    /// Consume the observer, yielding the recorded trace.
-    pub fn into_trace(self) -> Trace {
+    /// Cap resident event storage at roughly `budget` bytes: streams
+    /// spill fixed-capacity columnar chunks to a temp segment file once
+    /// they fill, and [`TracingObserver::into_trace_data`] returns a
+    /// [`TraceData::Spilled`]. Must be called before any event is
+    /// recorded (the pre-sized streams are replaced by chunk-sized
+    /// ones).
+    pub fn enable_spill(&mut self, budget: u64) {
+        debug_assert!(self.streams.iter().all(nrlt_trace::EventStream::is_empty));
+        let n = self.streams.len();
+        let chunk_events = chunk_events_for_budget(budget, n);
+        let path = nrlt_trace::temp_segment_path("spill");
+        let writer = SegmentWriter::create(&path).expect("create trace spill segment");
+        // The estimate-sized reservations would defeat the budget;
+        // restart from one chunk per location.
+        self.streams = Trace::presized_streams(n, chunk_events);
+        self.spill = Some(SpillState { writer, path, chunk_events, stalls: 0 });
+    }
+
+    /// Consume the observer, yielding the recorded trace — resident or
+    /// spilled depending on [`TracingObserver::enable_spill`] — plus a
+    /// summary of what the spill path did (all zeros on the resident
+    /// path).
+    pub fn into_trace_data(mut self) -> (TraceData, SpillSummary) {
+        let Some(mut spill) = self.spill.take() else {
+            return (TraceData::Resident(self.into_trace()), SpillSummary::default());
+        };
+        // Final flush: everything still resident goes to the file so the
+        // cursor order (chunks per location, in spill order) is the full
+        // event order.
+        {
+            let _frame = nrlt_telemetry::sample::frame(nrlt_telemetry::sample::frames::TRACE_SPILL);
+            for (idx, stream) in self.streams.iter_mut().enumerate() {
+                spill.writer.spill(idx as u32, stream).expect("trace spill write");
+            }
+        }
+        let stats = spill.writer.stats();
+        let summary = SpillSummary {
+            chunks: stats.chunks,
+            bytes: stats.bytes,
+            events: stats.events,
+            stalls: spill.stalls,
+            chunk_events: spill.chunk_events,
+        };
+        let n_locations = self.streams.len();
         let _frame = nrlt_telemetry::sample::frame(nrlt_telemetry::sample::frames::TRACE_BUILD);
         if let Some(t) = self.tel {
-            t.add("measure.events_recorded", self.n_recorded);
-            t.add("measure.events_filtered", self.n_filtered);
-            t.add("measure.buffer_flushes", self.n_flushes);
-            t.add("measure.hwctr_batch_refills", self.n_hw_refills);
-            t.add("measure.overhead.record_ns", self.ovh_record_ns);
-            t.add("measure.overhead.filter_ns", self.ovh_filter_ns);
-            t.add("measure.overhead.piggyback_ns", self.ovh_piggyback_ns);
+            self.flush_counters(t);
+            t.add("measure.spill_chunks", summary.chunks);
+            t.add("measure.spill_bytes", summary.bytes);
+            t.add("measure.spill_stalls", summary.stalls);
+        }
+        let index = spill.writer.finish().expect("finish trace spill segment");
+        let trace = SpilledTrace::from_parts(self.defs, spill.path, index, n_locations);
+        (TraceData::Spilled(trace), summary)
+    }
+
+    /// Flush the locally accumulated counters to the telemetry sink.
+    fn flush_counters(&self, t: &Telemetry) {
+        t.add("measure.events_recorded", self.n_recorded);
+        t.add("measure.events_filtered", self.n_filtered);
+        t.add("measure.buffer_flushes", self.n_flushes);
+        t.add("measure.hwctr_batch_refills", self.n_hw_refills);
+        t.add("measure.overhead.record_ns", self.ovh_record_ns);
+        t.add("measure.overhead.filter_ns", self.ovh_filter_ns);
+        t.add("measure.overhead.piggyback_ns", self.ovh_piggyback_ns);
+    }
+
+    /// Consume the observer, yielding the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        debug_assert!(self.spill.is_none(), "spilled runs use into_trace_data");
+        let _frame = nrlt_telemetry::sample::frame(nrlt_telemetry::sample::frames::TRACE_BUILD);
+        if let Some(t) = self.tel {
+            self.flush_counters(t);
             for s in &self.streams {
                 t.observe("measure.stream_events", s.len() as u64);
             }
@@ -392,6 +501,14 @@ impl<'a> TracingObserver<'a> {
         self.streams[idx].push(Event { time, kind });
         if self.streams[idx].len().is_multiple_of(FLUSH_EVERY) {
             self.n_flushes += 1;
+        }
+        if let Some(spill) = &mut self.spill {
+            if self.streams[idx].len() >= spill.chunk_events {
+                // Synchronous spill: recording stalls on the write, so
+                // resident storage never exceeds one chunk per location.
+                spill.writer.spill(idx as u32, &mut self.streams[idx]).expect("trace spill write");
+                spill.stalls += 1;
+            }
         }
     }
 
@@ -808,6 +925,37 @@ mod tests {
         obs.on_event(b, VirtualTime(9), &EventInfo::RecvComplete { peer: 0, tag: 0, bytes: 1 });
         let recv_ts = obs.into_trace().streams[1].last().unwrap().time;
         assert!(recv_ts > send_ts, "clock condition: {recv_ts} > {send_ts}");
+    }
+
+    #[test]
+    fn spilled_run_yields_identical_events() {
+        let run = |budget: Option<u64>| -> Vec<(u64, Event)> {
+            let (t, cfg) = setup(ClockMode::Lt1);
+            let mut obs = TracingObserver::new(MeasureConfig::new(ClockMode::Lt1), &t, &cfg);
+            if let Some(b) = budget {
+                obs.enable_spill(b);
+            }
+            let loc = Location::master(0);
+            for i in 0..500u64 {
+                let r = RegionId((i % 2) as u32);
+                obs.on_event(loc, VirtualTime(2 * i), &EventInfo::Enter { region: r });
+                obs.on_event(loc, VirtualTime(2 * i + 1), &EventInfo::Leave { region: r });
+            }
+            let (data, summary) = obs.into_trace_data();
+            if budget.is_some() {
+                assert!(summary.chunks > 1, "tiny budget must spill multiple chunks");
+                assert!(summary.stalls > 0);
+                assert_eq!(summary.events, 1000);
+            } else {
+                assert_eq!(summary, SpillSummary::default());
+            }
+            assert_eq!(data.total_events(), 1000);
+            let view = data.view();
+            view.events(0).map(|e| (e.time, e)).collect()
+        };
+        let resident = run(None);
+        let spilled = run(Some(1)); // clamps to the minimum chunk size
+        assert_eq!(resident, spilled);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod export;
 pub mod query;
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -94,6 +94,19 @@ impl NoiseKind {
             "mem_jitter" => Some(NoiseKind::MemJitter),
             "net_jitter" => Some(NoiseKind::NetJitter),
             _ => None,
+        }
+    }
+
+    /// All kinds, in declaration order (= dense aggregate-table order).
+    const ALL: [NoiseKind; 4] =
+        [NoiseKind::CpuJitter, NoiseKind::OsDetour, NoiseKind::MemJitter, NoiseKind::NetJitter];
+
+    fn index(self) -> usize {
+        match self {
+            NoiseKind::CpuJitter => 0,
+            NoiseKind::OsDetour => 1,
+            NoiseKind::MemJitter => 2,
+            NoiseKind::NetJitter => 3,
         }
     }
 }
@@ -216,7 +229,10 @@ pub struct WaitAgg {
     pub noise_ns: u64,
 }
 
-/// Everything observed during one run (one pipeline cell).
+/// Everything observed during one run (one pipeline cell), in its
+/// exported form: series and phase names materialised as strings. Built
+/// by [`RunObserve::finish`] from the interned raw records the hot path
+/// accumulates.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunData {
     /// Raw counter samples in record order (thinned at compaction).
@@ -237,19 +253,117 @@ pub struct RunData {
     pub dropped_draws: u64,
     /// Provenance records dropped by the per-metric cap.
     pub dropped_waits: u64,
-    // Live-decimation state (reset by `compact`, so it never survives
-    // into an exported or parsed bundle): total records seen and the
-    // current geometric keep stride per raw stream.
+}
+
+impl RunData {
+    /// Sum of positive noise magnitudes injected into `rank` with start
+    /// time inside `[from_ns, to_ns]`.
+    pub fn noise_in_window(&self, rank: u32, from_ns: u64, to_ns: u64) -> u64 {
+        self.draws
+            .iter()
+            .filter(|d| d.rank == rank && d.t_ns >= from_ns && d.t_ns <= to_ns)
+            .map(|d| d.magnitude_ns.max(0) as u64)
+            .sum()
+    }
+}
+
+/// Interned counter-series name, obtained from [`RunObserve::series`].
+/// Recording by id skips the per-sample name formatting and string
+/// hashing that dominated the observed hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(u32);
+
+/// Interned program-phase name, obtained from [`RunObserve::phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseId(u32);
+
+/// First-seen-order string interner. Ids are only meaningful within one
+/// run; the exported [`RunData`] carries the materialised names, so the
+/// bundle is independent of interning order.
+#[derive(Debug, Default)]
+struct Interner {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(s.to_owned());
+        self.ids.insert(s.to_owned(), id);
+        id
+    }
+
+    fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+}
+
+/// [`Sample`] with interned names — `Copy`, no per-record allocation.
+#[derive(Debug, Clone, Copy)]
+struct RawSample {
+    series: u32,
+    phase: u32,
+    t_ns: u64,
+    seq: u64,
+    value: i64,
+}
+
+/// [`NoiseDraw`] with an interned phase — `Copy`.
+#[derive(Debug, Clone, Copy)]
+struct RawDraw {
+    kind: NoiseKind,
+    rank: u32,
+    core: u64,
+    instance: u64,
+    phase: u32,
+    t_ns: u64,
+    magnitude_ns: i64,
+}
+
+/// Live recording state: interned raw streams plus integer-keyed
+/// aggregates. The hot path never allocates once the name tables are
+/// warm; [`RawRun::materialize`] turns it into the exported [`RunData`].
+#[derive(Debug, Default)]
+struct RawRun {
+    series_names: Interner,
+    phase_names: Interner,
+    samples: Vec<RawSample>,
+    /// Dense `[series][phase]` aggregate table, grown on demand. Ids
+    /// are dense by construction, so the per-sample update is two
+    /// indexed loads — no map lookup. `count == 0` marks untouched
+    /// cells (every recorded sample increments its cell's count).
+    series_aggs: Vec<Vec<SeriesAgg>>,
+    draws: Vec<RawDraw>,
+    /// Dense `[rank][phase][kind]` noise aggregates, grown on demand.
+    noise_aggs: Vec<Vec<[NoiseAgg; 4]>>,
+    waits: Vec<WaitProvenance>,
+    wait_aggs: BTreeMap<(String, String), WaitAgg>,
+    dropped_samples: u64,
+    dropped_draws: u64,
+    dropped_waits: u64,
+    // Live-decimation state: total records seen and the current
+    // geometric keep stride per raw stream.
     sample_pos: u64,
     sample_stride: u64,
     draw_pos: u64,
     draw_stride: u64,
 }
 
-impl RunData {
-    fn record_sample(&mut self, sample: Sample) {
-        let agg =
-            self.series_aggs.entry((sample.series.clone(), sample.phase.clone())).or_default();
+impl RawRun {
+    fn record_sample(&mut self, sample: RawSample) {
+        let (s, p) = (sample.series as usize, sample.phase as usize);
+        if self.series_aggs.len() <= s {
+            self.series_aggs.resize_with(s + 1, Vec::new);
+        }
+        let row = &mut self.series_aggs[s];
+        if row.len() <= p {
+            row.resize_with(p + 1, SeriesAgg::default);
+        }
+        let agg = &mut row[p];
         agg.count += 1;
         agg.sum += sample.value;
         agg.max = agg.max.max(sample.value);
@@ -266,8 +380,16 @@ impl RunData {
         self.sample_pos += 1;
     }
 
-    fn record_draw(&mut self, draw: NoiseDraw) {
-        let agg = self.noise_aggs.entry((draw.kind, draw.rank, draw.phase.clone())).or_default();
+    fn record_draw(&mut self, draw: RawDraw) {
+        let (r, p) = (draw.rank as usize, draw.phase as usize);
+        if self.noise_aggs.len() <= r {
+            self.noise_aggs.resize_with(r + 1, Vec::new);
+        }
+        let row = &mut self.noise_aggs[r];
+        if row.len() <= p {
+            row.resize_with(p + 1, Default::default);
+        }
+        let agg = &mut row[p][draw.kind.index()];
         agg.count += 1;
         agg.total_ns += draw.magnitude_ns;
         agg.delay_ns += draw.magnitude_ns.max(0) as u64;
@@ -284,29 +406,12 @@ impl RunData {
         self.draw_pos += 1;
     }
 
-    /// Sum of positive noise magnitudes injected into `rank` with start
-    /// time inside `[from_ns, to_ns]`.
-    pub fn noise_in_window(&self, rank: u32, from_ns: u64, to_ns: u64) -> u64 {
+    fn noise_in_window(&self, rank: u32, from_ns: u64, to_ns: u64) -> u64 {
         self.draws
             .iter()
             .filter(|d| d.rank == rank && d.t_ns >= from_ns && d.t_ns <= to_ns)
             .map(|d| d.magnitude_ns.max(0) as u64)
             .sum()
-    }
-
-    /// Thin raw samples/draws to the caps with a deterministic stride
-    /// and keep only the most severe waits per metric. Aggregates are
-    /// untouched (they are exact over the full run). Also clears the
-    /// live-decimation state so a compacted run compares equal to its
-    /// serialised round-trip.
-    fn compact(&mut self) {
-        self.dropped_samples += thin(&mut self.samples, SAMPLE_CAP);
-        self.dropped_draws += thin(&mut self.draws, DRAW_CAP);
-        self.cap_waits();
-        self.sample_pos = 0;
-        self.sample_stride = 0;
-        self.draw_pos = 0;
-        self.draw_stride = 0;
     }
 
     /// Keep the top [`WAIT_CAP`] waits per metric by (severity desc,
@@ -341,6 +446,79 @@ impl RunData {
             i += 1;
             k
         });
+    }
+
+    /// Thin raw samples/draws to the caps with a deterministic stride,
+    /// keep only the most severe waits per metric, and materialise the
+    /// interned records into the exported string-keyed form. Aggregates
+    /// are untouched (exact over the full run); the rebuilt maps sort by
+    /// name, so the result is byte-identical to what direct string-keyed
+    /// recording produced.
+    fn materialize(mut self) -> RunData {
+        self.dropped_samples += thin(&mut self.samples, SAMPLE_CAP);
+        self.dropped_draws += thin(&mut self.draws, DRAW_CAP);
+        self.cap_waits();
+        let series = &self.series_names;
+        let phases = &self.phase_names;
+        RunData {
+            samples: self
+                .samples
+                .iter()
+                .map(|s| Sample {
+                    series: series.name(s.series).to_owned(),
+                    phase: phases.name(s.phase).to_owned(),
+                    t_ns: s.t_ns,
+                    seq: s.seq,
+                    value: s.value,
+                })
+                .collect(),
+            series_aggs: self
+                .series_aggs
+                .iter()
+                .enumerate()
+                .flat_map(|(s, row)| {
+                    row.iter().enumerate().filter(|(_, agg)| agg.count > 0).map(move |(p, agg)| {
+                        (
+                            (series.name(s as u32).to_owned(), phases.name(p as u32).to_owned()),
+                            agg.clone(),
+                        )
+                    })
+                })
+                .collect(),
+            draws: self
+                .draws
+                .iter()
+                .map(|d| NoiseDraw {
+                    kind: d.kind,
+                    rank: d.rank,
+                    core: d.core,
+                    instance: d.instance,
+                    phase: phases.name(d.phase).to_owned(),
+                    t_ns: d.t_ns,
+                    magnitude_ns: d.magnitude_ns,
+                })
+                .collect(),
+            noise_aggs: self
+                .noise_aggs
+                .iter()
+                .enumerate()
+                .flat_map(|(r, row)| {
+                    row.iter().enumerate().flat_map(move |(p, cell)| {
+                        NoiseKind::ALL.iter().filter(|k| cell[k.index()].count > 0).map(move |&k| {
+                            (
+                                (k, r as u32, phases.name(p as u32).to_owned()),
+                                cell[k.index()].clone(),
+                            )
+                        })
+                    })
+                })
+                .collect(),
+            waits: self.waits,
+            wait_aggs: self.wait_aggs,
+            dropped_samples: self.dropped_samples,
+            dropped_draws: self.dropped_draws,
+            dropped_waits: self.dropped_waits,
+        }
     }
 }
 
@@ -380,7 +558,7 @@ fn thin<T>(v: &mut Vec<T>, cap: usize) -> u64 {
 #[derive(Debug)]
 pub struct RunObserve {
     name: String,
-    data: RefCell<RunData>,
+    data: RefCell<RawRun>,
 }
 
 impl RunObserve {
@@ -388,7 +566,7 @@ impl RunObserve {
     /// deterministic merge: derive them from stable identities
     /// (instance, mode, repetition), never from timing.
     pub fn new(name: impl Into<String>) -> RunObserve {
-        RunObserve { name: name.into(), data: RefCell::new(RunData::default()) }
+        RunObserve { name: name.into(), data: RefCell::new(RawRun::default()) }
     }
 
     /// The run name.
@@ -396,18 +574,76 @@ impl RunObserve {
         &self.name
     }
 
-    /// Record one counter sample.
-    pub fn sample(&self, series: &str, phase: &str, t_ns: u64, seq: u64, value: i64) {
-        self.data.borrow_mut().record_sample(Sample {
-            series: series.to_owned(),
-            phase: phase.to_owned(),
+    /// Intern a counter-series name. Recorders on hot paths intern each
+    /// name once up front and record by id; interning the same name
+    /// again returns the same id.
+    pub fn series(&self, name: &str) -> SeriesId {
+        SeriesId(self.data.borrow_mut().series_names.intern(name))
+    }
+
+    /// Intern a program-phase name (the empty string is the valid
+    /// "outside any phase" name).
+    pub fn phase(&self, name: &str) -> PhaseId {
+        PhaseId(self.data.borrow_mut().phase_names.intern(name))
+    }
+
+    /// Record one counter sample by interned ids — the allocation-free
+    /// hot path.
+    pub fn sample_id(&self, series: SeriesId, phase: PhaseId, t_ns: u64, seq: u64, value: i64) {
+        self.data.borrow_mut().record_sample(RawSample {
+            series: series.0,
+            phase: phase.0,
             t_ns,
             seq,
             value,
         });
     }
 
-    /// Record one noise draw.
+    /// Record a batch of counter samples sharing one (phase, time, seq)
+    /// point — one borrow of the recording state for the whole batch.
+    /// Used by per-event multi-series recorders (e.g. queue depths).
+    pub fn sample_batch_id(&self, phase: PhaseId, t_ns: u64, seq: u64, values: &[(SeriesId, i64)]) {
+        let mut data = self.data.borrow_mut();
+        for &(series, value) in values {
+            data.record_sample(RawSample { series: series.0, phase: phase.0, t_ns, seq, value });
+        }
+    }
+
+    /// Record one counter sample by name. Convenience wrapper over
+    /// [`RunObserve::sample_id`] that interns per call; prefer the id
+    /// form in per-event code.
+    pub fn sample(&self, series: &str, phase: &str, t_ns: u64, seq: u64, value: i64) {
+        let mut data = self.data.borrow_mut();
+        let series = data.series_names.intern(series);
+        let phase = data.phase_names.intern(phase);
+        data.record_sample(RawSample { series, phase, t_ns, seq, value });
+    }
+
+    /// Record one noise draw by interned phase id — the allocation-free
+    /// hot path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn noise_id(
+        &self,
+        kind: NoiseKind,
+        rank: u32,
+        core: u64,
+        instance: u64,
+        phase: PhaseId,
+        t_ns: u64,
+        magnitude_ns: i64,
+    ) {
+        self.data.borrow_mut().record_draw(RawDraw {
+            kind,
+            rank,
+            core,
+            instance,
+            phase: phase.0,
+            t_ns,
+            magnitude_ns,
+        });
+    }
+
+    /// Record one noise draw by phase name (interns per call).
     #[allow(clippy::too_many_arguments)]
     pub fn noise(
         &self,
@@ -419,15 +655,9 @@ impl RunObserve {
         t_ns: u64,
         magnitude_ns: i64,
     ) {
-        self.data.borrow_mut().record_draw(NoiseDraw {
-            kind,
-            rank,
-            core,
-            instance,
-            phase: phase.to_owned(),
-            t_ns,
-            magnitude_ns,
-        });
+        let mut data = self.data.borrow_mut();
+        let phase = data.phase_names.intern(phase);
+        data.record_draw(RawDraw { kind, rank, core, instance, phase, t_ns, magnitude_ns });
     }
 
     /// Record the provenance of one wait state.
@@ -451,11 +681,9 @@ impl RunObserve {
         self.data.borrow().noise_in_window(rank, from_ns, to_ns)
     }
 
-    /// Finish recording: compact and return the run's data.
+    /// Finish recording: compact and materialise the run's data.
     pub fn finish(self) -> (String, RunData) {
-        let mut data = self.data.into_inner();
-        data.compact();
-        (self.name, data)
+        (self.name, self.data.into_inner().materialize())
     }
 }
 
@@ -572,6 +800,26 @@ mod tests {
         let nagg = &data.noise_aggs[&(NoiseKind::CpuJitter, 0, "cg".to_owned())];
         assert_eq!(nagg.count, total);
         assert_eq!(nagg.delay_ns, total * 2);
+    }
+
+    #[test]
+    fn interned_recording_matches_string_recording() {
+        let by_name = RunObserve::new("r");
+        let by_id = RunObserve::new("r");
+        let series = by_id.series("numa0.bw_threads");
+        let wire = by_id.series("net.network.wire_ns");
+        let cg = by_id.phase("cg");
+        let none = by_id.phase("");
+        for i in 0..500u64 {
+            by_name.sample("numa0.bw_threads", "cg", i, i, i as i64);
+            by_id.sample_id(series, cg, i, i, i as i64);
+            by_name.sample("net.network.wire_ns", "", i, i, 7);
+            by_id.sample_id(wire, none, i, i, 7);
+            by_name.noise(NoiseKind::OsDetour, 1, 2, i, "cg", i, 9);
+            by_id.noise_id(NoiseKind::OsDetour, 1, 2, i, cg, i, 9);
+        }
+        assert_eq!(by_name.noise_in_window(1, 0, 499), by_id.noise_in_window(1, 0, 499));
+        assert_eq!(by_name.finish(), by_id.finish());
     }
 
     #[test]

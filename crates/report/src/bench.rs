@@ -41,14 +41,27 @@ pub struct BenchEntry {
     pub events: u64,
     /// Engine throughput: `events / wall_seconds` (0 = unknown).
     pub events_per_sec: f64,
-    /// For instrumented runs (run names carrying a `:observe`,
-    /// `:engineprof`, or `:sampleprof` suffix): wall-time overhead in
-    /// percent against the plain entry with the same bin, base run, and
-    /// jobs — the explicit cost-of-observability KPI. 0 = not
-    /// applicable or the plain twin is not in the baseline. Recomputed
-    /// on every [`merge_and_write`], never gated; overheads above
-    /// [`OVERHEAD_WARN_PCT`] warn on stderr.
-    pub overhead_vs_plain_pct: f64,
+    /// Wall-time overhead in percent against the entry's comparison
+    /// twin. For instrumented runs (run names carrying a `:observe`,
+    /// `:engineprof`, or `:sampleprof` suffix) the twin is the plain
+    /// entry with the same bin, base run, and jobs — the explicit
+    /// cost-of-observability KPI. For plain runs at `jobs > 1` the twin
+    /// is the `jobs = 1` sibling, so the value reads as the (usually
+    /// negative) parallel speedup rather than a misleading `0.0`.
+    /// `None` (serialized as `null`) means no twin exists in the
+    /// baseline; plain `jobs = 1` entries are their own twin at
+    /// `Some(0.0)`. Recomputed on every [`merge_and_write`], never
+    /// gated; instrumented overheads above [`OVERHEAD_WARN_PCT`] warn
+    /// on stderr.
+    pub overhead_vs_plain_pct: Option<f64>,
+    /// Peak resident-set size of the measuring process, in bytes
+    /// (`VmHWM` from `/proc/self/status`; 0 = unknown, e.g. non-Linux
+    /// hosts or entries written before the field existed). The HWM is
+    /// process-wide and monotone across an invocation, so entries
+    /// recorded later in one invocation inherit the peaks of earlier
+    /// runs — comparable across invocations of one binary, honest
+    /// rather than per-run.
+    pub peak_rss_bytes: u64,
 }
 
 /// Instrumented-run overhead (percent vs the plain twin) above which
@@ -83,6 +96,48 @@ impl BenchEntry {
 /// `available_parallelism` of this host.
 pub fn host_parallelism() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Peak resident-set size of this process in bytes: `VmHWM` from
+/// `/proc/self/status` (kilobytes, scaled). Returns 0 where the file or
+/// the field is unavailable (non-Linux hosts) — callers treat 0 as
+/// "unknown", never as "zero memory".
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Best-effort reset of the kernel's peak-RSS high-water mark for this
+/// process: writes `5` to `/proc/self/clear_refs` (Linux ≥ 4.0). After
+/// a successful reset [`peak_rss_bytes`] reports the peak *since the
+/// reset*, which lets a long-lived sweep attribute a peak to each
+/// individual run instead of every later entry inheriting the largest
+/// earlier one. Returns whether the reset took; on `false` (non-Linux,
+/// restricted procfs) the HWM keeps its process-monotone semantics.
+pub fn reset_peak_rss() -> bool {
+    // The kernel floors the reset HWM at *current* RSS, and glibc
+    // retains freed heap pages on its free lists — without a trim, a
+    // run that follows a large one would still inherit hundreds of MiB
+    // of retained-but-free pages in its "peak". `malloc_trim` is part
+    // of the already-linked libc, not a new dependency.
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        extern "C" {
+            fn malloc_trim(pad: usize) -> std::os::raw::c_int;
+        }
+        unsafe {
+            malloc_trim(0);
+        }
+    }
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
 /// Merge `new_entries` into the baseline at `path` (replacing same-key
@@ -120,9 +175,13 @@ pub fn merge_and_write(path: &Path, new_entries: &[BenchEntry]) -> std::io::Resu
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
+        let overhead = match e.overhead_vs_plain_pct {
+            Some(pct) => format!("{pct:.1}"),
+            None => "null".to_owned(),
+        };
         let _ = writeln!(
             out,
-            "    {{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \"overhead_vs_plain_pct\": {:.1}}}{comma}",
+            "    {{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {:.3}, \"events\": {}, \"events_per_sec\": {:.1}, \"overhead_vs_plain_pct\": {overhead}, \"peak_rss_bytes\": {}}}{comma}",
             json_string(&e.bin),
             json_string(&e.run),
             e.jobs,
@@ -130,7 +189,7 @@ pub fn merge_and_write(path: &Path, new_entries: &[BenchEntry]) -> std::io::Resu
             e.wall_seconds,
             e.events,
             e.events_per_sec,
-            e.overhead_vs_plain_pct,
+            e.peak_rss_bytes,
         );
     }
     let _ = writeln!(out, "  ]");
@@ -143,30 +202,31 @@ pub fn merge_and_write(path: &Path, new_entries: &[BenchEntry]) -> std::io::Resu
     std::fs::write(path, out)
 }
 
-/// Fill `overhead_vs_plain_pct` for every instrumented entry (run name
-/// `base:suffix`) that has a plain twin `(bin, base, jobs)` with a
-/// positive wall time, and reset it to 0 where no twin exists — the
-/// field is derived, so a stale value never survives a re-merge. Warns
-/// on stderr above [`OVERHEAD_WARN_PCT`].
+/// Fill `overhead_vs_plain_pct` for every entry from its comparison
+/// twin, and reset it to `None` where no twin exists — the field is
+/// derived, so a stale value never survives a re-merge. Instrumented
+/// entries (run name `base:suffix`) compare against the plain
+/// `(bin, base, jobs)` twin and warn on stderr above
+/// [`OVERHEAD_WARN_PCT`]; plain entries at `jobs > 1` compare against
+/// their `jobs = 1` sibling (so the column reads as parallel speedup,
+/// never a misleading `0.0`); plain `jobs = 1` entries are their own
+/// twin at `Some(0.0)`.
 fn annotate_overheads(entries: &mut [BenchEntry]) {
     let plain: Vec<(String, String, usize, f64)> = entries
         .iter()
         .filter(|e| !e.run.contains(':'))
         .map(|e| (e.bin.clone(), e.run.clone(), e.jobs, e.wall_seconds))
         .collect();
-    for e in entries.iter_mut() {
-        let Some((base_run, _suffix)) = e.run.split_once(':') else {
-            e.overhead_vs_plain_pct = 0.0;
-            continue;
-        };
-        let twin = plain
+    let twin_wall = |bin: &str, run: &str, jobs: usize| {
+        plain
             .iter()
-            .find(|(bin, run, jobs, wall)| {
-                bin == &e.bin && run == base_run && *jobs == e.jobs && *wall > 0.0
-            })
-            .map(|(_, _, _, wall)| *wall);
-        e.overhead_vs_plain_pct = match twin {
-            Some(plain_wall) => {
+            .find(|(b, r, j, wall)| b == bin && r == run && *j == jobs && *wall > 0.0)
+            .map(|(_, _, _, wall)| *wall)
+    };
+    for e in entries.iter_mut() {
+        e.overhead_vs_plain_pct = match e.run.split_once(':') {
+            // Instrumented: against the same-jobs plain twin.
+            Some((base_run, _suffix)) => twin_wall(&e.bin, base_run, e.jobs).map(|plain_wall| {
                 let pct = (e.wall_seconds / plain_wall - 1.0) * 100.0;
                 if pct > OVERHEAD_WARN_PCT {
                     eprintln!(
@@ -177,8 +237,12 @@ fn annotate_overheads(entries: &mut [BenchEntry]) {
                     );
                 }
                 pct
-            }
-            None => 0.0,
+            }),
+            // Plain at jobs=1: its own twin by definition.
+            None if e.jobs == 1 => Some(0.0),
+            // Plain at jobs>1: against the serial sibling.
+            None => twin_wall(&e.bin, &e.run, 1)
+                .map(|serial_wall| (e.wall_seconds / serial_wall - 1.0) * 100.0),
         };
     }
 }
@@ -211,8 +275,9 @@ fn parse_entry_line(line: &str) -> Option<BenchEntry> {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0.0),
         overhead_vs_plain_pct: field_raw(line, "overhead_vs_plain_pct")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0.0),
+            .filter(|v| v != "null")
+            .and_then(|v| v.parse().ok()),
+        peak_rss_bytes: field_raw(line, "peak_rss_bytes").and_then(|v| v.parse().ok()).unwrap_or(0),
     })
 }
 
@@ -290,6 +355,15 @@ pub struct GateRow {
     pub eps_ratio: f64,
     /// True when throughput dropped beyond the allowed factor.
     pub eps_regressed: bool,
+    /// Baseline peak RSS in bytes (0 = not recorded; RSS not gated).
+    pub baseline_rss: u64,
+    /// Current peak RSS in bytes (0 = not recorded).
+    pub current_rss: u64,
+    /// Peak-RSS growth `current_rss / baseline_rss` (0 when either side
+    /// is unknown).
+    pub rss_ratio: f64,
+    /// True when peak RSS grew beyond the allowed factor.
+    pub rss_regressed: bool,
 }
 
 /// The result of a [`bench_check`] run.
@@ -309,9 +383,9 @@ pub struct GateReport {
 
 impl GateReport {
     /// True when any key regressed beyond the allowed factor — in wall
-    /// time or in engine throughput.
+    /// time, in engine throughput, or in peak RSS.
     pub fn failed(&self) -> bool {
-        self.rows.iter().any(|r| r.regressed || r.eps_regressed)
+        self.rows.iter().any(|r| r.regressed || r.eps_regressed || r.rss_regressed)
     }
 
     /// Render the gate outcome as a table plus a verdict line.
@@ -321,8 +395,8 @@ impl GateReport {
             writeln!(out, "=== bench-check (max allowed slowdown {:.2}x) ===", self.max_regress);
         let _ = writeln!(
             out,
-            "  {:<40} {:>10} {:>10} {:>7} {:>12} {:>7}  verdict",
-            "key", "baseline", "current", "ratio", "events/s", "eps-x"
+            "  {:<40} {:>10} {:>10} {:>7} {:>12} {:>7} {:>10} {:>7}  verdict",
+            "key", "baseline", "current", "ratio", "events/s", "eps-x", "rss", "rss-x"
         );
         for r in &self.rows {
             let eps = if r.current_eps > 0.0 {
@@ -330,16 +404,23 @@ impl GateReport {
             } else {
                 format!("{:>12} {:>7}", "-", "-")
             };
+            let rss = if r.rss_ratio > 0.0 {
+                format!("{:>9}M {:>6.2}x", r.current_rss >> 20, r.rss_ratio)
+            } else {
+                format!("{:>10} {:>7}", "-", "-")
+            };
             let verdict = if r.regressed {
                 "REGRESSED"
             } else if r.eps_regressed {
                 "REGRESSED (throughput)"
+            } else if r.rss_regressed {
+                "REGRESSED (peak RSS)"
             } else {
                 "ok"
             };
             let _ = writeln!(
                 out,
-                "  {:<40} {:>9.3}s {:>9.3}s {:>6.2}x {eps}  {verdict}",
+                "  {:<40} {:>9.3}s {:>9.3}s {:>6.2}x {eps} {rss}  {verdict}",
                 r.key, r.baseline, r.current, r.ratio,
             );
         }
@@ -352,7 +433,11 @@ impl GateReport {
         let _ = writeln!(
             out,
             "verdict: {}",
-            if self.failed() { "FAIL — wall-time or throughput regression" } else { "pass" }
+            if self.failed() {
+                "FAIL — wall-time, throughput, or peak-RSS regression"
+            } else {
+                "pass"
+            }
         );
         out
     }
@@ -396,6 +481,11 @@ pub fn bench_check(
                 } else {
                     0.0
                 };
+                let rss_ratio = if base.peak_rss_bytes > 0 && cur.peak_rss_bytes > 0 {
+                    cur.peak_rss_bytes as f64 / base.peak_rss_bytes as f64
+                } else {
+                    0.0
+                };
                 rows.push(GateRow {
                     key: cur.key(),
                     baseline: base.wall_seconds,
@@ -406,6 +496,10 @@ pub fn bench_check(
                     current_eps,
                     eps_ratio,
                     eps_regressed: eps_ratio > max_regress,
+                    baseline_rss: base.peak_rss_bytes,
+                    current_rss: cur.peak_rss_bytes,
+                    rss_ratio,
+                    rss_regressed: rss_ratio > max_regress,
                 });
             }
             None => unmatched.push(cur.key()),
@@ -427,7 +521,8 @@ mod tests {
             wall_seconds: wall,
             events: 0,
             events_per_sec: 0.0,
-            overhead_vs_plain_pct: 0.0,
+            overhead_vs_plain_pct: None,
+            peak_rss_bytes: 0,
         }
     }
 
@@ -444,10 +539,13 @@ mod tests {
         merge_and_write(&path, &[entry("fig3", "MiniFE-2", 1, 27.125)]).unwrap();
 
         let entries = read_entries(&path).unwrap();
-        assert_eq!(
-            entries,
-            vec![entry("fig3", "MiniFE-2", 1, 27.125), entry("fig3", "MiniFE-2", 4, 8.25)]
-        );
+        // The overhead column is derived on merge: the serial entry is
+        // its own twin, the jobs=4 sibling reads as speedup vs serial.
+        let mut serial = entry("fig3", "MiniFE-2", 1, 27.125);
+        serial.overhead_vs_plain_pct = Some(0.0);
+        let mut fanned = entry("fig3", "MiniFE-2", 4, 8.25);
+        fanned.overhead_vs_plain_pct = Some(-69.6);
+        assert_eq!(entries, vec![serial, fanned]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -533,6 +631,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         merge_and_write(&path, std::slice::from_ref(&e)).unwrap();
         let entries = read_entries(&path).unwrap();
+        e.overhead_vs_plain_pct = Some(0.0); // derived: serial plain is its own twin
         assert_eq!(entries, vec![e]);
         std::fs::remove_file(&path).unwrap();
 
@@ -541,6 +640,8 @@ mod tests {
         assert_eq!(parsed[0].events, 0);
         assert_eq!(parsed[0].events_per_sec, 0.0);
         assert_eq!(parsed[0].throughput(), 0.0);
+        assert_eq!(parsed[0].overhead_vs_plain_pct, None);
+        assert_eq!(parsed[0].peak_rss_bytes, 0);
     }
 
     #[test]
@@ -587,7 +688,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
 
         // Plain twin and its 50%-slower engineprof run, plus an
-        // instrumented run with no twin (stays 0, never warns).
+        // instrumented run with no twin (null, never warns).
         merge_and_write(
             &path,
             &[
@@ -599,17 +700,84 @@ mod tests {
         .unwrap();
         let entries = read_entries(&path).unwrap();
         let by_run = |run: &str| entries.iter().find(|e| e.run == run).unwrap();
-        assert_eq!(by_run("LULESH-1").overhead_vs_plain_pct, 0.0);
-        assert!((by_run("LULESH-1:engineprof").overhead_vs_plain_pct - 50.0).abs() < 1e-6);
-        assert_eq!(by_run("Orphan-1:observe").overhead_vs_plain_pct, 0.0);
+        assert_eq!(by_run("LULESH-1").overhead_vs_plain_pct, Some(0.0));
+        let prof = by_run("LULESH-1:engineprof").overhead_vs_plain_pct.unwrap();
+        assert!((prof - 50.0).abs() < 1e-6);
+        assert_eq!(by_run("Orphan-1:observe").overhead_vs_plain_pct, None);
 
         // The field is derived: a faster re-run of the instrumented
         // entry re-computes rather than keeping the stale 50%.
         merge_and_write(&path, &[entry("fig3", "LULESH-1:engineprof", 1, 11.0)]).unwrap();
         let entries = read_entries(&path).unwrap();
         let e = entries.iter().find(|e| e.run == "LULESH-1:engineprof").unwrap();
-        assert!((e.overhead_vs_plain_pct - 10.0).abs() < 1e-6, "{}", e.overhead_vs_plain_pct);
+        let pct = e.overhead_vs_plain_pct.unwrap();
+        assert!((pct - 10.0).abs() < 1e-6, "{pct}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn plain_entries_at_many_jobs_compare_against_serial_or_null() {
+        let dir = std::env::temp_dir().join("nrlt-report-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plain-jobs.json");
+        let _ = std::fs::remove_file(&path);
+
+        // A jobs=2 plain entry with no serial sibling must emit null,
+        // not a misleading 0.0.
+        merge_and_write(&path, &[entry("fig3", "MiniFE-1", 2, 5.0)]).unwrap();
+        let entries = read_entries(&path).unwrap();
+        assert_eq!(entries[0].overhead_vs_plain_pct, None);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"overhead_vs_plain_pct\": null"), "{text}");
+
+        // Once the serial sibling lands, the jobs=2 entry reads as the
+        // speedup against it.
+        merge_and_write(&path, &[entry("fig3", "MiniFE-1", 1, 10.0)]).unwrap();
+        let entries = read_entries(&path).unwrap();
+        let fanned = entries.iter().find(|e| e.jobs == 2).unwrap();
+        let pct = fanned.overhead_vs_plain_pct.unwrap();
+        assert!((pct - -50.0).abs() < 1e-6, "{pct}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn peak_rss_roundtrips_and_gates() {
+        let dir = std::env::temp_dir().join("nrlt-report-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rss.json");
+        let _ = std::fs::remove_file(&path);
+        let mut e = entry("scale", "MiniFE-weak-10000", 1, 2.0);
+        e.peak_rss_bytes = 512 << 20;
+        merge_and_write(&path, std::slice::from_ref(&e)).unwrap();
+        let entries = read_entries(&path).unwrap();
+        assert_eq!(entries[0].peak_rss_bytes, 512 << 20);
+
+        // 3x RSS growth at unchanged wall time trips the gate.
+        let mut cur = e.clone();
+        cur.peak_rss_bytes = 1536 << 20;
+        let report = bench_check(&entries, &[cur], 1.5);
+        assert!(report.failed(), "3x peak-RSS growth must fail");
+        assert!(report.rows[0].rss_regressed);
+        assert!(!report.rows[0].regressed);
+        assert!(report.render().contains("REGRESSED (peak RSS)"));
+
+        // Unknown RSS on either side never gates.
+        let mut legacy = e.clone();
+        legacy.peak_rss_bytes = 0;
+        let report = bench_check(&entries, &[legacy], 1.5);
+        assert!(!report.failed());
+        assert_eq!(report.rows[0].rss_ratio, 0.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn this_process_reports_a_peak_rss() {
+        // Linux CI and dev hosts have /proc; the helper must return a
+        // plausible nonzero HWM there (and 0, never garbage, elsewhere).
+        let rss = peak_rss_bytes();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss > 1 << 20, "VmHWM under 1 MiB is implausible: {rss}");
+        }
     }
 
     #[test]

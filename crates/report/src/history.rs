@@ -71,9 +71,13 @@ pub fn record_line(r: &HistoryRecord) -> String {
     );
     for (i, e) in r.entries.iter().enumerate() {
         let comma = if i + 1 < r.entries.len() { ", " } else { "" };
+        let overhead = match e.overhead_vs_plain_pct {
+            Some(pct) => json::number(pct),
+            None => "null".to_owned(),
+        };
         let _ = write!(
             out,
-            "{{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {}, \"events\": {}, \"events_per_sec\": {}, \"overhead_vs_plain_pct\": {}}}{comma}",
+            "{{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {}, \"events\": {}, \"events_per_sec\": {}, \"overhead_vs_plain_pct\": {overhead}, \"peak_rss_bytes\": {}}}{comma}",
             json::string(&e.bin),
             json::string(&e.run),
             e.jobs,
@@ -81,7 +85,7 @@ pub fn record_line(r: &HistoryRecord) -> String {
             json::number(e.wall_seconds),
             e.events,
             json::number(e.events_per_sec),
-            json::number(e.overhead_vs_plain_pct),
+            e.peak_rss_bytes,
         );
     }
     let _ = write!(out, "], \"top_stacks\": [");
@@ -171,10 +175,8 @@ fn parse_entry(v: &json::Value) -> Option<BenchEntry> {
         wall_seconds: v.get("wall_seconds")?.as_f64()?,
         events: v.get("events").and_then(|e| e.as_f64()).unwrap_or(0.0) as u64,
         events_per_sec: v.get("events_per_sec").and_then(|e| e.as_f64()).unwrap_or(0.0),
-        overhead_vs_plain_pct: v
-            .get("overhead_vs_plain_pct")
-            .and_then(|e| e.as_f64())
-            .unwrap_or(0.0),
+        overhead_vs_plain_pct: v.get("overhead_vs_plain_pct").and_then(|e| e.as_f64()),
+        peak_rss_bytes: v.get("peak_rss_bytes").and_then(|e| e.as_f64()).unwrap_or(0.0) as u64,
     })
 }
 
@@ -217,6 +219,7 @@ struct Series {
     key: String,
     walls: Vec<f64>,
     eps: Vec<f64>,
+    rss: Vec<f64>,
     oversubscribed: bool,
 }
 
@@ -241,6 +244,7 @@ fn series(records: &[HistoryRecord], key_filter: Option<&str>) -> Vec<Series> {
                         key,
                         walls: Vec::new(),
                         eps: Vec::new(),
+                        rss: Vec::new(),
                         oversubscribed: false,
                     });
                     out.last_mut().expect("just pushed")
@@ -248,6 +252,7 @@ fn series(records: &[HistoryRecord], key_filter: Option<&str>) -> Vec<Series> {
             };
             s.walls.push(e.wall_seconds);
             s.eps.push(e.throughput());
+            s.rss.push(e.peak_rss_bytes as f64);
             s.oversubscribed |= e.oversubscribed();
         }
     }
@@ -256,9 +261,11 @@ fn series(records: &[HistoryRecord], key_filter: Option<&str>) -> Vec<Series> {
 
 /// Render the ledger's per-key trajectories: a record index, then one
 /// row per `(bin, run, jobs)` key with sparkline, first/last/best wall
-/// seconds, the last-vs-first delta, and the EWMA baseline the gate
-/// would use. Output depends only on the ledger bytes (and the filter),
-/// so the same ledger renders byte-identically.
+/// seconds, the last-vs-first delta, the EWMA baseline the gate would
+/// use, the latest engine throughput, and the peak-RSS trajectory
+/// (sparkline + latest value; `-` for series that never recorded one).
+/// Output depends only on the ledger bytes (and the filter), so the
+/// same ledger renders byte-identically.
 pub fn trend_text(records: &[HistoryRecord], key_filter: Option<&str>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "=== perf trend ({} ledger records) ===", records.len());
@@ -280,18 +287,26 @@ pub fn trend_text(records: &[HistoryRecord], key_filter: Option<&str>) -> String
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "  {:<42} {:<12} {:>9} {:>9} {:>9} {:>8} {:>9}",
-        "key", "wall trend", "first", "last", "best", "Δ%", "ewma"
+        "  {:<42} {:<12} {:>9} {:>9} {:>9} {:>8} {:>9} {:>11} {:<12} {:>9}",
+        "key", "wall trend", "first", "last", "best", "Δ%", "ewma", "events/s", "rss trend", "rss"
     );
     for s in &all {
         let first = *s.walls.first().expect("series is never empty");
         let last = *s.walls.last().expect("series is never empty");
         let best = s.walls.iter().copied().fold(f64::INFINITY, f64::min);
         let delta = if first > 0.0 { (last / first - 1.0) * 100.0 } else { 0.0 };
+        let last_eps = *s.eps.last().expect("series is never empty");
+        let eps = if last_eps > 0.0 { format!("{last_eps:>11.0}") } else { format!("{:>11}", "-") };
+        // RSS: only records that measured one (0 = unknown host/legacy).
+        let rss: Vec<f64> = s.rss.iter().copied().filter(|&r| r > 0.0).collect();
+        let (rss_trend, rss_last) = match rss.last() {
+            Some(&latest) => (sparkline(&rss), format!("{:>8.1}M", latest / (1 << 20) as f64)),
+            None => (String::new(), format!("{:>9}", "-")),
+        };
         let flag = if s.oversubscribed { " (oversubscribed)" } else { "" };
         let _ = writeln!(
             out,
-            "  {:<42} {:<12} {:>8.3}s {:>8.3}s {:>8.3}s {:>+7.1}% {:>8.3}s{flag}",
+            "  {:<42} {:<12} {:>8.3}s {:>8.3}s {:>8.3}s {:>+7.1}% {:>8.3}s {eps} {rss_trend:<12} {rss_last}{flag}",
             s.key,
             sparkline(&s.walls),
             first,
@@ -331,6 +346,7 @@ pub fn ewma_baseline(records: &[HistoryRecord]) -> Vec<BenchEntry> {
                 .find(|e| e.key() == s.key)
                 .expect("series key came from these records");
             let eps: Vec<f64> = s.eps.iter().copied().filter(|&e| e > 0.0).collect();
+            let rss: Vec<f64> = s.rss.iter().copied().filter(|&r| r > 0.0).collect();
             BenchEntry {
                 bin: probe.bin.clone(),
                 run: probe.run.clone(),
@@ -339,7 +355,8 @@ pub fn ewma_baseline(records: &[HistoryRecord]) -> Vec<BenchEntry> {
                 wall_seconds: ewma(&s.walls),
                 events: 0,
                 events_per_sec: ewma(&eps),
-                overhead_vs_plain_pct: 0.0,
+                overhead_vs_plain_pct: None,
+                peak_rss_bytes: ewma(&rss) as u64,
             }
         })
         .collect()
@@ -367,7 +384,8 @@ mod tests {
             wall_seconds: wall,
             events: 0,
             events_per_sec: eps,
-            overhead_vs_plain_pct: 0.0,
+            overhead_vs_plain_pct: None,
+            peak_rss_bytes: 0,
         }
     }
 
@@ -386,9 +404,13 @@ mod tests {
 
     #[test]
     fn record_lines_round_trip() {
-        let r = record("abc1234-dirty", vec![entry("LULESH-1", 1, 10.5, 4_700_000.0)]);
+        let mut e = entry("LULESH-1", 1, 10.5, 4_700_000.0);
+        e.overhead_vs_plain_pct = Some(12.5);
+        e.peak_rss_bytes = 768 << 20;
+        let r = record("abc1234-dirty", vec![e, entry("LULESH-1:observe", 1, 14.0, 0.0)]);
         let line = record_line(&r);
         assert!(!line.contains('\n'), "one record = one line");
+        assert!(line.contains("\"overhead_vs_plain_pct\": null"), "{line}");
         assert_eq!(parse_record(&line), Some(r));
     }
 
@@ -452,6 +474,24 @@ mod tests {
         assert!(a.contains("-10.0%"), "wall went 10.0 -> 9.0: {a}");
         let filtered = trend_text(&records, Some("jobs=1"));
         assert!(!filtered.contains("jobs=8"), "{filtered}");
+    }
+
+    #[test]
+    fn trend_renders_peak_rss_trajectories() {
+        let mut lean = entry("MiniFE-weak-10000", 1, 5.0, 2_000_000.0);
+        lean.peak_rss_bytes = 256 << 20;
+        let mut fat = lean.clone();
+        fat.peak_rss_bytes = 512 << 20;
+        let records = vec![record("rev1", vec![lean]), record("rev2", vec![fat])];
+        let text = trend_text(&records, None);
+        assert!(text.contains("rss trend"), "{text}");
+        assert!(text.contains("512.0M"), "latest peak RSS rendered in MiB: {text}");
+        assert!(text.contains("2000000"), "latest events/s rendered: {text}");
+        // A series that never measured RSS renders `-`, not 0.0M.
+        let bare = vec![record("rev1", vec![entry("LULESH-1", 1, 10.0, 0.0)])];
+        let text = trend_text(&bare, None);
+        assert!(text.contains('-'), "{text}");
+        assert!(!text.contains("0.0M"), "{text}");
     }
 
     #[test]

@@ -76,7 +76,8 @@ fn entry(run: &str, jobs: usize, wall: f64) -> bench::BenchEntry {
         wall_seconds: wall,
         events: 0,
         events_per_sec: 0.0,
-        overhead_vs_plain_pct: 0.0,
+        overhead_vs_plain_pct: None,
+        peak_rss_bytes: 0,
     }
 }
 

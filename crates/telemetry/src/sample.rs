@@ -93,11 +93,16 @@ pub mod frames {
     /// Harness-level work outside any experiment (report rendering,
     /// bundle writing).
     pub const HARNESS: FrameId = 14;
+    /// Spilling trace chunks to the out-of-core segment store
+    /// (`crates/trace/segment.rs`).
+    pub const TRACE_SPILL: FrameId = 15;
+    /// K-way merge over per-location cursors during streaming analysis.
+    pub const ANALYZE_MERGE: FrameId = 16;
     /// Pseudo-frame appended when a stack exceeded [`super::MAX_FRAMES`].
-    pub const TRUNCATED: FrameId = 15;
+    pub const TRUNCATED: FrameId = 17;
 
     /// Display names, indexed by `FrameId`.
-    pub const NAMES: [&str; 16] = [
+    pub const NAMES: [&str; 18] = [
         "experiment.reference",
         "experiment.mode_cell",
         "measure.run",
@@ -113,6 +118,8 @@ pub mod frames {
         "analysis.delay_costs",
         "experiment.merge",
         "harness",
+        "measure.trace_spill",
+        "analysis.merge",
         "(truncated)",
     ];
 

@@ -49,35 +49,36 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// A cursor over the input slice; all reads are bounds-checked and
-/// return [`DecodeError::Truncated`] past the end.
-struct Reader<'a> {
+/// return [`DecodeError::Truncated`] past the end. Shared with the
+/// segment spill format (`segment.rs`).
+pub(crate) struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(data: &'a [u8]) -> Reader<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Reader<'a> {
         Reader { data, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.data.len() - self.pos
     }
 
-    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+    pub(crate) fn get_u8(&mut self) -> Result<u8, DecodeError> {
         let b = *self.data.get(self.pos).ok_or(DecodeError::Truncated)?;
         self.pos += 1;
         Ok(b)
     }
 
-    fn get_u16(&mut self) -> Result<u16, DecodeError> {
+    pub(crate) fn get_u16(&mut self) -> Result<u16, DecodeError> {
         // Big-endian, matching what the format has always written.
         let hi = self.get_u8()?;
         let lo = self.get_u8()?;
         Ok(u16::from_be_bytes([hi, lo]))
     }
 
-    fn get_slice(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+    pub(crate) fn get_slice(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < len {
             return Err(DecodeError::Truncated);
         }
@@ -87,7 +88,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -99,7 +100,7 @@ fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Reader<'_>) -> Result<u64, DecodeError> {
+pub(crate) fn get_varint(buf: &mut Reader<'_>) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     let mut shift = 0;
     loop {

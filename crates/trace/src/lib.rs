@@ -16,6 +16,8 @@
 pub mod defs;
 pub mod event;
 pub mod io;
+pub mod segment;
+pub mod store;
 pub mod stream;
 
 pub use defs::{
@@ -23,6 +25,11 @@ pub use defs::{
 };
 pub use event::{CollectiveOp, Event, EventKind, NO_ROOT};
 pub use io::{decode, encode, DecodeError};
+pub use segment::{
+    temp_segment_path, MergedEvents, SegmentCursor, SegmentError, SegmentIndex, SegmentWriter,
+    SpillStats, SpilledTrace,
+};
+pub use store::{LocationEvents, TraceData, TraceView};
 pub use stream::EventStream;
 
 /// A complete trace: definitions plus one event stream per location.

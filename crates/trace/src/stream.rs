@@ -16,14 +16,28 @@
 use crate::defs::RegionRef;
 use crate::event::{CollectiveOp, Event, EventKind};
 
-// Column tag bytes, one per `EventKind` variant.
-const T_ENTER: u8 = 0;
-const T_LEAVE: u8 = 1;
-const T_BURST: u8 = 2;
-const T_SEND_POST: u8 = 3;
-const T_RECV_POST: u8 = 4;
-const T_RECV_COMPLETE: u8 = 5;
-const T_COLLECTIVE_END: u8 = 6;
+// Column tag bytes, one per `EventKind` variant. Shared with the
+// segment spill format (`segment.rs`), which serialises the columns
+// verbatim.
+pub(crate) const T_ENTER: u8 = 0;
+pub(crate) const T_LEAVE: u8 = 1;
+pub(crate) const T_BURST: u8 = 2;
+pub(crate) const T_SEND_POST: u8 = 3;
+pub(crate) const T_RECV_POST: u8 = 4;
+pub(crate) const T_RECV_COMPLETE: u8 = 5;
+pub(crate) const T_COLLECTIVE_END: u8 = 6;
+/// Largest valid column tag byte.
+pub(crate) const T_MAX: u8 = T_COLLECTIVE_END;
+
+/// Borrowed view of the raw columns, for the segment writer.
+pub(crate) struct Columns<'a> {
+    pub times: &'a [u64],
+    pub tags: &'a [u8],
+    pub a: &'a [u32],
+    pub b: &'a [u32],
+    pub x: &'a [u64],
+    pub y: &'a [u64],
+}
 
 /// One location's event stream in struct-of-arrays layout.
 ///
@@ -161,6 +175,44 @@ impl EventStream {
         self.x.pop();
         self.y.pop();
         Some(last)
+    }
+
+    /// Drop all events, keeping the column allocations for reuse.
+    ///
+    /// The spill path encodes a full chunk out of the stream and then
+    /// keeps recording into the same (already-sized) buffers.
+    pub fn clear(&mut self) {
+        self.times.clear();
+        self.tags.clear();
+        self.a.clear();
+        self.b.clear();
+        self.x.clear();
+        self.y.clear();
+    }
+
+    /// Raw column view for the segment writer.
+    pub(crate) fn columns(&self) -> Columns<'_> {
+        Columns {
+            times: &self.times,
+            tags: &self.tags,
+            a: &self.a,
+            b: &self.b,
+            x: &self.x,
+            y: &self.y,
+        }
+    }
+
+    /// Append one already-decomposed event (segment decode path). The
+    /// caller guarantees `tag` is a valid column tag byte.
+    #[inline]
+    pub(crate) fn push_raw(&mut self, time: u64, tag: u8, a: u32, b: u32, x: u64, y: u64) {
+        debug_assert!(tag <= T_MAX);
+        self.times.push(time);
+        self.tags.push(tag);
+        self.a.push(a);
+        self.b.push(b);
+        self.x.push(x);
+        self.y.push(y);
     }
 
     /// Iterate the events, recomposed by value.
@@ -307,6 +359,17 @@ mod tests {
         assert_eq!(s.pop(), None);
         assert_eq!(s.iter().count(), 0);
         assert_eq!(s.times(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s: EventStream = one_of_each().into();
+        let cap = s.times.capacity();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.times.capacity(), cap);
+        s.push(Event::new(1, EventKind::Enter { region: RegionRef(0) }));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

@@ -59,6 +59,7 @@ fn main() {
             base_seed: 77,
             modes: vec![ClockMode::Tsc, ClockMode::LtStmt],
             jobs: 0,
+            trace_budget: None,
         };
         let res = run_experiment(&instance, &options);
         let tsc = res.mode(ClockMode::Tsc);

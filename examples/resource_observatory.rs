@@ -24,6 +24,7 @@ fn main() {
         base_seed: 4242,
         modes: vec![ClockMode::Tsc],
         jobs: 0,
+        trace_budget: None,
     };
 
     // One physical-clock run with the observatory attached.

@@ -72,6 +72,17 @@ echo "regenerating results/prof/fig3 ..."
 # the `engine-micro` bin key.
 echo "timing engine microbenchmarks ..."
 ./target/release/engine --bench-json BENCH_pipeline.json --history results/history.jsonl
+
+# Weak-scaling sweep through the sharded columnar trace store: the
+# three mini-apps grow to ~10,000 simulated ranks under the default
+# 64 MiB trace budget, so the largest sizes spill columnar segments
+# and stream them back through the out-of-core analysis path. Each
+# size lands in the baseline under the `scale` bin key with
+# events/sec and peak-RSS KPIs; the bin first asserts that resident
+# and force-spilled analysis output is byte-identical.
+echo "timing weak-scaling sweep (scale) ..."
+./target/release/scale --bench-json BENCH_pipeline.json \
+    --history results/history.jsonl > results/scale.txt
 echo "done; outputs in results/, telemetry in results/telemetry/,"
 echo "report artifacts (report.txt, report.json, flamegraph.folded) in results/report/,"
 echo "observe exemplar in results/observe/fig3/, engine profile in results/engineprof/fig3/,"

@@ -1,0 +1,73 @@
+//! Out-of-core golden determinism: a run whose trace spills columnar
+//! segments to disk must produce results **byte-identical** to the
+//! fully resident path — same profiles, same severity report, same
+//! event counts. The spill layer may only change *where* events live
+//! between measurement and analysis, never a single analysed number.
+//!
+//! The spilled runs use a deliberately absurd 1-byte budget, which
+//! clamps to the minimum chunk size and forces maximum segment churn —
+//! the worst case for any ordering or rounding bug in the segment
+//! round-trip or the streaming analysis.
+
+use nrlt::miniapps::{MiniFeConfig, MiniFeCosts};
+use nrlt::prelude::*;
+use nrlt_report::severity_text;
+
+/// A small MiniFE: big enough to cross chunk boundaries many times
+/// under the forced-spill budget, small enough to run in seconds.
+fn instance() -> BenchmarkInstance {
+    MiniFeConfig {
+        nx: 40,
+        ranks: 2,
+        threads_per_rank: 2,
+        imbalance_pct: 50,
+        cg_iters: 4,
+        costs: MiniFeCosts::default(),
+    }
+    .build()
+}
+
+fn options(jobs: usize, trace_budget: Option<u64>) -> ExperimentOptions {
+    ExperimentOptions {
+        repetitions: 2,
+        base_seed: 4242,
+        modes: vec![ClockMode::Tsc, ClockMode::Lt1],
+        jobs,
+        trace_budget,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn spilled_run_is_byte_identical_to_resident() {
+    let instance = instance();
+    let resident = nrlt::run_experiment(&instance, &options(1, None));
+    let spilled = nrlt::run_experiment(&instance, &options(1, Some(1)));
+
+    assert_eq!(resident.events, spilled.events, "event counts diverged under spill");
+    assert_eq!(resident.reference, spilled.reference, "reference runs diverged under spill");
+    for (rm, sm) in resident.modes.iter().zip(&spilled.modes) {
+        assert_eq!(rm.mode, sm.mode);
+        assert_eq!(rm.profiles, sm.profiles, "{}: per-rep profiles diverged under spill", rm.mode);
+        assert_eq!(rm.mean, sm.mean, "{}: mean profile diverged under spill", rm.mode);
+        assert_eq!(rm.run_times, sm.run_times, "{}: run times diverged under spill", rm.mode);
+        assert_eq!(rm.phase_times, sm.phase_times, "{}: phase times diverged under spill", rm.mode);
+    }
+
+    // The rendered report — what a user actually diffs — is identical.
+    let text = severity_text(&resident, 10);
+    assert_eq!(text, severity_text(&spilled, 10), "severity report diverged under spill");
+    assert!(text.contains("hotspot"), "{text}");
+}
+
+#[test]
+fn spilled_run_is_deterministic_across_jobs() {
+    let instance = instance();
+    let serial = nrlt::run_experiment(&instance, &options(1, Some(1)));
+    let fanned = nrlt::run_experiment(&instance, &options(4, Some(1)));
+    assert_eq!(
+        severity_text(&serial, 10),
+        severity_text(&fanned, 10),
+        "spilled severity report diverged across --jobs"
+    );
+}

@@ -130,6 +130,9 @@ fn main() {
             events_per_sec: ops as f64 / wall,
             overhead_vs_plain_pct: None,
             peak_rss_bytes: bench_json::peak_rss_bytes(),
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
         });
     }
     if let Some(path) = bench_json_path {

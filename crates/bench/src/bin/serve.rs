@@ -1,0 +1,217 @@
+//! Load benchmark for the `nrlt-serve` query service.
+//!
+//! Starts an in-process server over the committed exemplar bundles
+//! under `results/` and drives it with a deterministic closed-loop
+//! load: N client threads, each holding one keep-alive connection and
+//! issuing a seeded query mix (severity by run, observe, engine,
+//! trend, catalog, flamegraph) back-to-back. Queries per second come
+//! from the client-side count over wall time; p50/p95/p99 latency
+//! comes from the server's own `serve.request_ns` telemetry histogram
+//! — the same numbers `/stats` reports in production.
+//!
+//! With `--bench-json <path>` the results merge into the perf
+//! baseline under the `serve` bin key (one entry per client-thread
+//! count), so `bench-check` gates service throughput alongside the
+//! figure pipelines; `--history <path>` appends the run to the trend
+//! ledger. The run also cross-checks the server's self-accounting:
+//! the `serve.requests` counter must cover at least 99% of the
+//! requests the clients actually sent.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use nrlt_bench::bench_json::{self, BenchEntry};
+use nrlt_serve::{Config, Server};
+
+/// Deterministic 64-bit LCG (MMIX constants) for the query mix.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+/// The query mix, weighted toward the cheap severity/trend lookups a
+/// dashboard would poll, with the heavier text renders mixed in. All
+/// targets name the committed exemplar bundles.
+const MIX: &[&str] = &[
+    "/severity?bundle=report/fig3",
+    "/severity?bundle=report/fig3&run=MiniFE-1&top=5",
+    "/severity?bundle=report/fig3&run=MiniFE-2&top=5",
+    "/severity?bundle=report/fig3&run=LULESH-1&top=5",
+    "/severity?bundle=report/fig3&run=LULESH-2&top=5",
+    "/trend",
+    "/trend?key=fig3",
+    "/bundles",
+    "/engine?bundle=engineprof/fig3&top=3",
+    "/flamegraph?bundle=telemetry/fig3",
+    "/stats",
+];
+
+/// Issue one GET over an open keep-alive connection and read the full
+/// response (headers + `Content-Length` body). Returns the status.
+fn roundtrip(stream: &mut BufReader<TcpStream>, target: &str) -> std::io::Result<u16> {
+    let req = format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n");
+    stream.get_mut().write_all(req.as_bytes())?;
+    let mut line = String::new();
+    stream.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line {line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        stream.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(status)
+}
+
+/// One closed-loop client: `requests` seeded queries over a single
+/// keep-alive connection. Returns (ok, failed) counts.
+fn client(addr: std::net::SocketAddr, seed: u64, requests: usize) -> (u64, u64) {
+    let stream = TcpStream::connect(addr).expect("connect to in-process server");
+    let mut stream = BufReader::new(stream);
+    let mut lcg = Lcg(seed);
+    let (mut ok, mut failed) = (0u64, 0u64);
+    for _ in 0..requests {
+        let target = MIX[(lcg.next() % MIX.len() as u64) as usize];
+        match roundtrip(&mut stream, target) {
+            Ok(200) => ok += 1,
+            Ok(_) | Err(_) => failed += 1,
+        }
+    }
+    (ok, failed)
+}
+
+/// Run one load configuration against a fresh server and return the
+/// recorded entry. Panics on failed requests or broken self-telemetry
+/// accounting — a load benchmark over errors measures nothing.
+fn run_load(root: &Path, clients: usize, requests_per_client: usize, seed: u64) -> BenchEntry {
+    let mut cfg = Config::new(root.to_path_buf());
+    cfg.workers = 4;
+    let server = Server::start(cfg).expect("start in-process server");
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let totals: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| s.spawn(move || client(addr, seed ^ (i as u64 + 1), requests_per_client)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let ok: u64 = totals.iter().map(|(o, _)| o).sum();
+    let failed: u64 = totals.iter().map(|(_, f)| f).sum();
+    assert_eq!(failed, 0, "{failed} of {} requests failed", ok + failed);
+
+    let shared = server.join().expect("drain server");
+    let tel = shared.telemetry();
+    let counted = tel.counter("serve.requests").unwrap_or(0);
+    assert!(
+        counted as f64 >= 0.99 * ok as f64,
+        "self-telemetry accounts for {counted} of {ok} requests (< 99%)"
+    );
+    let hist = tel
+        .histograms()
+        .into_iter()
+        .find(|(n, _)| n == "serve.request_ns")
+        .map(|(_, h)| h)
+        .expect("request latency histogram");
+
+    let qps = ok as f64 / wall;
+    let (p50, p95, p99) = (hist.percentile(0.50), hist.percentile(0.95), hist.percentile(0.99));
+    println!(
+        "clients={clients:<2} {ok:>6} queries  {wall:>6.2} s  {qps:>8.0} q/s  \
+         p50 {:>7.3} ms  p95 {:>7.3} ms  p99 {:>7.3} ms",
+        p50 as f64 / 1e6,
+        p95 as f64 / 1e6,
+        p99 as f64 / 1e6,
+    );
+    BenchEntry {
+        bin: "serve".to_owned(),
+        run: "mixed".to_owned(),
+        jobs: clients,
+        host_parallelism: bench_json::host_parallelism(),
+        wall_seconds: wall,
+        events: ok,
+        events_per_sec: qps,
+        overhead_vs_plain_pct: None,
+        peak_rss_bytes: bench_json::peak_rss_bytes(),
+        p50_ns: p50,
+        p95_ns: p95,
+        p99_ns: p99,
+    }
+}
+
+fn main() {
+    let mut bench_json_path: Option<PathBuf> = None;
+    let mut history_path: Option<PathBuf> = None;
+    let mut root = PathBuf::from("results");
+    let mut requests_per_client = 1500usize;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--bench-json" => bench_json_path = Some(PathBuf::from(value("--bench-json"))),
+            "--history" => history_path = Some(PathBuf::from(value("--history"))),
+            "--root" => root = PathBuf::from(value("--root")),
+            "--requests" => {
+                requests_per_client = value("--requests").parse().expect("integer --requests");
+            }
+            "--seed" => seed = value("--seed").parse().expect("integer --seed"),
+            other => panic!(
+                "unknown flag {other}\nusage: serve [--root DIR] [--requests N] [--seed S] \
+                 [--bench-json PATH] [--history PATH]"
+            ),
+        }
+    }
+    assert!(root.is_dir(), "root {} is not a directory (run from the repo root)", root.display());
+
+    println!("\n=== serve load benchmark (root {}) ===", root.display());
+    let entries = vec![
+        run_load(&root, 1, requests_per_client, seed),
+        run_load(&root, 4, requests_per_client, seed),
+    ];
+
+    if let Some(path) = bench_json_path {
+        match bench_json::merge_and_write(&path, &entries) {
+            Ok(()) => eprintln!("perf baseline written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write perf baseline: {e}"),
+        }
+    }
+    if let Some(path) = history_path {
+        let record = nrlt_report::HistoryRecord {
+            schema: nrlt_report::HISTORY_SCHEMA_VERSION,
+            unix_time: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            git_rev: nrlt_telemetry::git_rev(),
+            host_parallelism: bench_json::host_parallelism(),
+            bin: "serve".to_owned(),
+            entries,
+            top_stacks: Vec::new(),
+            engineprof_eps: Vec::new(),
+        };
+        match nrlt_report::append_record(&path, &record) {
+            Ok(()) => eprintln!("history record appended to {}", path.display()),
+            Err(e) => eprintln!("warning: could not append history: {e}"),
+        }
+    }
+}

@@ -305,6 +305,9 @@ impl Harness {
                 // Derived against the comparison twin at merge time.
                 overhead_vs_plain_pct: None,
                 peak_rss_bytes,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
             });
         }
     }

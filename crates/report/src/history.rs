@@ -77,7 +77,7 @@ pub fn record_line(r: &HistoryRecord) -> String {
         };
         let _ = write!(
             out,
-            "{{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {}, \"events\": {}, \"events_per_sec\": {}, \"overhead_vs_plain_pct\": {overhead}, \"peak_rss_bytes\": {}}}{comma}",
+            "{{\"bin\": {}, \"run\": {}, \"jobs\": {}, \"host_parallelism\": {}, \"wall_seconds\": {}, \"events\": {}, \"events_per_sec\": {}, \"overhead_vs_plain_pct\": {overhead}, \"peak_rss_bytes\": {}{}}}{comma}",
             json::string(&e.bin),
             json::string(&e.run),
             e.jobs,
@@ -86,6 +86,7 @@ pub fn record_line(r: &HistoryRecord) -> String {
             e.events,
             json::number(e.events_per_sec),
             e.peak_rss_bytes,
+            crate::bench::latency_fields(e),
         );
     }
     let _ = write!(out, "], \"top_stacks\": [");
@@ -177,6 +178,9 @@ fn parse_entry(v: &json::Value) -> Option<BenchEntry> {
         events_per_sec: v.get("events_per_sec").and_then(|e| e.as_f64()).unwrap_or(0.0),
         overhead_vs_plain_pct: v.get("overhead_vs_plain_pct").and_then(|e| e.as_f64()),
         peak_rss_bytes: v.get("peak_rss_bytes").and_then(|e| e.as_f64()).unwrap_or(0.0) as u64,
+        p50_ns: v.get("p50_ns").and_then(|e| e.as_f64()).unwrap_or(0.0) as u64,
+        p95_ns: v.get("p95_ns").and_then(|e| e.as_f64()).unwrap_or(0.0) as u64,
+        p99_ns: v.get("p99_ns").and_then(|e| e.as_f64()).unwrap_or(0.0) as u64,
     })
 }
 
@@ -214,22 +218,45 @@ pub fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
-/// One key's trajectory across the ledger, in record order.
+/// [`sparkline`] over an optionally-gapped series: present values
+/// min–max normalise as usual, absent slots (records that did not
+/// measure the key) render as `·` so the bar positions stay aligned
+/// with the ledger's record indices.
+pub fn sparkline_gaps(values: &[Option<f64>]) -> String {
+    let present: Vec<f64> = values.iter().copied().flatten().collect();
+    let bars = sparkline(&present);
+    let mut it = bars.chars();
+    values.iter().map(|v| if v.is_some() { it.next().unwrap_or('·') } else { '·' }).collect()
+}
+
+/// One key's trajectory across the ledger: one slot per ledger record,
+/// in record order. `None` marks a record that did not measure the key
+/// — the trend view renders those as `·` gaps instead of silently
+/// dropping the column (which used to misalign a series against the
+/// record index list whenever a run was skipped for one invocation).
 struct Series {
     key: String,
-    walls: Vec<f64>,
-    eps: Vec<f64>,
-    rss: Vec<f64>,
+    walls: Vec<Option<f64>>,
+    eps: Vec<Option<f64>>,
+    rss: Vec<Option<f64>>,
+    p99: Vec<Option<f64>>,
     oversubscribed: bool,
 }
 
+impl Series {
+    fn present_walls(&self) -> Vec<f64> {
+        self.walls.iter().copied().flatten().collect()
+    }
+}
+
 /// Group bench entries by `(bin, run, jobs)` key across records. Keys
-/// appear in first-seen order; an entry that was ever measured
-/// oversubscribed marks the whole series (skipped by the gate, flagged
-/// by the trend view).
+/// appear in first-seen order; every series is padded to one slot per
+/// record so trajectories stay aligned with the record index; an entry
+/// that was ever measured oversubscribed marks the whole series
+/// (skipped by the gate, flagged by the trend view).
 fn series(records: &[HistoryRecord], key_filter: Option<&str>) -> Vec<Series> {
     let mut out: Vec<Series> = Vec::new();
-    for r in records {
+    for (i, r) in records.iter().enumerate() {
         for e in &r.entries {
             let key = e.key();
             if let Some(f) = key_filter {
@@ -242,18 +269,31 @@ fn series(records: &[HistoryRecord], key_filter: Option<&str>) -> Vec<Series> {
                 None => {
                     out.push(Series {
                         key,
-                        walls: Vec::new(),
-                        eps: Vec::new(),
-                        rss: Vec::new(),
+                        walls: vec![None; i],
+                        eps: vec![None; i],
+                        rss: vec![None; i],
+                        p99: vec![None; i],
                         oversubscribed: false,
                     });
                     out.last_mut().expect("just pushed")
                 }
             };
-            s.walls.push(e.wall_seconds);
-            s.eps.push(e.throughput());
-            s.rss.push(e.peak_rss_bytes as f64);
+            if s.walls.len() > i {
+                continue; // duplicate key within one record: keep the first
+            }
+            s.walls.push(Some(e.wall_seconds));
+            s.eps.push((e.throughput() > 0.0).then(|| e.throughput()));
+            s.rss.push((e.peak_rss_bytes > 0).then_some(e.peak_rss_bytes as f64));
+            s.p99.push((e.p99_ns > 0).then_some(e.p99_ns as f64));
             s.oversubscribed |= e.oversubscribed();
+        }
+        for s in out.iter_mut() {
+            if s.walls.len() == i {
+                s.walls.push(None);
+                s.eps.push(None);
+                s.rss.push(None);
+                s.p99.push(None);
+            }
         }
     }
     out
@@ -262,8 +302,11 @@ fn series(records: &[HistoryRecord], key_filter: Option<&str>) -> Vec<Series> {
 /// Render the ledger's per-key trajectories: a record index, then one
 /// row per `(bin, run, jobs)` key with sparkline, first/last/best wall
 /// seconds, the last-vs-first delta, the EWMA baseline the gate would
-/// use, the latest engine throughput, and the peak-RSS trajectory
-/// (sparkline + latest value; `-` for series that never recorded one).
+/// use, the latest engine throughput (queries/sec for service entries),
+/// the latest p99 latency (`-` for series that never recorded one), and
+/// the peak-RSS trajectory (sparkline + latest value; `-` for series
+/// that never recorded one). Records that skipped a key render as `·`
+/// gaps, keeping every sparkline aligned with the record index list.
 /// Output depends only on the ledger bytes (and the filter), so the
 /// same ledger renders byte-identically.
 pub fn trend_text(records: &[HistoryRecord], key_filter: Option<&str>) -> String {
@@ -287,33 +330,53 @@ pub fn trend_text(records: &[HistoryRecord], key_filter: Option<&str>) -> String
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "  {:<42} {:<12} {:>9} {:>9} {:>9} {:>8} {:>9} {:>11} {:<12} {:>9}",
-        "key", "wall trend", "first", "last", "best", "Δ%", "ewma", "events/s", "rss trend", "rss"
+        "  {:<42} {:<12} {:>9} {:>9} {:>9} {:>8} {:>9} {:>11} {:>9} {:<12} {:>9}",
+        "key",
+        "wall trend",
+        "first",
+        "last",
+        "best",
+        "Δ%",
+        "ewma",
+        "events/s",
+        "p99",
+        "rss trend",
+        "rss"
     );
     for s in &all {
-        let first = *s.walls.first().expect("series is never empty");
-        let last = *s.walls.last().expect("series is never empty");
-        let best = s.walls.iter().copied().fold(f64::INFINITY, f64::min);
+        let walls = s.present_walls();
+        let first = *walls.first().expect("a series has at least one measurement");
+        let last = *walls.last().expect("a series has at least one measurement");
+        let best = walls.iter().copied().fold(f64::INFINITY, f64::min);
         let delta = if first > 0.0 { (last / first - 1.0) * 100.0 } else { 0.0 };
-        let last_eps = *s.eps.last().expect("series is never empty");
-        let eps = if last_eps > 0.0 { format!("{last_eps:>11.0}") } else { format!("{:>11}", "-") };
+        let last_eps = s.eps.iter().copied().flatten().last();
+        let eps = match last_eps {
+            Some(v) => format!("{v:>11.0}"),
+            None => format!("{:>11}", "-"),
+        };
+        // Tail latency: service-style entries only (`-` elsewhere).
+        let p99 = match s.p99.iter().copied().flatten().last() {
+            Some(ns) => format!("{:>7.2}ms", ns / 1e6),
+            None => format!("{:>9}", "-"),
+        };
         // RSS: only records that measured one (0 = unknown host/legacy).
-        let rss: Vec<f64> = s.rss.iter().copied().filter(|&r| r > 0.0).collect();
-        let (rss_trend, rss_last) = match rss.last() {
-            Some(&latest) => (sparkline(&rss), format!("{:>8.1}M", latest / (1 << 20) as f64)),
+        let (rss_trend, rss_last) = match s.rss.iter().copied().flatten().last() {
+            Some(latest) => {
+                (sparkline_gaps(&s.rss), format!("{:>8.1}M", latest / (1 << 20) as f64))
+            }
             None => (String::new(), format!("{:>9}", "-")),
         };
         let flag = if s.oversubscribed { " (oversubscribed)" } else { "" };
         let _ = writeln!(
             out,
-            "  {:<42} {:<12} {:>8.3}s {:>8.3}s {:>8.3}s {:>+7.1}% {:>8.3}s {eps} {rss_trend:<12} {rss_last}{flag}",
+            "  {:<42} {:<12} {:>8.3}s {:>8.3}s {:>8.3}s {:>+7.1}% {:>8.3}s {eps} {p99} {rss_trend:<12} {rss_last}{flag}",
             s.key,
-            sparkline(&s.walls),
+            sparkline_gaps(&s.walls),
             first,
             last,
             best,
             delta,
-            ewma(&s.walls),
+            ewma(&walls),
         );
     }
     // Latest sampled hot stacks, when the newest record carries any —
@@ -345,18 +408,21 @@ pub fn ewma_baseline(records: &[HistoryRecord]) -> Vec<BenchEntry> {
                 .flat_map(|r| r.entries.iter())
                 .find(|e| e.key() == s.key)
                 .expect("series key came from these records");
-            let eps: Vec<f64> = s.eps.iter().copied().filter(|&e| e > 0.0).collect();
-            let rss: Vec<f64> = s.rss.iter().copied().filter(|&r| r > 0.0).collect();
+            let eps: Vec<f64> = s.eps.iter().copied().flatten().collect();
+            let rss: Vec<f64> = s.rss.iter().copied().flatten().collect();
             BenchEntry {
                 bin: probe.bin.clone(),
                 run: probe.run.clone(),
                 jobs: probe.jobs,
                 host_parallelism: probe.host_parallelism,
-                wall_seconds: ewma(&s.walls),
+                wall_seconds: ewma(&s.present_walls()),
                 events: 0,
                 events_per_sec: ewma(&eps),
                 overhead_vs_plain_pct: None,
                 peak_rss_bytes: ewma(&rss) as u64,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
             }
         })
         .collect()
@@ -386,6 +452,9 @@ mod tests {
             events_per_sec: eps,
             overhead_vs_plain_pct: None,
             peak_rss_bytes: 0,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
         }
     }
 
@@ -492,6 +561,47 @@ mod tests {
         let text = trend_text(&bare, None);
         assert!(text.contains('-'), "{text}");
         assert!(!text.contains("0.0M"), "{text}");
+    }
+
+    #[test]
+    fn missing_keys_render_as_gaps_not_dropped_columns() {
+        // LULESH-1 is measured in records 0 and 2 but skipped in record
+        // 1 (e.g. `--only MiniFE-1` for one invocation): its sparkline
+        // must show a `·` gap at index 1, and MiniFE-1 (first seen in
+        // record 1) must lead with a gap — both stay 3 columns wide.
+        let records = vec![
+            record("rev1", vec![entry("LULESH-1", 1, 10.0, 0.0)]),
+            record("rev2", vec![entry("MiniFE-1", 1, 3.0, 0.0)]),
+            record("rev3", vec![entry("LULESH-1", 1, 20.0, 0.0), entry("MiniFE-1", 1, 4.0, 0.0)]),
+        ];
+        let text = trend_text(&records, None);
+        assert!(text.contains("▁·█"), "gap in the middle of LULESH-1: {text}");
+        assert!(text.contains("·▁█"), "leading gap for MiniFE-1: {text}");
+        assert_eq!(sparkline_gaps(&[None, Some(1.0), None]), "·▄·");
+        assert_eq!(sparkline_gaps(&[]), "");
+    }
+
+    #[test]
+    fn service_entries_render_qps_and_p99_columns() {
+        let mut svc = entry("mix", 4, 10.0, 5_000.0);
+        svc.bin = "serve".into();
+        svc.events = 50_000;
+        svc.p50_ns = 900_000;
+        svc.p95_ns = 2_000_000;
+        svc.p99_ns = 6_500_000;
+        let line = record_line(&record("rev1", vec![svc.clone()]));
+        assert!(line.contains("\"p99_ns\": 6500000"), "{line}");
+        let back = parse_record(&line).unwrap();
+        assert_eq!(back.entries[0].p99_ns, 6_500_000);
+
+        let records = vec![record("rev1", vec![svc])];
+        let text = trend_text(&records, None);
+        assert!(text.contains("p99"), "{text}");
+        assert!(text.contains("6.50ms"), "latest p99 in ms: {text}");
+        assert!(text.contains("5000"), "qps via the events/s column: {text}");
+        // Non-service series render `-` in the p99 column.
+        let plain = trend_text(&[record("rev1", vec![entry("LULESH-1", 1, 10.0, 0.0)])], None);
+        assert!(plain.contains('-'), "{plain}");
     }
 
     #[test]

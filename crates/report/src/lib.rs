@@ -27,6 +27,12 @@
 //! * [`engine`] — the engine-introspection view over `--engine-prof`
 //!   bundles (`nrlt-engineprof`): per-event-kind cost KPIs, queue
 //!   pressure, hot-loop allocations, and a bundle diff.
+//! * [`archive`] — loads archived `report.json` severity documents and
+//!   carves run-/top-N subsets out of them (what `nrlt-serve` answers
+//!   `/severity` from).
+//! * [`query`] — the load-then-render query layer shared by this
+//!   crate's CLI and `nrlt-serve`, with fault-classified
+//!   [`QueryError`]s (not-found vs bad-request vs corrupt-artifact).
 //!
 //! The `nrlt-report` binary exposes all of it on the command line; the
 //! bench harness's `--report <dir>` flag writes `report.txt`,
@@ -38,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod bench;
 pub mod bundle;
 pub mod diff;
@@ -46,8 +53,10 @@ pub mod flame;
 pub mod history;
 pub mod inspect;
 pub mod observe;
+pub mod query;
 pub mod severity;
 
+pub use archive::{load_report_doc, run_names, severity_subset};
 pub use bench::{bench_check, BenchEntry, GateReport, GateRow};
 pub use bundle::Bundle;
 pub use diff::diff_text;
@@ -62,4 +71,5 @@ pub use history::{
 };
 pub use inspect::{inspect_text, span_stats, SpanStats};
 pub use observe::{observe_text, wait_names};
+pub use query::{engine_query, observe_query, severity_query, trend_query, QueryError};
 pub use severity::{mode_text, severity_json, severity_text};

@@ -163,8 +163,8 @@ fn run_observe(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let dir = dir.ok_or("observe requires a bundle directory argument")?;
-    let bundle = nrlt_observe::export::ObserveBundle::load(&dir)?;
-    let text = nrlt_report::observe_text(&bundle, run.as_deref(), top, wait.as_deref())?;
+    let text = nrlt_report::observe_query(&dir, run.as_deref(), top, wait.as_deref())
+        .map_err(|e| e.message().to_owned())?;
     print!("{text}");
     Ok(ExitCode::SUCCESS)
 }
@@ -202,14 +202,16 @@ fn run_engine(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let dir = dir.ok_or("engine requires a bundle directory argument")?;
-    let bundle = nrlt_report::load_engine_bundle(&dir)?;
     match diff {
         Some(other) => {
+            let bundle = nrlt_report::load_engine_bundle(&dir)?;
             let b = nrlt_report::load_engine_bundle(&other)?;
             print!("{}", nrlt_report::engine_diff(&bundle, &b));
         }
         None => {
-            print!("{}", nrlt_report::engine_text(&bundle, run.as_deref(), top)?);
+            let text = nrlt_report::engine_query(&dir, run.as_deref(), top)
+                .map_err(|e| e.message().to_owned())?;
+            print!("{text}");
         }
     }
     Ok(ExitCode::SUCCESS)
@@ -292,8 +294,8 @@ fn run_trend(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let ledger = ledger.unwrap_or_else(|| PathBuf::from("results/history.jsonl"));
-    let records = nrlt_report::read_history(&ledger)
-        .map_err(|e| format!("cannot read ledger {}: {e}", ledger.display()))?;
-    print!("{}", nrlt_report::trend_text(&records, key.as_deref()));
+    let text =
+        nrlt_report::trend_query(&ledger, key.as_deref()).map_err(|e| e.message().to_owned())?;
+    print!("{text}");
     Ok(ExitCode::SUCCESS)
 }

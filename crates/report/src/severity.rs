@@ -71,8 +71,7 @@ pub fn hotspots(result: &ExperimentResult, n: usize) -> Vec<Hotspot> {
         per_mode[0].iter().map(|((m, p), &v)| (v, *m, p.clone())).collect();
     // Descending by severity; name/path tie-break keeps equal cells in
     // one deterministic order.
-    ranked
-        .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| (a.1, &a.2).cmp(&(b.1, &b.2))));
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| (a.1, &a.2).cmp(&(b.1, &b.2))));
     ranked.truncate(n);
 
     ranked
@@ -321,8 +320,7 @@ pub fn mode_text(result: &ModeResult, top_n: usize) -> String {
     let cells = mode_cells(&result.mean);
     let mut ranked: Vec<(f64, Metric, String)> =
         cells.iter().map(|((m, p), &v)| (v, *m, p.clone())).collect();
-    ranked
-        .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| (a.1, &a.2).cmp(&(b.1, &b.2))));
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| (a.1, &a.2).cmp(&(b.1, &b.2))));
     ranked.truncate(top_n);
     let _ = writeln!(out, "top {} hotspot cells, exclusive %_T", ranked.len());
     for (i, (v, m, p)) in ranked.iter().enumerate() {

@@ -78,6 +78,9 @@ fn entry(run: &str, jobs: usize, wall: f64) -> bench::BenchEntry {
         events_per_sec: 0.0,
         overhead_vs_plain_pct: None,
         peak_rss_bytes: 0,
+        p50_ns: 0,
+        p95_ns: 0,
+        p99_ns: 0,
     }
 }
 

@@ -1,0 +1,346 @@
+//! Minimal HTTP/1.1 request parsing and response rendering, std-only.
+//!
+//! The server only ever answers `GET` requests without bodies, so a
+//! request is complete at the blank line ending its header block. The
+//! parser is **incremental**: bytes arrive in arbitrary TCP segments,
+//! [`RequestParser::feed`] buffers them, and [`RequestParser::next`]
+//! yields zero or more complete requests per read — which is exactly
+//! what makes pipelining (several requests in one segment) and partial
+//! reads (one request split across many segments) the same code path.
+//!
+//! Hard limits keep untrusted peers cheap: a header block larger than
+//! [`MAX_HEAD_BYTES`] is rejected with `431`, a method other than `GET`
+//! with `405`, and a malformed request line with `400` — all as typed
+//! [`ParseError`]s so the connection handler can answer before closing.
+
+use std::collections::BTreeMap;
+
+/// Upper bound on a request's head (request line + headers + blank
+/// line). Far above any legitimate query this server answers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (always `GET` once parsing succeeded).
+    pub method: String,
+    /// Path component of the request target (before `?`).
+    pub path: String,
+    /// Query parameters, percent-decoded, last occurrence wins.
+    pub query: BTreeMap<String, String>,
+    /// True when the client asked for `Connection: close`.
+    pub close: bool,
+}
+
+/// Why a request could not be parsed. Each variant maps to the HTTP
+/// status the handler answers before closing the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Head exceeded [`MAX_HEAD_BYTES`] → `431`.
+    HeadersTooLarge,
+    /// Method is not `GET` → `405`.
+    MethodNotAllowed(String),
+    /// Anything else malformed → `400`.
+    Bad(String),
+}
+
+impl ParseError {
+    /// The HTTP status code this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::HeadersTooLarge => 431,
+            ParseError::MethodNotAllowed(_) => 405,
+            ParseError::Bad(_) => 400,
+        }
+    }
+
+    /// The human-readable reason.
+    pub fn message(&self) -> String {
+        match self {
+            ParseError::HeadersTooLarge => {
+                format!("request head larger than {MAX_HEAD_BYTES} bytes")
+            }
+            ParseError::MethodNotAllowed(m) => format!("method {m} not allowed; use GET"),
+            ParseError::Bad(m) => m.clone(),
+        }
+    }
+}
+
+/// Incremental request parser over a connection's byte stream.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append freshly read bytes to the buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed by a request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete request off the buffer.
+    ///
+    /// * `Ok(Some(req))` — a full head was buffered; its bytes are
+    ///   consumed (pipelined successors stay buffered for the next
+    ///   call).
+    /// * `Ok(None)` — the head is still incomplete; feed more bytes.
+    /// * `Err(e)` — the stream is unusable; answer `e.status()` and
+    ///   close.
+    pub fn next_request(&mut self) -> Result<Option<Request>, ParseError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(ParseError::HeadersTooLarge);
+            }
+            return Ok(None);
+        };
+        if head_end > MAX_HEAD_BYTES {
+            return Err(ParseError::HeadersTooLarge);
+        }
+        let head = self.buf[..head_end].to_vec();
+        self.buf.drain(..head_end);
+        parse_head(&head).map(Some)
+    }
+}
+
+/// Index one past the `\r\n\r\n` (or lenient `\n\n`) ending the head.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+fn parse_head(head: &[u8]) -> Result<Request, ParseError> {
+    let text =
+        std::str::from_utf8(head).map_err(|_| ParseError::Bad("head is not UTF-8".into()))?;
+    let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(ParseError::Bad(format!("malformed request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad(format!("unsupported version {version:?}")));
+    }
+    if method != "GET" {
+        return Err(ParseError::MethodNotAllowed(method.to_owned()));
+    }
+    let mut close = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Bad(format!("malformed header line {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("connection")
+            && value.trim().eq_ignore_ascii_case("close")
+        {
+            close = true;
+        }
+    }
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in query_raw.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(percent_decode(k), percent_decode(v));
+    }
+    Ok(Request { method: method.to_owned(), path: percent_decode(path), query, close })
+}
+
+/// Percent-decode a URL component (`+` also decodes to space). Invalid
+/// escapes pass through literally rather than failing the request.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Render a full HTTP/1.1 response (head + body).
+pub fn response(status: u16, content_type: &str, body: &[u8], close: bool) -> Vec<u8> {
+    let reason = reason(status);
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_all(p: &mut RequestParser, bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        p.feed(bytes);
+        p.next_request()
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let mut p = RequestParser::new();
+        let req =
+            feed_all(&mut p, b"GET /severity?bundle=report/fig3&top=5 HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/severity");
+        assert_eq!(req.query.get("bundle").map(String::as_str), Some("report/fig3"));
+        assert_eq!(req.query.get("top").map(String::as_str), Some("5"));
+        assert!(!req.close);
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn partial_reads_split_across_segments_reassemble() {
+        // One request delivered byte-by-byte: no segment boundary may
+        // confuse the parser.
+        let raw = b"GET /bundles HTTP/1.1\r\nHost: localhost:8080\r\nAccept: */*\r\n\r\n";
+        let mut p = RequestParser::new();
+        for (i, b) in raw.iter().enumerate() {
+            let got = feed_all(&mut p, &[*b]).unwrap();
+            if i + 1 < raw.len() {
+                assert!(got.is_none(), "complete at byte {i}?");
+            } else {
+                assert_eq!(got.unwrap().path, "/bundles");
+            }
+        }
+        // And split at every possible boundary.
+        for cut in 1..raw.len() - 1 {
+            let mut p = RequestParser::new();
+            assert!(feed_all(&mut p, &raw[..cut]).unwrap().is_none());
+            assert_eq!(feed_all(&mut p, &raw[cut..]).unwrap().unwrap().path, "/bundles");
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_pop_one_at_a_time() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let a = p.next_request().unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        assert!(!a.close);
+        let b = p.next_request().unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert!(b.close);
+        assert!(p.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_heads_are_431() {
+        let mut p = RequestParser::new();
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "y".repeat(MAX_HEAD_BYTES)).as_bytes());
+        let err = feed_all(&mut p, &raw).unwrap_err();
+        assert_eq!(err, ParseError::HeadersTooLarge);
+        assert_eq!(err.status(), 431);
+
+        // Also when the terminator never arrives but the buffer is
+        // already past the limit.
+        let mut p = RequestParser::new();
+        p.feed(&vec![b'a'; MAX_HEAD_BYTES + 1]);
+        assert_eq!(p.next_request().unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn non_get_methods_are_405() {
+        let mut p = RequestParser::new();
+        let err = feed_all(&mut p, b"POST /shutdown HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err, ParseError::MethodNotAllowed("POST".into()));
+        assert_eq!(err.status(), 405);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in
+            [&b"NOT-HTTP\r\n\r\n"[..], b"GET /\r\n\r\n", b"GET / SPDY/99\r\n\r\n", b"\r\n\r\n"]
+        {
+            let mut p = RequestParser::new();
+            let err = feed_all(&mut p, raw).unwrap_err();
+            assert_eq!(err.status(), 400, "{:?}", String::from_utf8_lossy(raw));
+        }
+    }
+
+    #[test]
+    fn percent_decoding_roundtrips_query_values() {
+        let mut p = RequestParser::new();
+        let req =
+            feed_all(&mut p, b"GET /observe?run=MiniFE-1%3Alt_1%3Arep0&x=a+b HTTP/1.1\r\n\r\n")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.query.get("run").map(String::as_str), Some("MiniFE-1:lt_1:rep0"));
+        assert_eq!(req.query.get("x").map(String::as_str), Some("a b"));
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn responses_carry_length_and_connection() {
+        let r = response(200, "application/json", b"{}", false);
+        let text = String::from_utf8(r).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        let r = response(404, "application/json", b"{}", true);
+        assert!(String::from_utf8(r).unwrap().contains("Connection: close"));
+    }
+}

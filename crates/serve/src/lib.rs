@@ -1,0 +1,35 @@
+//! `nrlt-serve`: a concurrent observability query service over the
+//! archived artifact bundles the rest of the workspace produces.
+//!
+//! The pipeline's analysis surfaces — severity reports, flamegraphs,
+//! observe timelines, engine KPIs, perf trends — all exist as batch
+//! CLI commands over on-disk bundles. This crate puts the same query
+//! layer behind a small HTTP/1.1 server so dashboards, CI smoke
+//! checks, and `curl` can ask the same questions without re-running
+//! the pipeline:
+//!
+//! * [`http`] — a dependency-free incremental HTTP/1.1 request parser
+//!   and response builder (GET-only, keep-alive, pipelining, bounded
+//!   header size).
+//! * [`store`] — the shared bundle store: catalog scan, `Arc`-cached
+//!   immutable bundles, size-bounded LRU eviction, and single-flight
+//!   loading so N concurrent first touches of a cold bundle cost one
+//!   parse.
+//! * [`server`] — the worker pool, routing, per-request
+//!   self-telemetry (spans, route/status counters, latency
+//!   histograms, `/stats`), and graceful shutdown that drains
+//!   in-flight requests and flushes the telemetry bundle.
+//!
+//! Everything is `std`-only, matching the workspace's no-external-
+//! dependencies rule: the HTTP layer is hand-rolled on `TcpListener`,
+//! JSON comes from `nrlt_telemetry::json`, and concurrency uses
+//! `Mutex`/`Condvar`.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+pub mod store;
+
+pub use server::{Config, Server, Shared};
+pub use store::{scan_catalog, CatalogEntry, Kind, Loaded, Store};

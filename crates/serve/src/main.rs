@@ -1,0 +1,133 @@
+//! `nrlt-serve` — serve archived observability bundles over HTTP.
+//!
+//! ```text
+//! nrlt-serve <root> [--addr HOST:PORT] [--workers N]
+//!            [--cache-budget BYTES] [--allow-shutdown]
+//!            [--telemetry DIR]
+//! ```
+//!
+//! `<root>` is a directory tree of artifact bundles (typically the
+//! repo's `results/`). The server prints the bound address on stdout
+//! (one line, `listening on http://ADDR`) so scripts binding port 0
+//! can discover the ephemeral port, then runs until SIGTERM/SIGINT —
+//! or until `GET /shutdown` when `--allow-shutdown` is set. Shutdown
+//! drains in-flight requests; with `--telemetry DIR` the server's own
+//! telemetry bundle is exported there on the way out.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use nrlt_serve::{Config, Server};
+
+/// Set by the signal handler; polled by the main thread.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// Route SIGTERM and SIGINT to a flag the main loop polls. `signal` is
+/// part of the already-linked libc, not a new dependency (same pattern
+/// as `malloc_trim` in the report crate).
+fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_signal(_sig: std::os::raw::c_int) {
+            SIGNALED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(
+                signum: std::os::raw::c_int,
+                handler: extern "C" fn(std::os::raw::c_int),
+            ) -> usize;
+        }
+        const SIGINT: std::os::raw::c_int = 2;
+        const SIGTERM: std::os::raw::c_int = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: nrlt-serve <root> [--addr HOST:PORT] [--workers N] \
+     [--cache-budget BYTES] [--allow-shutdown] [--telemetry DIR]"
+        .to_owned()
+}
+
+fn parse_args(args: &[String]) -> Result<Config, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut cfg = Config::new(PathBuf::new());
+    cfg.addr = "127.0.0.1:7878".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers =
+                    value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--cache-budget" => {
+                cfg.cache_budget = value("--cache-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-budget: {e}"))?;
+            }
+            "--allow-shutdown" => cfg.allow_shutdown = true,
+            "--telemetry" => cfg.telemetry_dir = Some(PathBuf::from(value("--telemetry")?)),
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            other => {
+                if root.replace(PathBuf::from(other)).is_some() {
+                    return Err(format!("more than one root given\n{}", usage()));
+                }
+            }
+        }
+    }
+    cfg.root = root.ok_or_else(usage)?;
+    if !cfg.root.is_dir() {
+        return Err(format!("root {} is not a directory", cfg.root.display()));
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_signal_handlers();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("nrlt-serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{}", server.addr());
+    let shared = server.shared();
+    while !shared.stopping() && !SIGNALED.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("nrlt-serve: draining");
+    match server.join() {
+        Ok(shared) => {
+            eprintln!(
+                "nrlt-serve: served {} requests over {} connections",
+                shared.telemetry().counter("serve.requests").unwrap_or(0),
+                shared.telemetry().counter("serve.connections").unwrap_or(0),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("nrlt-serve: telemetry export failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

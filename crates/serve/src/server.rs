@@ -1,0 +1,496 @@
+//! The query server: an acceptor thread feeding a fixed worker pool,
+//! request routing over the shared [`Store`], per-request
+//! self-telemetry, a `/stats` endpoint, and graceful shutdown.
+//!
+//! The server observes itself with the same `nrlt-telemetry` handle it
+//! serves bundles from: every request runs under a `serve`-category
+//! span, and counters track requests per route, status codes, bytes
+//! out, cache hits/misses/evictions, and connection-queue depth. On
+//! shutdown (SIGTERM forwarded by the binary, or `/shutdown` when
+//! enabled) the acceptor stops, workers drain the queue and finish
+//! in-flight requests, and — when configured — the telemetry bundle is
+//! flushed to disk so a service run leaves the same artifact trail as
+//! a batch run.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nrlt_report::query::QueryError;
+use nrlt_report::{engine_text, folded, observe_text, severity_subset, trend_text};
+use nrlt_telemetry::json::{self, Value};
+use nrlt_telemetry::{Manifest, RunInfo, Telemetry};
+
+use crate::http::{response, Request, RequestParser};
+use crate::store::{scan_catalog, Kind, Loaded, Store};
+
+/// Server configuration. `addr` may name port 0 for an ephemeral port;
+/// the bound address is available from [`Server::addr`].
+pub struct Config {
+    /// Directory tree the store serves bundles from.
+    pub root: PathBuf,
+    /// Bind address, e.g. `"127.0.0.1:0"`.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Byte budget for resident parsed bundles (LRU beyond this).
+    pub cache_budget: u64,
+    /// Whether `GET /shutdown` stops the server (test / CI mode).
+    pub allow_shutdown: bool,
+    /// Export the self-telemetry bundle here on shutdown.
+    pub telemetry_dir: Option<PathBuf>,
+}
+
+impl Config {
+    /// Defaults: loopback ephemeral port, 4 workers, 256 MiB cache,
+    /// no `/shutdown`, no export.
+    pub fn new(root: PathBuf) -> Config {
+        Config {
+            root,
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            cache_budget: 256 << 20,
+            allow_shutdown: false,
+            telemetry_dir: None,
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the owning handle.
+pub struct Shared {
+    store: Store,
+    tel: Telemetry,
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+    allow_shutdown: bool,
+    started: Instant,
+}
+
+impl Shared {
+    /// The self-telemetry handle (request spans, counters, histograms).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// The bundle store (cache statistics, parse counter).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Ask the server to stop: the acceptor closes, workers drain the
+    /// connection queue and finish in-flight requests, then exit.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Whether a stop has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server: bound address plus the threads behind it.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    telemetry_dir: Option<PathBuf>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and return the handle.
+    pub fn start(cfg: Config) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store: Store::new(&cfg.root, cfg.cache_budget),
+            tel: Telemetry::new(),
+            stop: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            allow_shutdown: cfg.allow_shutdown,
+            started: Instant::now(),
+        });
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(&listener, &shared)));
+        }
+        for i in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+        Ok(Server { addr, shared, telemetry_dir: cfg.telemetry_dir, threads })
+    }
+
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for stopping and for inspecting telemetry.
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Block until a stop is requested (by `/shutdown` or by another
+    /// thread calling [`Shared::request_stop`]).
+    pub fn wait_for_stop(&self) {
+        while !self.shared.stopping() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Drain and join every thread, then flush the telemetry bundle if
+    /// an export directory was configured. Returns the shared state so
+    /// callers can inspect final counters.
+    pub fn join(mut self) -> std::io::Result<Arc<Shared>> {
+        self.shared.request_stop();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(dir) = &self.telemetry_dir {
+            let shared = &self.shared;
+            let mut manifest = Manifest::new("nrlt-serve");
+            manifest.wall_seconds = shared.started.elapsed().as_secs_f64();
+            manifest.runs.push(RunInfo {
+                name: "serve".to_owned(),
+                config: format!(
+                    "root={} requests={}",
+                    shared.store.root().display(),
+                    shared.tel.counter("serve.requests").unwrap_or(0)
+                ),
+                seed: 0,
+                repetitions: 1,
+            });
+            std::fs::create_dir_all(dir)?;
+            nrlt_telemetry::write_exports(dir, &shared.tel, &manifest)?;
+        }
+        Ok(Arc::clone(&self.shared))
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                shared.tel.incr("serve.connections");
+                let mut q = shared.queue.lock().expect("queue poisoned");
+                q.push_back(stream);
+                let depth = q.len() as u64;
+                drop(q);
+                shared.tel.set("serve.queue_depth", depth);
+                shared.tel.set_max("serve.queue_depth_max", depth);
+                shared.cv.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    shared.cv.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(c) = q.pop_front() {
+                    shared.tel.set("serve.queue_depth", q.len() as u64);
+                    break Some(c);
+                }
+                if shared.stopping() {
+                    break None;
+                }
+                q = shared.cv.wait(q).expect("queue poisoned");
+            }
+        };
+        match conn {
+            Some(c) => serve_connection(shared, c),
+            None => return,
+        }
+    }
+}
+
+/// Serve every request on one connection: keep-alive with pipelining,
+/// closing on request, parse error, read timeout, or server stop.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2000)));
+    let mut parser = RequestParser::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        loop {
+            match parser.next_request() {
+                Ok(Some(req)) => {
+                    let close = req.close || shared.stopping();
+                    let bytes = respond(shared, &req, close);
+                    if stream.write_all(&bytes).is_err() || close {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let body = error_body(e.status(), &e.message());
+                    let bytes = response(e.status(), "application/json", body.as_bytes(), true);
+                    let _ = stream.write_all(&bytes);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => parser.feed(&buf[..n]),
+            // Idle keep-alive past the timeout, or any transport error:
+            // drop the connection (nothing is half-parsed or the peer
+            // is gone either way).
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handle one parsed request under a telemetry span, record the
+/// per-route / per-status counters and the latency histogram, and
+/// return the serialized response.
+fn respond(shared: &Shared, req: &Request, close: bool) -> Vec<u8> {
+    let started = Instant::now();
+    let route = route_name(&req.path);
+    let (status, ctype, body) = {
+        let _span = shared.tel.span_cat(route, "serve");
+        route_request(shared, req)
+    };
+    let bytes = response(status, ctype, body.as_bytes(), close);
+    let tel = &shared.tel;
+    tel.incr("serve.requests");
+    tel.incr(&format!("serve.route.{route}"));
+    tel.incr(&format!("serve.status.{status}"));
+    tel.add("serve.bytes_out", bytes.len() as u64);
+    tel.observe("serve.request_ns", started.elapsed().as_nanos() as u64);
+    bytes
+}
+
+/// Stable route label for counters and spans. Unknown paths collapse
+/// to `"other"` so arbitrary probes cannot grow the counter map.
+fn route_name(path: &str) -> &'static str {
+    match path {
+        "/" => "index",
+        "/bundles" => "bundles",
+        "/severity" => "severity",
+        "/flamegraph" => "flamegraph",
+        "/observe" => "observe",
+        "/engine" => "engine",
+        "/trend" => "trend",
+        "/stats" => "stats",
+        "/shutdown" => "shutdown",
+        _ => "other",
+    }
+}
+
+fn error_body(status: u16, message: &str) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("status".to_owned(), Value::Num(status as f64));
+    obj.insert("error".to_owned(), Value::Str(message.to_owned()));
+    json::render(&Value::Obj(obj))
+}
+
+fn status_of(e: &QueryError) -> u16 {
+    match e {
+        QueryError::NotFound(_) => 404,
+        QueryError::BadRequest(_) => 400,
+        QueryError::Artifact(_) => 500,
+    }
+}
+
+const JSON: &str = "application/json";
+const TEXT: &str = "text/plain; charset=utf-8";
+
+fn route_request(shared: &Shared, req: &Request) -> (u16, &'static str, String) {
+    let result = match req.path.as_str() {
+        "/" => Ok((TEXT, index_text())),
+        "/bundles" => bundles(shared).map(|b| (JSON, b)),
+        "/severity" => severity(shared, req).map(|b| (JSON, b)),
+        "/flamegraph" => flamegraph(shared, req).map(|b| (TEXT, b)),
+        "/observe" => observe(shared, req).map(|b| (JSON, b)),
+        "/engine" => engine(shared, req).map(|b| (JSON, b)),
+        "/trend" => trend(shared, req).map(|b| (JSON, b)),
+        "/stats" => Ok((JSON, stats(shared))),
+        "/shutdown" => shutdown(shared).map(|b| (JSON, b)),
+        other => Err(QueryError::NotFound(format!("no such route {other:?}"))),
+    };
+    match result {
+        Ok((ctype, body)) => (200, ctype, body),
+        Err(e) => {
+            let status = status_of(&e);
+            (status, JSON, error_body(status, e.message()))
+        }
+    }
+}
+
+fn index_text() -> String {
+    "nrlt-serve: observability queries over archived bundles\n\
+     routes:\n\
+     \x20 /bundles                                  catalog of served artifacts\n\
+     \x20 /severity?bundle=DIR[&run=R][&top=N]      archived severity report (JSON)\n\
+     \x20 /flamegraph?bundle=DIR                    folded stacks (text)\n\
+     \x20 /observe?bundle=DIR[&run=R][&top=N][&wait=W]  counter timelines + noise attribution\n\
+     \x20 /engine?bundle=DIR[&run=R][&top=N]        per-event-kind engine KPIs\n\
+     \x20 /trend[?bundle=DIR][&key=K]               perf ledger trends\n\
+     \x20 /stats                                    server self-telemetry\n"
+        .to_owned()
+}
+
+// ---- route handlers ----------------------------------------------------
+
+fn param<'r>(req: &'r Request, key: &str) -> Option<&'r str> {
+    req.query.get(key).map(|s| s.as_str())
+}
+
+fn bundle_param(req: &Request) -> Result<&str, QueryError> {
+    param(req, "bundle")
+        .ok_or_else(|| QueryError::BadRequest("missing required parameter \"bundle\"".to_owned()))
+}
+
+fn top_param(req: &Request, default: usize) -> Result<usize, QueryError> {
+    match param(req, "top") {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| QueryError::BadRequest(format!("\"top\" must be an integer, got {s:?}"))),
+    }
+}
+
+fn bundles(shared: &Shared) -> Result<String, QueryError> {
+    let catalog = scan_catalog(shared.store.root());
+    let rows: Vec<Value> = catalog
+        .iter()
+        .map(|e| {
+            let mut obj = BTreeMap::new();
+            obj.insert("path".to_owned(), Value::Str(e.rel.clone()));
+            let mut kinds = BTreeMap::new();
+            for (k, bytes) in &e.kinds {
+                kinds.insert(k.name().to_owned(), Value::Num(*bytes as f64));
+            }
+            obj.insert("artifacts".to_owned(), Value::Obj(kinds));
+            let manifest = shared.store.root().join(&e.rel).join("manifest.json");
+            if let Ok(text) = std::fs::read_to_string(manifest) {
+                if let Ok(v) = json::parse(&text) {
+                    obj.insert("manifest".to_owned(), v);
+                }
+            }
+            Value::Obj(obj)
+        })
+        .collect();
+    let mut doc = BTreeMap::new();
+    doc.insert("bundles".to_owned(), Value::Arr(rows));
+    Ok(json::render(&Value::Obj(doc)))
+}
+
+fn severity(shared: &Shared, req: &Request) -> Result<String, QueryError> {
+    let rel = bundle_param(req)?;
+    let top = match param(req, "top") {
+        None => None,
+        Some(s) => Some(s.parse::<usize>().map_err(|_| {
+            QueryError::BadRequest(format!("\"top\" must be an integer, got {s:?}"))
+        })?),
+    };
+    let loaded = shared.store.get(Kind::Report, rel, Some(&shared.tel))?;
+    let Loaded::Report(doc) = &*loaded else { unreachable!("report slot holds report") };
+    let subset = severity_subset(doc, param(req, "run"), top).map_err(QueryError::NotFound)?;
+    Ok(json::render(&subset))
+}
+
+fn flamegraph(shared: &Shared, req: &Request) -> Result<String, QueryError> {
+    let rel = bundle_param(req)?;
+    let loaded = shared.store.get(Kind::Telemetry, rel, Some(&shared.tel))?;
+    let Loaded::Telemetry(bundle) = &*loaded else { unreachable!("telemetry slot") };
+    Ok(folded(&bundle.spans))
+}
+
+fn text_view(bundle: &str, text: String) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("bundle".to_owned(), Value::Str(bundle.to_owned()));
+    obj.insert("text".to_owned(), Value::Str(text));
+    json::render(&Value::Obj(obj))
+}
+
+fn observe(shared: &Shared, req: &Request) -> Result<String, QueryError> {
+    let rel = bundle_param(req)?;
+    let top = top_param(req, 5)?;
+    let loaded = shared.store.get(Kind::Observe, rel, Some(&shared.tel))?;
+    let Loaded::Observe(bundle) = &*loaded else { unreachable!("observe slot") };
+    let text = observe_text(bundle, param(req, "run"), top, param(req, "wait"))
+        .map_err(QueryError::NotFound)?;
+    Ok(text_view(rel, text))
+}
+
+fn engine(shared: &Shared, req: &Request) -> Result<String, QueryError> {
+    let rel = bundle_param(req)?;
+    let top = top_param(req, 5)?;
+    let loaded = shared.store.get(Kind::Engineprof, rel, Some(&shared.tel))?;
+    let Loaded::Engineprof(bundle) = &*loaded else { unreachable!("engineprof slot") };
+    let text = engine_text(bundle, param(req, "run"), top).map_err(QueryError::NotFound)?;
+    Ok(text_view(rel, text))
+}
+
+fn trend(shared: &Shared, req: &Request) -> Result<String, QueryError> {
+    let rel = param(req, "bundle").unwrap_or("");
+    let loaded = shared.store.get(Kind::Ledger, rel, Some(&shared.tel))?;
+    let Loaded::Ledger(records) = &*loaded else { unreachable!("ledger slot") };
+    let mut obj = BTreeMap::new();
+    obj.insert("bundle".to_owned(), Value::Str(rel.to_owned()));
+    obj.insert("records".to_owned(), Value::Num(records.len() as f64));
+    obj.insert("text".to_owned(), Value::Str(trend_text(records, param(req, "key"))));
+    Ok(json::render(&Value::Obj(obj)))
+}
+
+/// Self-telemetry snapshot: every counter, request-latency percentiles,
+/// and the cache accounting the store keeps outside the telemetry
+/// handle (parse and eviction totals, resident bytes).
+fn stats(shared: &Shared) -> String {
+    let tel = &shared.tel;
+    let mut counters = BTreeMap::new();
+    for (name, value) in tel.counters() {
+        counters.insert(name, Value::Num(value as f64));
+    }
+    let mut latency = BTreeMap::new();
+    if let Some((_, h)) = tel.histograms().into_iter().find(|(n, _)| n == "serve.request_ns") {
+        latency.insert("p50_ns".to_owned(), Value::Num(h.percentile(0.50) as f64));
+        latency.insert("p95_ns".to_owned(), Value::Num(h.percentile(0.95) as f64));
+        latency.insert("p99_ns".to_owned(), Value::Num(h.percentile(0.99) as f64));
+        latency.insert("mean_ns".to_owned(), Value::Num(h.mean()));
+    }
+    let mut cache = BTreeMap::new();
+    cache.insert("parses".to_owned(), Value::Num(shared.store.parse_count() as f64));
+    cache.insert("evictions".to_owned(), Value::Num(shared.store.eviction_count() as f64));
+    cache.insert("resident_bytes".to_owned(), Value::Num(shared.store.resident_bytes() as f64));
+    let mut doc = BTreeMap::new();
+    doc.insert("uptime_seconds".to_owned(), Value::Num(shared.started.elapsed().as_secs_f64()));
+    doc.insert("counters".to_owned(), Value::Obj(counters));
+    doc.insert("latency".to_owned(), Value::Obj(latency));
+    doc.insert("cache".to_owned(), Value::Obj(cache));
+    json::render(&Value::Obj(doc))
+}
+
+fn shutdown(shared: &Shared) -> Result<String, QueryError> {
+    if !shared.allow_shutdown {
+        return Err(QueryError::NotFound("shutdown is not enabled on this server".to_owned()));
+    }
+    shared.request_stop();
+    let mut obj = BTreeMap::new();
+    obj.insert("draining".to_owned(), Value::Bool(true));
+    Ok(json::render(&Value::Obj(obj)))
+}

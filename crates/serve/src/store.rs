@@ -1,0 +1,493 @@
+//! The shared bundle store: catalog scan, `Arc`-cached immutable
+//! bundles, size-bounded LRU eviction, and single-flight loading.
+//!
+//! Every query surface reads from an artifact on disk — an archived
+//! `report.json`, a telemetry `metrics.jsonl`, an `observe.jsonl`, an
+//! `engineprof.json`, or the `history.jsonl` ledger. Parsing any of
+//! them costs milliseconds to seconds; a query service that re-parses
+//! per request would spend its life in the loader. The store parses
+//! each bundle **once**, shares the immutable result behind an `Arc`,
+//! and bounds resident bytes with LRU eviction (approximated by the
+//! artifact's on-disk size).
+//!
+//! **Single flight**: when N requests race for the same cold bundle,
+//! the first becomes the loader; the rest block on the flight's condvar
+//! and receive the same `Arc`. Exactly one parse happens — asserted by
+//! a test driving 16 first-touch threads against [`Store::parse_count`].
+//! Load *errors* are not cached: a corrupt bundle fails every waiter of
+//! that flight, then the next request retries (the operator may have
+//! fixed the file).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use nrlt_report::query::QueryError;
+use nrlt_report::{load_report_doc, Bundle, EngineBundle, HistoryRecord};
+use nrlt_telemetry::{json, Telemetry};
+
+/// What kind of artifact a bundle path holds, keyed by its marker file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    /// `report.json` — archived severity document.
+    Report,
+    /// `metrics.jsonl` — telemetry bundle (spans, counters, histograms).
+    Telemetry,
+    /// `observe.jsonl` — resource-observatory bundle.
+    Observe,
+    /// `engineprof.json` — engine introspection bundle.
+    Engineprof,
+    /// `history.jsonl` — the append-only perf ledger.
+    Ledger,
+}
+
+impl Kind {
+    /// The marker file that identifies the kind inside a bundle dir.
+    pub fn marker(self) -> &'static str {
+        match self {
+            Kind::Report => "report.json",
+            Kind::Telemetry => "metrics.jsonl",
+            Kind::Observe => "observe.jsonl",
+            Kind::Engineprof => "engineprof.json",
+            Kind::Ledger => "history.jsonl",
+        }
+    }
+
+    /// Stable lowercase name for catalogs and counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Report => "report",
+            Kind::Telemetry => "telemetry",
+            Kind::Observe => "observe",
+            Kind::Engineprof => "engineprof",
+            Kind::Ledger => "ledger",
+        }
+    }
+
+    const ALL: [Kind; 5] =
+        [Kind::Report, Kind::Telemetry, Kind::Observe, Kind::Engineprof, Kind::Ledger];
+}
+
+/// One catalog row: a directory (relative to the root) holding at least
+/// one recognized artifact.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Path relative to the serving root (`""` for the root itself).
+    pub rel: String,
+    /// The artifact kinds present, with their on-disk sizes in bytes.
+    pub kinds: Vec<(Kind, u64)>,
+}
+
+/// Walk `root` and list every directory containing a recognized marker
+/// file, sorted by relative path — the `/bundles` catalog. The walk is
+/// bounded to a sane depth so a symlink loop cannot hang the server.
+pub fn scan_catalog(root: &Path) -> Vec<CatalogEntry> {
+    let mut out = Vec::new();
+    let mut stack = vec![(root.to_path_buf(), 0usize)];
+    while let Some((dir, depth)) = stack.pop() {
+        let mut kinds = Vec::new();
+        for kind in Kind::ALL {
+            if let Ok(meta) = std::fs::metadata(dir.join(kind.marker())) {
+                if meta.is_file() {
+                    kinds.push((kind, meta.len()));
+                }
+            }
+        }
+        if !kinds.is_empty() {
+            let rel = dir
+                .strip_prefix(root)
+                .unwrap_or(&dir)
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            out.push(CatalogEntry { rel, kinds });
+        }
+        if depth < 6 {
+            if let Ok(entries) = std::fs::read_dir(&dir) {
+                for e in entries.flatten() {
+                    let p = e.path();
+                    if p.is_dir() && !p.is_symlink() {
+                        stack.push((p, depth + 1));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    out
+}
+
+/// A loaded, immutable, shareable artifact.
+pub enum Loaded {
+    /// Parsed `report.json`.
+    Report(json::Value),
+    /// Telemetry bundle.
+    Telemetry(Bundle),
+    /// Observe bundle.
+    Observe(nrlt_observe::export::ObserveBundle),
+    /// Engineprof bundle.
+    Engineprof(EngineBundle),
+    /// History ledger records.
+    Ledger(Vec<HistoryRecord>),
+}
+
+impl std::fmt::Debug for Loaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            Loaded::Report(_) => "report",
+            Loaded::Telemetry(_) => "telemetry",
+            Loaded::Observe(_) => "observe",
+            Loaded::Engineprof(_) => "engineprof",
+            Loaded::Ledger(_) => "ledger",
+        };
+        write!(f, "Loaded({kind})")
+    }
+}
+
+/// A load in progress: the loader publishes its verdict here and
+/// notifies every waiter.
+type FlightResult = Result<(Arc<Loaded>, u64), QueryError>;
+
+struct Flight {
+    done: Mutex<Option<FlightResult>>,
+    cv: Condvar,
+}
+
+enum Slot {
+    Ready { data: Arc<Loaded>, bytes: u64, last_used: u64 },
+    Loading(Arc<Flight>),
+}
+
+struct StoreInner {
+    slots: BTreeMap<(Kind, String), Slot>,
+    tick: u64,
+    resident_bytes: u64,
+}
+
+/// The cache. All public methods are callable from any worker thread.
+pub struct Store {
+    root: PathBuf,
+    budget_bytes: u64,
+    inner: Mutex<StoreInner>,
+    parses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Store {
+    /// A store serving bundles under `root`, keeping at most
+    /// `budget_bytes` of parsed artifacts resident (approximated by
+    /// on-disk size; at least one bundle always stays resident so a
+    /// single artifact larger than the budget still serves).
+    pub fn new(root: &Path, budget_bytes: u64) -> Self {
+        Store {
+            root: root.to_path_buf(),
+            budget_bytes,
+            inner: Mutex::new(StoreInner { slots: BTreeMap::new(), tick: 0, resident_bytes: 0 }),
+            parses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The root directory this store serves from.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// How many artifact parses have happened since construction. The
+    /// single-flight test drives 16 concurrent first-touch requests and
+    /// asserts this advanced by exactly 1.
+    pub fn parse_count(&self) -> u64 {
+        self.parses.load(Ordering::Relaxed)
+    }
+
+    /// How many bundles have been evicted to stay under budget.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of parsed artifacts currently resident (on-disk estimate).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().expect("store poisoned").resident_bytes
+    }
+
+    /// Resolve `rel` against the root, rejecting path traversal:
+    /// absolute paths, `..` components, and empty components (`a//b`)
+    /// are all bad requests. The empty string means the root itself.
+    fn resolve(&self, rel: &str) -> Result<PathBuf, QueryError> {
+        if rel.is_empty() {
+            return Ok(self.root.clone());
+        }
+        let traversal = rel.starts_with('/')
+            || rel.contains('\\')
+            || rel.split('/').any(|c| c == ".." || c == "." || c.is_empty());
+        if traversal {
+            return Err(QueryError::BadRequest(format!("invalid bundle path {rel:?}")));
+        }
+        Ok(self.root.join(rel))
+    }
+
+    /// Fetch the `kind` artifact of bundle `rel`, loading it on first
+    /// touch (single-flight) and bumping its LRU position. `tel`
+    /// records hit/miss/eviction counters and the resident gauge.
+    pub fn get(
+        &self,
+        kind: Kind,
+        rel: &str,
+        tel: Option<&Telemetry>,
+    ) -> Result<Arc<Loaded>, QueryError> {
+        let dir = self.resolve(rel)?;
+        let key = (kind, rel.to_owned());
+        let flight = {
+            let mut inner = self.inner.lock().expect("store poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.slots.get_mut(&key) {
+                Some(Slot::Ready { data, last_used, .. }) => {
+                    *last_used = tick;
+                    if let Some(t) = tel {
+                        t.incr("serve.cache_hits");
+                    }
+                    return Ok(Arc::clone(data));
+                }
+                Some(Slot::Loading(flight)) => Arc::clone(flight),
+                None => {
+                    // We are the loader for this flight.
+                    let flight = Arc::new(Flight { done: Mutex::new(None), cv: Condvar::new() });
+                    inner.slots.insert(key.clone(), Slot::Loading(Arc::clone(&flight)));
+                    drop(inner);
+                    if let Some(t) = tel {
+                        t.incr("serve.cache_misses");
+                    }
+                    return self.load_and_publish(kind, &dir, &key, &flight, tel);
+                }
+            }
+        };
+        // Someone else is loading: wait for their verdict.
+        if let Some(t) = tel {
+            t.incr("serve.cache_waits");
+        }
+        let mut done = flight.done.lock().expect("flight poisoned");
+        while done.is_none() {
+            done = flight.cv.wait(done).expect("flight poisoned");
+        }
+        match done.as_ref().expect("just checked") {
+            Ok((data, _)) => Ok(Arc::clone(data)),
+            // The loader failed. Errors are not cached — but this
+            // waiter reports the same error rather than retrying, so
+            // one corrupt artifact can't trigger a parse storm.
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    fn load_and_publish(
+        &self,
+        kind: Kind,
+        dir: &Path,
+        key: &(Kind, String),
+        flight: &Arc<Flight>,
+        tel: Option<&Telemetry>,
+    ) -> Result<Arc<Loaded>, QueryError> {
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        let result = load_artifact(kind, dir).map(|(loaded, bytes)| (Arc::new(loaded), bytes));
+
+        let mut inner = self.inner.lock().expect("store poisoned");
+        match &result {
+            Ok((data, bytes)) => {
+                let tick = inner.tick;
+                inner.slots.insert(
+                    key.clone(),
+                    Slot::Ready { data: Arc::clone(data), bytes: *bytes, last_used: tick },
+                );
+                inner.resident_bytes += bytes;
+                self.evict_over_budget(&mut inner, key, tel);
+            }
+            Err(_) => {
+                // Not cached: remove the Loading slot so a later
+                // request retries the load.
+                inner.slots.remove(key);
+            }
+        }
+        if let Some(t) = tel {
+            t.set("serve.cache_resident_bytes", inner.resident_bytes);
+            t.set("serve.cache_resident_bundles", inner.slots.len() as u64);
+        }
+        drop(inner);
+
+        *flight.done.lock().expect("flight poisoned") = Some(result.clone());
+        flight.cv.notify_all();
+        result.map(|(data, _)| data)
+    }
+
+    /// Evict least-recently-used Ready slots until resident bytes fit
+    /// the budget. The slot just inserted (`keep`) and in-flight loads
+    /// are never evicted.
+    fn evict_over_budget(
+        &self,
+        inner: &mut StoreInner,
+        keep: &(Kind, String),
+        tel: Option<&Telemetry>,
+    ) {
+        while inner.resident_bytes > self.budget_bytes {
+            let victim = inner
+                .slots
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .filter_map(|(k, slot)| match slot {
+                    Slot::Ready { last_used, bytes, .. } => Some((*last_used, k.clone(), *bytes)),
+                    Slot::Loading(_) => None,
+                })
+                .min();
+            let Some((_, key, bytes)) = victim else { break };
+            inner.slots.remove(&key);
+            inner.resident_bytes -= bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = tel {
+                t.incr("serve.cache_evictions");
+            }
+        }
+    }
+}
+
+/// Parse the artifact and estimate its resident cost by on-disk size.
+fn load_artifact(kind: Kind, dir: &Path) -> Result<(Loaded, u64), QueryError> {
+    let marker = dir.join(kind.marker());
+    let bytes = std::fs::metadata(&marker).map(|m| m.len()).unwrap_or(0);
+    let with_path = |e: String| {
+        if e.contains(&marker.display().to_string()) {
+            QueryError::Artifact(e)
+        } else {
+            QueryError::Artifact(format!("{}: {e}", marker.display()))
+        }
+    };
+    let loaded = match kind {
+        Kind::Report => Loaded::Report(load_report_doc(&marker).map_err(QueryError::Artifact)?),
+        Kind::Telemetry => Loaded::Telemetry(Bundle::load(dir).map_err(with_path)?),
+        Kind::Observe => Loaded::Observe(
+            nrlt_observe::export::ObserveBundle::load(dir).map_err(|e| with_path(e.to_string()))?,
+        ),
+        Kind::Engineprof => {
+            Loaded::Engineprof(nrlt_report::load_engine_bundle(dir).map_err(with_path)?)
+        }
+        Kind::Ledger => Loaded::Ledger(
+            nrlt_report::read_history(&marker).map_err(|e| with_path(e.to_string()))?,
+        ),
+    };
+    Ok((loaded, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mkroot(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_report(dir: &Path, name: &str) {
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(
+            dir.join("report.json"),
+            format!("{{\"bin\": \"{name}\", \"runs\": [{{\"name\": \"R-1\", \"hotspots\": []}}]}}"),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn catalog_scan_finds_kinds_sorted() {
+        let root = mkroot("nrlt_store_catalog");
+        write_report(&root.join("report/fig3"), "fig3");
+        std::fs::create_dir_all(root.join("observe/fig3")).unwrap();
+        std::fs::write(root.join("observe/fig3/observe.jsonl"), "").unwrap();
+        std::fs::write(root.join("history.jsonl"), "").unwrap();
+        let cat = scan_catalog(&root);
+        let rels: Vec<&str> = cat.iter().map(|e| e.rel.as_str()).collect();
+        assert_eq!(rels, vec!["", "observe/fig3", "report/fig3"]);
+        assert_eq!(cat[0].kinds[0].0, Kind::Ledger);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn cold_load_races_parse_exactly_once() {
+        let root = mkroot("nrlt_store_singleflight");
+        write_report(&root.join("report/fig3"), "fig3");
+        let store = Store::new(&root, u64::MAX);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| s.spawn(|| store.get(Kind::Report, "report/fig3", None).unwrap()))
+                .collect();
+            for h in handles {
+                let loaded = h.join().unwrap();
+                assert!(matches!(&*loaded, Loaded::Report(_)));
+            }
+        });
+        assert_eq!(store.parse_count(), 1, "16 concurrent first-touch requests, one parse");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn warm_hits_share_one_arc_and_count_hits() {
+        let root = mkroot("nrlt_store_hits");
+        write_report(&root.join("r"), "x");
+        let store = Store::new(&root, u64::MAX);
+        let tel = Telemetry::new();
+        let a = store.get(Kind::Report, "r", Some(&tel)).unwrap();
+        let b = store.get(Kind::Report, "r", Some(&tel)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(tel.counter("serve.cache_hits"), Some(1));
+        assert_eq!(tel.counter("serve.cache_misses"), Some(1));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let root = mkroot("nrlt_store_lru");
+        write_report(&root.join("a"), "a");
+        write_report(&root.join("b"), "b");
+        write_report(&root.join("c"), "c");
+        let one = std::fs::metadata(root.join("a/report.json")).unwrap().len();
+        // Budget fits two bundles, not three.
+        let store = Store::new(&root, one * 2);
+        store.get(Kind::Report, "a", None).unwrap();
+        store.get(Kind::Report, "b", None).unwrap();
+        store.get(Kind::Report, "a", None).unwrap(); // refresh a
+        store.get(Kind::Report, "c", None).unwrap(); // evicts b (LRU)
+        assert_eq!(store.eviction_count(), 1);
+        assert!(store.resident_bytes() <= one * 2);
+        let before = store.parse_count();
+        store.get(Kind::Report, "a", None).unwrap(); // still resident
+        assert_eq!(store.parse_count(), before, "a must not reload");
+        store.get(Kind::Report, "b", None).unwrap(); // evicted: reloads
+        assert_eq!(store.parse_count(), before + 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn load_errors_are_not_cached_and_retry_after_repair() {
+        let root = mkroot("nrlt_store_errors");
+        let dir = root.join("r");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("report.json"), "{ corrupt").unwrap();
+        let store = Store::new(&root, u64::MAX);
+        let err = store.get(Kind::Report, "r", None).unwrap_err();
+        assert!(matches!(err, QueryError::Artifact(_)), "{err}");
+        // Repair the file: the next request must retry and succeed.
+        write_report(&dir, "fixed");
+        assert!(store.get(Kind::Report, "r", None).is_ok());
+        assert_eq!(store.parse_count(), 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn path_traversal_is_rejected() {
+        let root = mkroot("nrlt_store_traversal");
+        let store = Store::new(&root, u64::MAX);
+        for rel in ["../etc", "a/../../b", "/abs"] {
+            let err = store.get(Kind::Report, rel, None).unwrap_err();
+            assert!(matches!(err, QueryError::BadRequest(_)), "{rel}: {err}");
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

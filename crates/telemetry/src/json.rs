@@ -1,6 +1,20 @@
 //! Minimal JSON support: string escaping for the exporters and a small
 //! recursive-descent parser used by the round-trip tests (and by anyone
 //! who wants to post-process an export without external crates).
+//!
+//! The parser is hardened against untrusted input — `nrlt-serve` feeds
+//! it bytes straight off a disk that a request named, so a malformed
+//! document must come back as an `Err`, never as a crash:
+//!
+//! * **depth limit** — nesting beyond [`ParseLimits::max_depth`] is an
+//!   error instead of a recursion-driven stack overflow (an overflow
+//!   aborts the process; it cannot be caught),
+//! * **size limit** — documents larger than [`ParseLimits::max_bytes`]
+//!   are rejected before a byte is parsed,
+//! * **finite numbers only** — `1e999` and friends overflow `f64` to
+//!   infinity under `str::parse`; JSON has no Inf/NaN, so non-finite
+//!   results are errors (the exporters render them as `0`),
+//! * **no trailing garbage** — a document must consume its input.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -98,10 +112,42 @@ impl Value {
     }
 }
 
-/// Parse a complete JSON document. Errors carry a byte offset.
+/// Hard bounds enforced while parsing untrusted documents.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    /// Maximum container nesting (arrays + objects). Exceeding it is an
+    /// error — the alternative is a stack overflow, which aborts.
+    pub max_depth: usize,
+    /// Maximum document size in bytes, checked before parsing.
+    pub max_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        // Far above anything the exporters write (the largest committed
+        // document is tens of kilobytes; whole bundles are megabytes),
+        // far below anything that could exhaust the stack or memory.
+        ParseLimits { max_depth: 128, max_bytes: 64 << 20 }
+    }
+}
+
+/// Parse a complete JSON document under [`ParseLimits::default`].
+/// Errors carry a byte offset.
 pub fn parse(input: &str) -> Result<Value, String> {
+    parse_with_limits(input, &ParseLimits::default())
+}
+
+/// Parse a complete JSON document under explicit [`ParseLimits`].
+pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Value, String> {
+    if input.len() > limits.max_bytes {
+        return Err(format!(
+            "document is {} bytes, limit is {} bytes",
+            input.len(),
+            limits.max_bytes
+        ));
+    }
     let bytes = input.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser { bytes, pos: 0, depth: 0, max_depth: limits.max_depth };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -114,6 +160,8 @@ pub fn parse(input: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -227,15 +275,31 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        s.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number {s:?} at byte {start}"))
+        match s.parse::<f64>() {
+            // `str::parse` maps overflowing literals like 1e999 to
+            // infinity; JSON has no Inf/NaN, so reject them.
+            Ok(v) if v.is_finite() => Ok(Value::Num(v)),
+            Ok(_) => Err(format!("non-finite number {s:?} at byte {start}")),
+            Err(_) => Err(format!("bad number {s:?} at byte {start}")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(format!("nesting deeper than {} at byte {}", self.max_depth, self.pos));
+        }
+        Ok(())
     }
 
     fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut out = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(out));
         }
         loop {
@@ -247,6 +311,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(out));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -256,10 +321,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut out = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(out));
         }
         loop {
@@ -276,10 +343,59 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(out));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
             }
+        }
+    }
+}
+
+/// Render a [`Value`] back to compact JSON. Object members come out in
+/// `BTreeMap` (key-sorted) order, so rendering is deterministic — the
+/// same parsed document always serializes to the same bytes, which is
+/// what lets `nrlt-serve` promise byte-identical responses across
+/// concurrent requests.
+pub fn render(v: &Value) -> String {
+    let mut out = String::new();
+    render_into(v, &mut out);
+    out
+}
+
+fn render_into(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => out.push_str(&number(*n)),
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(members) => {
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape(k));
+                out.push_str("\":");
+                render_into(val, out);
+            }
+            out.push('}');
         }
     }
 }
@@ -322,6 +438,79 @@ mod tests {
         assert!(parse("{\"a\" 1}").is_err());
         assert!(parse("12 34").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_an_overflow() {
+        // 100k opens would blow the stack; the limit turns it into Err.
+        let deep = "[".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(parse(&deep_obj).unwrap_err().contains("nesting deeper than"));
+    }
+
+    #[test]
+    fn depth_limit_is_exact() {
+        let limits = ParseLimits { max_depth: 3, ..ParseLimits::default() };
+        assert!(parse_with_limits("[[[1]]]", &limits).is_ok());
+        assert!(parse_with_limits("[[[[1]]]]", &limits).is_err());
+        // Sibling containers don't accumulate depth.
+        assert!(parse_with_limits("[[1],[2],[{\"a\":3}]]", &limits).is_ok());
+    }
+
+    #[test]
+    fn oversized_documents_are_rejected_before_parsing() {
+        let limits = ParseLimits { max_bytes: 16, ..ParseLimits::default() };
+        assert!(parse_with_limits("[1,2,3]", &limits).is_ok());
+        let err = parse_with_limits("[1,2,3,4,5,6,7,8,9]", &limits).unwrap_err();
+        assert!(err.contains("limit is 16 bytes"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        // 1e999 overflows f64 to infinity under str::parse.
+        assert!(parse("1e999").unwrap_err().contains("non-finite"));
+        assert!(parse("-1e999").unwrap_err().contains("non-finite"));
+        // Bare IEEE spellings are not JSON at all.
+        assert!(parse("NaN").is_err());
+        assert!(parse("Infinity").is_err());
+        assert!(parse("-Infinity").is_err());
+        // Huge-but-finite still parses.
+        assert_eq!(parse("1e308").unwrap().as_f64(), Some(1e308));
+        // Subnormal underflow to 0 is finite and fine.
+        assert_eq!(parse("1e-999").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        // The exporters never emit surrogates; untrusted input may.
+        // Documented behavior: each lone surrogate decodes to U+FFFD.
+        let v = parse(r#""a\ud800b""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\u{fffd}b"));
+        // Escaped surrogate pairs are not recombined — two replacements.
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{fffd}\u{fffd}"));
+        // Raw (non-escaped) astral characters pass through untouched.
+        assert_eq!(parse("\"\u{1f600}\"").unwrap().as_str(), Some("\u{1f600}"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(parse("{} x").unwrap_err().contains("trailing data"));
+        assert!(parse("null]").unwrap_err().contains("trailing data"));
+        assert!(parse(" {\"a\": 1} \n").is_ok());
+    }
+
+    #[test]
+    fn render_roundtrips_and_is_deterministic() {
+        let doc = r#"{"z": [1, 2.5, true, null], "a": {"nested": "v\"al"}, "m": -3}"#;
+        let v = parse(doc).unwrap();
+        let rendered = render(&v);
+        // Keys come out sorted; numbers re-render canonically.
+        assert_eq!(rendered, r#"{"a":{"nested":"v\"al"},"m":-3,"z":[1,2.5,true,null]}"#);
+        // Round trip is a fixed point.
+        assert_eq!(render(&parse(&rendered).unwrap()), rendered);
     }
 
     #[test]

@@ -83,6 +83,16 @@ echo "timing engine microbenchmarks ..."
 echo "timing weak-scaling sweep (scale) ..."
 ./target/release/scale --bench-json BENCH_pipeline.json \
     --history results/history.jsonl > results/scale.txt
+# Query-service load benchmark: an in-process nrlt-serve over the
+# exemplar bundles just regenerated, driven by the deterministic
+# closed-loop client mix. Queries/sec and p50/p95/p99 latency land in
+# the baseline under the `serve` bin key (client counts the host
+# cannot run without oversubscribing are recorded but skipped by the
+# gate, like every other entry).
+echo "timing query-service load benchmark (serve) ..."
+./target/release/serve --bench-json BENCH_pipeline.json \
+    --history results/history.jsonl
+
 echo "done; outputs in results/, telemetry in results/telemetry/,"
 echo "report artifacts (report.txt, report.json, flamegraph.folded) in results/report/,"
 echo "observe exemplar in results/observe/fig3/, engine profile in results/engineprof/fig3/,"
